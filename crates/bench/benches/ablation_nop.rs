@@ -1,0 +1,118 @@
+//! **Ablation: NoP topology & non-uniform partitioning (§III-D)** — how
+//! much the Simba-style non-uniform work split buys over a uniform split,
+//! as a function of the package's memory-port placement and mesh size.
+//!
+//! Expected shape: the non-uniform split never loses to the uniform one;
+//! its advantage grows with NoP skew (worse placements, bigger meshes);
+//! better port placements (four edges) reduce both makespans and shrink
+//! the gap, since there is less skew to exploit.
+
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_multicore::{
+    non_uniform_split, uniform_split_makespan, MemoryPortPlacement, NopMesh,
+};
+
+fn main() {
+    banner(
+        "Ablation §III-D",
+        "uniform vs non-uniform partitioning across NoP topologies",
+        "non-uniform never loses; gain grows with NoP skew (placement, mesh size)",
+    );
+    let placements = [
+        ("four-edges", MemoryPortPlacement::FourEdges),
+        ("west-edge", MemoryPortPlacement::WestEdge),
+        ("corner", MemoryPortPlacement::Corner),
+    ];
+    let meshes = [(2usize, 2usize), (4, 4), (8, 8)];
+    let hop_cycles = 400;
+    let payload = 4096;
+    let work = 1_000_000u64;
+
+    let mut t = ResultTable::new(vec![
+        "mesh", "placement", "avg hops", "uniform", "non-uniform", "gain",
+    ]);
+    let mut csv = ResultTable::new(vec![
+        "mesh",
+        "placement",
+        "avg_hops",
+        "uniform_makespan",
+        "nonuniform_makespan",
+        "gain",
+    ]);
+
+    // gains[mesh][placement]
+    let mut gains = vec![vec![0.0f64; placements.len()]; meshes.len()];
+    let mut makespans = vec![vec![0u64; placements.len()]; meshes.len()];
+    for (mi, &(rows, cols)) in meshes.iter().enumerate() {
+        for (pi, &(pname, placement)) in placements.iter().enumerate() {
+            let mesh = NopMesh::new(rows, cols, hop_cycles, placement);
+            let profile = mesh.profile(1.0, payload);
+            let uniform = uniform_split_makespan(&profile, work);
+            let (_, nonuniform) = non_uniform_split(&profile, work);
+            let gain = uniform as f64 / nonuniform as f64;
+            gains[mi][pi] = gain;
+            makespans[mi][pi] = nonuniform;
+            let label = format!("{rows}x{cols}");
+            t.row(vec![
+                label.clone(),
+                pname.to_string(),
+                f(mesh.average_hops(), 2),
+                uniform.to_string(),
+                nonuniform.to_string(),
+                format!("{}x", f(gain, 3)),
+            ]);
+            csv.row(vec![
+                label,
+                pname.to_string(),
+                f(mesh.average_hops(), 2),
+                uniform.to_string(),
+                nonuniform.to_string(),
+                f(gain, 4),
+            ]);
+        }
+    }
+    t.print();
+
+    for (mi, &(rows, cols)) in meshes.iter().enumerate() {
+        // Non-uniform never loses anywhere.
+        for (pi, &(pname, _)) in placements.iter().enumerate() {
+            assert!(
+                gains[mi][pi] >= 1.0 - 1e-9,
+                "{rows}x{cols}/{pname}: non-uniform lost ({})",
+                gains[mi][pi]
+            );
+        }
+        // Better placement ⇒ smaller non-uniform makespan:
+        // four-edges ≤ west-edge ≤ corner.
+        assert!(
+            makespans[mi][0] <= makespans[mi][1] && makespans[mi][1] <= makespans[mi][2],
+            "{rows}x{cols}: placement ordering broken {:?}",
+            makespans[mi]
+        );
+        // More skew ⇒ more to exploit: corner gains at least as much as
+        // four-edges on every mesh.
+        assert!(
+            gains[mi][2] >= gains[mi][0] - 1e-9,
+            "{rows}x{cols}: corner gain {} < four-edges gain {}",
+            gains[mi][2],
+            gains[mi][0]
+        );
+    }
+    // Bigger meshes widen the worst-placement gain.
+    assert!(
+        gains[2][2] > gains[0][2],
+        "8x8 corner gain {} should exceed 2x2 corner gain {}",
+        gains[2][2],
+        gains[0][2]
+    );
+
+    println!(
+        "\nworst-placement (corner) gains across meshes: {}",
+        gains
+            .iter()
+            .map(|g| format!("{}x", f(g[2], 3)))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+    write_csv("ablation_nop.csv", &csv.to_csv());
+}

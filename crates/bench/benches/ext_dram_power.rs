@@ -1,0 +1,137 @@
+//! **Extension: DRAM power & controller area vs channel count** — makes
+//! quantitative the caveat the paper attaches to Fig. 9: "each memory
+//! channel also comes at an additional area cost for the memory controller
+//! and a power cost for parallel data loads".
+//!
+//! Expected shape: throughput never falls as channels are added (Fig. 9),
+//! while average DRAM power rises with every channel (standby + parallel
+//! loads) and controller area grows linearly — so the MB/s-per-mW
+//! efficiency of saturated (late) layers *degrades* past their saturation
+//! point.
+
+use scalesim::{DramIntegration, ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_energy::{ArchSpec, AreaConfig, AreaTable};
+use scalesim_workloads::resnet18;
+
+fn main() {
+    banner(
+        "Ext (Fig. 9 follow-up)",
+        "DRAM power and controller area vs DDR4 channel count, ResNet-18",
+        "channels add standby power and controller area; saturated layers \
+         lose MB/s-per-mW efficiency",
+    );
+    let net = resnet18();
+    // Early conv, mid conv, final FC — the Fig. 9 contrast points.
+    let picks = [0usize, net.len() / 2, net.len() - 1];
+    let channels = [1usize, 2, 4, 8];
+
+    let arch = ArchSpec::new(128, 128, 8192 << 10, 8192 << 10, 2048 << 10);
+    let area_table = AreaTable::eyeriss_65nm();
+
+    let mut t = ResultTable::new(vec![
+        "layer",
+        "ch",
+        "MB/s",
+        "power mW",
+        "pJ/bit",
+        "MB/s per mW",
+        "ctrl mm2",
+    ]);
+    let mut csv = ResultTable::new(vec![
+        "layer",
+        "channels",
+        "throughput_mbps",
+        "avg_power_mw",
+        "pj_per_bit",
+        "efficiency_mbps_per_mw",
+        "controller_mm2",
+    ]);
+
+    let mut efficiency: Vec<Vec<f64>> = Vec::new(); // [layer][channel_idx]
+    let mut power: Vec<Vec<f64>> = Vec::new();
+    let mut throughput: Vec<Vec<f64>> = Vec::new();
+    for &idx in &picks {
+        let layer = &net.layers()[idx];
+        let mut eff_row = Vec::new();
+        let mut pow_row = Vec::new();
+        let mut tp_row = Vec::new();
+        for &ch in &channels {
+            let mut config = ScaleSimConfig::tpu_like();
+            config.enable_dram = true;
+            config.dram = DramIntegration {
+                channels: ch,
+                ..Default::default()
+            };
+            let r = ScaleSim::new(config).run_gemm(layer.name(), layer.gemm());
+            let d = r.dram.as_ref().unwrap();
+            let mw = d.energy.avg_power_mw();
+            let eff = d.throughput_mbps / mw.max(1e-9);
+            let ctrl_mm2 = AreaConfig::new(arch)
+                .with_dram_channels(ch)
+                .estimate(&area_table)
+                .dram_ctrl_mm2;
+            t.row(vec![
+                layer.name().to_string(),
+                ch.to_string(),
+                f(d.throughput_mbps, 0),
+                f(mw, 1),
+                f(d.energy.pj_per_bit(), 2),
+                f(eff, 2),
+                f(ctrl_mm2, 1),
+            ]);
+            csv.row(vec![
+                layer.name().to_string(),
+                ch.to_string(),
+                f(d.throughput_mbps, 1),
+                f(mw, 2),
+                f(d.energy.pj_per_bit(), 3),
+                f(eff, 3),
+                f(ctrl_mm2, 2),
+            ]);
+            eff_row.push(eff);
+            pow_row.push(mw);
+            tp_row.push(d.throughput_mbps);
+        }
+        efficiency.push(eff_row);
+        power.push(pow_row);
+        throughput.push(tp_row);
+    }
+    t.print();
+
+    // Shape assertions.
+    for (l, &idx) in picks.iter().enumerate() {
+        let name = net.layers()[idx].name();
+        for c in 1..channels.len() {
+            assert!(
+                power[l][c] > power[l][c - 1],
+                "{name}: power must rise with channels ({:?})",
+                power[l]
+            );
+            assert!(
+                throughput[l][c] >= throughput[l][c - 1] * 0.98,
+                "{name}: throughput must not fall with channels ({:?})",
+                throughput[l]
+            );
+        }
+    }
+    // The final (saturated) layer pays for channels it cannot use:
+    // efficiency at 8 channels is below its 1-channel figure.
+    let last = efficiency.last().unwrap();
+    assert!(
+        last[3] < last[0],
+        "saturated layer should lose MB/s-per-mW efficiency: {last:?}"
+    );
+    // Controller area is strictly linear in channels (asserted in-model,
+    // restated here as the headline of the Fig. 9 caveat).
+    let a1 = AreaConfig::new(arch).with_dram_channels(1).estimate(&area_table);
+    let a8 = AreaConfig::new(arch).with_dram_channels(8).estimate(&area_table);
+    assert!((a8.dram_ctrl_mm2 / a1.dram_ctrl_mm2 - 8.0).abs() < 1e-9);
+
+    println!(
+        "\nsaturated-layer efficiency 1ch → 8ch: {} → {} MB/s/mW",
+        f(last[0], 2),
+        f(last[3], 2)
+    );
+    write_csv("ext_dram_power.csv", &csv.to_csv());
+}

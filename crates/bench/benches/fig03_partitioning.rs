@@ -1,0 +1,95 @@
+//! **Figure 3** — compute-cycles vs memory-footprint trade-off for spatial
+//! and spatio-temporal partitioning over the scale-out sweep.
+//!
+//! 27 GEMMs (M, N, K ∈ {1000, 5000, 10000}) × array sizes {8, 16, 32}² ×
+//! core counts {16, 32, 64}; for every configuration each scheme picks its
+//! best (Pr, Pc). Fig. 3a optimizes compute cycles; Fig. 3b optimizes
+//! memory footprint. Expected shape: several compute-optimized points
+//! where a spatio-temporal scheme beats spatial, while spatial wins most
+//! memory-optimized configurations.
+
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_multicore::{best_partition, MappingDims, PartitionObjective, PartitionScheme};
+use scalesim_systolic::{ArrayShape, Dataflow};
+use scalesim_workloads::fig3_gemm_workloads;
+
+fn main() {
+    banner(
+        "Fig. 3",
+        "spatial vs spatio-temporal partitioning trade-off",
+        "spatio-temporal outperforms spatial in several compute-optimized \
+         cases; spatial wins most memory-optimized cases",
+    );
+    let workloads = fig3_gemm_workloads();
+    let arrays = [8usize, 16, 32];
+    let cores = [16usize, 32, 64];
+
+    let mut csv = ResultTable::new(vec![
+        "objective", "gemm", "array", "cores", "scheme", "pr", "pc", "cycles", "footprint",
+    ]);
+    for (objective, tag) in [
+        (PartitionObjective::ComputeCycles, "compute-optimized (Fig. 3a)"),
+        (PartitionObjective::MemoryFootprint, "memory-optimized (Fig. 3b)"),
+    ] {
+        let mut wins = [0usize; 3];
+        let mut total = 0usize;
+        for gemm in &workloads {
+            let dims = MappingDims::new(Dataflow::OutputStationary, *gemm);
+            for &a in &arrays {
+                for &nc in &cores {
+                    let choices: Vec<_> = PartitionScheme::ALL
+                        .iter()
+                        .map(|&s| {
+                            best_partition(ArrayShape::square(a), s, dims, nc, objective, None)
+                        })
+                        .collect();
+                    for c in &choices {
+                        csv.row(vec![
+                            tag.to_string(),
+                            gemm.to_string(),
+                            format!("{a}x{a}"),
+                            nc.to_string(),
+                            c.scheme.label().to_string(),
+                            c.grid.pr.to_string(),
+                            c.grid.pc.to_string(),
+                            c.cycles.to_string(),
+                            c.footprint_words.to_string(),
+                        ]);
+                    }
+                    // The paper's "best partition" among the three
+                    // connected points is judged by the *other* metric:
+                    // "In Figure 3a (compute-optimized), the best partition
+                    // … is the one with the least memory footprint", and
+                    // vice versa in Fig. 3b.
+                    let best = match objective {
+                        PartitionObjective::ComputeCycles => choices
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, c)| (c.footprint_words, c.cycles))
+                            .unwrap()
+                            .0,
+                        PartitionObjective::MemoryFootprint => choices
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, c)| (c.cycles, c.footprint_words))
+                            .unwrap()
+                            .0,
+                    };
+                    wins[best] += 1;
+                    total += 1;
+                }
+            }
+        }
+        println!("\n-- {tag}: best partition over {total} configurations --");
+        let mut t = ResultTable::new(vec!["scheme", "wins", "share"]);
+        for (i, s) in PartitionScheme::ALL.iter().enumerate() {
+            t.row(vec![
+                s.label().to_string(),
+                wins[i].to_string(),
+                format!("{}%", f(wins[i] as f64 / total as f64 * 100.0, 1)),
+            ]);
+        }
+        t.print();
+    }
+    write_csv("fig03_partitioning.csv", &csv.to_csv());
+}

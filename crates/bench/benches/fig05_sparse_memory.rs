@@ -1,0 +1,95 @@
+//! **Figure 5** — total cycles (including memory stalls) vs on-chip memory
+//! for ResNet-18 at 1:4, 2:4 and 4:4 sparsity.
+//!
+//! Expected shape: cycles fall as SRAM grows; for any given SRAM size,
+//! sparser models need fewer cycles; a latency budget met by the dense
+//! core at ~3 MB is met by a 2:4 sparse core with ~4× less memory
+//! (paper: 768 kB vs 3 MB at a 250 k-cycle constraint, §IX-B).
+
+use scalesim::sparse::NmRatio;
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig};
+use scalesim::{ScaleSim, ScaleSimConfig, SparsityMode};
+use scalesim_bench::{banner, write_csv, ResultTable};
+use scalesim_workloads::resnet18;
+
+fn run(total_kb: usize, ratio: Option<NmRatio>) -> u64 {
+    let mut config = ScaleSimConfig::default();
+    config.core.array = ArrayShape::new(32, 32);
+    config.core.dataflow = Dataflow::WeightStationary;
+    // Split the budget 2:1:1 between ifmap, filter and ofmap.
+    let q = (total_kb / 4).max(2);
+    config.core.memory = MemoryConfig::from_kilobytes(2 * q, q, q, 2);
+    config.sparsity = ratio.map(SparsityMode::LayerWise);
+    ScaleSim::new(config).run_topology(&resnet18()).total_cycles()
+}
+
+fn main() {
+    banner(
+        "Fig. 5",
+        "total cycles (incl. stalls) vs on-chip memory, ResNet-18 sparse",
+        "more SRAM → fewer stalls; sparser ratios need fewer cycles at any \
+         SRAM size; iso-latency, 2:4 needs ~4x less memory than dense",
+    );
+    let ratios: [(&str, Option<NmRatio>); 3] = [
+        ("1:4", Some(NmRatio::new(1, 4).unwrap())),
+        ("2:4", Some(NmRatio::new(2, 4).unwrap())),
+        ("4:4", Some(NmRatio::new(4, 4).unwrap())),
+    ];
+    let mem_kb = [96usize, 192, 384, 768, 1536, 3072];
+
+    let mut t = ResultTable::new(vec!["on-chip kB", "1:4 cycles", "2:4 cycles", "4:4 cycles"]);
+    let mut csv = ResultTable::new(vec!["mem_kb", "ratio", "total_cycles"]);
+    let mut series: Vec<Vec<u64>> = vec![Vec::new(); 3];
+    for &kb in &mem_kb {
+        let mut row = vec![kb.to_string()];
+        for (i, (name, ratio)) in ratios.iter().enumerate() {
+            let cycles = run(kb, *ratio);
+            series[i].push(cycles);
+            row.push(cycles.to_string());
+            csv.row(vec![kb.to_string(), name.to_string(), cycles.to_string()]);
+        }
+        t.row(row);
+    }
+    t.print();
+
+    // Shape checks. A small tolerance covers double-buffering granularity
+    // artifacts (bigger half-buffers lengthen ramp-up and drain tails).
+    for (i, (name, _)) in ratios.iter().enumerate() {
+        assert!(
+            series[i].windows(2).all(|w| w[1] <= w[0] + w[0] / 25),
+            "{name}: cycles must fall (±4%) with more SRAM: {:?}",
+            series[i]
+        );
+        assert!(
+            *series[i].last().unwrap() < series[i][0],
+            "{name}: the largest SRAM must beat the smallest"
+        );
+    }
+    for j in 0..mem_kb.len() {
+        assert!(
+            series[0][j] <= series[1][j] && series[1][j] <= series[2][j],
+            "sparser must be faster at {} kB",
+            mem_kb[j]
+        );
+    }
+    // Iso-latency memory saving: budget = dense cycles at the largest SRAM.
+    let budget = series[2].last().copied().unwrap() * 11 / 10;
+    let need = |s: &[u64]| {
+        mem_kb
+            .iter()
+            .zip(s)
+            .find(|(_, &c)| c <= budget)
+            .map(|(&kb, _)| kb)
+    };
+    let dense_need = need(&series[2]);
+    let sparse_need = need(&series[1]);
+    println!(
+        "\niso-latency ({budget} cycles): dense needs {:?} kB, 2:4 needs {:?} kB",
+        dense_need, sparse_need
+    );
+    if let (Some(d), Some(s)) = (dense_need, sparse_need) {
+        assert!(s < d, "2:4 must meet the budget with less memory");
+        println!("memory saving: {:.1}x (paper: ~3.9x at its budget)", d as f64 / s as f64);
+    }
+    write_csv("fig05_sparse_memory.csv", &csv.to_csv());
+}

@@ -1,0 +1,61 @@
+//! **Figure 7** — filter storage (values + metadata) for ResNet-18 under
+//! dense, 1:4, 2:4 and 3:4 blocked-ELLPACK compression.
+//!
+//! Expected shape: storage grows with density; every sparse ratio stores
+//! values plus `log2(M)`-bit metadata; 4:4/dense differ only by metadata.
+
+use scalesim::sparse::{NmRatio, SparseFormat, SparsityPattern};
+use scalesim_bench::{banner, write_csv, ResultTable};
+use scalesim_workloads::resnet18;
+
+fn main() {
+    banner(
+        "Fig. 7",
+        "ResNet-18 filter storage: dense vs 1:4 / 2:4 / 3:4 (ELLPACK)",
+        "storage (values+metadata) shrinks with sparsity across all layers",
+    );
+    let net = resnet18();
+    let ratios = [
+        NmRatio::new(1, 4).unwrap(),
+        NmRatio::new(2, 4).unwrap(),
+        NmRatio::new(3, 4).unwrap(),
+    ];
+    let mut t = ResultTable::new(vec![
+        "layer", "dense kB", "1:4 kB", "2:4 kB", "3:4 kB",
+    ]);
+    let mut csv = ResultTable::new(vec!["layer", "ratio", "value_bytes", "metadata_bytes"]);
+    let mut totals = [0u64; 4];
+    for layer in net.iter() {
+        let g = layer.gemm();
+        let dense_bytes = SparseFormat::dense_storage_bits(g.k, g.n, 16) / 8;
+        totals[0] += dense_bytes;
+        let mut row = vec![layer.name().to_string(), format!("{:.1}", dense_bytes as f64 / 1024.0)];
+        csv.row(vec![
+            layer.name().to_string(),
+            "dense".to_string(),
+            dense_bytes.to_string(),
+            "0".to_string(),
+        ]);
+        for (i, r) in ratios.iter().enumerate() {
+            let p = SparsityPattern::layer_wise(g.k, *r);
+            let total_bits = SparseFormat::BlockedEllpack.filter_storage_bits(&p, g.n, 16);
+            let value_bits = p.effective_k() as u64 * g.n as u64 * 16;
+            totals[i + 1] += total_bits / 8;
+            row.push(format!("{:.1}", total_bits as f64 / 8.0 / 1024.0));
+            csv.row(vec![
+                layer.name().to_string(),
+                r.to_string(),
+                (value_bits / 8).to_string(),
+                ((total_bits - value_bits) / 8).to_string(),
+            ]);
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\nnetwork totals (MB):");
+    for (name, total) in ["dense", "1:4", "2:4", "3:4"].iter().zip(&totals) {
+        println!("  {name:>6}: {:.2}", *total as f64 / 1024.0 / 1024.0);
+    }
+    assert!(totals[1] < totals[2] && totals[2] < totals[3] && totals[3] < totals[0]);
+    write_csv("fig07_sparse_storage.csv", &csv.to_csv());
+}

@@ -1,0 +1,84 @@
+//! **Figure 9** — impact of DRAM channels on memory throughput for
+//! ResNet-18 layers (TPU-like config, DDR4 4 Gb/channel, queues 128).
+//!
+//! Expected shape: early (large-ifmap) layers scale with channels and
+//! exceed 2000 MB/s; late 1×1 / FC layers saturate around 2 channels.
+
+use scalesim::systolic::Layer;
+use scalesim::{DramIntegration, ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::resnet18;
+
+fn main() {
+    banner(
+        "Fig. 9",
+        "memory throughput vs DDR4 channel count, ResNet-18 layers",
+        "early layers scale with channels (>2000 MB/s); late layers \
+         saturate at ~2 channels",
+    );
+    let net = resnet18();
+    let channels = [1usize, 2, 4, 8];
+    let mut t = ResultTable::new(vec![
+        "layer", "1ch MB/s", "2ch MB/s", "4ch MB/s", "8ch MB/s", "beyond-2ch gain",
+    ]);
+    let mut csv = ResultTable::new(vec!["layer", "channels", "throughput_mbps", "stall_cycles"]);
+    let mut early_scaling = Vec::new();
+    let mut late_scaling = Vec::new();
+    for (idx, layer) in net.iter().enumerate() {
+        // Sample representative layers to bound runtime: all early convs,
+        // then every second layer.
+        if idx > 6 && idx % 2 == 1 {
+            continue;
+        }
+        let mut row = vec![layer.name().to_string()];
+        let mut tps = Vec::new();
+        for &ch in &channels {
+            let mut config = ScaleSimConfig::tpu_like();
+            config.enable_dram = true;
+            config.dram = DramIntegration {
+                channels: ch,
+                ..Default::default()
+            };
+            let r = ScaleSim::new(config).run_gemm(layer.name(), layer.gemm());
+            let d = r.dram.as_ref().unwrap();
+            tps.push(d.throughput_mbps);
+            row.push(f(d.throughput_mbps, 0));
+            csv.row(vec![
+                layer.name().to_string(),
+                ch.to_string(),
+                f(d.throughput_mbps, 1),
+                d.summary.stall_cycles.to_string(),
+            ]);
+        }
+        // The paper's saturation metric: do channels beyond 2 still help?
+        let scaling = tps[3] / tps[1].max(1.0);
+        row.push(format!("{}x", f(scaling, 2)));
+        t.row(row);
+        // "The 1×1 filters and smaller ifmaps reduce the memory throughput
+        // for later convolution and fully connected layers": conv5_x + fc.
+        let is_late =
+            matches!(layer, Layer::Gemm { .. }) || layer.name().starts_with("conv5");
+        if is_late {
+            late_scaling.push(scaling);
+        } else if idx <= 10 {
+            early_scaling.push(scaling);
+        }
+    }
+    t.print();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nearly-layer gain beyond 2 channels: {}x   late-layer gain: {}x",
+        f(avg(&early_scaling), 2),
+        f(avg(&late_scaling), 2)
+    );
+    assert!(
+        avg(&early_scaling) > avg(&late_scaling),
+        "early layers must keep scaling past 2 channels; late ones saturate"
+    );
+    assert!(
+        avg(&late_scaling) < 1.1,
+        "late layers should saturate at ~2 channels (gain {})",
+        avg(&late_scaling)
+    );
+    write_csv("fig09_dram_channels.csv", &csv.to_csv());
+}

@@ -1,0 +1,101 @@
+//! **Figure 10** — impact of memory request-queue size on stall cycles
+//! and overall inference latency.
+//!
+//! Three bars per workload: read/write queues of 32, 128 and 512 entries.
+//! Expected shape: the stall fraction and total cycles fall as the queue
+//! grows (paper: average total cycles drop 3.76× from 32→128, a further
+//! 38% at 512).
+
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig, Topology};
+use scalesim::{DramIntegration, ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::{alexnet, resnet18, vit_small};
+
+fn subset(t: &Topology, n: usize) -> Topology {
+    Topology::from_layers(t.name(), t.layers().iter().take(n).cloned().collect())
+}
+
+fn main() {
+    banner(
+        "Fig. 10",
+        "memory stalls vs request-queue size (32 / 128 / 512)",
+        "small queues add heavy stalls; total cycles fall steeply 32→128 \
+         and further at 512",
+    );
+    // Memory-hungry configuration: modest SRAM, single channel.
+    let base = {
+        let mut config = ScaleSimConfig::default();
+        config.core.array = ArrayShape::new(32, 32);
+        config.core.dataflow = Dataflow::OutputStationary;
+        config.core.memory = MemoryConfig::from_kilobytes(128, 128, 64, 2);
+        config.enable_dram = true;
+        config
+    };
+    let queues = [32usize, 128, 512];
+    let workloads = [
+        subset(&alexnet(), 5),
+        subset(&resnet18(), 6),
+        subset(&vit_small(), 7),
+    ];
+    let mut t = ResultTable::new(vec![
+        "workload", "queue", "total cycles", "stall cycles", "stall %",
+    ]);
+    let mut csv = ResultTable::new(vec!["workload", "queue", "total_cycles", "stall_cycles"]);
+    let mut totals: Vec<[u64; 3]> = Vec::new();
+    for w in &workloads {
+        let mut per_queue = [0u64; 3];
+        for (qi, &q) in queues.iter().enumerate() {
+            let mut config = base.clone();
+            config.dram = DramIntegration {
+                read_queue: q,
+                write_queue: q,
+                ..Default::default()
+            };
+            let run = ScaleSim::new(config).run_topology(w);
+            let total = run.total_cycles();
+            let stalls = run.total_stall_cycles();
+            per_queue[qi] = total;
+            t.row(vec![
+                w.name().to_string(),
+                q.to_string(),
+                total.to_string(),
+                stalls.to_string(),
+                format!("{}%", f(stalls as f64 / total as f64 * 100.0, 1)),
+            ]);
+            csv.row(vec![
+                w.name().to_string(),
+                q.to_string(),
+                total.to_string(),
+                stalls.to_string(),
+            ]);
+        }
+        totals.push(per_queue);
+    }
+    t.print();
+    let avg_ratio_32_128: f64 = totals
+        .iter()
+        .map(|t| t[0] as f64 / t[1] as f64)
+        .sum::<f64>()
+        / totals.len() as f64;
+    let avg_ratio_128_512: f64 = totals
+        .iter()
+        .map(|t| t[1] as f64 / t[2] as f64)
+        .sum::<f64>()
+        / totals.len() as f64;
+    println!(
+        "\navg total-cycle improvement 32→128: {}x (paper: 3.76x)\n\
+         avg further improvement 128→512:   {}x (paper: 1.38x)",
+        f(avg_ratio_32_128, 2),
+        f(avg_ratio_128_512, 2)
+    );
+    // Bigger queues must not hurt (0.5% tolerance for latency-distribution
+    // noise across replays). The magnitude of the improvement is far below
+    // the paper's 3.76× on these workloads — see EXPERIMENTS.md deviation 3.
+    for t in &totals {
+        assert!(
+            t[1] as f64 <= t[0] as f64 * 1.005 && t[2] as f64 <= t[1] as f64 * 1.005,
+            "bigger queue must not hurt: {t:?}"
+        );
+    }
+    write_csv("fig10_queue_stalls.csv", &csv.to_csv());
+}

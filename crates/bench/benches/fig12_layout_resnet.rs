@@ -1,0 +1,90 @@
+//! **Figure 12** — slowdown of the banked layout model vs the pure
+//! bandwidth model for ResNet-18 on a 128×128 array, across on-chip
+//! bandwidths {64…1024} and bank counts {1…16}, per dataflow.
+//!
+//! Expected shape: more banks at fixed bandwidth consistently reduce the
+//! slowdown; weight-stationary shows the largest spread (its ifmap stream
+//! walks the K dimension, hostile to row-major lines), while input- and
+//! output-stationary stay near the bandwidth model.
+
+use scalesim::layout_slowdown_for_gemm;
+use scalesim::systolic::{ArrayShape, Dataflow, GemmShape};
+use scalesim::LayoutIntegration;
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::resnet18;
+
+fn representative_layers() -> Vec<(String, GemmShape)> {
+    let net = resnet18();
+    ["conv2_1", "conv3_1", "conv4_1"]
+        .iter()
+        .map(|n| {
+            let l = net.iter().find(|l| l.name() == *n).expect("layer");
+            (l.name().to_string(), l.gemm())
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Fig. 12",
+        "layout-model slowdown vs bandwidth model — ResNet-18, 128x128",
+        "more banks at the same bandwidth consistently reduce slowdown; \
+         WS shows the largest layout sensitivity",
+    );
+    run_layout_figure(&representative_layers(), "fig12_layout_resnet.csv");
+}
+
+/// Shared between Fig. 12 (ResNet) and Fig. 13 (ViT).
+pub fn run_layout_figure(layers: &[(String, GemmShape)], csv_name: &str) {
+    let array = ArrayShape::new(128, 128);
+    let bandwidths = [64usize, 128, 256, 512, 1024];
+    let banks = [1usize, 2, 4, 8, 16];
+    let mut csv = ResultTable::new(vec![
+        "dataflow", "bandwidth", "banks", "layer", "slowdown",
+    ]);
+    for df in Dataflow::ALL {
+        println!("\n-- {df} --");
+        let mut t = ResultTable::new(vec![
+            "bandwidth", "1 bank", "2 banks", "4 banks", "8 banks", "16 banks",
+        ]);
+        let mut by_banks: Vec<Vec<f64>> = vec![Vec::new(); banks.len()];
+        for &bw in &bandwidths {
+            let mut row = vec![bw.to_string()];
+            for (bi, &nb) in banks.iter().enumerate() {
+                let mut acc = 0.0;
+                for (name, gemm) in layers {
+                    let cfg = LayoutIntegration::matched(df, bw, nb);
+                    let a = layout_slowdown_for_gemm(array, df, *gemm, &cfg);
+                    acc += a.relative_slowdown();
+                    csv.row(vec![
+                        df.short_name().to_string(),
+                        bw.to_string(),
+                        nb.to_string(),
+                        name.clone(),
+                        f(a.relative_slowdown(), 4),
+                    ]);
+                }
+                let mean = acc / layers.len() as f64;
+                by_banks[bi].push(mean);
+                row.push(f(mean, 3));
+            }
+            t.row(row);
+        }
+        t.print();
+        // Shape: averaged over bandwidths, more banks never hurt.
+        let avg: Vec<f64> = by_banks
+            .iter()
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+            .collect();
+        for w in avg.windows(2) {
+            // More banks must never introduce conflict slowdown; in the
+            // negative regime (banking beats the flat model) the advantage
+            // may legitimately shrink toward zero.
+            assert!(
+                w[1] <= w[0].max(0.0) + 1e-9,
+                "{df}: more banks increased slowdown: {avg:?}"
+            );
+        }
+    }
+    write_csv(csv_name, &csv.to_csv());
+}

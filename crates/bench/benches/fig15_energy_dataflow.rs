@@ -1,0 +1,101 @@
+//! **Figure 15** — energy consumption across dataflows and systolic array
+//! dimensions for RCNN, ResNet-50 and ViT.
+//!
+//! Expected shape: energy grows with array size at fixed work (idle-PE and
+//! leakage cost); output-stationary is the cheapest dataflow almost
+//! everywhere (it never re-streams partial sums). In our model the "almost"
+//! is the transformer: ViT's huge-K GEMMs reward the weight-reuse
+//! dataflows instead (EXPERIMENTS.md deviation 7).
+
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig, Topology};
+use scalesim::{ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::{rcnn, resnet50, vit_base};
+
+fn subset(t: &Topology, n: usize) -> Topology {
+    Topology::from_layers(t.name(), t.layers().iter().take(n).cloned().collect())
+}
+
+fn energy_mj(workload: &Topology, array: usize, df: Dataflow) -> f64 {
+    let mut config = ScaleSimConfig::default();
+    config.core.array = ArrayShape::new(array, array);
+    config.core.dataflow = df;
+    config.core.memory = MemoryConfig::from_kilobytes(2048, 2048, 2048, 2);
+    config.enable_energy = true;
+    ScaleSim::new(config).run_topology(workload).total_energy_mj()
+}
+
+fn main() {
+    banner(
+        "Fig. 15",
+        "energy vs dataflow and array size — RCNN / ResNet-50 / ViT",
+        "OS wins almost everywhere; WS preferable at small arrays, IS at \
+         large arrays; energy grows with array size at fixed work",
+    );
+    // Layer subsets bound the runtime; the subsetting is uniform across
+    // configurations so relative comparisons are preserved.
+    let workloads = [
+        subset(&rcnn(), 10),
+        subset(&resnet50(), 12),
+        subset(&vit_base(), 14),
+    ];
+    let arrays = [8usize, 16, 32, 64, 128];
+    let mut csv = ResultTable::new(vec!["workload", "dataflow", "array", "energy_mj"]);
+    for w in &workloads {
+        println!("\n-- {} --", w.name());
+        let mut t = ResultTable::new(vec!["array", "OS mJ", "WS mJ", "IS mJ"]);
+        let mut per_df: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        for &a in &arrays {
+            let mut row = vec![format!("{a}x{a}")];
+            for (i, df) in Dataflow::ALL.iter().enumerate() {
+                let e = energy_mj(w, a, *df);
+                per_df[i].push(e);
+                row.push(f(e, 2));
+                csv.row(vec![
+                    w.name().to_string(),
+                    df.short_name().to_string(),
+                    a.to_string(),
+                    f(e, 4),
+                ]);
+            }
+            t.row(row);
+        }
+        t.print();
+        // Shape checks: OS never loses badly, and within the paper's
+        // Table V range (32→128) energy grows with array size for every
+        // dataflow. (Below 32×32 our model shows a U-shape: tiny arrays
+        // pay streaming and leakage energy over enormous runtimes.)
+        let idx32 = arrays.iter().position(|&a| a == 32).unwrap();
+        for (i, df) in Dataflow::ALL.iter().enumerate() {
+            let at32 = per_df[i][idx32];
+            let at128 = *per_df[i].last().unwrap();
+            assert!(
+                at128 > at32,
+                "{}/{df}: energy must grow from 32x32 to 128x128 ({at32} → {at128})",
+                w.name()
+            );
+        }
+        let os_total: f64 = per_df[0].iter().sum();
+        let ws_total: f64 = per_df[1].iter().sum();
+        let is_total: f64 = per_df[2].iter().sum();
+        if w.name().starts_with("vit") {
+            // The paper hedges with "almost every case", and the
+            // transformer workload is the exception in our model: ViT's
+            // huge-K GEMMs reward the weight-reuse dataflows, whose pinned
+            // operands eliminate the dominant filter-SRAM traffic. OS
+            // loses here (documented as deviation 7 in EXPERIMENTS.md).
+            assert!(
+                ws_total < os_total && is_total < os_total,
+                "{}: weight-reuse dataflows should beat OS on transformer GEMMs",
+                w.name()
+            );
+        } else {
+            assert!(
+                os_total <= ws_total * 1.05 && os_total <= is_total * 1.05,
+                "{}: OS should be the cheapest dataflow on the CNN workloads",
+                w.name()
+            );
+        }
+    }
+    write_csv("fig15_energy_dataflow.csv", &csv.to_csv());
+}

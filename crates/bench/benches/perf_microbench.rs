@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the simulator's hot paths — not a paper
+//! experiment, but a performance regression guard for the substrate
+//! (demand generation, double-buffer planning, DRAM replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scalesim_mem::{replay_trace, AccessKind, DramConfig, TraceRequest};
+use scalesim_systolic::{
+    ArrayShape, CoreSim, Dataflow, DemandSummary, GemmShape, MemoryConfig, SimConfig,
+};
+use std::hint::black_box;
+
+fn bench_demand_generation(c: &mut Criterion) {
+    let cfg = SimConfig::builder()
+        .array(ArrayShape::new(32, 32))
+        .dataflow(Dataflow::WeightStationary)
+        .build();
+    let sim = CoreSim::new(cfg);
+    let gemm = GemmShape::new(197, 768, 768);
+    c.bench_function("demand_stream_vit_proj_32x32", |b| {
+        b.iter(|| {
+            let gen = sim.demand_generator(black_box(gemm));
+            let mut s = DemandSummary::default();
+            gen.run(&mut s);
+            black_box(s.macs)
+        })
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut cfg = SimConfig::builder()
+        .array(ArrayShape::new(32, 32))
+        .dataflow(Dataflow::WeightStationary)
+        .build();
+    cfg.memory = MemoryConfig::from_kilobytes(512, 512, 512, 2);
+    let sim = CoreSim::new(cfg);
+    let gemm = GemmShape::new(197, 768, 768);
+    c.bench_function("plan_gemm_vit_proj_32x32", |b| {
+        b.iter(|| {
+            let planned = sim.plan_gemm(black_box(gemm));
+            black_box(planned.compute.total_compute_cycles)
+        })
+    });
+}
+
+fn bench_dram_replay(c: &mut Criterion) {
+    let trace: Vec<TraceRequest> = (0..20_000u64)
+        .map(|i| TraceRequest {
+            cycle: i / 4,
+            byte_addr: (i % 4096) * 64 + (i / 4096) * (1 << 20),
+            kind: if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        })
+        .collect();
+    c.bench_function("dram_replay_20k_requests_ddr4", |b| {
+        b.iter(|| {
+            let res = replay_trace(DramConfig::default(), black_box(&trace));
+            black_box(res.stats.reads)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_demand_generation, bench_planning, bench_dram_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! **Table IV** — simulation-time overhead of each v3 feature relative to
+//! the v2 baseline (compute + ideal memory), on a TPU-v2-like
+//! configuration.
+//!
+//! Paper means: multi-core 2.29×, 2:4 sparsity 0.42×, 1:4 sparsity 0.29×,
+//! Accelergy 1.19×, Ramulator 2.13×, layout 16.03×. Sparsity *reduces*
+//! simulation time (the compressed GEMM is smaller); layout is by far the
+//! most expensive feature.
+
+use scalesim::multicore::{L2Config, PartitionGrid, PartitionScheme};
+use scalesim::sparse::NmRatio;
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig, Topology};
+use scalesim::{ScaleSim, ScaleSimConfig, SparsityMode};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::{alexnet, resnet18, vit_small};
+use std::time::Instant;
+
+fn subset(t: &Topology, n: usize) -> Topology {
+    Topology::from_layers(t.name(), t.layers().iter().take(n).cloned().collect())
+}
+
+fn base_config() -> ScaleSimConfig {
+    // TPU-v2-like: one big WS core, 128x128, 16 MB of SRAM.
+    let mut config = ScaleSimConfig::default();
+    config.core.array = ArrayShape::new(128, 128);
+    config.core.dataflow = Dataflow::WeightStationary;
+    config.core.memory = MemoryConfig::from_kilobytes(4096, 4096, 4096, 2);
+    config
+}
+
+fn time_run(config: &ScaleSimConfig, w: &Topology) -> f64 {
+    let sim = ScaleSim::new(config.clone());
+    let t = Instant::now();
+    let run = sim.run_topology(w);
+    std::hint::black_box(run.total_cycles());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    banner(
+        "Table IV",
+        "simulation-time overhead per feature vs the v2 baseline",
+        "multi-core 2.29x, 2:4 sparsity 0.42x, 1:4 0.29x, Accelergy 1.19x, \
+         Ramulator 2.13x, layout 16.03x",
+    );
+    let workloads = [
+        subset(&alexnet(), 6),
+        subset(&resnet18(), 8),
+        subset(&vit_small(), 9),
+    ];
+    let features: Vec<(&str, Box<dyn Fn(&mut ScaleSimConfig)>)> = vec![
+        ("multi-core (4x)", Box::new(|c: &mut ScaleSimConfig| {
+            c.multicore = Some(scalesim::config::MultiCoreIntegration {
+                grid: PartitionGrid::new(2, 2),
+                scheme: PartitionScheme::Spatial,
+                l2: Some(L2Config::default()),
+            });
+        })),
+        ("sparsity 2:4", Box::new(|c| {
+            c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(2, 4).unwrap()));
+        })),
+        ("sparsity 1:4", Box::new(|c| {
+            c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(1, 4).unwrap()));
+        })),
+        ("accelergy (energy)", Box::new(|c| c.enable_energy = true)),
+        ("ramulator (dram)", Box::new(|c| c.enable_dram = true)),
+        ("layout", Box::new(|c| c.enable_layout = true)),
+    ];
+
+    let mut t = ResultTable::new(vec![
+        "workload", "baseline s", "multicore", "sp 2:4", "sp 1:4", "energy", "dram", "layout",
+    ]);
+    let mut csv = ResultTable::new(vec!["workload", "feature", "seconds", "overhead_x"]);
+    let mut means = vec![0.0f64; features.len()];
+    for w in &workloads {
+        let base = time_run(&base_config(), w).max(1e-6);
+        csv.row(vec![
+            w.name().to_string(),
+            "baseline".to_string(),
+            f(base, 3),
+            "1.00".to_string(),
+        ]);
+        let mut row = vec![w.name().to_string(), f(base, 2)];
+        for (i, (name, apply)) in features.iter().enumerate() {
+            let mut config = base_config();
+            apply(&mut config);
+            let secs = time_run(&config, w);
+            let ratio = secs / base;
+            means[i] += ratio;
+            row.push(format!("{}x", f(ratio, 2)));
+            csv.row(vec![
+                w.name().to_string(),
+                name.to_string(),
+                f(secs, 3),
+                f(ratio, 2),
+            ]);
+        }
+        t.row(row);
+    }
+    t.print();
+    println!("\nmean overheads (paper in parentheses):");
+    let paper = [2.29, 0.42, 0.29, 1.19, 2.13, 16.03];
+    for (i, (name, _)) in features.iter().enumerate() {
+        println!(
+            "  {:<20} {}x  (paper {}x)",
+            name,
+            f(means[i] / workloads.len() as f64, 2),
+            paper[i]
+        );
+    }
+    // Shape: sparsity must be cheaper than baseline; layout must be the
+    // most expensive feature.
+    let n = workloads.len() as f64;
+    assert!(means[1] / n < 1.0 && means[2] / n < 1.0, "sparsity must speed up simulation");
+    let max_other = means[..5].iter().cloned().fold(0.0f64, f64::max);
+    assert!(means[5] >= max_other, "layout must be the most expensive feature");
+    write_csv("tab04_overhead.csv", &csv.to_csv());
+}

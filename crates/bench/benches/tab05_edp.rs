@@ -1,0 +1,133 @@
+//! **Table V** — latency, energy and EdP for 32×32, 64×64 and 128×128
+//! arrays on ResNet-50, RCNN and ViT-base.
+//!
+//! Expected shape (the paper's headline): the large array is several times
+//! faster on latency alone, the small array is more energy-efficient
+//! (better utilization, lower leakage), and a middle size wins EdP for
+//! ViT-base (paper: 64×64).
+
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig, Topology};
+use scalesim::{ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::{rcnn, resnet50, vit_base};
+
+fn subset(t: &Topology, n: usize) -> Topology {
+    Topology::from_layers(t.name(), t.layers().iter().take(n).cloned().collect())
+}
+
+struct Cell {
+    latency_per_layer: f64,
+    energy_mj: f64,
+    edp: f64,
+}
+
+fn run(w: &Topology, array: usize) -> Cell {
+    let mut config = ScaleSimConfig::default();
+    config.core.array = ArrayShape::new(array, array);
+    config.core.dataflow = Dataflow::WeightStationary;
+    config.core.memory = MemoryConfig::from_kilobytes(2048, 2048, 2048, 2);
+    config.enable_energy = true;
+    let run = ScaleSim::new(config).run_topology(w);
+    let cycles = run.total_compute_cycles();
+    let energy = run.total_energy_mj();
+    Cell {
+        latency_per_layer: cycles as f64 / run.layers.len() as f64,
+        energy_mj: energy,
+        edp: cycles as f64 * energy,
+    }
+}
+
+fn main() {
+    banner(
+        "Table V",
+        "latency / energy / EdP for 32, 64, 128 arrays",
+        "128x128 is ~6.5x faster than 32x32 on ViT-base latency, but 32x32 \
+         is ~2.9x more energy-efficient; 64x64 wins ViT EdP",
+    );
+    let workloads = [subset(&resnet50(), 12), subset(&rcnn(), 10), vit_base()];
+    let arrays = [32usize, 64, 128];
+    let mut csv = ResultTable::new(vec![
+        "workload", "array", "latency_cycles_per_layer", "energy_mj", "edp_cycles_mj",
+    ]);
+    let mut edp_winners = Vec::new();
+    for w in &workloads {
+        println!("\n-- {} --", w.name());
+        let mut t = ResultTable::new(vec![
+            "metric", "32x32", "64x64", "128x128",
+        ]);
+        let cells: Vec<Cell> = arrays.iter().map(|&a| run(w, a)).collect();
+        t.row(vec![
+            "latency (cycles/layer)".to_string(),
+            f(cells[0].latency_per_layer, 0),
+            f(cells[1].latency_per_layer, 0),
+            f(cells[2].latency_per_layer, 0),
+        ]);
+        t.row(vec![
+            "energy (mJ)".to_string(),
+            f(cells[0].energy_mj, 2),
+            f(cells[1].energy_mj, 2),
+            f(cells[2].energy_mj, 2),
+        ]);
+        t.row(vec![
+            "EdP (cycles x mJ / 1e6)".to_string(),
+            f(cells[0].edp / 1e6, 1),
+            f(cells[1].edp / 1e6, 1),
+            f(cells[2].edp / 1e6, 1),
+        ]);
+        t.print();
+        for (a, c) in arrays.iter().zip(&cells) {
+            csv.row(vec![
+                w.name().to_string(),
+                format!("{a}x{a}"),
+                f(c.latency_per_layer, 1),
+                f(c.energy_mj, 4),
+                f(c.edp, 1),
+            ]);
+        }
+        // Shape checks.
+        assert!(
+            cells[2].latency_per_layer < cells[1].latency_per_layer
+                && cells[1].latency_per_layer < cells[0].latency_per_layer,
+            "{}: bigger arrays must be faster",
+            w.name()
+        );
+        assert!(
+            cells[0].energy_mj < cells[2].energy_mj,
+            "{}: the small array must be more energy-efficient",
+            w.name()
+        );
+        if w.name() == "vit-base" {
+            let speedup = cells[0].latency_per_layer / cells[2].latency_per_layer;
+            let eff = cells[2].energy_mj / cells[0].energy_mj;
+            println!(
+                "headline: 128 vs 32 latency {}x (paper 6.53x); 32 vs 128 energy {}x (paper 2.86x)",
+                f(speedup, 2),
+                f(eff, 2)
+            );
+            assert!(speedup > 4.0, "128x128 must be several times faster");
+            assert!(eff > 1.5, "32x32 must be clearly more energy-efficient");
+        }
+        let edp_best = arrays[cells
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.edp.partial_cmp(&b.1.edp).unwrap())
+            .unwrap()
+            .0];
+        edp_winners.push(edp_best);
+        println!("EdP winner: {edp_best}x{edp_best}");
+    }
+    // The paper's point: latency alone picks 128x128 everywhere, but EdP
+    // does not — a middle size wins somewhere. (The paper's text says
+    // 64x64 wins ViT-base EdP while its own Table V numbers put 64x64
+    // ahead for RCNN; we assert the designs diverge and 64x64 wins at
+    // least one workload.)
+    assert!(
+        edp_winners.iter().any(|&a| a != 128),
+        "EdP must diverge from the latency-optimal 128x128 somewhere"
+    );
+    assert!(
+        edp_winners.contains(&64),
+        "64x64 should win EdP for at least one workload"
+    );
+    write_csv("tab05_edp.csv", &csv.to_csv());
+}

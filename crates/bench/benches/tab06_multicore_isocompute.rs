@@ -1,0 +1,109 @@
+//! **Table VI** — iso-compute comparison: a single 128×128 core vs 16
+//! cores of 32×32 PEs on ViT-base, weight-stationary vs input-stationary.
+//!
+//! Paper: ws/is latency ratio is 1.87 on the single core but only 1.14 on
+//! the multi-core — IS catches up with multiple smaller cores, and wins
+//! EdP there by 1.31×, so v3's multi-core analysis prevents prematurely
+//! ruling IS out.
+
+use scalesim::multicore::{L2Config, PartitionGrid, PartitionScheme};
+use scalesim::systolic::{ArrayShape, Dataflow, MemoryConfig};
+use scalesim::{ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, f, write_csv, ResultTable};
+use scalesim_workloads::vit_base;
+
+fn run(df: Dataflow, multicore: bool) -> (u64, f64) {
+    let mut config = ScaleSimConfig::default();
+    config.core.dataflow = df;
+    config.core.memory = MemoryConfig::from_kilobytes(2048, 2048, 2048, 2);
+    config.enable_energy = true;
+    if multicore {
+        config.core.array = ArrayShape::new(32, 32);
+        config.multicore = Some(scalesim::config::MultiCoreIntegration {
+            grid: PartitionGrid::new(4, 4),
+            scheme: PartitionScheme::Spatial,
+            l2: Some(L2Config::default()),
+        });
+    } else {
+        config.core.array = ArrayShape::new(128, 128);
+    }
+    let run = ScaleSim::new(config).run_topology(&vit_base());
+    (run.total_compute_cycles(), run.total_energy_mj())
+}
+
+fn main() {
+    banner(
+        "Table VI",
+        "iso-compute: 1x 128x128 vs 16x 32x32, WS vs IS, ViT-base",
+        "ws/is latency ratio 1.87 single-core vs 1.14 multi-core; IS wins \
+         multi-core EdP by 1.31x",
+    );
+    let mut t = ResultTable::new(vec![
+        "config", "dataflow", "latency (cycles)", "energy (mJ)", "EdP/1e6",
+    ]);
+    let mut csv = ResultTable::new(vec!["config", "dataflow", "cycles", "energy_mj"]);
+    let mut results = Vec::new();
+    for multicore in [false, true] {
+        for df in [Dataflow::WeightStationary, Dataflow::InputStationary] {
+            let (cycles, energy) = run(df, multicore);
+            let cfg_name = if multicore { "16x 32x32" } else { "1x 128x128" };
+            t.row(vec![
+                cfg_name.to_string(),
+                df.short_name().to_string(),
+                cycles.to_string(),
+                f(energy, 2),
+                f(cycles as f64 * energy / 1e6, 1),
+            ]);
+            csv.row(vec![
+                cfg_name.to_string(),
+                df.short_name().to_string(),
+                cycles.to_string(),
+                f(energy, 4),
+            ]);
+            results.push((multicore, df, cycles, energy));
+        }
+    }
+    t.print();
+    let get = |mc: bool, df: Dataflow| {
+        results
+            .iter()
+            .find(|r| r.0 == mc && r.1 == df)
+            .map(|r| (r.2, r.3))
+            .unwrap()
+    };
+    let (ws1, ws1_e) = get(false, Dataflow::WeightStationary);
+    let (is1, is1_e) = get(false, Dataflow::InputStationary);
+    let (ws16, ws16_e) = get(true, Dataflow::WeightStationary);
+    let (is16, is16_e) = get(true, Dataflow::InputStationary);
+    // Note: the paper's printed Table II maps WS to (K, M, N), which pins
+    // the M×K operand — our WS/IS labels follow physical stationarity
+    // (DESIGN.md §2), so the two dataflow labels are swapped relative to
+    // Table VI. The *mechanism* is label-independent: the dataflow that
+    // loses on a single big core recovers on many small cores, and the
+    // EdP winner flips.
+    let single_ratio = ws1.max(is1) as f64 / ws1.min(is1) as f64;
+    let multi_ratio = ws16.max(is16) as f64 / ws16.min(is16) as f64;
+    println!(
+        "\nlatency ratio between dataflows: single-core {}x (paper 1.87x), \
+         multi-core {}x (paper 1.14x)",
+        f(single_ratio, 2),
+        f(multi_ratio, 2)
+    );
+    let single_edp_winner = if (ws1 as f64 * ws1_e) < (is1 as f64 * is1_e) { "ws" } else { "is" };
+    let multi_edp_winner = if (ws16 as f64 * ws16_e) < (is16 as f64 * is16_e) { "ws" } else { "is" };
+    println!(
+        "EdP winner: single-core {single_edp_winner}, multi-core {multi_edp_winner} \
+         (paper: the single-core latency loser wins multi-core EdP)"
+    );
+    // Shape: the multi-core gap between the dataflows must close…
+    assert!(
+        multi_ratio < single_ratio,
+        "multi-core must shrink the dataflow gap ({single_ratio} → {multi_ratio})"
+    );
+    // …enough that ruling the loser out early would be premature (<1.25x).
+    assert!(
+        multi_ratio < 1.25,
+        "multi-core latency gap should nearly vanish (got {multi_ratio})"
+    );
+    write_csv("tab06_multicore_isocompute.csv", &csv.to_csv());
+}

@@ -1,0 +1,208 @@
+//! `scalesim` — command-line front end mirroring the Python tool's
+//! interface: a `.cfg` architecture file plus a topology CSV in, report
+//! CSVs out.
+//!
+//! ```text
+//! scalesim -c configs/tpu.cfg -t topologies/resnet18.csv -p ./results \
+//!          [--gemm] [--dram] [--energy] [--layout]
+//! ```
+
+use scalesim::systolic::Topology;
+use scalesim::{parse_cfg, ScaleSim, ScaleSimConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    config: Option<PathBuf>,
+    topology: PathBuf,
+    out_dir: PathBuf,
+    gemm: bool,
+    dram: bool,
+    energy: bool,
+    layout: bool,
+    area: bool,
+    verbose: bool,
+}
+
+const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p <outdir>]
+                [--gemm] [--dram] [--energy] [--layout] [--area] [-v]
+
+  -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
+              with --gemm: name,M,K,N)
+  -c <file>   SCALE-Sim .cfg architecture file (default: 32x32 OS core)
+  -p <dir>    output directory for report CSVs (default: .)
+  --gemm      parse the topology as GEMM rows
+  --dram      enable the cycle-accurate DRAM flow (paper SecV)
+  --energy    enable energy/power estimation (paper SecVII)
+  --layout    enable bank-conflict layout analysis (paper SecVI)
+  --area      emit the silicon-area report for the configured core
+  -v          print per-layer results while running";
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _bin = argv.next();
+    let mut config = None;
+    let mut topology = None;
+    let mut out_dir = PathBuf::from(".");
+    let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
+        (false, false, false, false, false, false);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-c" | "--config" => {
+                config = Some(PathBuf::from(
+                    argv.next().ok_or("-c requires a file argument")?,
+                ))
+            }
+            "-t" | "--topology" => {
+                topology = Some(PathBuf::from(
+                    argv.next().ok_or("-t requires a file argument")?,
+                ))
+            }
+            "-p" | "--path" => {
+                out_dir = PathBuf::from(argv.next().ok_or("-p requires a directory")?)
+            }
+            "--gemm" => gemm = true,
+            "--dram" => dram = true,
+            "--energy" => energy = true,
+            "--layout" => layout = true,
+            "--area" => area = true,
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        config,
+        topology: topology.ok_or("missing required -t <topology.csv>")?,
+        out_dir,
+        gemm,
+        dram,
+        energy,
+        layout,
+        area,
+        verbose,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut config = match &args.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            parse_cfg(&text).map_err(|e| e.to_string())?
+        }
+        None => ScaleSimConfig::default(),
+    };
+    config.enable_dram = args.dram;
+    config.enable_energy = args.energy;
+    config.enable_layout = args.layout;
+
+    let csv = std::fs::read_to_string(&args.topology)
+        .map_err(|e| format!("cannot read {}: {e}", args.topology.display()))?;
+    let name = args
+        .topology
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "workload".into());
+    let topo = if args.gemm {
+        Topology::parse_gemm_csv(&name, &csv)
+    } else {
+        Topology::parse_conv_csv(&name, &csv)
+    }
+    .map_err(|e| e.to_string())?;
+    if topo.is_empty() {
+        return Err("topology has no layers".into());
+    }
+
+    eprintln!(
+        "scalesim: {} layers of '{}' on a {} {} core{}",
+        topo.len(),
+        topo.name(),
+        config.core.array,
+        config.core.dataflow,
+        if config.sparsity.is_some() { " (sparse)" } else { "" },
+    );
+    let sim = ScaleSim::new(config);
+    let mut result = scalesim::RunResult::default();
+    for layer in topo.iter() {
+        let r = sim.run_gemm(layer.name(), layer.gemm());
+        if args.verbose {
+            eprintln!(
+                "  {:<16} {:>12} cycles ({:>3.0}% util, {} stalls)",
+                r.name,
+                r.total_cycles(),
+                r.report.compute.utilization * 100.0,
+                r.stall_cycles()
+            );
+        }
+        result.layers.push(r);
+    }
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+    let mut written = Vec::new();
+    let mut emit = |file: &str, content: String| -> Result<(), String> {
+        if content.is_empty() {
+            return Ok(());
+        }
+        let path = args.out_dir.join(file);
+        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
+        Ok(())
+    };
+    emit("COMPUTE_REPORT.csv", result.compute_report_csv())?;
+    emit("BANDWIDTH_REPORT.csv", result.bandwidth_report_csv())?;
+    emit("SPARSE_REPORT.csv", result.sparse_report_csv())?;
+    emit("ENERGY_REPORT.csv", result.energy_report_csv())?;
+    emit("DRAM_REPORT.csv", result.dram_report_csv())?;
+    if args.area {
+        use scalesim::energy::AreaBreakdown;
+        let area = sim.area_report();
+        eprintln!(
+            "area: {:.1} mm2 total ({:.1} PE array, {:.1} SRAM, {:.1} NoC, {:.1} DRAM ctrl)",
+            area.total_mm2(),
+            area.pe_array_mm2,
+            area.sram_mm2(),
+            area.noc_mm2,
+            area.dram_ctrl_mm2,
+        );
+        emit(
+            "AREA_REPORT.csv",
+            format!("{}\n{}\n", AreaBreakdown::csv_header(), area.to_csv_row()),
+        )?;
+    }
+
+    eprintln!(
+        "total: {} cycles ({} compute + {} stalls){}",
+        result.total_cycles(),
+        result.total_compute_cycles(),
+        result.total_stall_cycles(),
+        if args.energy {
+            format!(", {:.3} mJ", result.total_energy_mj())
+        } else {
+            String::new()
+        }
+    );
+    for p in written {
+        eprintln!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args()) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

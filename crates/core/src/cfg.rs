@@ -1,0 +1,236 @@
+//! SCALE-Sim configuration-file parsing.
+//!
+//! v2/v3 configure runs through INI-style `.cfg` files:
+//!
+//! ```text
+//! [general]
+//! run_name = my_run
+//!
+//! [architecture_presets]
+//! ArrayHeight : 32
+//! ArrayWidth  : 32
+//! IfmapSramSzkB : 512
+//! FilterSramSzkB : 512
+//! OfmapSramSzkB : 256
+//! Dataflow : ws
+//! Bandwidth : 10
+//!
+//! [sparsity]
+//! SparsitySupport : true
+//! SparseRep : ellpack_block
+//! OptimizedMapping : false
+//! BlockSize : 4
+//! ```
+//!
+//! Both `:` and `=` separators are accepted, keys are case-insensitive,
+//! and the `[sparsity]` section implements the v3 knobs of §IV-B.
+
+use crate::config::{ScaleSimConfig, SparsityMode};
+use scalesim_sparse::{NmRatio, SparseFormat};
+use scalesim_systolic::{ArrayShape, Dataflow, MemoryConfig, SimError};
+
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let sep = line.find([':', '='])?;
+    let key = line[..sep].trim().to_ascii_lowercase();
+    let val = line[sep + 1..].trim().to_string();
+    if key.is_empty() || val.is_empty() {
+        None
+    } else {
+        Some((key, val))
+    }
+}
+
+/// Parses a SCALE-Sim `.cfg` string into a [`ScaleSimConfig`].
+///
+/// Unknown keys are ignored (forward compatibility with the Python tool's
+/// extra knobs); malformed numeric values are errors.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] naming the offending key.
+pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
+    let mut config = ScaleSimConfig::default();
+    let mut section = String::new();
+    let mut array_h = config.core.array.rows();
+    let mut array_w = config.core.array.cols();
+    let mut ifmap_kb = 1024usize;
+    let mut filter_kb = 1024usize;
+    let mut ofmap_kb = 256usize;
+    let mut bandwidth = config.core.memory.dram_bandwidth;
+    let mut dataflow = config.core.dataflow;
+    // Sparsity knobs (§IV-B step 1).
+    let mut sparsity_support = false;
+    let mut optimized_mapping = false;
+    let mut block_size = 4usize;
+    let mut sparse_ratio: Option<NmRatio> = None;
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line[1..line.len() - 1].trim().to_ascii_lowercase();
+            continue;
+        }
+        let Some((key, val)) = parse_kv(line) else {
+            continue;
+        };
+        let num = |v: &str| -> Result<usize, SimError> {
+            v.parse()
+                .map_err(|_| SimError::InvalidConfig(format!("'{key}' is not an integer: {v}")))
+        };
+        let boolean = |v: &str| v.eq_ignore_ascii_case("true") || v == "1";
+        match (section.as_str(), key.as_str()) {
+            (_, "arrayheight") => array_h = num(&val)?,
+            (_, "arraywidth") => array_w = num(&val)?,
+            (_, "ifmapsramszkb") => ifmap_kb = num(&val)?,
+            (_, "filtersramszkb") => filter_kb = num(&val)?,
+            (_, "ofmapsramszkb") => ofmap_kb = num(&val)?,
+            (_, "bandwidth" | "interfacebandwidth") => {
+                if let Ok(v) = val.parse::<f64>() {
+                    bandwidth = v;
+                }
+            }
+            (_, "dataflow") => {
+                dataflow = match val.to_ascii_lowercase().as_str() {
+                    "os" => Dataflow::OutputStationary,
+                    "ws" => Dataflow::WeightStationary,
+                    "is" => Dataflow::InputStationary,
+                    other => {
+                        return Err(SimError::InvalidConfig(format!(
+                            "unknown dataflow '{other}' (expected os/ws/is)"
+                        )))
+                    }
+                };
+            }
+            ("sparsity", "sparsitysupport") => sparsity_support = boolean(&val),
+            ("sparsity", "optimizedmapping") => optimized_mapping = boolean(&val),
+            ("sparsity", "blocksize") => block_size = num(&val)?,
+            ("sparsity", "sparseratio") => {
+                sparse_ratio = NmRatio::parse(&val);
+                if sparse_ratio.is_none() {
+                    return Err(SimError::InvalidConfig(format!(
+                        "bad SparseRatio '{val}' (expected N:M with power-of-two M)"
+                    )));
+                }
+            }
+            ("sparsity", "sparserep") => {
+                config.sparse_format = match val.to_ascii_lowercase().as_str() {
+                    "csr" => SparseFormat::Csr,
+                    "csc" => SparseFormat::Csc,
+                    "ellpack_block" | "blocked_ellpack" | "ellpack" => {
+                        SparseFormat::BlockedEllpack
+                    }
+                    other => {
+                        return Err(SimError::InvalidConfig(format!(
+                            "unknown SparseRep '{other}'"
+                        )))
+                    }
+                };
+            }
+            _ => {} // unknown keys ignored
+        }
+    }
+
+    if array_h == 0 || array_w == 0 {
+        return Err(SimError::InvalidConfig("array dimensions must be non-zero".into()));
+    }
+    config.core.array = ArrayShape::new(array_h, array_w);
+    config.core.dataflow = dataflow;
+    config.core.memory = MemoryConfig::from_kilobytes(ifmap_kb, filter_kb, ofmap_kb, 2);
+    config.core.memory.dram_bandwidth = bandwidth;
+    if sparsity_support {
+        // §IV-B: layer-wise uses SparsitySupport=true + OptimizedMapping=
+        // false; row-wise sets OptimizedMapping=true with BlockSize = M.
+        config.sparsity = Some(if optimized_mapping {
+            SparsityMode::RowWise {
+                block: block_size,
+                seed: 0xC0FFEE,
+            }
+        } else {
+            SparsityMode::LayerWise(
+                sparse_ratio.unwrap_or_else(|| NmRatio::new(2, 4).expect("2:4 is valid")),
+            )
+        });
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[general]
+run_name = tpu_like
+
+[architecture_presets]
+ArrayHeight : 128
+ArrayWidth : 128
+IfmapSramSzkB : 8192
+FilterSramSzkB : 8192
+OfmapSramSzkB : 2048
+Dataflow : ws
+Bandwidth : 20
+
+[sparsity]
+SparsitySupport : true
+SparseRep : ellpack_block
+OptimizedMapping : false
+SparseRatio : 2:4
+"#;
+
+    #[test]
+    fn parses_architecture_section() {
+        let c = parse_cfg(SAMPLE).unwrap();
+        assert_eq!(c.core.array, ArrayShape::new(128, 128));
+        assert_eq!(c.core.dataflow, Dataflow::WeightStationary);
+        assert_eq!(c.core.memory.ifmap_words, 8192 * 1024 / 2);
+        assert_eq!(c.core.memory.dram_bandwidth, 20.0);
+    }
+
+    #[test]
+    fn parses_layer_wise_sparsity() {
+        let c = parse_cfg(SAMPLE).unwrap();
+        match c.sparsity {
+            Some(SparsityMode::LayerWise(r)) => assert_eq!(r.to_string(), "2:4"),
+            other => panic!("expected layer-wise sparsity, got {other:?}"),
+        }
+        assert_eq!(c.sparse_format, SparseFormat::BlockedEllpack);
+    }
+
+    #[test]
+    fn row_wise_via_optimized_mapping() {
+        let text = "[sparsity]\nSparsitySupport = true\nOptimizedMapping = true\nBlockSize = 8\n";
+        let c = parse_cfg(text).unwrap();
+        match c.sparsity {
+            Some(SparsityMode::RowWise { block, .. }) => assert_eq!(block, 8),
+            other => panic!("expected row-wise, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equals_separator_and_comments() {
+        let text = "# comment\nArrayHeight = 16\n; another\nArrayWidth = 8\nDataflow = os\n";
+        let c = parse_cfg(text).unwrap();
+        assert_eq!(c.core.array, ArrayShape::new(16, 8));
+        assert_eq!(c.core.dataflow, Dataflow::OutputStationary);
+    }
+
+    #[test]
+    fn bad_dataflow_is_an_error() {
+        assert!(parse_cfg("Dataflow : xyz\n").is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        assert!(parse_cfg("ArrayHeight : lots\n").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let c = parse_cfg("SomeFutureKnob : 42\n").unwrap();
+        assert_eq!(c.core.array, ArrayShape::new(32, 32));
+    }
+}

@@ -1,0 +1,80 @@
+//! # scalesim
+//!
+//! **SCALE-Sim v3** — a modular, cycle-accurate systolic accelerator
+//! simulator for end-to-end system analysis (Raj et al., ISPASS 2025),
+//! reproduced in Rust.
+//!
+//! This crate is the integration layer. The substrates live in sibling
+//! crates and are re-exported here:
+//!
+//! | feature (paper section) | crate |
+//! |---|---|
+//! | cycle-accurate systolic core (v2 substrate) | [`systolic`] |
+//! | multi-core & spatio-temporal partitioning (§III) | [`multicore`] |
+//! | N:M sparsity (§IV) | [`sparse`] |
+//! | cycle-accurate DRAM (§V) | [`mem`] |
+//! | on-chip data layout (§VI) | [`layout`] |
+//! | energy & power (§VII) | [`energy`] |
+//! | evaluation workloads | [`workloads`] |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use scalesim::{ScaleSim, ScaleSimConfig};
+//! use scalesim::systolic::{ArrayShape, Dataflow, GemmShape};
+//!
+//! let mut config = ScaleSimConfig::default();
+//! config.core.array = ArrayShape::new(16, 16);
+//! config.core.dataflow = Dataflow::WeightStationary;
+//! config.enable_dram = true;
+//! config.enable_energy = true;
+//!
+//! let sim = ScaleSim::new(config);
+//! let result = sim.run_gemm("demo", GemmShape::new(64, 64, 64));
+//! assert!(result.total_cycles() > 0);
+//! assert!(result.energy.as_ref().unwrap().total_mj() > 0.0);
+//! ```
+//!
+//! The three-step memory flow of §V-B is implemented exactly: the systolic
+//! simulation first runs against ideal memory to produce a demand trace;
+//! the trace replays through the cycle-accurate DRAM model yielding
+//! per-request round-trip latencies and statistics; the systolic timing
+//! then re-runs with those latencies and finite request queues to obtain
+//! the stall-aware end-to-end latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod layout_analysis;
+pub mod result;
+
+pub use cfg::parse_cfg;
+pub use config::{
+    DramIntegration, LayoutIntegration, MultiCoreIntegration, ScaleSimConfig, SparsityMode,
+};
+pub use dram::{
+    dram_analysis, shared_dram_contention, DramAnalysis, LatencyReplayStore,
+    SharedDramContention,
+};
+pub use engine::ScaleSim;
+pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
+pub use result::{LayerResult, RunResult};
+
+/// Re-export: energy & power modeling substrate.
+pub use scalesim_energy as energy;
+/// Re-export: on-chip layout modeling substrate.
+pub use scalesim_layout as layout;
+/// Re-export: DRAM simulation substrate.
+pub use scalesim_mem as mem;
+/// Re-export: multi-core modeling.
+pub use scalesim_multicore as multicore;
+/// Re-export: sparsity support.
+pub use scalesim_sparse as sparse;
+/// Re-export: the cycle-accurate systolic core.
+pub use scalesim_systolic as systolic;
+/// Re-export: evaluation workloads.
+pub use scalesim_workloads as workloads;

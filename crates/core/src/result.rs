@@ -1,0 +1,281 @@
+//! Unified per-layer and per-run results with CSV report emitters
+//! (SCALE-Sim's `COMPUTE_REPORT.csv` / `BANDWIDTH_REPORT.csv` /
+//! `SPARSE_REPORT.csv` plus the v3 energy report).
+
+use crate::dram::DramAnalysis;
+use crate::layout_analysis::LayoutAnalysis;
+use scalesim_energy::EnergyReport;
+use scalesim_sparse::SparseReportRow;
+use scalesim_systolic::{GemmShape, LayerReport};
+
+/// Everything SCALE-Sim v3 produces for one layer.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// Layer name.
+    pub name: String,
+    /// The GEMM actually executed (compressed when sparsity is on).
+    pub gemm: GemmShape,
+    /// The dense GEMM before sparsity compression.
+    pub dense_gemm: GemmShape,
+    /// Cycle-accurate compute/memory report (ideal-bandwidth memory, or
+    /// per representative core under multi-core).
+    pub report: LayerReport,
+    /// Three-step DRAM analysis (when enabled).
+    pub dram: Option<DramAnalysis>,
+    /// Layout bank-conflict analysis (when enabled).
+    pub layout: Option<LayoutAnalysis>,
+    /// Energy report (when enabled).
+    pub energy: Option<EnergyReport>,
+    /// Sparse storage report row (when sparsity is on).
+    pub sparse: Option<SparseReportRow>,
+    /// Cores used (1 = single core).
+    pub cores: usize,
+    /// L2→L1 NoC words (multi-core only).
+    pub noc_words: u64,
+}
+
+impl LayerResult {
+    /// The layer's end-to-end cycles: the DRAM-aware total when available,
+    /// otherwise the ideal-memory total.
+    pub fn total_cycles(&self) -> u64 {
+        self.dram
+            .as_ref()
+            .map(|d| d.summary.total_cycles)
+            .unwrap_or(self.report.memory.total_cycles)
+    }
+
+    /// Stall cycles under the selected memory model.
+    pub fn stall_cycles(&self) -> u64 {
+        self.dram
+            .as_ref()
+            .map(|d| d.summary.stall_cycles)
+            .unwrap_or(self.report.memory.stall_cycles)
+    }
+}
+
+/// A full-network run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Per-layer results in execution order.
+    pub layers: Vec<LayerResult>,
+}
+
+impl RunResult {
+    /// Sum of per-layer end-to-end cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles()).sum()
+    }
+
+    /// Sum of compute cycles (no stalls).
+    pub fn total_compute_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.report.compute.total_compute_cycles)
+            .sum()
+    }
+
+    /// Sum of stall cycles.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.stall_cycles()).sum()
+    }
+
+    /// Total energy in mJ (0.0 when energy is disabled).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter_map(|l| l.energy.as_ref().map(|e| e.total_mj()))
+            .sum()
+    }
+
+    /// Energy-delay product in `cycles × mJ` (Table V's unit), computed
+    /// over the whole run.
+    pub fn edp_cycles_mj(&self) -> f64 {
+        self.total_cycles() as f64 * self.total_energy_mj()
+    }
+
+    /// MACs executed.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.report.compute.macs).sum()
+    }
+
+    /// The `COMPUTE_REPORT.csv` equivalent.
+    pub fn compute_report_csv(&self) -> String {
+        let mut out = String::from(
+            "LayerName, ComputeCycles, StallCycles, TotalCycles, Utilization, MappingEfficiency\n",
+        );
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{}, {}, {}, {}, {:.4}, {:.4}\n",
+                l.name,
+                l.report.compute.total_compute_cycles,
+                l.stall_cycles(),
+                l.total_cycles(),
+                l.report.compute.utilization,
+                l.report.compute.mapping_efficiency,
+            ));
+        }
+        out
+    }
+
+    /// The `BANDWIDTH_REPORT.csv` equivalent (average words/cycle per
+    /// interface over each layer).
+    pub fn bandwidth_report_csv(&self) -> String {
+        let mut out = String::from(
+            "LayerName, IfmapReadBW, FilterReadBW, OfmapWriteBW, DramThroughputMBps\n",
+        );
+        for l in &self.layers {
+            let m = &l.report.memory;
+            let cycles = l.total_cycles().max(1) as f64;
+            out.push_str(&format!(
+                "{}, {:.4}, {:.4}, {:.4}, {:.1}\n",
+                l.name,
+                m.ifmap.dram_reads as f64 / cycles,
+                m.filter.dram_reads as f64 / cycles,
+                m.ofmap.dram_writes as f64 / cycles,
+                l.dram.as_ref().map_or(0.0, |d| d.throughput_mbps),
+            ));
+        }
+        out
+    }
+
+    /// The `SPARSE_REPORT.csv` equivalent (empty string when dense).
+    pub fn sparse_report_csv(&self) -> String {
+        if self.layers.iter().all(|l| l.sparse.is_none()) {
+            return String::new();
+        }
+        let mut out = String::from(
+            "Layer, Sparsity, Representation, OriginalFilterBytes, NewFilterBytes\n",
+        );
+        for l in &self.layers {
+            if let Some(s) = &l.sparse {
+                out.push_str(&format!(
+                    "{}, {}, {}, {}, {}\n",
+                    s.layer,
+                    s.sparsity,
+                    s.representation,
+                    s.original_bytes,
+                    s.new_filter_bytes()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Total DRAM energy over the run in mJ (0.0 when DRAM is disabled).
+    pub fn total_dram_energy_mj(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter_map(|l| l.dram.as_ref().map(|d| d.energy.total_mj()))
+            .sum()
+    }
+
+    /// Per-layer DRAM CSV — replay statistics plus the IDD power model
+    /// (empty when the DRAM flow is disabled).
+    pub fn dram_report_csv(&self) -> String {
+        if self.layers.iter().all(|l| l.dram.is_none()) {
+            return String::new();
+        }
+        let mut out = String::from(
+            "LayerName, LineRequests, AvgLatency, ThroughputMBps, RowHitRate, \
+             DramEnergyPj, DramPjPerBit, DramAvgPowerMw\n",
+        );
+        for l in &self.layers {
+            if let Some(d) = &l.dram {
+                out.push_str(&format!(
+                    "{}, {}, {:.2}, {:.1}, {:.4}, {:.1}, {:.3}, {:.2}\n",
+                    l.name,
+                    d.line_requests,
+                    d.avg_latency,
+                    d.throughput_mbps,
+                    d.stats.row_hit_rate(),
+                    d.energy.total_pj(),
+                    d.energy.pj_per_bit(),
+                    d.energy.avg_power_mw(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Per-layer energy CSV (empty when energy is disabled).
+    pub fn energy_report_csv(&self) -> String {
+        if self.layers.iter().all(|l| l.energy.is_none()) {
+            return String::new();
+        }
+        let mut out = String::from("LayerName, EnergyMj, AvgPowerW, EdpCyclesMj\n");
+        for l in &self.layers {
+            if let Some(e) = &l.energy {
+                out.push_str(&format!(
+                    "{}, {:.6}, {:.4}, {:.4}\n",
+                    l.name,
+                    e.total_mj(),
+                    e.avg_power_w(),
+                    e.edp_cycles_mj()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_systolic::{ComputeSummary, MemorySummary, SramSummary};
+
+    fn layer(name: &str, cycles: u64) -> LayerResult {
+        let gemm = GemmShape::new(4, 4, 4);
+        LayerResult {
+            name: name.into(),
+            gemm,
+            dense_gemm: gemm,
+            report: LayerReport {
+                name: name.into(),
+                gemm,
+                compute: ComputeSummary {
+                    total_compute_cycles: cycles,
+                    folds: 1,
+                    macs: 64,
+                    utilization: 0.5,
+                    mapping_efficiency: 0.5,
+                },
+                memory: MemorySummary {
+                    total_cycles: cycles + 10,
+                    stall_cycles: 10,
+                    compute_cycles: cycles,
+                    ..Default::default()
+                },
+                sram: SramSummary::default(),
+            },
+            dram: None,
+            layout: None,
+            energy: None,
+            sparse: None,
+            cores: 1,
+            noc_words: 0,
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let run = RunResult {
+            layers: vec![layer("a", 100), layer("b", 200)],
+        };
+        assert_eq!(run.total_cycles(), 100 + 10 + 200 + 10);
+        assert_eq!(run.total_compute_cycles(), 300);
+        assert_eq!(run.total_stall_cycles(), 20);
+        assert_eq!(run.total_macs(), 128);
+        assert_eq!(run.total_energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn csv_reports_have_rows_per_layer() {
+        let run = RunResult {
+            layers: vec![layer("a", 100), layer("b", 200)],
+        };
+        assert_eq!(run.compute_report_csv().lines().count(), 3);
+        assert_eq!(run.bandwidth_report_csv().lines().count(), 3);
+        assert!(run.sparse_report_csv().is_empty());
+        assert!(run.energy_report_csv().is_empty());
+    }
+}

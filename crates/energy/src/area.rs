@@ -1,0 +1,334 @@
+//! Architecture-level silicon area estimation.
+//!
+//! Accelergy reports component area alongside energy, and the paper leans
+//! on area arguments twice: Fig. 9's discussion notes that "each memory
+//! channel also comes at an additional area cost for the memory
+//! controller", and the §IX-B sparsity case study trades on-chip memory
+//! capacity for area. This module supplies the area reference table (ART)
+//! counterpart of the energy reference table in [`crate::ert`]: a
+//! 65 nm-calibrated per-component table and a composition rule over the
+//! same [`ArchSpec`] the energy model consumes.
+//!
+//! Calibration anchors the published Eyeriss numbers (65 nm, 168 PEs +
+//! 108 kB GLB on a 12.25 mm² die); as with the ERT, absolute mm² differ
+//! from any particular silicon but the ratios driving design conclusions
+//! (SRAM vs PE array vs memory controller) are preserved.
+//!
+//! ## Example
+//!
+//! ```
+//! use scalesim_energy::{ArchSpec, AreaConfig, AreaTable};
+//!
+//! let arch = ArchSpec::new(32, 32, 256 << 10, 256 << 10, 128 << 10);
+//! let area = AreaConfig::new(arch).with_dram_channels(2).estimate(&AreaTable::eyeriss_65nm());
+//! assert!(area.total_mm2() > area.pe_array_mm2);
+//! ```
+
+use crate::ert::ArchSpec;
+
+/// Per-component area parameters in square micrometres (65 nm unless
+/// rescaled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaTable {
+    /// One 16-bit integer MAC unit.
+    pub mac_um2: f64,
+    /// PE register file (scratchpad) area per byte.
+    pub spad_um2_per_byte: f64,
+    /// Per-PE control/pipeline overhead factor applied on top of
+    /// MAC + scratchpads (≥ 1.0).
+    pub pe_overhead: f64,
+    /// SRAM macro area per byte (cell + distributed periphery).
+    pub sram_um2_per_byte: f64,
+    /// Fixed periphery (decoders, sense amplifiers) per SRAM bank.
+    pub sram_bank_um2: f64,
+    /// One NoC router (array-edge data distribution).
+    pub noc_router_um2: f64,
+    /// One SIMD/vector lane (FP-capable, §III-C tensor cores).
+    pub simd_lane_um2: f64,
+    /// One DRAM channel's controller + PHY.
+    pub dram_channel_um2: f64,
+}
+
+impl AreaTable {
+    /// The 65 nm calibration used throughout the paper reproduction.
+    pub fn eyeriss_65nm() -> Self {
+        Self {
+            mac_um2: 12_000.0,
+            spad_um2_per_byte: 20.0,
+            pe_overhead: 1.5,
+            sram_um2_per_byte: 12.0,
+            sram_bank_um2: 50_000.0,
+            noc_router_um2: 15_000.0,
+            simd_lane_um2: 25_000.0,
+            dram_channel_um2: 6.0e6,
+        }
+    }
+
+    /// Scales every entry by `factor` (technology node studies; area
+    /// scales with the square of the feature-size ratio).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.mac_um2 *= factor;
+        self.spad_um2_per_byte *= factor;
+        self.sram_um2_per_byte *= factor;
+        self.sram_bank_um2 *= factor;
+        self.noc_router_um2 *= factor;
+        self.simd_lane_um2 *= factor;
+        self.dram_channel_um2 *= factor;
+        self
+    }
+}
+
+impl Default for AreaTable {
+    fn default() -> Self {
+        Self::eyeriss_65nm()
+    }
+}
+
+/// Eyeriss-style per-PE scratchpad capacities in bytes
+/// (ifmap 12×16 b, weights 224×16 b, psum 24×16 b).
+pub const PE_SPAD_BYTES: usize = 24 + 448 + 48;
+
+/// What to compose into an area estimate: the architecture plus the
+/// structural knobs that do not affect energy but do affect silicon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaConfig {
+    /// Array and SRAM dimensions (shared with the energy model).
+    pub arch: ArchSpec,
+    /// Banks per on-chip SRAM (layout modeling, §VI).
+    pub sram_banks: usize,
+    /// DRAM channels (each pays a controller + PHY, Fig. 9).
+    pub dram_channels: usize,
+    /// SIMD lanes in the tensor core's vector unit (§III-C).
+    pub simd_lanes: usize,
+}
+
+impl AreaConfig {
+    /// A single-bank, single-channel, MXU-only configuration.
+    pub fn new(arch: ArchSpec) -> Self {
+        Self {
+            arch,
+            sram_banks: 1,
+            dram_channels: 1,
+            simd_lanes: 0,
+        }
+    }
+
+    /// Sets the number of banks per on-chip SRAM.
+    pub fn with_sram_banks(mut self, banks: usize) -> Self {
+        self.sram_banks = banks.max(1);
+        self
+    }
+
+    /// Sets the number of DRAM channels.
+    pub fn with_dram_channels(mut self, channels: usize) -> Self {
+        self.dram_channels = channels.max(1);
+        self
+    }
+
+    /// Sets the SIMD vector-unit width.
+    pub fn with_simd_lanes(mut self, lanes: usize) -> Self {
+        self.simd_lanes = lanes;
+        self
+    }
+
+    /// Composes the estimate against an area table.
+    pub fn estimate(&self, table: &AreaTable) -> AreaBreakdown {
+        let pe = (table.mac_um2 + PE_SPAD_BYTES as f64 * table.spad_um2_per_byte)
+            * table.pe_overhead;
+        let pe_array = pe * self.arch.num_pes() as f64;
+
+        let sram = |bytes: usize| -> f64 {
+            bytes as f64 * table.sram_um2_per_byte
+                + self.sram_banks as f64 * table.sram_bank_um2
+        };
+        let ifmap = sram(self.arch.ifmap_sram_bytes);
+        let filter = sram(self.arch.filter_sram_bytes);
+        let ofmap = sram(self.arch.ofmap_sram_bytes);
+
+        // One router per array edge row and column (operand injection and
+        // drain paths).
+        let noc = (self.arch.rows + self.arch.cols) as f64 * table.noc_router_um2;
+        let simd = self.simd_lanes as f64 * table.simd_lane_um2;
+        let dram = self.dram_channels as f64 * table.dram_channel_um2;
+
+        const UM2_PER_MM2: f64 = 1.0e6;
+        AreaBreakdown {
+            pe_array_mm2: pe_array / UM2_PER_MM2,
+            ifmap_sram_mm2: ifmap / UM2_PER_MM2,
+            filter_sram_mm2: filter / UM2_PER_MM2,
+            ofmap_sram_mm2: ofmap / UM2_PER_MM2,
+            noc_mm2: noc / UM2_PER_MM2,
+            simd_mm2: simd / UM2_PER_MM2,
+            dram_ctrl_mm2: dram / UM2_PER_MM2,
+        }
+    }
+}
+
+/// Component-level area report in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Systolic PE array (MACs + per-PE scratchpads + control).
+    pub pe_array_mm2: f64,
+    /// Ifmap SRAM (cells + bank periphery).
+    pub ifmap_sram_mm2: f64,
+    /// Filter SRAM.
+    pub filter_sram_mm2: f64,
+    /// Ofmap SRAM.
+    pub ofmap_sram_mm2: f64,
+    /// Array-edge NoC routers.
+    pub noc_mm2: f64,
+    /// SIMD vector unit.
+    pub simd_mm2: f64,
+    /// DRAM controllers and PHYs.
+    pub dram_ctrl_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total silicon area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.pe_array_mm2
+            + self.ifmap_sram_mm2
+            + self.filter_sram_mm2
+            + self.ofmap_sram_mm2
+            + self.noc_mm2
+            + self.simd_mm2
+            + self.dram_ctrl_mm2
+    }
+
+    /// Combined on-chip SRAM area in mm².
+    pub fn sram_mm2(&self) -> f64 {
+        self.ifmap_sram_mm2 + self.filter_sram_mm2 + self.ofmap_sram_mm2
+    }
+
+    /// On-chip (excluding DRAM controller) area in mm².
+    pub fn core_mm2(&self) -> f64 {
+        self.total_mm2() - self.dram_ctrl_mm2
+    }
+
+    /// One CSV row (matching [`csv_header`](Self::csv_header)).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            self.pe_array_mm2,
+            self.ifmap_sram_mm2,
+            self.filter_sram_mm2,
+            self.ofmap_sram_mm2,
+            self.noc_mm2,
+            self.simd_mm2,
+            self.dram_ctrl_mm2,
+            self.total_mm2()
+        )
+    }
+
+    /// Header for [`to_csv_row`](Self::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "pe_array_mm2,ifmap_sram_mm2,filter_sram_mm2,ofmap_sram_mm2,noc_mm2,simd_mm2,dram_ctrl_mm2,total_mm2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eyeriss_arch() -> ArchSpec {
+        // 12×14 PEs, 108 kB GLB split across the three buffers.
+        ArchSpec::new(12, 14, 50 << 10, 50 << 10, 8 << 10)
+    }
+
+    #[test]
+    fn eyeriss_scale_core_area() {
+        // The 65 nm Eyeriss die is 12.25 mm²; the modeled core (PE array +
+        // GLB + NoC, no DRAM controller on that die) must land in the same
+        // size class.
+        let area = AreaConfig::new(eyeriss_arch()).estimate(&AreaTable::eyeriss_65nm());
+        let core = area.core_mm2();
+        assert!(
+            (6.0..16.0).contains(&core),
+            "Eyeriss-class core {core} mm² outside the plausible band"
+        );
+        // The PE array dominates the GLB, as on the real chip.
+        assert!(area.pe_array_mm2 > area.sram_mm2());
+    }
+
+    #[test]
+    fn area_grows_quadratically_with_array_size() {
+        let table = AreaTable::eyeriss_65nm();
+        let a32 = AreaConfig::new(ArchSpec::new(32, 32, 1 << 20, 1 << 20, 1 << 19))
+            .estimate(&table);
+        let a128 = AreaConfig::new(ArchSpec::new(128, 128, 1 << 20, 1 << 20, 1 << 19))
+            .estimate(&table);
+        let ratio = a128.pe_array_mm2 / a32.pe_array_mm2;
+        assert!((ratio - 16.0).abs() < 1e-9, "PE array must scale with #PEs");
+        // NoC scales with the perimeter, not the area.
+        assert!((a128.noc_mm2 / a32.noc_mm2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_dram_channel_costs_fixed_area() {
+        // Fig. 9's claim: more channels, more controller silicon.
+        let table = AreaTable::eyeriss_65nm();
+        let base = AreaConfig::new(eyeriss_arch());
+        let one = base.with_dram_channels(1).estimate(&table);
+        let eight = base.with_dram_channels(8).estimate(&table);
+        assert!((eight.dram_ctrl_mm2 - 8.0 * one.dram_ctrl_mm2).abs() < 1e-9);
+        assert!((one.core_mm2() - eight.core_mm2()).abs() < 1e-9);
+        // For a small core the controllers dominate quickly.
+        assert!(eight.dram_ctrl_mm2 > one.core_mm2());
+    }
+
+    #[test]
+    fn banking_adds_periphery_area() {
+        let table = AreaTable::eyeriss_65nm();
+        let arch = ArchSpec::new(32, 32, 1 << 20, 1 << 20, 1 << 19);
+        let one = AreaConfig::new(arch).with_sram_banks(1).estimate(&table);
+        let sixteen = AreaConfig::new(arch).with_sram_banks(16).estimate(&table);
+        assert!(sixteen.sram_mm2() > one.sram_mm2());
+        let extra = sixteen.sram_mm2() - one.sram_mm2();
+        // 15 extra banks × 3 SRAMs × 0.05 mm².
+        assert!((extra - 15.0 * 3.0 * 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_lanes_add_area_linearly() {
+        let table = AreaTable::eyeriss_65nm();
+        let base = AreaConfig::new(eyeriss_arch());
+        let v0 = base.estimate(&table);
+        let v128 = base.with_simd_lanes(128).estimate(&table);
+        assert_eq!(v0.simd_mm2, 0.0);
+        assert!((v128.simd_mm2 - 128.0 * 25_000.0 / 1.0e6).abs() < 1e-9);
+        assert!((v128.total_mm2() - v0.total_mm2() - v128.simd_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn technology_scaling_scales_everything() {
+        // 65 nm → 28 nm: ~(28/65)² ≈ 0.185 area factor.
+        let factor = (28.0f64 / 65.0).powi(2);
+        let t65 = AreaTable::eyeriss_65nm();
+        let t28 = AreaTable::eyeriss_65nm().scaled(factor);
+        let cfg = AreaConfig::new(eyeriss_arch());
+        let a65 = cfg.estimate(&t65);
+        let a28 = cfg.estimate(&t28);
+        assert!((a28.total_mm2() / a65.total_mm2() - factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let a = AreaConfig::new(eyeriss_arch())
+            .with_dram_channels(3)
+            .with_simd_lanes(64)
+            .with_sram_banks(4)
+            .estimate(&AreaTable::eyeriss_65nm());
+        let sum = a.pe_array_mm2
+            + a.ifmap_sram_mm2
+            + a.filter_sram_mm2
+            + a.ofmap_sram_mm2
+            + a.noc_mm2
+            + a.simd_mm2
+            + a.dram_ctrl_mm2;
+        assert!((a.total_mm2() - sum).abs() < 1e-12);
+        assert_eq!(
+            a.to_csv_row().split(',').count(),
+            AreaBreakdown::csv_header().split(',').count()
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Energy reference tables and the architecture specification.
+//!
+//! Per-action energies are calibrated to the published 65 nm numbers the
+//! Accelergy/Eyeriss line of work reports: pJ-scale MACs, register-file
+//! accesses around 1 pJ, SRAM accesses growing with capacity, and DRAM
+//! roughly two orders of magnitude above SRAM. Absolute joules differ from
+//! any particular silicon, but the *ratios* — which drive every design
+//! conclusion in the paper (Fig. 15, Tables V/VI) — are preserved.
+
+/// High-level architecture parameters the energy model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchSpec {
+    /// PE rows.
+    pub rows: usize,
+    /// PE columns.
+    pub cols: usize,
+    /// Ifmap SRAM bytes.
+    pub ifmap_sram_bytes: usize,
+    /// Filter SRAM bytes.
+    pub filter_sram_bytes: usize,
+    /// Ofmap SRAM bytes.
+    pub ofmap_sram_bytes: usize,
+    /// Word width in bits (default 16).
+    pub word_bits: usize,
+    /// Clock frequency in Hz (for power; default 1 GHz).
+    pub clock_hz: f64,
+}
+
+impl ArchSpec {
+    /// Creates a spec with 16-bit words and a 1 GHz clock.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        ifmap_sram_bytes: usize,
+        filter_sram_bytes: usize,
+        ofmap_sram_bytes: usize,
+    ) -> Self {
+        Self {
+            rows,
+            cols,
+            ifmap_sram_bytes,
+            filter_sram_bytes,
+            ofmap_sram_bytes,
+            word_bits: 16,
+            clock_hz: 1.0e9,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// Per-action energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// MAC with new operands.
+    pub mac_random_pj: f64,
+    /// MAC whose inputs did not change (wire switching mostly absent).
+    pub mac_constant_pj: f64,
+    /// Clock-gated MAC (static leakage + residual clock energy).
+    pub mac_gated_pj: f64,
+    /// Power-gated MAC (leakage only).
+    pub mac_power_gated_pj: f64,
+    /// PE scratchpad (register file) read.
+    pub spad_read_pj: f64,
+    /// PE scratchpad write.
+    pub spad_write_pj: f64,
+    /// Base SRAM access at the reference capacity.
+    pub sram_access_base_pj: f64,
+    /// Reference SRAM capacity for the base access energy (bytes).
+    pub sram_reference_bytes: f64,
+    /// Repeated-access discount factor (same open row, §VII-C: energy can
+    /// "differ by more than double" — we use 0.4×).
+    pub sram_repeat_factor: f64,
+    /// SRAM idle (leakage) energy per port-cycle.
+    pub sram_idle_pj: f64,
+    /// DRAM access per word.
+    pub dram_access_pj: f64,
+    /// NoC transfer per word per hop.
+    pub noc_word_pj: f64,
+}
+
+impl EnergyTable {
+    /// The 65 nm calibration used throughout the paper reproduction.
+    pub fn eyeriss_65nm() -> Self {
+        Self {
+            mac_random_pj: 2.2,
+            mac_constant_pj: 1.1,
+            mac_gated_pj: 0.08,
+            mac_power_gated_pj: 0.06,
+            spad_read_pj: 0.25,
+            spad_write_pj: 0.35,
+            sram_access_base_pj: 6.0,
+            sram_reference_bytes: 100.0 * 1024.0,
+            sram_repeat_factor: 0.4,
+            sram_idle_pj: 0.004,
+            dram_access_pj: 200.0,
+            noc_word_pj: 0.8,
+        }
+    }
+
+    /// SRAM random-access energy for a buffer of `bytes` capacity.
+    /// Access energy scales with the square root of capacity (bitline and
+    /// wordline length growth), the standard CACTI-style approximation.
+    pub fn sram_access_pj(&self, bytes: usize) -> f64 {
+        let ratio = (bytes.max(1) as f64 / self.sram_reference_bytes).sqrt();
+        self.sram_access_base_pj * ratio.max(0.05)
+    }
+
+    /// SRAM repeated-access energy for a buffer of `bytes`.
+    pub fn sram_repeat_pj(&self, bytes: usize) -> f64 {
+        self.sram_access_pj(bytes) * self.sram_repeat_factor
+    }
+
+    /// SRAM leakage per cycle, proportional to capacity.
+    pub fn sram_leak_pj_per_cycle(&self, bytes: usize) -> f64 {
+        self.sram_idle_pj * (bytes as f64 / 1024.0)
+    }
+
+    /// Scales all dynamic energies by a factor (e.g. technology scaling or
+    /// voltage scaling studies).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.mac_random_pj *= factor;
+        self.mac_constant_pj *= factor;
+        self.spad_read_pj *= factor;
+        self.spad_write_pj *= factor;
+        self.sram_access_base_pj *= factor;
+        self.dram_access_pj *= factor;
+        self.noc_word_pj *= factor;
+        self
+    }
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        Self::eyeriss_65nm()
+    }
+}
+
+/// The complete energy model: a table bound to an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Architecture parameters.
+    pub arch: ArchSpec,
+    /// Per-action energies.
+    pub table: EnergyTable,
+}
+
+impl EnergyModel {
+    /// Creates a model with the 65 nm calibration.
+    pub fn eyeriss_65nm(arch: ArchSpec) -> Self {
+        Self {
+            arch,
+            table: EnergyTable::eyeriss_65nm(),
+        }
+    }
+
+    /// Creates a model with a custom table.
+    pub fn with_table(arch: ArchSpec, table: EnergyTable) -> Self {
+        Self { arch, table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ordering_matches_literature() {
+        let t = EnergyTable::eyeriss_65nm();
+        // RF < MAC < SRAM(100kB) < DRAM, each separated by meaningful gaps.
+        assert!(t.spad_read_pj < t.mac_random_pj);
+        assert!(t.mac_random_pj < t.sram_access_pj(100 * 1024));
+        assert!(t.sram_access_pj(1024 * 1024) < t.dram_access_pj);
+        assert!(t.dram_access_pj / t.sram_access_pj(100 * 1024) > 10.0);
+    }
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let t = EnergyTable::eyeriss_65nm();
+        let small = t.sram_access_pj(8 * 1024);
+        let large = t.sram_access_pj(512 * 1024);
+        assert!(large > small * 2.0);
+        // √ scaling: 64× capacity → 8× energy.
+        let x = t.sram_access_pj(16 * 1024);
+        let y = t.sram_access_pj(64 * 16 * 1024);
+        assert!((y / x - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn repeat_access_is_cheaper_by_more_than_half() {
+        let t = EnergyTable::eyeriss_65nm();
+        // §VII-C: repeated vs random "differ by more than double".
+        assert!(t.sram_access_pj(65536) / t.sram_repeat_pj(65536) > 2.0);
+    }
+
+    #[test]
+    fn gating_hierarchy() {
+        let t = EnergyTable::eyeriss_65nm();
+        assert!(t.mac_power_gated_pj < t.mac_gated_pj);
+        assert!(t.mac_gated_pj < t.mac_constant_pj);
+        assert!(t.mac_constant_pj < t.mac_random_pj);
+    }
+
+    #[test]
+    fn scaling_factor_applies_to_dynamic_only() {
+        let t = EnergyTable::eyeriss_65nm().scaled(0.5);
+        let base = EnergyTable::eyeriss_65nm();
+        assert!((t.mac_random_pj - base.mac_random_pj / 2.0).abs() < 1e-9);
+        assert_eq!(t.mac_gated_pj, base.mac_gated_pj);
+    }
+
+    #[test]
+    fn arch_spec_basics() {
+        let a = ArchSpec::new(16, 8, 1024, 2048, 512);
+        assert_eq!(a.num_pes(), 128);
+        assert_eq!(a.word_bits, 16);
+    }
+}

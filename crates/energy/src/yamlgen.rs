@@ -1,0 +1,154 @@
+//! Accelergy-compatible YAML generation (paper §VII-B and Fig. 14).
+//!
+//! SCALE-Sim v3 bridges its high-level configuration to Accelergy's
+//! lower-level architecture description by generating a YAML file from a
+//! baseline template: each PE gets three register files and a MAC unit,
+//! plus three smart-buffer SRAMs at the top level. We emit the same
+//! structure (hand-rolled emitter — no external YAML dependency).
+
+use crate::actions::ActionCounts;
+use crate::ert::ArchSpec;
+
+/// Renders the `architecture.yaml` equivalent for an architecture.
+pub fn architecture_yaml(arch: &ArchSpec) -> String {
+    let mut y = String::new();
+    y.push_str("architecture:\n");
+    y.push_str("  version: 0.4\n");
+    y.push_str("  subtree:\n");
+    y.push_str("    - name: system\n");
+    y.push_str("      local:\n");
+    for (name, bytes) in [
+        ("ifmap_smartbuffer", arch.ifmap_sram_bytes),
+        ("filter_smartbuffer", arch.filter_sram_bytes),
+        ("ofmap_smartbuffer", arch.ofmap_sram_bytes),
+    ] {
+        y.push_str(&format!("        - name: {name}\n"));
+        y.push_str("          class: smartbuffer_SRAM\n");
+        y.push_str("          attributes:\n");
+        y.push_str(&format!("            memory_depth: {}\n", bytes * 8 / arch.word_bits));
+        y.push_str(&format!("            memory_width: {}\n", arch.word_bits));
+        y.push_str("            n_banks: 16\n");
+    }
+    y.push_str("      subtree:\n");
+    y.push_str(&format!(
+        "        - name: pe_array[0..{}]\n",
+        arch.num_pes().saturating_sub(1)
+    ));
+    y.push_str("          local:\n");
+    for spad in ["ifmap_spad", "weights_spad", "psum_spad"] {
+        y.push_str(&format!("            - name: {spad}\n"));
+        y.push_str("              class: regfile\n");
+        y.push_str("              attributes:\n");
+        y.push_str(&format!("                width: {}\n", arch.word_bits));
+        y.push_str("                depth: 16\n");
+    }
+    y.push_str("            - name: mac\n");
+    y.push_str("              class: intmac\n");
+    y.push_str("              attributes:\n");
+    y.push_str(&format!("                datawidth: {}\n", arch.word_bits));
+    y
+}
+
+/// Renders the action-counts YAML (Fig. 14's right-hand file), including
+/// the `data_delta` / `address_delta` arguments the paper's translation
+/// table defines for memory action types:
+///
+/// | action      | data_delta | address_delta |
+/// |-------------|-----------:|--------------:|
+/// | idle        | 0          | 0             |
+/// | repeat r/w  | 0          | 1             |
+/// | random r/w  | 1          | 1             |
+pub fn action_counts_yaml(counts: &ActionCounts) -> String {
+    let mut y = String::new();
+    y.push_str("action_counts:\n");
+    y.push_str("  version: 0.4\n");
+    y.push_str("  local:\n");
+    let mut mem = |name: &str, idle: u64, random: u64, repeat: u64| {
+        y.push_str(&format!("    - name: {name}\n"));
+        y.push_str("      action_counts:\n");
+        y.push_str(&format!(
+            "        - name: idle\n          arguments: {{data_delta: 0, address_delta: 0}}\n          counts: {idle}\n"
+        ));
+        y.push_str(&format!(
+            "        - name: read\n          arguments: {{data_delta: 1, address_delta: 1}}\n          counts: {random}\n"
+        ));
+        y.push_str(&format!(
+            "        - name: read\n          arguments: {{data_delta: 0, address_delta: 1}}\n          counts: {repeat}\n"
+        ));
+    };
+    mem(
+        "ifmap_smartbuffer",
+        counts.ifmap_sram_idle,
+        counts.ifmap_sram_random,
+        counts.ifmap_sram_repeat,
+    );
+    mem(
+        "filter_smartbuffer",
+        counts.filter_sram_idle,
+        counts.filter_sram_random,
+        counts.filter_sram_repeat,
+    );
+    mem(
+        "ofmap_smartbuffer",
+        counts.ofmap_sram_idle,
+        counts.ofmap_sram_random,
+        counts.ofmap_sram_repeat,
+    );
+    y.push_str("    - name: pe_array.mac\n");
+    y.push_str("      action_counts:\n");
+    y.push_str(&format!(
+        "        - name: mac_random\n          counts: {}\n",
+        counts.mac_random
+    ));
+    y.push_str(&format!(
+        "        - name: mac_gated\n          counts: {}\n",
+        counts.mac_gated
+    ));
+    y.push_str(&format!(
+        "        - name: mac_reused\n          counts: {}\n",
+        counts.mac_constant
+    ));
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_yaml_structure() {
+        let arch = ArchSpec::new(8, 8, 1024, 2048, 512);
+        let y = architecture_yaml(&arch);
+        assert!(y.contains("ifmap_smartbuffer"));
+        assert!(y.contains("pe_array[0..63]"));
+        assert!(y.contains("class: intmac"));
+        // 1024 B at 16-bit words → 512 entries.
+        assert!(y.contains("memory_depth: 512"));
+    }
+
+    #[test]
+    fn action_counts_yaml_structure() {
+        let counts = ActionCounts {
+            mac_random: 123,
+            ifmap_sram_idle: 7,
+            ifmap_sram_random: 5,
+            ifmap_sram_repeat: 3,
+            ..Default::default()
+        };
+        let y = action_counts_yaml(&counts);
+        assert!(y.contains("counts: 123"));
+        assert!(y.contains("data_delta: 0, address_delta: 1"));
+        assert!(y.contains("counts: 7"));
+        // Three memories + one mac section.
+        assert_eq!(y.matches("- name: ").count(), 3 * 4 + 1 + 3);
+    }
+
+    #[test]
+    fn yaml_is_indentation_consistent() {
+        let arch = ArchSpec::new(4, 4, 1024, 1024, 1024);
+        for line in architecture_yaml(&arch).lines() {
+            let indent = line.len() - line.trim_start().len();
+            assert_eq!(indent % 2, 0, "odd indent in: {line}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the energy/area model invariants.
+
+use proptest::prelude::*;
+use scalesim_energy::{
+    ActionCounts, ArchSpec, AreaConfig, AreaTable, EnergyModel, EnergyTable, LayerActivity,
+};
+
+fn arch_strategy() -> impl Strategy<Value = ArchSpec> {
+    (2usize..129, 2usize..129, 1usize..2048, 1usize..2048, 1usize..1024).prop_map(
+        |(r, c, i_kb, f_kb, o_kb)| ArchSpec::new(r, c, i_kb << 10, f_kb << 10, o_kb << 10),
+    )
+}
+
+fn counts_strategy() -> impl Strategy<Value = ActionCounts> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..100_000,
+        0u64..100_000,
+    )
+        .prop_map(|(mac_random, mac_gated, spad, sram, dram_reads, noc_words)| ActionCounts {
+            mac_random,
+            mac_gated,
+            ifmap_spad_reads: spad,
+            weight_spad_reads: spad,
+            psum_spad_reads: spad,
+            psum_spad_writes: spad,
+            ifmap_sram_random: sram,
+            ifmap_sram_repeat: sram / 2,
+            filter_sram_random: sram,
+            ofmap_sram_random: sram / 4,
+            dram_reads,
+            dram_writes: dram_reads / 2,
+            noc_words,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Energy is non-negative, finite, additive over components, and
+    /// monotone: adding actions can never reduce total energy.
+    #[test]
+    fn energy_monotone_in_actions(
+        arch in arch_strategy(),
+        counts in counts_strategy(),
+        cycles in 1u64..10_000_000,
+        extra_macs in 1u64..1_000_000,
+    ) {
+        let model = EnergyModel::eyeriss_65nm(arch);
+        let base = model.evaluate(&counts, cycles);
+        prop_assert!(base.total_pj().is_finite() && base.total_pj() >= 0.0);
+        let component_sum: f64 = base.components().iter().map(|c| c.energy_pj).sum();
+        prop_assert!((base.total_pj() - component_sum).abs() < 1e-6 * base.total_pj().max(1.0));
+        let mut more = counts;
+        more.mac_random += extra_macs;
+        let bigger = model.evaluate(&more, cycles);
+        prop_assert!(bigger.total_pj() > base.total_pj());
+        // Longer runtime at the same activity costs more (leakage).
+        let longer = model.evaluate(&counts, cycles * 2);
+        prop_assert!(longer.total_pj() >= base.total_pj());
+    }
+
+    /// Scaling the whole table by a dynamic factor scales dynamic energy
+    /// linearly, and the gated/random MAC ordering survives any arch.
+    #[test]
+    fn table_scaling_is_homogeneous(
+        arch in arch_strategy(),
+        counts in counts_strategy(),
+        factor in 0.1f64..4.0,
+    ) {
+        let base_table = EnergyTable::eyeriss_65nm();
+        let scaled = EnergyTable::eyeriss_65nm().scaled(factor);
+        prop_assert!(scaled.mac_random_pj > scaled.mac_gated_pj || factor < 0.05);
+        let m1 = EnergyModel::with_table(arch, base_table);
+        let m2 = EnergyModel::with_table(arch, scaled);
+        // A purely dynamic count vector scales exactly by `factor`.
+        let dynamic_only = ActionCounts {
+            mac_random: counts.mac_random,
+            dram_reads: counts.dram_reads,
+            noc_words: counts.noc_words,
+            ..Default::default()
+        };
+        let e1 = m1.evaluate(&dynamic_only, 0).total_pj();
+        let e2 = m2.evaluate(&dynamic_only, 0).total_pj();
+        if e1 > 0.0 {
+            prop_assert!((e2 / e1 - factor).abs() < 1e-9, "{e2} / {e1} != {factor}");
+        }
+    }
+
+    /// Area composition: total = Σ parts, monotone in every knob, and PE
+    /// array area exactly linear in PE count.
+    #[test]
+    fn area_composition_invariants(
+        arch in arch_strategy(),
+        banks in 1usize..32,
+        channels in 1usize..16,
+        lanes in 0usize..4096,
+    ) {
+        let table = AreaTable::eyeriss_65nm();
+        let cfg = AreaConfig::new(arch)
+            .with_sram_banks(banks)
+            .with_dram_channels(channels)
+            .with_simd_lanes(lanes);
+        let a = cfg.estimate(&table);
+        let sum = a.pe_array_mm2 + a.ifmap_sram_mm2 + a.filter_sram_mm2 + a.ofmap_sram_mm2
+            + a.noc_mm2 + a.simd_mm2 + a.dram_ctrl_mm2;
+        prop_assert!((a.total_mm2() - sum).abs() < 1e-9);
+        prop_assert!(a.total_mm2() > 0.0 && a.total_mm2().is_finite());
+        // Monotone in banks and channels.
+        let more_banks = AreaConfig::new(arch)
+            .with_sram_banks(banks + 1)
+            .with_dram_channels(channels)
+            .with_simd_lanes(lanes)
+            .estimate(&table);
+        prop_assert!(more_banks.total_mm2() > a.total_mm2());
+        let more_ch = AreaConfig::new(arch)
+            .with_sram_banks(banks)
+            .with_dram_channels(channels + 1)
+            .with_simd_lanes(lanes)
+            .estimate(&table);
+        prop_assert!(more_ch.total_mm2() > a.total_mm2());
+        // PE array ∝ #PEs.
+        let per_pe = a.pe_array_mm2 / (arch.rows * arch.cols) as f64;
+        prop_assert!((per_pe - 33_600.0 / 1.0e6).abs() < 1e-9);
+    }
+
+    /// §VII-D identities derived from a layer's activity: the MAC counts
+    /// partition the PE-cycles, and gating moves energy down, never up.
+    #[test]
+    fn layer_activity_partition(
+        cycles in 1u64..1_000_000,
+        util_bp in 0u64..10_001,
+        pes in 1u64..16_385,
+    ) {
+        let macs = (pes * cycles) * util_bp / 10_000;
+        let activity = LayerActivity {
+            total_cycles: cycles,
+            macs,
+            ..Default::default()
+        };
+        let gated = ActionCounts::from_layer(&activity, pes, (8, 8, 8), true);
+        let ungated = ActionCounts::from_layer(&activity, pes, (8, 8, 8), false);
+        prop_assert_eq!(gated.mac_random + gated.mac_gated, pes * cycles);
+        prop_assert_eq!(ungated.mac_random + ungated.mac_constant, pes * cycles);
+        prop_assert_eq!(gated.mac_random, ungated.mac_random);
+        let arch = ArchSpec::new(8, 8, 64 << 10, 64 << 10, 32 << 10);
+        let model = EnergyModel::eyeriss_65nm(arch);
+        let e_gated = model.evaluate(&gated, cycles).total_pj();
+        let e_ungated = model.evaluate(&ungated, cycles).total_pj();
+        prop_assert!(e_gated <= e_ungated, "clock gating cannot cost energy");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the layout model invariants.
+
+use proptest::prelude::*;
+use scalesim_layout::{BankModel, LayoutSpec, StreamEvaluator, TensorDims};
+use std::collections::HashSet;
+
+fn dims_and_layout() -> impl Strategy<Value = (TensorDims, LayoutSpec)> {
+    ((1usize..12, 1usize..12, 1usize..12), (1usize..8, 1usize..8, 1usize..8)).prop_map(
+        |((c, h, w), (cs, hs, ws))| (TensorDims::new(c, h, w), LayoutSpec::new(cs, hs, ws)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Placement is injective over the whole tensor and stays in bounds.
+    #[test]
+    fn placement_injective((dims, layout) in dims_and_layout()) {
+        let mut seen = HashSet::new();
+        for c in 0..dims.c {
+            for h in 0..dims.h {
+                for w in 0..dims.w {
+                    let (line, col) = layout.place(dims, c, h, w);
+                    prop_assert!(col < layout.line_elems());
+                    prop_assert!(line < layout.lines_needed(dims));
+                    prop_assert!(seen.insert((line, col)));
+                }
+            }
+        }
+    }
+
+    /// More banks (same total bandwidth) never increase the slowdown —
+    /// the paper's consistent observation in Figs. 12–13.
+    #[test]
+    fn more_banks_never_hurt(
+        (dims, layout) in dims_and_layout(),
+        picks in prop::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 1..64),
+    ) {
+        let elems: Vec<_> = picks
+            .iter()
+            .map(|&(a, b, c)| (a % dims.c, b % dims.h, c % dims.w))
+            .collect();
+        // Total bandwidth fixed at 16 elems/cycle.
+        let few = BankModel::from_total_bandwidth(16, 2, 1);
+        let many = BankModel::from_total_bandwidth(16, 16, 1);
+        let s_few = few.cycle_slowdown(&layout, dims, elems.iter().copied());
+        let s_many = many.cycle_slowdown(&layout, dims, elems.iter().copied());
+        prop_assert!(
+            s_many <= s_few,
+            "16 banks ({s_many}) worse than 2 banks ({s_few})"
+        );
+    }
+
+    /// The layout cost of a cycle is bounded below by the bandwidth-model
+    /// cost divided by the port advantage, and above by the element count.
+    #[test]
+    fn slowdown_bounds(
+        (dims, layout) in dims_and_layout(),
+        picks in prop::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 1..64),
+        banks_pow in 0u32..5,
+        ports in 1usize..4,
+    ) {
+        let banks = 1usize << banks_pow;
+        let model = BankModel::new(banks, ports, 4);
+        let elems: Vec<_> = picks
+            .iter()
+            .map(|&(a, b, c)| (a % dims.c, b % dims.h, c % dims.w))
+            .collect();
+        let s = model.cycle_slowdown(&layout, dims, elems.iter().copied());
+        prop_assert!(s >= 1);
+        prop_assert!(s <= elems.len() as u64, "slowdown {} > elements {}", s, elems.len());
+    }
+
+    /// Stream accounting: layout and bandwidth cycle totals are both at
+    /// least the compute-cycle count (every cycle costs ≥ 1).
+    #[test]
+    fn stream_totals_bounded(
+        (dims, layout) in dims_and_layout(),
+        cycles in prop::collection::vec(
+            prop::collection::vec((0usize..100, 0usize..100, 0usize..100), 0..10), 1..30),
+    ) {
+        let model = BankModel::new(4, 1, 4);
+        let mut eval = StreamEvaluator::new(model, layout, dims);
+        for cyc in &cycles {
+            eval.observe(cyc.iter().map(|&(a, b, c)| (a % dims.c, b % dims.h, c % dims.w)));
+        }
+        let r = eval.report();
+        prop_assert_eq!(r.compute_cycles, cycles.len() as u64);
+        prop_assert!(r.layout_cycles >= r.compute_cycles);
+        prop_assert!(r.bandwidth_cycles >= r.compute_cycles);
+        prop_assert!(r.relative_slowdown() >= -1.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Trace replay: the §V-B step-2 interface.
+//!
+//! SCALE-Sim v3 first generates a memory demand trace (step 1), feeds it to
+//! the memory simulator to obtain per-request round-trip latencies (step 2),
+//! and re-runs the systolic simulation with those latencies and finite
+//! request queues (step 3). [`replay_trace`] implements step 2: it pushes
+//! trace entries into a [`DramSystem`] at their request cycles (stalling
+//! injection when a queue is full, as a real load/store queue would) and
+//! reports each request's round-trip latency plus aggregate statistics.
+
+use crate::system::{AccessKind, DramConfig, DramSystem};
+use std::collections::HashMap;
+
+/// One trace entry: a request the accelerator wants to issue at `cycle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Desired issue cycle (memory-clock domain).
+    pub cycle: u64,
+    /// Byte address.
+    pub byte_addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Round-trip latency of each trace entry, in trace order
+    /// (completion − desired issue cycle; includes queue-full delay).
+    pub latencies: Vec<u64>,
+    /// In-memory service latency of each entry (completion − queue
+    /// acceptance), excluding the wait for a queue slot — the per-request
+    /// figure the §V-B step-3 outstanding-limit model needs.
+    pub service_latencies: Vec<u64>,
+    /// Aggregate statistics.
+    pub stats: crate::stats::MemStats,
+    /// Cycle at which the last request completed.
+    pub end_cycle: u64,
+}
+
+impl ReplayResult {
+    /// Mean round-trip latency.
+    pub fn avg_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+        }
+    }
+}
+
+/// Replays `trace` (must be sorted by cycle) through a fresh [`DramSystem`]
+/// built from `config`.
+///
+/// # Panics
+///
+/// Panics if the trace is not sorted by request cycle.
+pub fn replay_trace(config: DramConfig, trace: &[TraceRequest]) -> ReplayResult {
+    let mut sys = DramSystem::new(config);
+    let mut latencies = vec![0u64; trace.len()];
+    let mut service_latencies = vec![0u64; trace.len()];
+    let mut id_to_slot: HashMap<u64, (usize, u64, u64)> = HashMap::new();
+    let mut last_cycle = 0u64;
+    for (slot, req) in trace.iter().enumerate() {
+        assert!(req.cycle >= last_cycle, "trace must be sorted by cycle");
+        last_cycle = req.cycle;
+        // Advance time to the desired issue cycle (fast path when idle).
+        if sys.is_idle() {
+            sys.fast_forward_to(req.cycle);
+        } else {
+            sys.tick_until(req.cycle);
+        }
+        collect(&mut sys, &mut id_to_slot, &mut latencies, &mut service_latencies);
+        // If the queue is full, tick until space opens (the injected stall).
+        loop {
+            match sys.try_enqueue(req.kind, req.byte_addr) {
+                Some(id) => {
+                    id_to_slot.insert(id, (slot, req.cycle, sys.now()));
+                    break;
+                }
+                None => {
+                    sys.skip_to_next_event();
+                    sys.tick();
+                    collect(
+                        &mut sys,
+                        &mut id_to_slot,
+                        &mut latencies,
+                        &mut service_latencies,
+                    );
+                }
+            }
+        }
+    }
+    sys.drain();
+    collect(&mut sys, &mut id_to_slot, &mut latencies, &mut service_latencies);
+    debug_assert!(id_to_slot.is_empty(), "all requests must complete");
+    let stats = sys.stats();
+    ReplayResult {
+        latencies,
+        service_latencies,
+        end_cycle: sys.now(),
+        stats,
+    }
+}
+
+fn collect(
+    sys: &mut DramSystem,
+    id_to_slot: &mut HashMap<u64, (usize, u64, u64)>,
+    latencies: &mut [u64],
+    service_latencies: &mut [u64],
+) {
+    for c in sys.pop_completions() {
+        if let Some((slot, asked, accepted)) = id_to_slot.remove(&c.id) {
+            latencies[slot] = c.cycle.saturating_sub(asked);
+            service_latencies[slot] = c.cycle.saturating_sub(accepted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DramSpec;
+
+    fn seq_trace(n: u64, stride: u64, gap: u64) -> Vec<TraceRequest> {
+        (0..n)
+            .map(|i| TraceRequest {
+                cycle: i * gap,
+                byte_addr: i * stride,
+                kind: AccessKind::Read,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_reads_mostly_row_hits() {
+        let cfg = DramConfig {
+            channels: 1,
+            ..Default::default()
+        };
+        let res = replay_trace(cfg, &seq_trace(256, 64, 2));
+        assert_eq!(res.latencies.len(), 256);
+        assert!(
+            res.stats.row_hit_rate() > 0.8,
+            "sequential stream expected row hits, got {}",
+            res.stats.row_hit_rate()
+        );
+    }
+
+    #[test]
+    fn random_reads_mostly_misses_or_conflicts() {
+        let cfg = DramConfig {
+            channels: 1,
+            ..Default::default()
+        };
+        // Stride of a prime number of rows scatters across rows of the
+        // same banks.
+        let spec = DramSpec::ddr4_2400();
+        let row_stride = (spec.org.columns / spec.org.burst_length) as u64
+            * spec.org.burst_bytes() as u64
+            * spec.org.banks() as u64;
+        let trace: Vec<TraceRequest> = (0..128u64)
+            .map(|i| TraceRequest {
+                cycle: i,
+                byte_addr: (i * 7919) % 4096 * row_stride,
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let mut sorted = trace;
+        sorted.sort_by_key(|r| r.cycle);
+        let res = replay_trace(cfg, &sorted);
+        assert!(
+            res.stats.row_hit_rate() < 0.5,
+            "row-thrashing stream unexpectedly hit-heavy: {}",
+            res.stats.row_hit_rate()
+        );
+        assert!(res.avg_latency() > 20.0);
+    }
+
+    #[test]
+    fn small_queue_injects_backpressure_latency() {
+        let burst: Vec<TraceRequest> = (0..200u64)
+            .map(|i| TraceRequest {
+                cycle: 0,
+                byte_addr: i * 8192 * 3,
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let small = replay_trace(
+            DramConfig {
+                read_queue: 4,
+                write_queue: 4,
+                ..Default::default()
+            },
+            &burst,
+        );
+        let large = replay_trace(
+            DramConfig {
+                read_queue: 512,
+                write_queue: 512,
+                ..Default::default()
+            },
+            &burst,
+        );
+        // With a tiny queue, later requests wait at the queue head; their
+        // measured round-trip latency includes that wait either way, but
+        // total completion should not differ much — the *acceptance* stalls
+        // show up in step 3. Here we just check both finish and the small
+        // queue is never faster.
+        assert!(small.end_cycle >= large.end_cycle);
+    }
+
+    #[test]
+    fn more_channels_cut_end_cycle() {
+        let trace = seq_trace(512, 64, 1);
+        let one = replay_trace(
+            DramConfig {
+                channels: 1,
+                ..Default::default()
+            },
+            &trace,
+        );
+        let four = replay_trace(
+            DramConfig {
+                channels: 4,
+                ..Default::default()
+            },
+            &trace,
+        );
+        assert!(
+            four.end_cycle < one.end_cycle,
+            "4ch {} vs 1ch {}",
+            four.end_cycle,
+            one.end_cycle
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        let trace = vec![
+            TraceRequest {
+                cycle: 10,
+                byte_addr: 0,
+                kind: AccessKind::Read,
+            },
+            TraceRequest {
+                cycle: 5,
+                byte_addr: 64,
+                kind: AccessKind::Read,
+            },
+        ];
+        let _ = replay_trace(DramConfig::default(), &trace);
+    }
+}

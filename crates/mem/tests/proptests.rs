@@ -1,0 +1,238 @@
+//! Property-based tests of the DRAM simulator invariants.
+
+use proptest::prelude::*;
+use scalesim_mem::{
+    replay_trace, verify_timing, AccessKind, AddressMapping, DramConfig, DramEnergyBreakdown,
+    DramSpec, DramSystem, SchedulingPolicy, TraceRequest,
+};
+
+fn spec_strategy() -> impl Strategy<Value = DramSpec> {
+    prop_oneof![
+        Just(DramSpec::ddr3_1600()),
+        Just(DramSpec::ddr4_2400()),
+        Just(DramSpec::lpddr4_3200()),
+        Just(DramSpec::hbm2()),
+    ]
+}
+
+fn mapping_strategy() -> impl Strategy<Value = AddressMapping> {
+    prop_oneof![
+        Just(AddressMapping::RoBaRaCoCh),
+        Just(AddressMapping::RoRaBaChCo),
+        Just(AddressMapping::ChRaBaRoCo),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request in a random trace completes, read latencies are at
+    /// least the CAS+burst floor, and the stats add up.
+    #[test]
+    fn all_requests_complete(
+        spec in spec_strategy(),
+        mapping in mapping_strategy(),
+        channels in 1usize..5,
+        raw in prop::collection::vec((0u64..8, 0u64..(1 << 22), prop::bool::ANY), 1..120),
+    ) {
+        let mut cycle = 0u64;
+        let trace: Vec<TraceRequest> = raw
+            .iter()
+            .map(|&(gap, addr, is_write)| {
+                cycle += gap;
+                TraceRequest {
+                    cycle,
+                    byte_addr: addr & !63, // burst aligned
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                }
+            })
+            .collect();
+        let cfg = DramConfig { spec, mapping, channels, ..Default::default() };
+        let res = replay_trace(cfg, &trace);
+        prop_assert_eq!(res.latencies.len(), trace.len());
+        let reads = trace.iter().filter(|r| r.kind == AccessKind::Read).count() as u64;
+        let writes = trace.len() as u64 - reads;
+        prop_assert_eq!(res.stats.reads, reads);
+        prop_assert_eq!(res.stats.writes, writes);
+        prop_assert_eq!(res.stats.bytes_transferred,
+            (reads + writes) * spec.org.burst_bytes() as u64);
+        let floor = spec.timing.CL + spec.org.burst_cycles();
+        for (req, &lat) in trace.iter().zip(&res.latencies) {
+            if req.kind == AccessKind::Read {
+                prop_assert!(lat >= floor,
+                    "read latency {} below physical floor {}", lat, floor);
+            }
+        }
+        let hit_rate = res.stats.row_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hit_rate));
+    }
+
+    /// The global queues never overflow: `in_flight` stays within caps.
+    #[test]
+    fn queue_capacity_respected(
+        rq in 1usize..16,
+        wq in 1usize..16,
+        n in 1usize..200,
+    ) {
+        let mut sys = DramSystem::new(DramConfig {
+            read_queue: rq,
+            write_queue: wq,
+            channels: 2,
+            ..Default::default()
+        });
+        let mut accepted = 0usize;
+        for i in 0..n {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            if sys.try_enqueue(kind, (i as u64) * 64).is_some() {
+                accepted += 1;
+            }
+            prop_assert!(sys.in_flight() <= rq + wq);
+            if i % 7 == 0 {
+                sys.tick();
+            }
+        }
+        sys.drain();
+        prop_assert_eq!(sys.pop_completions().len(), accepted);
+        prop_assert_eq!(sys.in_flight(), 0);
+    }
+
+    /// Every command the controller issues on a random workload is legal
+    /// per the independent JEDEC checker — the simulator's equivalent of
+    /// Ramulator's RTL validation (paper §VIII).
+    #[test]
+    fn issued_commands_are_jedec_legal(
+        spec in spec_strategy(),
+        mapping in mapping_strategy(),
+        channels in 1usize..4,
+        fr_fcfs in prop::bool::ANY,
+        raw in prop::collection::vec((0u64..6, 0u64..(1 << 22), prop::bool::ANY), 1..150),
+    ) {
+        let mut sys = DramSystem::new(DramConfig {
+            spec,
+            mapping,
+            channels,
+            scheduling: if fr_fcfs { SchedulingPolicy::FrFcfs } else { SchedulingPolicy::Fcfs },
+            read_queue: 32,
+            write_queue: 32,
+            ..Default::default()
+        });
+        sys.enable_command_logs();
+        let mut issued = 0usize;
+        let mut it = raw.iter();
+        let mut pending: Option<(u64, bool)> = None;
+        while issued < raw.len() {
+            let (addr, is_write) = match pending.take() {
+                Some(p) => p,
+                None => {
+                    let &(gap, addr, is_write) = it.next().unwrap();
+                    for _ in 0..gap {
+                        sys.tick();
+                    }
+                    (addr & !63, is_write)
+                }
+            };
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            match sys.try_enqueue(kind, addr) {
+                Some(_) => issued += 1,
+                None => {
+                    pending = Some((addr, is_write));
+                    sys.tick();
+                }
+            }
+        }
+        sys.drain();
+        let logs = sys.command_logs();
+        prop_assert_eq!(logs.len(), channels);
+        let mut total_cas = 0usize;
+        for log in logs {
+            if let Err(v) = verify_timing(log, &spec) {
+                prop_assert!(false, "{} — illegal command stream:\n{}", v, log.to_csv());
+            }
+            total_cas += log.count(scalesim_mem::CommandKind::Rd)
+                + log.count(scalesim_mem::CommandKind::Wr);
+        }
+        prop_assert_eq!(total_cas, raw.len(), "one CAS per request");
+    }
+
+    /// Energy is finite, non-negative per component, additive across the
+    /// breakdown, and the recorded row-open time never exceeds the union
+    /// bound (channels × runtime).
+    #[test]
+    fn energy_well_formed(
+        spec in spec_strategy(),
+        channels in 1usize..5,
+        raw in prop::collection::vec((0u64..8, 0u64..(1 << 22), prop::bool::ANY), 1..120),
+    ) {
+        let mut cycle = 0u64;
+        let trace: Vec<TraceRequest> = raw
+            .iter()
+            .map(|&(gap, addr, is_write)| {
+                cycle += gap;
+                TraceRequest {
+                    cycle,
+                    byte_addr: addr & !63,
+                    kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                }
+            })
+            .collect();
+        let cfg = DramConfig { spec, channels, ..Default::default() };
+        let res = replay_trace(cfg, &trace);
+        prop_assert!(
+            res.stats.row_open_cycles <= res.stats.end_cycle * channels as u64,
+            "open {} > {} cycles × {} channels",
+            res.stats.row_open_cycles, res.stats.end_cycle, channels
+        );
+        let e = DramEnergyBreakdown::from_stats(&spec, &res.stats, channels);
+        for part in [e.activate_pj, e.read_pj, e.write_pj, e.refresh_pj, e.background_pj] {
+            prop_assert!(part.is_finite() && part >= 0.0, "{e:?}");
+        }
+        let sum = e.activate_pj + e.read_pj + e.write_pj + e.refresh_pj + e.background_pj;
+        prop_assert!((e.total_pj() - sum).abs() < 1e-6);
+        prop_assert!(e.total_pj() > 0.0, "background alone must be non-zero");
+        prop_assert!(e.avg_power_mw() > 0.0);
+    }
+
+    /// Appending traffic to a trace never lowers total energy (monotone in
+    /// work done).
+    #[test]
+    fn energy_monotone_in_traffic(n in 8usize..64, extra in 1usize..64) {
+        let spec = DramSpec::ddr4_2400();
+        let mk = |count: usize| -> Vec<TraceRequest> {
+            (0..count as u64)
+                .map(|i| TraceRequest { cycle: i, byte_addr: i * 64, kind: AccessKind::Read })
+                .collect()
+        };
+        let cfg = DramConfig { channels: 1, ..Default::default() };
+        let small = replay_trace(cfg, &mk(n));
+        let large = replay_trace(cfg, &mk(n + extra));
+        let e_small = DramEnergyBreakdown::from_stats(&spec, &small.stats, 1);
+        let e_large = DramEnergyBreakdown::from_stats(&spec, &large.stats, 1);
+        prop_assert!(e_large.total_pj() > e_small.total_pj());
+        prop_assert!(e_large.read_pj > e_small.read_pj);
+    }
+
+    /// Sequential streams never achieve a lower row-hit rate than a
+    /// row-thrashing stream of the same length on one channel.
+    #[test]
+    fn locality_ordering(n in 32usize..128) {
+        let seq: Vec<TraceRequest> = (0..n as u64)
+            .map(|i| TraceRequest { cycle: i, byte_addr: i * 64, kind: AccessKind::Read })
+            .collect();
+        let spec = DramSpec::ddr4_2400();
+        let row_stride = (spec.org.columns / spec.org.burst_length) as u64
+            * spec.org.burst_bytes() as u64
+            * spec.org.banks() as u64;
+        let thrash: Vec<TraceRequest> = (0..n as u64)
+            .map(|i| TraceRequest {
+                cycle: i,
+                byte_addr: (i % 2) * row_stride, // ping-pong two rows, same bank
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let cfg = DramConfig { channels: 1, ..Default::default() };
+        let seq_res = replay_trace(cfg, &seq);
+        let thrash_res = replay_trace(cfg, &thrash);
+        prop_assert!(seq_res.stats.row_hit_rate() >= thrash_res.stats.row_hit_rate());
+        prop_assert!(seq_res.avg_latency() <= thrash_res.avg_latency());
+    }
+}

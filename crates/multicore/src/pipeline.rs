@@ -1,0 +1,490 @@
+//! Tensor-core op scheduling: MXU/SIMD pipelines (paper §III-C).
+//!
+//! The paper's tensor cores pair a matrix unit with a vector unit so that
+//! "general computation such as activations and softmax" runs beside the
+//! GEMMs. A transformer block is then a *chain* of ops alternating between
+//! the two units. This module models the two execution disciplines a
+//! scheduler can choose between:
+//!
+//! * **serial** — each op waits for its predecessor (one inference, no
+//!   batching): total = Σ opᵢ;
+//! * **pipelined** — several independent batches flow through the chain,
+//!   so the MXU works on batch *b*'s GEMM while the SIMD unit runs batch
+//!   *b−1*'s softmax. Modeled as a permutation flow shop over the two
+//!   units with the exact machine-availability recurrence (no analytical
+//!   approximation).
+//!
+//! [`TransformerBlock`] builds the op chain of a standard encoder layer
+//! (fused QKV, per-head attention GEMMs, softmax, projections, GELU MLP,
+//! layer norms) for the ViT configurations the paper evaluates.
+//!
+//! ## Example
+//!
+//! ```
+//! use scalesim_multicore::{PipelineSchedule, SimdUnit, TensorCore, TransformerBlock};
+//! use scalesim_systolic::{ArrayShape, Dataflow};
+//!
+//! let core = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
+//! let ops = TransformerBlock::vit_base().ops();
+//! let report = PipelineSchedule::new(Dataflow::WeightStationary).run(&core, &ops, 8);
+//! assert!(report.pipelined_cycles <= 8 * report.serial_cycles);
+//! ```
+
+use crate::hetero::TensorCore;
+use crate::simd::SimdOp;
+use scalesim_systolic::{Dataflow, GemmShape};
+
+/// Which functional unit an op occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// The systolic matrix-multiply unit.
+    Mxu,
+    /// The vector/SIMD unit.
+    Simd,
+}
+
+/// One operation in a tensor-core program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// Display name ("qkv_proj", "softmax", …).
+    pub name: &'static str,
+    /// What the op computes.
+    pub kind: OpKind,
+    /// How many independent instances run back-to-back (e.g. one
+    /// attention-score GEMM per head).
+    pub repeat: u32,
+}
+
+/// The computation of one [`Op`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// A GEMM on the matrix unit.
+    Gemm(GemmShape),
+    /// A vector pass over `elements` values on the SIMD unit.
+    Vector(SimdOp, u64),
+}
+
+impl Op {
+    /// A single GEMM.
+    pub fn gemm(name: &'static str, shape: GemmShape) -> Self {
+        Self {
+            name,
+            kind: OpKind::Gemm(shape),
+            repeat: 1,
+        }
+    }
+
+    /// A vector op over `elements` values.
+    pub fn vector(name: &'static str, op: SimdOp, elements: u64) -> Self {
+        Self {
+            name,
+            kind: OpKind::Vector(op, elements),
+            repeat: 1,
+        }
+    }
+
+    /// Repeats the op `n` times back-to-back (per-head instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn repeated(mut self, n: u32) -> Self {
+        assert!(n > 0, "repeat count must be positive");
+        self.repeat = n;
+        self
+    }
+
+    /// The unit this op occupies.
+    pub fn unit(&self) -> Unit {
+        match self.kind {
+            OpKind::Gemm(_) => Unit::Mxu,
+            OpKind::Vector(..) => Unit::Simd,
+        }
+    }
+
+    /// Cycles on `core` under `dataflow` (all repeats included).
+    pub fn cycles(&self, core: &TensorCore, dataflow: Dataflow) -> u64 {
+        let one = match self.kind {
+            OpKind::Gemm(shape) => core.gemm_cycles(dataflow, shape),
+            OpKind::Vector(op, elements) => core.simd_cycles(op, elements),
+        };
+        one * self.repeat as u64
+    }
+
+    /// Multiply-accumulates performed (0 for vector ops).
+    pub fn macs(&self) -> u64 {
+        match self.kind {
+            OpKind::Gemm(shape) => shape.macs() * self.repeat as u64,
+            OpKind::Vector(..) => 0,
+        }
+    }
+}
+
+/// Scheduling discipline evaluator for an op chain on one tensor core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSchedule {
+    dataflow: Dataflow,
+}
+
+impl PipelineSchedule {
+    /// Creates a schedule evaluator using `dataflow` for every GEMM.
+    pub fn new(dataflow: Dataflow) -> Self {
+        Self { dataflow }
+    }
+
+    /// Evaluates `ops` over `batches` independent inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches == 0`.
+    pub fn run(&self, core: &TensorCore, ops: &[Op], batches: usize) -> PipelineReport {
+        assert!(batches > 0, "need at least one batch");
+        let cycles: Vec<u64> = ops.iter().map(|op| op.cycles(core, self.dataflow)).collect();
+        let units: Vec<Unit> = ops.iter().map(Op::unit).collect();
+        let serial: u64 = cycles.iter().sum();
+
+        // Exact flow-shop makespan: within a batch each op waits for its
+        // predecessor; across batches each unit serializes its own ops.
+        let mut mxu_free = 0u64;
+        let mut simd_free = 0u64;
+        let mut makespan = 0u64;
+        for _ in 0..batches {
+            let mut prev_done = 0u64;
+            for (i, &t) in cycles.iter().enumerate() {
+                let free = match units[i] {
+                    Unit::Mxu => &mut mxu_free,
+                    Unit::Simd => &mut simd_free,
+                };
+                let start = prev_done.max(*free);
+                let done = start + t;
+                *free = done;
+                prev_done = done;
+            }
+            makespan = makespan.max(prev_done);
+        }
+
+        let per_batch_mxu: u64 = cycles
+            .iter()
+            .zip(&units)
+            .filter(|&(_, &u)| u == Unit::Mxu)
+            .map(|(&t, _)| t)
+            .sum();
+        let per_batch_simd = serial - per_batch_mxu;
+        PipelineReport {
+            serial_cycles: serial,
+            pipelined_cycles: makespan,
+            batches: batches as u64,
+            mxu_busy_cycles: per_batch_mxu * batches as u64,
+            simd_busy_cycles: per_batch_simd * batches as u64,
+            total_macs: ops.iter().map(Op::macs).sum::<u64>() * batches as u64,
+        }
+    }
+}
+
+/// Outcome of scheduling an op chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Cycles for one batch executed with no overlap.
+    pub serial_cycles: u64,
+    /// Makespan for all batches with MXU/SIMD overlap.
+    pub pipelined_cycles: u64,
+    /// Batch count evaluated.
+    pub batches: u64,
+    /// Total MXU busy cycles over all batches.
+    pub mxu_busy_cycles: u64,
+    /// Total SIMD busy cycles over all batches.
+    pub simd_busy_cycles: u64,
+    /// Total multiply-accumulates over all batches.
+    pub total_macs: u64,
+}
+
+impl PipelineReport {
+    /// Speedup of pipelining over running every batch serially.
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            1.0
+        } else {
+            (self.serial_cycles * self.batches) as f64 / self.pipelined_cycles as f64
+        }
+    }
+
+    /// MXU occupancy of the pipelined schedule, in `[0, 1]`.
+    pub fn mxu_utilization(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            0.0
+        } else {
+            self.mxu_busy_cycles as f64 / self.pipelined_cycles as f64
+        }
+    }
+
+    /// SIMD occupancy of the pipelined schedule, in `[0, 1]`.
+    pub fn simd_utilization(&self) -> f64 {
+        if self.pipelined_cycles == 0 {
+            0.0
+        } else {
+            self.simd_busy_cycles as f64 / self.pipelined_cycles as f64
+        }
+    }
+
+    /// Fraction of one batch's serial cycles spent on the vector unit —
+    /// how non-GEMM-bound the workload is.
+    pub fn simd_fraction(&self) -> f64 {
+        if self.serial_cycles == 0 {
+            0.0
+        } else {
+            (self.simd_busy_cycles / self.batches) as f64 / self.serial_cycles as f64
+        }
+    }
+}
+
+/// Shape of one transformer encoder layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerBlock {
+    /// Sequence length (tokens; ViT: patches + class token).
+    pub seq_len: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Attention heads (`d_model % heads == 0`).
+    pub heads: usize,
+    /// MLP hidden dimension.
+    pub d_ff: usize,
+}
+
+impl TransformerBlock {
+    /// Creates a block shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `d_model` is not divisible by
+    /// `heads`.
+    pub fn new(seq_len: usize, d_model: usize, heads: usize, d_ff: usize) -> Self {
+        assert!(
+            seq_len > 0 && d_model > 0 && heads > 0 && d_ff > 0,
+            "dimensions must be positive"
+        );
+        assert_eq!(d_model % heads, 0, "d_model must divide into heads");
+        Self {
+            seq_len,
+            d_model,
+            heads,
+            d_ff,
+        }
+    }
+
+    /// ViT-Small encoder layer (384 wide, 6 heads, 224×224/16 patches).
+    pub fn vit_small() -> Self {
+        Self::new(197, 384, 6, 1536)
+    }
+
+    /// ViT-Base encoder layer.
+    pub fn vit_base() -> Self {
+        Self::new(197, 768, 12, 3072)
+    }
+
+    /// ViT-Large encoder layer.
+    pub fn vit_large() -> Self {
+        Self::new(197, 1024, 16, 4096)
+    }
+
+    /// Head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// The op chain of one encoder layer: fused QKV projection, per-head
+    /// score GEMMs, softmax, per-head value GEMMs, output projection,
+    /// residual layer-norm, GELU MLP, final layer-norm.
+    pub fn ops(&self) -> Vec<Op> {
+        let s = self.seq_len;
+        let d = self.d_model;
+        let h = self.heads as u32;
+        let dh = self.d_head();
+        let tokens = (s * d) as u64;
+        vec![
+            Op::vector("ln1", SimdOp::LayerNorm, tokens),
+            Op::gemm("qkv_proj", GemmShape::new(s, 3 * d, d)),
+            Op::gemm("scores", GemmShape::new(s, s, dh)).repeated(h),
+            Op::vector("softmax", SimdOp::Softmax, (self.heads * s * s) as u64),
+            Op::gemm("attn_v", GemmShape::new(s, dh, s)).repeated(h),
+            Op::gemm("out_proj", GemmShape::new(s, d, d)),
+            Op::vector("ln2", SimdOp::LayerNorm, tokens),
+            Op::gemm("ff1", GemmShape::new(s, self.d_ff, d)),
+            Op::vector("gelu", SimdOp::Gelu, (s * self.d_ff) as u64),
+            Op::gemm("ff2", GemmShape::new(s, d, self.d_ff)),
+        ]
+    }
+
+    /// Total multiply-accumulates of one layer (one batch).
+    pub fn macs(&self) -> u64 {
+        self.ops().iter().map(Op::macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::SimdUnit;
+    use scalesim_systolic::ArrayShape;
+
+    fn core() -> TensorCore {
+        TensorCore::new(ArrayShape::new(64, 64), SimdUnit::new(128))
+    }
+
+    /// A 2-stage chain whose GEMM and vector stages are nearly equal on
+    /// [`core`], so pipelining has something to overlap (the GEMM takes
+    /// 7136 cycles there; 150 000 softmax elements take 7032).
+    fn balanced_ops() -> Vec<Op> {
+        vec![
+            Op::gemm("g1", GemmShape::new(256, 256, 256)),
+            Op::vector("v1", SimdOp::Softmax, 150_000),
+        ]
+    }
+
+    #[test]
+    fn single_batch_pipelined_equals_serial() {
+        let r = PipelineSchedule::new(Dataflow::WeightStationary).run(&core(), &balanced_ops(), 1);
+        assert_eq!(r.pipelined_cycles, r.serial_cycles);
+        assert!((r.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_shop_closed_form_for_two_stages() {
+        // For identical jobs through a 2-stage chain the flow-shop
+        // makespan has the closed form `t₁ + (b−1)·max(t₁,t₂) + t₂`.
+        let c = core();
+        let ops = balanced_ops();
+        let sched = PipelineSchedule::new(Dataflow::WeightStationary);
+        let t: Vec<u64> = ops
+            .iter()
+            .map(|o| o.cycles(&c, Dataflow::WeightStationary))
+            .collect();
+        for b in [1u64, 2, 5, 16] {
+            let r = sched.run(&c, &ops, b as usize);
+            let expect = t[0] + (b - 1) * t[0].max(t[1]) + t[1];
+            assert_eq!(r.pipelined_cycles, expect, "b={b}");
+            assert!(r.pipelined_cycles >= t[0].max(t[1]) * b);
+            assert!(r.pipelined_cycles <= r.serial_cycles * b);
+        }
+    }
+
+    #[test]
+    fn reentrant_chain_period_exceeds_machine_load() {
+        // A reentrant chain (MXU → SIMD → MXU → SIMD) blocks on its own
+        // cross-batch dependencies: the steady-state period is longer than
+        // either machine's per-batch load but shorter than the serial
+        // chain. This is the behaviour that distinguishes the exact
+        // recurrence from a naive `max(machine loads)` estimate.
+        let c = core();
+        let ops = vec![
+            Op::gemm("g1", GemmShape::new(256, 256, 256)),
+            Op::vector("v1", SimdOp::Softmax, 150_000),
+            Op::gemm("g2", GemmShape::new(256, 256, 256)),
+            Op::vector("v2", SimdOp::Gelu, 100_000),
+        ];
+        let sched = PipelineSchedule::new(Dataflow::WeightStationary);
+        let r1 = sched.run(&c, &ops, 8);
+        let r2 = sched.run(&c, &ops, 9);
+        let period = r2.pipelined_cycles - r1.pipelined_cycles;
+        let mxu_load = r1.mxu_busy_cycles / r1.batches;
+        let simd_load = r1.simd_busy_cycles / r1.batches;
+        assert!(period > mxu_load.max(simd_load), "{period} vs loads");
+        assert!(period < r1.serial_cycles);
+    }
+
+    #[test]
+    fn pipelining_overlaps_balanced_chains() {
+        // Two balanced stages at b=8 approach 2× in the limit; well above
+        // 1.4× already.
+        let r = PipelineSchedule::new(Dataflow::WeightStationary).run(&core(), &balanced_ops(), 8);
+        assert!(
+            r.speedup() > 1.4,
+            "balanced MXU/SIMD chain should overlap: speedup {}",
+            r.speedup()
+        );
+        assert!(r.mxu_utilization() <= 1.0 + 1e-12);
+        assert!(r.simd_utilization() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mxu_only_chain_gains_nothing() {
+        let ops = vec![
+            Op::gemm("g1", GemmShape::new(128, 128, 128)),
+            Op::gemm("g2", GemmShape::new(128, 128, 128)),
+        ];
+        let r = PipelineSchedule::new(Dataflow::OutputStationary).run(&core(), &ops, 6);
+        assert_eq!(r.pipelined_cycles, 6 * r.serial_cycles);
+        assert_eq!(r.simd_busy_cycles, 0);
+    }
+
+    #[test]
+    fn repeat_multiplies_cycles_and_macs() {
+        let c = core();
+        let single = Op::gemm("s", GemmShape::new(197, 197, 64));
+        let hex = single.clone().repeated(12);
+        assert_eq!(
+            hex.cycles(&c, Dataflow::WeightStationary),
+            12 * single.cycles(&c, Dataflow::WeightStationary)
+        );
+        assert_eq!(hex.macs(), 12 * single.macs());
+    }
+
+    #[test]
+    fn vit_block_is_mxu_dominated_on_big_arrays() {
+        let c = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
+        let r = PipelineSchedule::new(Dataflow::WeightStationary)
+            .run(&c, &TransformerBlock::vit_base().ops(), 1);
+        assert!(
+            r.simd_fraction() < 0.5,
+            "ViT-Base encoder should be GEMM-bound: simd fraction {}",
+            r.simd_fraction()
+        );
+        assert!(r.total_macs > 0);
+    }
+
+    #[test]
+    fn softmax_share_grows_quadratically_with_sequence() {
+        let c = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
+        let frac = |seq: usize| {
+            let blk = TransformerBlock::new(seq, 768, 12, 3072);
+            PipelineSchedule::new(Dataflow::WeightStationary)
+                .run(&c, &blk.ops(), 1)
+                .simd_fraction()
+        };
+        assert!(
+            frac(1024) > frac(128),
+            "longer sequences shift time to softmax: {} vs {}",
+            frac(1024),
+            frac(128)
+        );
+    }
+
+    #[test]
+    fn vit_variants_order_by_model_size() {
+        let small = TransformerBlock::vit_small().macs();
+        let base = TransformerBlock::vit_base().macs();
+        let large = TransformerBlock::vit_large().macs();
+        assert!(small < base && base < large);
+        // ViT-Base GEMM MACs per layer ≈ 12·197·768² + attention terms;
+        // sanity-check the order of magnitude (hundreds of MMACs).
+        assert!((2e8..2e9).contains(&(base as f64)), "{base}");
+    }
+
+    #[test]
+    fn wider_simd_reduces_vector_time_only() {
+        let narrow = TensorCore::new(ArrayShape::new(64, 64), SimdUnit::new(32));
+        let wide = TensorCore::new(ArrayShape::new(64, 64), SimdUnit::new(512));
+        let ops = TransformerBlock::vit_base().ops();
+        let sched = PipelineSchedule::new(Dataflow::WeightStationary);
+        let rn = sched.run(&narrow, &ops, 1);
+        let rw = sched.run(&wide, &ops, 1);
+        assert!(rw.serial_cycles < rn.serial_cycles);
+        assert_eq!(rw.mxu_busy_cycles, rn.mxu_busy_cycles);
+        assert!(rw.simd_busy_cycles < rn.simd_busy_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model must divide into heads")]
+    fn rejects_indivisible_heads() {
+        TransformerBlock::new(197, 770, 12, 3072);
+    }
+}

@@ -1,0 +1,188 @@
+//! Multi-core cycle-accurate simulation.
+//!
+//! Under uniform partitioning every core executes the same-shaped
+//! sub-GEMM, so one representative core is simulated cycle-accurately and
+//! the grid aggregates: makespan = the representative core's total cycles,
+//! traffic and energy activity scale by the core count, and the shared-L2
+//! report quantifies the deduplication and NoC fill traffic.
+
+use crate::l2::{L2Config, L2Report};
+use crate::partition::{core_subgemm, MappingDims, PartitionGrid, PartitionScheme};
+use scalesim_systolic::{
+    CoreSim, GemmShape, IdealBandwidthStore, LayerReport, SimConfig,
+};
+
+/// Multi-core configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreConfig {
+    /// Per-core simulator configuration (array, dataflow, L1 sizes,
+    /// per-interface DRAM bandwidth).
+    pub core: SimConfig,
+    /// Core grid.
+    pub grid: PartitionGrid,
+    /// Partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Shared L2 (None = private L1s only).
+    pub l2: Option<L2Config>,
+    /// Whether the cores share the DRAM interface bandwidth (each core
+    /// then sees `bandwidth / cores`); off when each core/chiplet has its
+    /// own memory channel.
+    pub share_dram_bandwidth: bool,
+}
+
+impl MultiCoreConfig {
+    /// A uniform spatial-partitioned configuration with shared L2.
+    pub fn new(core: SimConfig, grid: PartitionGrid) -> Self {
+        Self {
+            core,
+            grid,
+            scheme: PartitionScheme::Spatial,
+            l2: Some(L2Config::default()),
+            share_dram_bandwidth: true,
+        }
+    }
+
+    /// Selects the partitioning scheme.
+    pub fn with_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+}
+
+/// Results of a multi-core layer simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreReport {
+    /// Representative per-core report (all cores are symmetric).
+    pub per_core: LayerReport,
+    /// End-to-end cycles for the whole layer.
+    pub makespan_cycles: u64,
+    /// Cores used.
+    pub cores: usize,
+    /// The sub-GEMM each core executed.
+    pub sub_gemm: GemmShape,
+    /// Shared-L2 analysis (present when configured).
+    pub l2: Option<L2Report>,
+    /// Words moved L2→L1 over the on-chip network (0 without L2).
+    pub noc_words: u64,
+}
+
+impl MultiCoreReport {
+    /// Total MACs across cores (≥ the original GEMM's MACs; ceil splits
+    /// over-provision).
+    pub fn total_macs(&self) -> u64 {
+        self.per_core.compute.macs * self.cores as u64
+    }
+
+    /// Aggregate utilization across the grid.
+    pub fn utilization(&self) -> f64 {
+        self.per_core.compute.utilization
+    }
+}
+
+/// Multi-core simulator.
+#[derive(Debug, Clone)]
+pub struct MultiCoreSim {
+    config: MultiCoreConfig,
+}
+
+impl MultiCoreSim {
+    /// Creates the simulator.
+    pub fn new(config: MultiCoreConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultiCoreConfig {
+        &self.config
+    }
+
+    /// Simulates one GEMM layer across the grid.
+    pub fn simulate_gemm(&self, name: &str, gemm: GemmShape) -> MultiCoreReport {
+        let cfg = &self.config;
+        let sub = core_subgemm(cfg.core.dataflow, cfg.scheme, gemm, cfg.grid);
+        let mut core_cfg = cfg.core.clone();
+        if cfg.share_dram_bandwidth {
+            core_cfg.memory.dram_bandwidth =
+                (cfg.core.memory.dram_bandwidth / cfg.grid.cores() as f64).max(0.125);
+        }
+        let sim = CoreSim::new(core_cfg.clone());
+        let mut store = IdealBandwidthStore::new(core_cfg.memory.dram_bandwidth);
+        let per_core = sim.simulate_gemm_with_store(name, sub, &mut store);
+        let dims = MappingDims::new(cfg.core.dataflow, gemm);
+        let l2 = cfg
+            .l2
+            .as_ref()
+            .map(|_| L2Report::evaluate(cfg.scheme, dims, cfg.grid));
+        let noc_words = l2.as_ref().map_or(0, |r| r.l1_fill_words);
+        MultiCoreReport {
+            makespan_cycles: per_core.memory.total_cycles,
+            cores: cfg.grid.cores(),
+            sub_gemm: sub,
+            per_core,
+            l2,
+            noc_words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_systolic::{ArrayShape, Dataflow};
+
+    fn base_config(grid: PartitionGrid) -> MultiCoreConfig {
+        let core = SimConfig::builder()
+            .array(ArrayShape::new(8, 8))
+            .dataflow(Dataflow::WeightStationary)
+            .build();
+        MultiCoreConfig::new(core, grid)
+    }
+
+    #[test]
+    fn four_cores_cut_compute_cycles() {
+        let gemm = GemmShape::new(256, 256, 256);
+        let one = MultiCoreSim::new(base_config(PartitionGrid::new(1, 1))).simulate_gemm("g", gemm);
+        let four = MultiCoreSim::new(base_config(PartitionGrid::new(2, 2))).simulate_gemm("g", gemm);
+        assert!(
+            four.per_core.compute.total_compute_cycles
+                < one.per_core.compute.total_compute_cycles
+        );
+        assert_eq!(four.cores, 4);
+        assert!(four.total_macs() >= gemm.macs());
+    }
+
+    #[test]
+    fn work_conservation_across_grid() {
+        let gemm = GemmShape::new(200, 120, 96);
+        for scheme in PartitionScheme::ALL {
+            let cfg = base_config(PartitionGrid::new(2, 4)).with_scheme(scheme);
+            let r = MultiCoreSim::new(cfg).simulate_gemm("g", gemm);
+            assert!(
+                r.total_macs() >= gemm.macs(),
+                "{scheme}: {} < {}",
+                r.total_macs(),
+                gemm.macs()
+            );
+        }
+    }
+
+    #[test]
+    fn l2_report_present_and_noc_positive() {
+        let r = MultiCoreSim::new(base_config(PartitionGrid::new(2, 2)))
+            .simulate_gemm("g", GemmShape::new(128, 128, 128));
+        assert!(r.l2.is_some());
+        assert!(r.noc_words > 0);
+    }
+
+    #[test]
+    fn shared_bandwidth_hurts_vs_private() {
+        let gemm = GemmShape::new(256, 256, 256);
+        let mut shared = base_config(PartitionGrid::new(4, 4));
+        shared.share_dram_bandwidth = true;
+        let mut private = shared.clone();
+        private.share_dram_bandwidth = false;
+        let rs = MultiCoreSim::new(shared).simulate_gemm("g", gemm);
+        let rp = MultiCoreSim::new(private).simulate_gemm("g", gemm);
+        assert!(rs.makespan_cycles >= rp.makespan_cycles);
+    }
+}

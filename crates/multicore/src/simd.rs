@@ -1,0 +1,130 @@
+//! SIMD / vector unit modeling (paper §III-C).
+//!
+//! TPU-style tensor cores pair the matrix unit with a vector unit for
+//! "general computation such as activations and softmax"; MTIA's SIMD
+//! units handle quantization and nonlinear functions via lookup tables.
+//! The model is a lane-parallel unit with per-operation latency,
+//! customizable "as per the use case".
+
+/// Vector operations the unit supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdOp {
+    /// Pointwise ReLU.
+    Relu,
+    /// Pointwise GELU (LUT + FP approximation).
+    Gelu,
+    /// Softmax over a row (exp, sum, divide — multi-pass).
+    Softmax,
+    /// Layer normalization over a row.
+    LayerNorm,
+    /// Quantize / de-quantize.
+    Quantize,
+}
+
+impl SimdOp {
+    /// Default per-element latency in cycles (lookup-table approximations
+    /// for the transcendental ops, matching the MTIA description).
+    pub fn default_latency(&self) -> u64 {
+        match self {
+            SimdOp::Relu => 1,
+            SimdOp::Quantize => 2,
+            SimdOp::Gelu => 4,
+            SimdOp::Softmax => 6,
+            SimdOp::LayerNorm => 5,
+        }
+    }
+}
+
+/// A SIMD unit with `lanes` parallel lanes and a configurable latency
+/// table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdUnit {
+    lanes: usize,
+    overrides: Vec<(SimdOp, u64)>,
+}
+
+impl SimdUnit {
+    /// Creates a unit with the default latency table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0`.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "SIMD unit needs at least one lane");
+        Self {
+            lanes,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the latency of one operation (paper: "the latency of SIMD
+    /// units is customizable as per the use case").
+    pub fn with_latency(mut self, op: SimdOp, cycles_per_element: u64) -> Self {
+        self.overrides.retain(|(o, _)| *o != op);
+        self.overrides.push((op, cycles_per_element));
+        self
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Per-element latency of an op.
+    pub fn latency(&self, op: SimdOp) -> u64 {
+        self.overrides
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map(|&(_, l)| l)
+            .unwrap_or_else(|| op.default_latency())
+    }
+
+    /// Cycles to apply `op` to `elements` values:
+    /// `⌈elements / lanes⌉ · latency`.
+    pub fn op_cycles(&self, op: SimdOp, elements: u64) -> u64 {
+        elements.div_ceil(self.lanes as u64) * self.latency(op)
+    }
+}
+
+impl Default for SimdUnit {
+    /// A 128-lane unit (TPU-VPU-scale).
+    fn default() -> Self {
+        Self::new(128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_with_elements_and_lanes() {
+        let u = SimdUnit::new(64);
+        assert_eq!(u.op_cycles(SimdOp::Relu, 64), 1);
+        assert_eq!(u.op_cycles(SimdOp::Relu, 65), 2);
+        let wide = SimdUnit::new(256);
+        assert!(wide.op_cycles(SimdOp::Softmax, 10_000) < u.op_cycles(SimdOp::Softmax, 10_000));
+    }
+
+    #[test]
+    fn latency_override() {
+        let u = SimdUnit::new(32).with_latency(SimdOp::Gelu, 1);
+        assert_eq!(u.latency(SimdOp::Gelu), 1);
+        assert_eq!(u.latency(SimdOp::Softmax), SimdOp::Softmax.default_latency());
+        // Re-override replaces.
+        let u = u.with_latency(SimdOp::Gelu, 9);
+        assert_eq!(u.latency(SimdOp::Gelu), 9);
+    }
+
+    #[test]
+    fn transcendental_ops_cost_more() {
+        let u = SimdUnit::default();
+        assert!(u.latency(SimdOp::Softmax) > u.latency(SimdOp::Relu));
+        assert!(u.latency(SimdOp::Gelu) > u.latency(SimdOp::Quantize));
+    }
+
+    #[test]
+    fn zero_elements_cost_nothing() {
+        assert_eq!(SimdUnit::default().op_cycles(SimdOp::LayerNorm, 0), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the multi-core partitioning invariants.
+
+use proptest::prelude::*;
+use scalesim_multicore::{
+    best_partition, factor_pairs, memory_footprint_words, non_uniform_split, runtime_cycles,
+    L2Config, MappingDims, MemoryPortPlacement, NopMesh, NopProfile, Op, PartitionGrid,
+    PartitionObjective, PartitionScheme, PipelineSchedule, SimdOp, SimdUnit, TensorCore,
+};
+use scalesim_systolic::{ArrayShape, Dataflow, GemmShape};
+
+fn dims_strategy() -> impl Strategy<Value = MappingDims> {
+    (1usize..2000, 1usize..2000, 1usize..2000)
+        .prop_map(|(sr, sc, t)| MappingDims { sr, sc, t })
+}
+
+fn scheme_strategy() -> impl Strategy<Value = PartitionScheme> {
+    prop_oneof![
+        Just(PartitionScheme::Spatial),
+        Just(PartitionScheme::SpatioTemporal1),
+        Just(PartitionScheme::SpatioTemporal2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Partitioned runtime never exceeds the single-core runtime and is
+    /// monotone non-increasing when a grid dimension grows.
+    #[test]
+    fn runtime_monotone_in_cores(
+        dims in dims_strategy(),
+        scheme in scheme_strategy(),
+        arr in 2usize..33,
+    ) {
+        let array = ArrayShape::new(arr, arr);
+        let single = runtime_cycles(array, scheme, dims, PartitionGrid::new(1, 1));
+        for &(pr, pc) in &[(1usize, 2usize), (2, 1), (2, 2), (4, 2), (4, 4)] {
+            let part = runtime_cycles(array, scheme, dims, PartitionGrid::new(pr, pc));
+            prop_assert!(part <= single, "{scheme} {pr}x{pc}: {part} > {single}");
+        }
+        let two = runtime_cycles(array, scheme, dims, PartitionGrid::new(2, 2));
+        let four = runtime_cycles(array, scheme, dims, PartitionGrid::new(4, 4));
+        prop_assert!(four <= two);
+    }
+
+    /// The L2 never increases the footprint, and the footprint is at least
+    /// the workload's intrinsic data volume.
+    #[test]
+    fn footprint_bounds(
+        dims in dims_strategy(),
+        scheme in scheme_strategy(),
+        pr in 1usize..8,
+        pc in 1usize..8,
+    ) {
+        let grid = PartitionGrid::new(pr, pc);
+        let l2 = L2Config::default();
+        let with_l2 = memory_footprint_words(scheme, dims, grid, Some(&l2));
+        let without = memory_footprint_words(scheme, dims, grid, None);
+        prop_assert!(with_l2 <= without);
+        let intrinsic = (dims.sr * dims.t + dims.sc * dims.t + dims.sr * dims.sc) as u64;
+        prop_assert!(without >= intrinsic);
+    }
+
+    /// Best-partition respects its objective over the explicit sweep.
+    #[test]
+    fn best_partition_is_argmin(
+        dims in dims_strategy(),
+        scheme in scheme_strategy(),
+        cores_pow in 1u32..7,
+    ) {
+        let cores = 1usize << cores_pow;
+        let array = ArrayShape::new(8, 8);
+        let best = best_partition(array, scheme, dims, cores,
+            PartitionObjective::ComputeCycles, None);
+        for grid in factor_pairs(cores) {
+            let c = runtime_cycles(array, scheme, dims, grid);
+            prop_assert!(best.cycles <= c,
+                "best {} beaten by {:?} with {}", best.cycles, grid, c);
+        }
+    }
+
+    /// Mesh hop counts are within the topology's diameter, every core's
+    /// latency profile composes with the partitioner, and shares are
+    /// conserved.
+    #[test]
+    fn mesh_profiles_compose(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        hop in 1u64..1000,
+        payload in 0u64..100_000,
+        work in 1u64..500_000,
+    ) {
+        for placement in [
+            MemoryPortPlacement::WestEdge,
+            MemoryPortPlacement::FourEdges,
+            MemoryPortPlacement::Center,
+            MemoryPortPlacement::Corner,
+        ] {
+            let mesh = NopMesh::new(rows, cols, hop, placement);
+            let diameter = (rows + cols) as u64;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let h = mesh.hops(r, c);
+                    prop_assert!(h >= 1 && h <= diameter,
+                        "{placement:?} ({r},{c}) hops {h} outside [1,{diameter}]");
+                }
+            }
+            let profile = mesh.profile(1.0, payload);
+            prop_assert_eq!(profile.cores(), rows * cols);
+            let (shares, makespan) = non_uniform_split(&profile, work);
+            prop_assert_eq!(shares.iter().sum::<u64>(), work);
+            let min_lat = profile.nop_latency.iter().min().copied().unwrap();
+            prop_assert!(makespan >= min_lat);
+        }
+    }
+
+    /// Pipelined makespan is bounded by `serial ≤ pipelined ≤ b·serial`
+    /// and busy cycles never exceed the makespan per unit.
+    #[test]
+    fn pipeline_bounds(
+        m in 16usize..256,
+        n in 16usize..256,
+        k in 16usize..256,
+        elems in 1u64..1_000_000,
+        batches in 1usize..12,
+    ) {
+        let core = TensorCore::new(ArrayShape::new(32, 32), SimdUnit::new(128));
+        let ops = vec![
+            Op::gemm("g", GemmShape::new(m, n, k)),
+            Op::vector("v", SimdOp::Softmax, elems),
+            Op::gemm("g2", GemmShape::new(n, m, k)),
+        ];
+        let r = PipelineSchedule::new(Dataflow::OutputStationary).run(&core, &ops, batches);
+        prop_assert!(r.pipelined_cycles >= r.serial_cycles);
+        prop_assert!(r.pipelined_cycles <= r.serial_cycles * batches as u64);
+        prop_assert!(r.mxu_busy_cycles <= r.pipelined_cycles);
+        prop_assert!(r.simd_busy_cycles <= r.pipelined_cycles);
+        prop_assert!(r.speedup() >= 1.0 - 1e-12);
+        prop_assert!(r.speedup() <= batches as f64 + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r.simd_fraction()));
+    }
+
+    /// Water-filling conserves work and never loses to the uniform split.
+    #[test]
+    fn waterfill_conserves_and_wins(
+        hops in prop::collection::vec(0u64..10_000, 1..16),
+        work in 1u64..1_000_000,
+    ) {
+        let profile = NopProfile {
+            cycles_per_unit: vec![1.0; hops.len()],
+            nop_latency: hops,
+        };
+        let (shares, makespan) = non_uniform_split(&profile, work);
+        prop_assert_eq!(shares.iter().sum::<u64>(), work);
+        let n = profile.cores() as u64;
+        let uniform_share = work.div_ceil(n);
+        let uniform = (0..profile.cores())
+            .map(|i| profile.nop_latency[i] + uniform_share)
+            .max()
+            .unwrap();
+        prop_assert!(makespan <= uniform + 1, "{makespan} > uniform {uniform}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Sparseloop-style analytical (distribution-based) sparsity model.
+//!
+//! The paper's related-work section positions SCALE-Sim v3 against
+//! Sparseloop, which "models sparsity as a distribution and lacks the
+//! support for cycle-accurate insights" (§X), while §VIII notes that with
+//! structured sparsity "compute cycles are deterministic, memory stalls
+//! are not". This module implements that analytical baseline so the claim
+//! is testable inside the repository: an expected-value model over a
+//! density parameter, with Sparseloop's two sparse-acceleration features
+//! (SAFs) —
+//!
+//! * **skipping** — zero operands are skipped in time: the contraction
+//!   dimension compresses to `E[K′] = ⌈density · K⌉`;
+//! * **gating** — zero operands are gated in energy but still occupy
+//!   cycles: runtime stays dense while expected MACs shrink.
+//!
+//! The estimates converge to the cycle-accurate N:M model's *compute*
+//! cycles in expectation (tested against pattern ensembles), which is
+//! precisely why an analytical model is enough for compute — and why it
+//! cannot see the memory stalls the cycle-accurate pipeline reports.
+
+use crate::pattern::{NmRatio, SparsityPattern};
+use crate::SparseFormat;
+use scalesim_systolic::{ArrayShape, Dataflow, FoldGeometry, GemmShape};
+
+/// Sparse acceleration feature, per Sparseloop's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Saf {
+    /// Skip zero operands in time (compressed streaming).
+    #[default]
+    Skipping,
+    /// Gate zero operands (energy only; dense timing).
+    Gating,
+}
+
+/// Distribution-based sparsity estimator for weight-stationary arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticalSparseModel {
+    array: ArrayShape,
+    density: f64,
+    block: usize,
+    bits_per_value: usize,
+}
+
+impl AnalyticalSparseModel {
+    /// Creates a model for `array` with the filter's expected `density`
+    /// (fraction of non-zeros) and metadata block size `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < density ≤ 1` and `block` is a power of two ≥ 2
+    /// (metadata is `log2(block)` bits per entry).
+    pub fn new(array: ArrayShape, density: f64, block: usize) -> Self {
+        assert!(
+            density > 0.0 && density <= 1.0,
+            "density must be in (0, 1], got {density}"
+        );
+        assert!(
+            block >= 2 && block.is_power_of_two(),
+            "metadata block must be a power of two ≥ 2"
+        );
+        Self {
+            array,
+            density,
+            block,
+            bits_per_value: 16,
+        }
+    }
+
+    /// Builds the model whose density matches a concrete pattern — the
+    /// bridge from the cycle-accurate world for convergence checks.
+    pub fn matching_pattern(array: ArrayShape, pattern: &SparsityPattern) -> Self {
+        Self::new(
+            array,
+            (pattern.density()).clamp(f64::MIN_POSITIVE, 1.0),
+            pattern.block_size().max(2),
+        )
+    }
+
+    /// Selects value precision in bits.
+    pub fn with_precision(mut self, bits: usize) -> Self {
+        self.bits_per_value = bits;
+        self
+    }
+
+    /// The modeled density.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Expected compressed contraction dimension for a dense `k`.
+    pub fn expected_effective_k(&self, k: usize) -> usize {
+        ((k as f64 * self.density).ceil() as usize).max(1)
+    }
+
+    /// Expected compute cycles under a SAF.
+    pub fn expected_cycles(&self, gemm: GemmShape, saf: Saf) -> u64 {
+        let k = match saf {
+            Saf::Skipping => self.expected_effective_k(gemm.k),
+            Saf::Gating => gemm.k,
+        };
+        FoldGeometry::new(
+            self.array,
+            Dataflow::WeightStationary,
+            GemmShape::new(gemm.m, gemm.n, k),
+        )
+        .total_cycles()
+    }
+
+    /// Expected MACs actually performed (both SAFs avoid zero work; with
+    /// gating the skipped positions still occupy array slots).
+    pub fn expected_macs(&self, gemm: GemmShape) -> u64 {
+        (gemm.macs() as f64 * self.density).round() as u64
+    }
+
+    /// Expected compressed filter storage (values + metadata) in bits.
+    pub fn expected_filter_storage_bits(&self, gemm: GemmShape, format: SparseFormat) -> u64 {
+        // Expectation is linear in nnz for every supported format: build a
+        // surrogate layer-wise pattern with the expected nnz per block and
+        // reuse the exact accounting.
+        let nnz_per_block =
+            ((self.block as f64 * self.density).round() as usize).clamp(1, self.block);
+        let ratio = NmRatio::new(nnz_per_block, self.block)
+            .expect("block validated as power of two, nnz in 1..=block");
+        let surrogate = SparsityPattern::layer_wise(gemm.k, ratio);
+        format.filter_storage_bits(&surrogate, gemm.n, self.bits_per_value)
+    }
+
+    /// Expected skipping speedup over dense execution.
+    pub fn expected_speedup(&self, gemm: GemmShape) -> f64 {
+        let dense =
+            FoldGeometry::new(self.array, Dataflow::WeightStationary, gemm).total_cycles();
+        dense as f64 / self.expected_cycles(gemm, Saf::Skipping).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::NmRatio;
+    use crate::spmm::SparseComputeModel;
+
+    fn array() -> ArrayShape {
+        ArrayShape::new(16, 16)
+    }
+
+    #[test]
+    fn density_one_is_dense() {
+        let gemm = GemmShape::new(64, 64, 256);
+        let m = AnalyticalSparseModel::new(array(), 1.0, 4);
+        let dense = FoldGeometry::new(array(), Dataflow::WeightStationary, gemm).total_cycles();
+        assert_eq!(m.expected_cycles(gemm, Saf::Skipping), dense);
+        assert_eq!(m.expected_macs(gemm), gemm.macs());
+        assert!((m.expected_speedup(gemm) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gating_keeps_dense_timing_but_saves_macs() {
+        let gemm = GemmShape::new(64, 64, 256);
+        let m = AnalyticalSparseModel::new(array(), 0.25, 4);
+        let dense = FoldGeometry::new(array(), Dataflow::WeightStationary, gemm).total_cycles();
+        assert_eq!(m.expected_cycles(gemm, Saf::Gating), dense);
+        assert!(m.expected_cycles(gemm, Saf::Skipping) < dense);
+        assert_eq!(m.expected_macs(gemm), gemm.macs() / 4);
+    }
+
+    #[test]
+    fn matches_layer_wise_pattern_exactly() {
+        // Layer-wise N:M is deterministic: the distribution model with the
+        // same density must reproduce the cycle-accurate fold count up to
+        // the metadata-decode overhead term.
+        let gemm = GemmShape::new(128, 96, 512);
+        for (n, m_) in [(1usize, 4usize), (2, 4), (2, 8), (4, 8)] {
+            let pattern = SparsityPattern::layer_wise(512, NmRatio::new(n, m_).unwrap());
+            let exact = SparseComputeModel::new(array())
+                .evaluate(gemm, &pattern)
+                .sparse_cycles;
+            let est = AnalyticalSparseModel::matching_pattern(array(), &pattern)
+                .expected_cycles(gemm, Saf::Skipping);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.05, "{n}:{m_} analytical {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn converges_to_row_wise_ensemble_mean() {
+        // §X's point, inverted: for *compute* cycles the distribution
+        // model is accurate in expectation over random row-wise patterns.
+        let gemm = GemmShape::new(96, 96, 512);
+        let block = 8;
+        let seeds = 0..24u64;
+        let exact_model = SparseComputeModel::new(array());
+        let mut exact_sum = 0.0;
+        let mut density_sum = 0.0;
+        let n = seeds.clone().count() as f64;
+        for seed in seeds {
+            let p = SparsityPattern::row_wise(512, block, seed);
+            exact_sum += exact_model.evaluate(gemm, &p).sparse_cycles as f64;
+            density_sum += p.density();
+        }
+        let mean_exact = exact_sum / n;
+        let est = AnalyticalSparseModel::new(array(), density_sum / n, block)
+            .expected_cycles(gemm, Saf::Skipping) as f64;
+        let rel = (est - mean_exact).abs() / mean_exact;
+        assert!(
+            rel < 0.08,
+            "ensemble mean {mean_exact} vs analytical {est} ({rel:.3} rel)"
+        );
+    }
+
+    #[test]
+    fn storage_expectation_matches_exact_accounting() {
+        let gemm = GemmShape::new(32, 64, 256);
+        let p = SparsityPattern::layer_wise(256, NmRatio::new(2, 4).unwrap());
+        for format in [
+            SparseFormat::BlockedEllpack,
+            SparseFormat::Csr,
+            SparseFormat::Csc,
+        ] {
+            let exact = format.filter_storage_bits(&p, gemm.n, 16);
+            let est = AnalyticalSparseModel::matching_pattern(array(), &p)
+                .expected_filter_storage_bits(gemm, format);
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.02, "{format:?}: {est} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn speedup_monotone_in_sparsity() {
+        let gemm = GemmShape::new(64, 64, 512);
+        let s = |d: f64| AnalyticalSparseModel::new(array(), d, 4).expected_speedup(gemm);
+        assert!(s(0.25) > s(0.5));
+        assert!(s(0.5) > s(0.75));
+        assert!(s(0.75) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn rejects_zero_density() {
+        AnalyticalSparseModel::new(array(), 0.0, 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the sparsity invariants.
+
+use proptest::prelude::*;
+use scalesim_sparse::{
+    AnalyticalSparseModel, BlockedEllpack, Csc, Csr, DenseMatrix, NmRatio, Saf,
+    SparseComputeModel, SparseFormat, SparsityPattern,
+};
+use scalesim_systolic::{ArrayShape, GemmShape};
+
+fn dense_strategy() -> impl Strategy<Value = DenseMatrix> {
+    (1usize..24, 1usize..24)
+        .prop_flat_map(|(r, c)| {
+            prop::collection::vec(
+                prop_oneof![3 => Just(0.0f32), 1 => (-10i32..10).prop_map(|v| v as f32)],
+                r * c,
+            )
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three compressed formats round-trip any matrix exactly.
+    #[test]
+    fn formats_roundtrip(d in dense_strategy()) {
+        prop_assert_eq!(Csr::from_dense(&d).to_dense(), d.clone());
+        prop_assert_eq!(Csc::from_dense(&d).to_dense(), d.clone());
+        for block in [2usize, 4, 8, 16] {
+            prop_assert_eq!(BlockedEllpack::from_dense(&d, block).to_dense(), d.clone());
+        }
+    }
+
+    /// CSR×dense equals dense×dense.
+    #[test]
+    fn csr_matmul_correct(a in dense_strategy(), cols in 1usize..8) {
+        let b = DenseMatrix::from_vec(
+            a.cols(), cols,
+            (0..a.cols() * cols).map(|i| (i % 5) as f32 - 2.0).collect(),
+        );
+        prop_assert_eq!(Csr::from_dense(&a).matmul_dense(&b), a.matmul(&b));
+    }
+
+    /// ELLPACK nnz equals the dense nnz and metadata bits follow log2(M).
+    #[test]
+    fn ellpack_accounting(d in dense_strategy(), blk_pow in 1u32..5) {
+        let block = 1usize << blk_pow;
+        let e = BlockedEllpack::from_dense(&d, block);
+        prop_assert_eq!(e.nnz(), d.nnz());
+        prop_assert_eq!(e.metadata_bits_per_entry(), blk_pow);
+        prop_assert_eq!(
+            e.storage_bits(16),
+            (d.nnz() as u64) * (16 + blk_pow as u64)
+        );
+    }
+
+    /// For advantageous ratios (N ≤ M/2), the sparse model is never slower
+    /// than dense and the compressed storage is never larger.
+    #[test]
+    fn advantageous_sparsity_always_wins(
+        k_blocks in 1usize..32,
+        blk_pow in 1u32..5,
+        m in 1usize..64,
+        n in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let block = 1usize << blk_pow;
+        let k = k_blocks * block;
+        let pattern = SparsityPattern::row_wise(k, block, seed);
+        let gemm = GemmShape::new(m, n, k);
+        let model = SparseComputeModel::new(ArrayShape::new(8, 8));
+        let r = model.evaluate(gemm, &pattern);
+        prop_assert!(r.sparse_cycles <= r.dense_cycles,
+            "sparse {} > dense {}", r.sparse_cycles, r.dense_cycles);
+        prop_assert!(r.sparse_filter_bits <= r.dense_filter_bits);
+        prop_assert!(r.sparse_macs <= r.dense_macs);
+        prop_assert_eq!(r.effective_k, pattern.effective_k());
+    }
+
+    /// Layer-wise patterns: effective K scales exactly with N for
+    /// block-aligned K.
+    #[test]
+    fn layer_wise_exact_scaling(k_blocks in 1usize..64, n in 1usize..4) {
+        let ratio = NmRatio::new(n, 4).unwrap();
+        let p = SparsityPattern::layer_wise(k_blocks * 4, ratio);
+        prop_assert_eq!(p.effective_k(), k_blocks * n);
+    }
+
+    /// Storage monotonicity: for the same pattern, higher precision costs
+    /// more; for the same precision, ELLPACK ≤ CSR when block metadata is
+    /// narrower than column indices.
+    #[test]
+    fn storage_monotone_in_precision(k_blocks in 1usize..32, n in 1usize..128) {
+        let p = SparsityPattern::layer_wise(k_blocks * 8, NmRatio::new(2, 8).unwrap());
+        let s8 = SparseFormat::BlockedEllpack.filter_storage_bits(&p, n, 8);
+        let s16 = SparseFormat::BlockedEllpack.filter_storage_bits(&p, n, 16);
+        prop_assert!(s8 < s16);
+    }
+
+    /// The Sparseloop-style analytical model brackets correctly: skipping
+    /// cycles between the 1-per-block floor and the dense ceiling, gating
+    /// always dense-timed, and `matching_pattern` within a tolerance of
+    /// the cycle-accurate model for any concrete pattern.
+    #[test]
+    fn analytical_model_brackets_cycle_accurate(
+        m in 8usize..128,
+        n in 8usize..128,
+        k_blocks in 4usize..48,
+        seed in 0u64..1000,
+    ) {
+        let array = ArrayShape::new(8, 8);
+        let block = 8;
+        let k = k_blocks * block;
+        let gemm = GemmShape::new(m, n, k);
+        let pattern = SparsityPattern::row_wise(k, block, seed);
+        let analytical = AnalyticalSparseModel::matching_pattern(array, &pattern);
+        let skip = analytical.expected_cycles(gemm, Saf::Skipping);
+        let gate = analytical.expected_cycles(gemm, Saf::Gating);
+        let floor = AnalyticalSparseModel::new(array, 1.0 / block as f64, block)
+            .expected_cycles(gemm, Saf::Skipping);
+        prop_assert!(skip >= floor, "skip {skip} below 1-per-block floor {floor}");
+        prop_assert!(skip <= gate, "skipping cannot exceed dense timing");
+        let exact = SparseComputeModel::new(array).evaluate(gemm, &pattern).sparse_cycles;
+        let rel = (skip as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(rel < 0.25,
+            "analytical {skip} vs cycle-accurate {exact} diverged ({rel:.3})");
+        prop_assert!(analytical.expected_macs(gemm) <= gemm.macs());
+    }
+}

@@ -1,0 +1,172 @@
+//! Input-stationary demand generation.
+//!
+//! Mapping: `Sr = K` on rows, `Sc = M` on columns, `T = N` streamed.
+//! The mirror image of weight-stationary: each fold pins an `R'×C'` tile of
+//! the *input* matrix (`A` transposed: rows hold `k`, columns hold `m`),
+//! weights stream through the left edge, and outputs for each pinned `m`
+//! exit at the bottom of its column. Later `K` folds accumulate.
+//!
+//! Per-fold timeline (fold extent `R'×C'`, stream time `t' = t − R'`):
+//!
+//! ```text
+//! prefetch t ∈ [0, R'−1]  : col c reads A[fc·C+c][fr·R + (R'−1−t)]
+//! stream  t' ∈ [0, N+R'−2]: row r reads B[fr·R+r][t'−r]   (0 ≤ t'−r < N)
+//! MACs at t'              : #{(r,c) : 0 ≤ t'−r−c < N}
+//! output  (fc·C+c, n) at t' = n + R'−1 + c  (RMW read when fr > 0)
+//! fold length             : 2R' + C' + N − 2
+//! ```
+
+use super::FoldGeometry;
+use crate::demand::{CycleDemand, DemandSink};
+use crate::operand::OperandMap;
+use crate::util::antidiagonal_prefix;
+
+/// Input-stationary generator.
+#[derive(Debug, Clone)]
+pub struct IsGenerator {
+    geom: FoldGeometry,
+    map: OperandMap,
+}
+
+impl IsGenerator {
+    /// Creates the generator from a precomputed geometry and address map.
+    pub(crate) fn new(geom: FoldGeometry, map: OperandMap) -> Self {
+        Self { geom, map }
+    }
+
+    /// Fold geometry in use.
+    pub fn geometry(&self) -> &FoldGeometry {
+        &self.geom
+    }
+
+    /// Streams all folds into `sink`.
+    pub fn run(&self, sink: &mut dyn DemandSink) {
+        let g = &self.geom;
+        let n_dim = g.t; // streamed dimension is N
+        let mut demand = CycleDemand::default();
+        let mut base_cycle: u64 = 0;
+        for fold in g.folds() {
+            let (rp, cp) = (fold.rows, fold.cols);
+            let k0 = fold.fr * g.array_rows;
+            let m0 = fold.fc * g.array_cols;
+            let accumulate = fold.fr > 0;
+            let fold_len = fold.cycles;
+            let prefetch = rp as u64;
+            for t in 0..fold_len {
+                demand.reset(base_cycle + t);
+                if t < prefetch {
+                    // Input prefetch: one k-row per cycle, bottom-first.
+                    let kk = k0 + (rp - 1 - t as usize);
+                    for c in 0..cp {
+                        demand.ifmap_reads.push(self.map.ifmap(m0 + c, kk));
+                    }
+                } else {
+                    let tp = (t - prefetch) as i64;
+                    // Weight stream on the left edge, skewed by row.
+                    let r_lo = (tp - (n_dim as i64 - 1)).max(0) as usize;
+                    let r_hi = (tp as usize).min(rp - 1);
+                    if r_lo <= r_hi && (tp as usize) < n_dim + rp - 1 {
+                        for r in r_lo..=r_hi {
+                            demand
+                                .filter_reads
+                                .push(self.map.filter(k0 + r, tp as usize - r));
+                        }
+                    }
+                    demand.active_macs = antidiagonal_prefix(rp, cp, tp)
+                        - antidiagonal_prefix(rp, cp, tp - n_dim as i64);
+                    // Outputs exiting the bottom edge: column c delivers
+                    // output column n = t' − (R'−1) − c for pinned m.
+                    let base = tp - (rp as i64 - 1);
+                    let c_lo = (base - (n_dim as i64 - 1)).max(0);
+                    let c_hi = base.min(cp as i64 - 1);
+                    if base >= 0 && c_lo <= c_hi {
+                        for c in c_lo as usize..=c_hi as usize {
+                            let n = (base as usize) - c;
+                            let addr = self.map.ofmap(m0 + c, n);
+                            if accumulate {
+                                demand.ofmap_reads.push(addr);
+                            }
+                            demand.ofmap_writes.push(addr);
+                        }
+                    }
+                }
+                sink.on_cycle(&demand);
+            }
+            base_cycle += fold_len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArrayShape, Dataflow};
+    use crate::demand::DemandSummary;
+    use crate::topology::GemmShape;
+    use std::collections::HashMap;
+
+    fn make(r: usize, c: usize, m: usize, n: usize, k: usize) -> IsGenerator {
+        let gemm = GemmShape::new(m, n, k);
+        IsGenerator::new(
+            FoldGeometry::new(ArrayShape::new(r, c), Dataflow::InputStationary, gemm),
+            OperandMap::new(gemm),
+        )
+    }
+
+    #[test]
+    fn counts_match_closed_form_single_fold() {
+        // 4×4 array, K=4, M=4 (one fold each), N=6 streamed.
+        let gen = make(4, 4, 4, 6, 4);
+        let mut s = DemandSummary::default();
+        gen.run(&mut s);
+        assert_eq!(s.ifmap_reads, 16, "prefetch loads each pinned input once");
+        assert_eq!(s.filter_reads, (4 * 6) as u64, "R'·N weight reads");
+        assert_eq!(s.ofmap_writes, (6 * 4) as u64);
+        assert_eq!(s.ofmap_reads, 0);
+        assert_eq!(s.macs, 4 * 6 * 4);
+        assert_eq!(s.cycles, (2 * 4 + 4 + 6 - 2) as u64);
+    }
+
+    #[test]
+    fn mirror_symmetry_with_ws() {
+        // IS on (M, N, K) should take exactly as many cycles as WS on
+        // (N, M, K): the two dataflows are transposes of each other.
+        use super::super::ws::WsGenerator;
+        let gemm_is = GemmShape::new(5, 9, 7);
+        let gemm_ws = GemmShape::new(9, 5, 7);
+        let arr = ArrayShape::new(3, 4);
+        let gis = IsGenerator::new(
+            FoldGeometry::new(arr, Dataflow::InputStationary, gemm_is),
+            OperandMap::new(gemm_is),
+        );
+        let gws = WsGenerator::new(
+            FoldGeometry::new(arr, Dataflow::WeightStationary, gemm_ws),
+            OperandMap::new(gemm_ws),
+        );
+        let mut si = DemandSummary::default();
+        let mut sw = DemandSummary::default();
+        gis.run(&mut si);
+        gws.run(&mut sw);
+        assert_eq!(si.cycles, sw.cycles);
+        assert_eq!(si.macs, sw.macs);
+        assert_eq!(si.ifmap_reads, sw.filter_reads);
+        assert_eq!(si.filter_reads, sw.ifmap_reads);
+    }
+
+    #[test]
+    fn outputs_accumulate_k_folds_times() {
+        let gen = make(2, 2, 3, 4, 5); // K=5 over R=2 → 3 folds
+        struct W(HashMap<u64, u32>);
+        impl crate::demand::DemandSink for W {
+            fn on_cycle(&mut self, d: &CycleDemand) {
+                for &a in &d.ofmap_writes {
+                    *self.0.entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut w = W(HashMap::new());
+        gen.run(&mut w);
+        assert_eq!(w.0.len(), 3 * 4);
+        assert!(w.0.values().all(|&v| v == 3));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the systolic simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is invalid (zero array dimension, empty buffer…).
+    InvalidConfig(String),
+    /// A workload/topology description could not be parsed.
+    ParseTopology {
+        /// 1-based line number of the offending CSV row.
+        line: usize,
+        /// Explanation of what failed to parse.
+        reason: String,
+    },
+    /// A layer's dimensions are degenerate (zero-sized GEMM dimension).
+    InvalidLayer(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::ParseTopology { line, reason } => {
+                write!(f, "topology parse error at line {line}: {reason}")
+            }
+            SimError::InvalidLayer(msg) => write!(f, "invalid layer: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SimError::InvalidConfig("array rows must be non-zero".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid configuration"));
+        assert!(s.contains("array rows"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,166 @@
+//! Operand address spaces.
+//!
+//! SCALE-Sim assigns each operand a disjoint, word-addressed region so that
+//! traces can be disambiguated downstream (DRAM simulation, layout analysis,
+//! energy counting). We keep that convention with wider (u64) regions so the
+//! largest sweep workloads (10 000³ GEMMs) cannot overflow a region.
+
+use crate::topology::GemmShape;
+use std::fmt;
+
+/// A word-granular address in the unified operand address space.
+pub type Addr = u64;
+
+/// Base address of the ifmap (`A`) region.
+pub const IFMAP_BASE: Addr = 0;
+/// Base address of the filter (`B`) region.
+pub const FILTER_BASE: Addr = 1 << 40;
+/// Base address of the ofmap (`C`) region.
+pub const OFMAP_BASE: Addr = 2 << 40;
+
+/// Which operand an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// Input feature map / activation matrix `A[M×K]`.
+    Ifmap,
+    /// Filter / weight matrix `B[K×N]`.
+    Filter,
+    /// Output feature map / result matrix `C[M×N]`.
+    Ofmap,
+}
+
+impl OperandKind {
+    /// All operand kinds in canonical order.
+    pub const ALL: [OperandKind; 3] = [OperandKind::Ifmap, OperandKind::Filter, OperandKind::Ofmap];
+
+    /// Classifies an address by its region.
+    pub fn of_addr(addr: Addr) -> OperandKind {
+        if addr >= OFMAP_BASE {
+            OperandKind::Ofmap
+        } else if addr >= FILTER_BASE {
+            OperandKind::Filter
+        } else {
+            OperandKind::Ifmap
+        }
+    }
+
+    /// Lowercase display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperandKind::Ifmap => "ifmap",
+            OperandKind::Filter => "filter",
+            OperandKind::Ofmap => "ofmap",
+        }
+    }
+}
+
+impl fmt::Display for OperandKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps GEMM coordinates to addresses (row-major within each region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandMap {
+    gemm: GemmShape,
+}
+
+impl OperandMap {
+    /// Creates the address map for a GEMM.
+    pub fn new(gemm: GemmShape) -> Self {
+        Self { gemm }
+    }
+
+    /// The GEMM shape this map covers.
+    pub fn gemm(&self) -> GemmShape {
+        self.gemm
+    }
+
+    /// Address of `A[m][k]`.
+    #[inline]
+    pub fn ifmap(&self, m: usize, k: usize) -> Addr {
+        debug_assert!(m < self.gemm.m && k < self.gemm.k);
+        IFMAP_BASE + (m as u64) * (self.gemm.k as u64) + k as u64
+    }
+
+    /// Address of `B[k][n]`.
+    #[inline]
+    pub fn filter(&self, k: usize, n: usize) -> Addr {
+        debug_assert!(k < self.gemm.k && n < self.gemm.n);
+        FILTER_BASE + (k as u64) * (self.gemm.n as u64) + n as u64
+    }
+
+    /// Address of `C[m][n]`.
+    #[inline]
+    pub fn ofmap(&self, m: usize, n: usize) -> Addr {
+        debug_assert!(m < self.gemm.m && n < self.gemm.n);
+        OFMAP_BASE + (m as u64) * (self.gemm.n as u64) + n as u64
+    }
+
+    /// Inverse of [`ifmap`](Self::ifmap): recovers `(m, k)`.
+    pub fn ifmap_coords(&self, addr: Addr) -> (usize, usize) {
+        let off = addr - IFMAP_BASE;
+        let k = self.gemm.k as u64;
+        ((off / k) as usize, (off % k) as usize)
+    }
+
+    /// Inverse of [`filter`](Self::filter): recovers `(k, n)`.
+    pub fn filter_coords(&self, addr: Addr) -> (usize, usize) {
+        let off = addr - FILTER_BASE;
+        let n = self.gemm.n as u64;
+        ((off / n) as usize, (off % n) as usize)
+    }
+
+    /// Inverse of [`ofmap`](Self::ofmap): recovers `(m, n)`.
+    pub fn ofmap_coords(&self, addr: Addr) -> (usize, usize) {
+        let off = addr - OFMAP_BASE;
+        let n = self.gemm.n as u64;
+        ((off / n) as usize, (off % n) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_classified() {
+        let map = OperandMap::new(GemmShape::new(10_000, 10_000, 10_000));
+        let a = map.ifmap(9_999, 9_999);
+        let b = map.filter(9_999, 9_999);
+        let c = map.ofmap(9_999, 9_999);
+        assert!(a < FILTER_BASE);
+        assert!(b < OFMAP_BASE && b >= FILTER_BASE);
+        assert!(c >= OFMAP_BASE);
+        assert_eq!(OperandKind::of_addr(a), OperandKind::Ifmap);
+        assert_eq!(OperandKind::of_addr(b), OperandKind::Filter);
+        assert_eq!(OperandKind::of_addr(c), OperandKind::Ofmap);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let map = OperandMap::new(GemmShape::new(7, 5, 3));
+        for m in 0..7 {
+            for k in 0..3 {
+                assert_eq!(map.ifmap_coords(map.ifmap(m, k)), (m, k));
+            }
+        }
+        for k in 0..3 {
+            for n in 0..5 {
+                assert_eq!(map.filter_coords(map.filter(k, n)), (k, n));
+            }
+        }
+        for m in 0..7 {
+            for n in 0..5 {
+                assert_eq!(map.ofmap_coords(map.ofmap(m, n)), (m, n));
+            }
+        }
+    }
+
+    #[test]
+    fn operand_kind_names() {
+        assert_eq!(OperandKind::Ifmap.to_string(), "ifmap");
+        assert_eq!(OperandKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,362 @@
+//! Single-core simulation orchestration.
+//!
+//! [`CoreSim`] ties the pieces together: it runs a dataflow demand generator
+//! once, feeding the double-buffer planners and the SRAM repeat-access
+//! lookup, then replays the plans against a [`BackingStore`] to obtain stall
+//! timing, and assembles the [`LayerReport`].
+
+use crate::buffer::{timing, BackingStore, IdealBandwidthStore, ReadPlanner, TimingInputs, WritePlanner};
+use crate::config::SimConfig;
+use crate::dataflow::DemandGenerator;
+use crate::demand::{CycleDemand, DemandSink, DemandSummary};
+use crate::operand::{Addr, OperandKind};
+use crate::report::{ComputeSummary, LayerReport, SramSummary};
+use crate::topology::{GemmShape, Layer, Topology};
+
+/// Tracks "repeated" SRAM accesses: an access that falls in a currently
+/// open SRAM row costs much less energy than a random one (paper §VII-C).
+///
+/// The lookup models `sram_row_buffers` open rows per SRAM (rounded up to
+/// a power of two); an access maps to buffer `(addr / row_words) % buffers`
+/// and is *repeated* when that buffer already holds its row.
+#[derive(Debug, Clone)]
+pub struct RepeatLookup {
+    row_words: u64,
+    slot_mask: u64,
+    open_rows: Vec<u64>,
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit an open row.
+    pub repeats: u64,
+}
+
+impl RepeatLookup {
+    /// Creates a lookup with the given row size (words) and row-buffer count.
+    pub fn new(row_words: usize, row_buffers: usize) -> Self {
+        let buffers = row_buffers.max(1).next_power_of_two();
+        Self {
+            row_words: row_words.max(1) as u64,
+            slot_mask: buffers as u64 - 1,
+            open_rows: vec![u64::MAX; buffers],
+            accesses: 0,
+            repeats: 0,
+        }
+    }
+
+    /// Observes one access.
+    #[inline]
+    pub fn access(&mut self, addr: Addr) {
+        self.accesses += 1;
+        let row = addr / self.row_words;
+        let slot = (row & self.slot_mask) as usize;
+        if self.open_rows[slot] == row {
+            self.repeats += 1;
+        } else {
+            self.open_rows[slot] = row;
+        }
+    }
+
+    /// Observes a batch of accesses.
+    pub fn access_all(&mut self, addrs: &[Addr]) {
+        for &a in addrs {
+            self.access(a);
+        }
+    }
+}
+
+/// Pass 1: ifmap-side planning (plus the cheap whole-stream summary).
+///
+/// Planning is split into per-operand passes over the demand stream: the
+/// per-operand working sets (direct-mapped address indices) are far
+/// smaller than their union, and cache residency dominates the planning
+/// cost for large layers.
+struct IfmapPass {
+    planner: ReadPlanner,
+    repeat: RepeatLookup,
+    summary: DemandSummary,
+}
+
+impl DemandSink for IfmapPass {
+    fn on_cycle(&mut self, d: &CycleDemand) {
+        self.summary.absorb(d);
+        self.planner.observe(d.cycle, &d.ifmap_reads);
+        self.repeat.access_all(&d.ifmap_reads);
+    }
+}
+
+/// Pass 2: filter-side planning.
+struct FilterPass {
+    planner: ReadPlanner,
+    repeat: RepeatLookup,
+}
+
+impl DemandSink for FilterPass {
+    fn on_cycle(&mut self, d: &CycleDemand) {
+        self.planner.observe(d.cycle, &d.filter_reads);
+        self.repeat.access_all(&d.filter_reads);
+    }
+}
+
+/// Pass 3: ofmap-side planning.
+struct OfmapPass {
+    planner: WritePlanner,
+    repeat: RepeatLookup,
+}
+
+impl DemandSink for OfmapPass {
+    fn on_cycle(&mut self, d: &CycleDemand) {
+        self.planner.observe(d.cycle, &d.ofmap_reads, &d.ofmap_writes);
+        self.repeat.access_all(&d.ofmap_reads);
+        self.repeat.access_all(&d.ofmap_writes);
+    }
+}
+
+/// A planned layer: everything needed to time it against any backing store.
+#[derive(Debug)]
+pub struct PlannedLayer {
+    /// Timing inputs for [`timing`].
+    pub inputs: TimingInputs,
+    /// Demand totals.
+    pub summary: DemandSummary,
+    /// Compute summary (stall-free).
+    pub compute: ComputeSummary,
+    /// SRAM access profile.
+    pub sram: SramSummary,
+}
+
+/// Single-core cycle-accurate simulator.
+#[derive(Debug, Clone)]
+pub struct CoreSim {
+    config: SimConfig,
+}
+
+impl CoreSim {
+    /// Creates a simulator from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`SimConfig::validate`] to check fallibly first.
+    pub fn new(config: SimConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid simulator configuration: {e}"));
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Builds the demand generator for a GEMM under this configuration.
+    pub fn demand_generator(&self, gemm: GemmShape) -> DemandGenerator {
+        DemandGenerator::new(self.config.array, self.config.dataflow, gemm)
+    }
+
+    /// Runs the planning pass: one full demand-stream traversal producing
+    /// the fetch plans, demand totals and SRAM profiles.
+    pub fn plan_gemm(&self, gemm: GemmShape) -> PlannedLayer {
+        let gen = self.demand_generator(gemm);
+        let mem = &self.config.memory;
+        let ifmap_domain = Some((crate::operand::IFMAP_BASE, (gemm.m * gemm.k) as u64));
+        let filter_domain = Some((crate::operand::FILTER_BASE, (gemm.k * gemm.n) as u64));
+        let ofmap_domain = Some((crate::operand::OFMAP_BASE, (gemm.m * gemm.n) as u64));
+
+        let mut pass1 = IfmapPass {
+            planner: ReadPlanner::with_domain(OperandKind::Ifmap, mem.ifmap_words, ifmap_domain),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+            summary: DemandSummary::default(),
+        };
+        gen.run(&mut pass1);
+        let mut pass2 = FilterPass {
+            planner: ReadPlanner::with_domain(
+                OperandKind::Filter,
+                mem.filter_words,
+                filter_domain,
+            ),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+        };
+        gen.run(&mut pass2);
+        let mut pass3 = OfmapPass {
+            planner: WritePlanner::with_domain(mem.ofmap_words, ofmap_domain),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+        };
+        gen.run(&mut pass3);
+        let summary = pass1.summary;
+
+        let geom = gen.geometry();
+        let cycles = summary.cycles;
+        let pes = self.config.array.num_pes() as u64;
+        let compute = ComputeSummary {
+            total_compute_cycles: cycles,
+            folds: geom.num_folds() as u64,
+            macs: summary.macs,
+            utilization: if cycles == 0 {
+                0.0
+            } else {
+                summary.macs as f64 / (pes * cycles) as f64
+            },
+            mapping_efficiency: if cycles == 0 {
+                0.0
+            } else {
+                geom.total_active_pe_cycles() as f64 / (pes * cycles) as f64
+            },
+        };
+        let sram = SramSummary {
+            ifmap_reads: summary.ifmap_reads,
+            filter_reads: summary.filter_reads,
+            ofmap_reads: summary.ofmap_reads,
+            ofmap_writes: summary.ofmap_writes,
+            ifmap_repeat_reads: pass1.repeat.repeats,
+            filter_repeat_reads: pass2.repeat.repeats,
+            ofmap_repeat_accesses: pass3.repeat.repeats,
+        };
+        let inputs = TimingInputs {
+            ifmap: pass1.planner.finish(),
+            filter: pass2.planner.finish(),
+            ofmap: pass3.planner.finish(),
+            compute_cycles: cycles,
+        };
+        PlannedLayer {
+            inputs,
+            summary,
+            compute,
+            sram,
+        }
+    }
+
+    /// Simulates a GEMM against an explicit backing store.
+    pub fn simulate_gemm_with_store(
+        &self,
+        name: &str,
+        gemm: GemmShape,
+        store: &mut dyn BackingStore,
+    ) -> LayerReport {
+        let planned = self.plan_gemm(gemm);
+        let memory = timing(&planned.inputs, store);
+        LayerReport {
+            name: name.to_string(),
+            gemm,
+            compute: planned.compute,
+            memory,
+            sram: planned.sram,
+        }
+    }
+
+    /// Simulates a GEMM with SCALE-Sim v2's ideal fixed-bandwidth memory.
+    pub fn simulate_gemm(&self, gemm: &GemmShape) -> LayerReport {
+        let mut store = IdealBandwidthStore::new(self.config.memory.dram_bandwidth);
+        self.simulate_gemm_with_store("gemm", *gemm, &mut store)
+    }
+
+    /// Simulates one layer (convs are lowered to GEMM first).
+    pub fn simulate_layer(&self, layer: &Layer) -> LayerReport {
+        let mut store = IdealBandwidthStore::new(self.config.memory.dram_bandwidth);
+        self.simulate_gemm_with_store(layer.name(), layer.gemm(), &mut store)
+    }
+
+    /// Simulates every layer of a topology with ideal memory.
+    pub fn simulate_topology(&self, topology: &Topology) -> Vec<LayerReport> {
+        topology.iter().map(|l| self.simulate_layer(l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArrayShape, Dataflow, MemoryConfig};
+
+    fn sim(df: Dataflow) -> CoreSim {
+        CoreSim::new(
+            SimConfig::builder()
+                .array(ArrayShape::new(8, 8))
+                .dataflow(df)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn report_is_consistent_across_dataflows() {
+        let gemm = GemmShape::new(32, 32, 32);
+        for df in Dataflow::ALL {
+            let r = sim(df).simulate_gemm(&gemm);
+            assert_eq!(r.compute.macs, gemm.macs(), "{df}");
+            assert!(r.compute.utilization > 0.0 && r.compute.utilization <= 1.0);
+            assert!(r.compute.mapping_efficiency > 0.0 && r.compute.mapping_efficiency <= 1.0);
+            assert_eq!(
+                r.memory.total_cycles,
+                r.memory.ramp_up_cycles
+                    + r.memory.compute_cycles
+                    + r.memory.stall_cycles
+                    + r.memory.drain_tail_cycles,
+                "{df}: cycle accounting"
+            );
+            // All final outputs must reach DRAM.
+            assert!(r.memory.ofmap.dram_writes >= (gemm.m * gemm.n) as u64, "{df}");
+        }
+    }
+
+    #[test]
+    fn bigger_bandwidth_never_slower() {
+        let gemm = GemmShape::new(64, 48, 64);
+        for df in Dataflow::ALL {
+            let mut slow_cfg = SimConfig::builder()
+                .array(ArrayShape::new(8, 8))
+                .dataflow(df)
+                .build();
+            slow_cfg.memory.dram_bandwidth = 1.0;
+            let mut fast_cfg = slow_cfg.clone();
+            fast_cfg.memory.dram_bandwidth = 64.0;
+            let slow = CoreSim::new(slow_cfg).simulate_gemm(&gemm);
+            let fast = CoreSim::new(fast_cfg).simulate_gemm(&gemm);
+            assert!(
+                fast.memory.total_cycles <= slow.memory.total_cycles,
+                "{df}: more bandwidth must not hurt"
+            );
+            assert_eq!(fast.compute.total_compute_cycles, slow.compute.total_compute_cycles);
+        }
+    }
+
+    #[test]
+    fn bigger_sram_never_more_dram_traffic() {
+        let gemm = GemmShape::new(96, 64, 96);
+        let mut small_cfg = SimConfig::builder().array(ArrayShape::new(8, 8)).build();
+        small_cfg.memory = MemoryConfig::from_kilobytes(2, 2, 2, 2);
+        let mut big_cfg = small_cfg.clone();
+        big_cfg.memory = MemoryConfig::from_kilobytes(512, 512, 128, 2);
+        let small = CoreSim::new(small_cfg).simulate_gemm(&gemm);
+        let big = CoreSim::new(big_cfg).simulate_gemm(&gemm);
+        assert!(big.memory.total_dram_reads() <= small.memory.total_dram_reads());
+    }
+
+    #[test]
+    fn repeat_lookup_counts_row_hits() {
+        let mut rl = RepeatLookup::new(4, 2);
+        rl.access_all(&[0, 1, 2, 3]); // row 0: first access opens, 3 repeat
+        assert_eq!(rl.accesses, 4);
+        assert_eq!(rl.repeats, 3);
+        rl.access(4); // row 1, different slot
+        rl.access(0); // row 0 still open in slot 0
+        assert_eq!(rl.repeats, 4);
+    }
+
+    #[test]
+    fn sram_reads_match_between_summary_and_report() {
+        let gemm = GemmShape::new(24, 16, 8);
+        let r = sim(Dataflow::WeightStationary).simulate_gemm(&gemm);
+        // WS: filter reads = K·N prefetches; the ifmap streams once per
+        // column fold (N=16 on C=8 → 2 folds), so reads = 2·K·M.
+        assert_eq!(r.sram.filter_reads, (8 * 16) as u64);
+        assert_eq!(r.sram.ifmap_reads, (2 * 8 * 24) as u64);
+        assert!(r.sram.ifmap_repeat_reads <= r.sram.ifmap_reads);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::default();
+        cfg.memory.dram_bandwidth = -1.0;
+        let _ = CoreSim::new(cfg);
+    }
+}

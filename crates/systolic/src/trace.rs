@@ -1,0 +1,154 @@
+//! DRAM transaction traces.
+//!
+//! A trace is the sequence of backing-store transactions (reads/writes of
+//! word-address batches) issued by the scratchpad prefetch/drain machinery,
+//! with issue and completion timestamps. Traces feed the DRAM simulator
+//! (SCALE-Sim v3 §V-B step 1 → step 2) and can be exported in the
+//! `cycle, address, r/w` format the paper describes.
+
+use crate::operand::{Addr, OperandKind};
+
+/// Transaction direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data fetched from the backing store into a scratchpad.
+    Read,
+    /// Data drained from a scratchpad into the backing store.
+    Write,
+}
+
+/// One backing-store transaction covering a batch of word addresses.
+///
+/// Addresses are stored in a shared arena inside [`TraceRecorder`]; an entry
+/// holds the `(offset, len)` range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle the transaction was issued.
+    pub issue: u64,
+    /// Cycle the transaction completed.
+    pub completion: u64,
+    /// Operand interface the transaction belongs to.
+    pub operand: OperandKind,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Offset of the first address in the recorder's arena.
+    pub offset: usize,
+    /// Number of words transferred.
+    pub len: usize,
+}
+
+/// Collects trace entries and their addresses.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    addrs: Vec<Addr>,
+    entries: Vec<TraceEntry>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transaction.
+    pub fn record(
+        &mut self,
+        issue: u64,
+        completion: u64,
+        operand: OperandKind,
+        kind: AccessKind,
+        addrs: &[Addr],
+    ) {
+        let offset = self.addrs.len();
+        self.addrs.extend_from_slice(addrs);
+        self.entries.push(TraceEntry {
+            issue,
+            completion,
+            operand,
+            kind,
+            offset,
+            len: addrs.len(),
+        });
+    }
+
+    /// All recorded entries in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The addresses of one entry.
+    pub fn addrs_of(&self, entry: &TraceEntry) -> &[Addr] {
+        &self.addrs[entry.offset..entry.offset + entry.len]
+    }
+
+    /// Total words read, per all read entries.
+    pub fn words_read(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == AccessKind::Read)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Total words written.
+    pub fn words_written(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == AccessKind::Write)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Renders the trace in SCALE-Sim's `cycle, addr, addr, …` CSV format,
+    /// one row per transaction.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.issue.to_string());
+            for a in self.addrs_of(e) {
+                out.push_str(&format!(", {a}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Flattens the trace into `(issue_cycle, addr, kind)` word-granular
+    /// requests, the form consumed by the DRAM simulator.
+    pub fn word_requests(&self) -> impl Iterator<Item = (u64, Addr, AccessKind)> + '_ {
+        self.entries
+            .iter()
+            .flat_map(|e| self.addrs_of(e).iter().map(move |&a| (e.issue, a, e.kind)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut tr = TraceRecorder::new();
+        tr.record(0, 3, OperandKind::Ifmap, AccessKind::Read, &[1, 2, 3]);
+        tr.record(5, 9, OperandKind::Ofmap, AccessKind::Write, &[10, 11]);
+        assert_eq!(tr.entries().len(), 2);
+        assert_eq!(tr.addrs_of(&tr.entries()[0]), &[1, 2, 3]);
+        assert_eq!(tr.words_read(), 3);
+        assert_eq!(tr.words_written(), 2);
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut tr = TraceRecorder::new();
+        tr.record(7, 8, OperandKind::Filter, AccessKind::Read, &[42, 43]);
+        assert_eq!(tr.to_csv(), "7, 42, 43\n");
+    }
+
+    #[test]
+    fn word_requests_flatten() {
+        let mut tr = TraceRecorder::new();
+        tr.record(1, 2, OperandKind::Ifmap, AccessKind::Read, &[5, 6]);
+        let v: Vec<_> = tr.word_requests().collect();
+        assert_eq!(v, vec![(1, 5, AccessKind::Read), (1, 6, AccessKind::Read)]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Small numeric helpers shared across the crate.
+
+/// Ceiling division for unsigned integers.
+///
+/// `ceil_div(0, d) == 0` for any non-zero `d`.
+pub(crate) fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0, "division by zero in ceil_div");
+    a.div_ceil(b)
+}
+
+/// Number of `(r, c)` pairs inside an `rows × cols` rectangle with
+/// `r + c <= s` (`r`, `c` zero-based). Returns the full area once `s`
+/// reaches `rows + cols - 2`, and `0` for negative `s`.
+///
+/// This is the prefix function used to count active MACs per cycle in a
+/// skewed systolic schedule in O(1) per cycle.
+pub(crate) fn antidiagonal_prefix(rows: usize, cols: usize, s: i64) -> u64 {
+    if rows == 0 || cols == 0 || s < 0 {
+        return 0;
+    }
+    let max_s = (rows + cols - 2) as i64;
+    if s >= max_s {
+        return (rows * cols) as u64;
+    }
+    // Count lattice points (r, c) with 0 <= r < rows, 0 <= c < cols, r + c <= s.
+    // Sum over r of min(cols, s - r + 1) clamped to >= 0.
+    let s = s as usize;
+    let mut total: u64 = 0;
+    // For r <= s - (cols - 1): contributes full `cols`.
+    let r_full_end = s.saturating_sub(cols - 1); // r < r_full_end + 1 contributes cols
+    let full_rows = (r_full_end + 1).min(rows).min(s + 1);
+    if cols <= s + 1 {
+        total += (full_rows as u64) * (cols as u64);
+    }
+    // Remaining rows contribute s - r + 1 each.
+    let start = if cols <= s + 1 { full_rows } else { 0 };
+    let end = rows.min(s + 1);
+    if start < end {
+        // sum_{r=start}^{end-1} (s - r + 1)
+        let a = (s - start + 1) as u64; // first term
+        let b = (s - (end - 1) + 1) as u64; // last term
+        let n = (end - start) as u64;
+        total += (a + b) * n / 2;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(rows: usize, cols: usize, s: i64) -> u64 {
+        let mut n = 0;
+        for r in 0..rows {
+            for c in 0..cols {
+                if (r + c) as i64 <= s {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn ceil_div_basics() {
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 4), 1);
+        assert_eq!(ceil_div(4, 4), 1);
+        assert_eq!(ceil_div(5, 4), 2);
+    }
+
+    #[test]
+    fn antidiagonal_matches_bruteforce() {
+        for rows in 1..=7 {
+            for cols in 1..=7 {
+                for s in -2..=((rows + cols) as i64) {
+                    assert_eq!(
+                        antidiagonal_prefix(rows, cols, s),
+                        brute(rows, cols, s),
+                        "rows={rows} cols={cols} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antidiagonal_saturates_at_area() {
+        assert_eq!(antidiagonal_prefix(4, 5, 100), 20);
+        assert_eq!(antidiagonal_prefix(4, 5, -1), 0);
+        assert_eq!(antidiagonal_prefix(0, 5, 3), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the systolic core invariants.
+
+use proptest::prelude::*;
+use scalesim_systolic::{
+    ArrayShape, CoreSim, CycleDemand, Dataflow, DemandGenerator, DemandSink, GemmShape,
+    MemoryConfig, OperandKind, OperandMap, SimConfig,
+};
+use std::collections::HashMap;
+
+fn dataflow_strategy() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![
+        Just(Dataflow::OutputStationary),
+        Just(Dataflow::WeightStationary),
+        Just(Dataflow::InputStationary),
+    ]
+}
+
+/// Collects full coverage info from a demand stream.
+#[derive(Default)]
+struct Coverage {
+    ifmap: HashMap<u64, u64>,
+    filter: HashMap<u64, u64>,
+    ofmap_writes: HashMap<u64, u64>,
+    macs: u64,
+    cycles: u64,
+}
+
+impl DemandSink for Coverage {
+    fn on_cycle(&mut self, d: &CycleDemand) {
+        for &a in &d.ifmap_reads {
+            *self.ifmap.entry(a).or_default() += 1;
+        }
+        for &a in &d.filter_reads {
+            *self.filter.entry(a).or_default() += 1;
+        }
+        for &a in &d.ofmap_writes {
+            *self.ofmap_writes.entry(a).or_default() += 1;
+        }
+        self.macs += d.active_macs;
+        self.cycles = d.cycle + 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every dataflow computes exactly M·N·K MACs and the streamed cycle
+    /// count matches the closed-form fold arithmetic.
+    #[test]
+    fn mac_and_cycle_conservation(
+        df in dataflow_strategy(),
+        r in 1usize..9,
+        c in 1usize..9,
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..20,
+    ) {
+        let gemm = GemmShape::new(m, n, k);
+        let gen = DemandGenerator::new(ArrayShape::new(r, c), df, gemm);
+        let mut cov = Coverage::default();
+        gen.run(&mut cov);
+        prop_assert_eq!(cov.macs, gemm.macs());
+        prop_assert_eq!(cov.cycles, gen.total_cycles());
+    }
+
+    /// Every operand element is touched: full input/weight coverage, and
+    /// each output is written exactly once per K-fold (OS: exactly once).
+    #[test]
+    fn operand_coverage(
+        df in dataflow_strategy(),
+        r in 1usize..7,
+        c in 1usize..7,
+        m in 1usize..14,
+        n in 1usize..14,
+        k in 1usize..14,
+    ) {
+        let gemm = GemmShape::new(m, n, k);
+        let map = OperandMap::new(gemm);
+        let gen = DemandGenerator::new(ArrayShape::new(r, c), df, gemm);
+        let mut cov = Coverage::default();
+        gen.run(&mut cov);
+
+        for mm in 0..m {
+            for kk in 0..k {
+                prop_assert!(cov.ifmap.contains_key(&map.ifmap(mm, kk)),
+                    "A[{mm}][{kk}] never read");
+            }
+        }
+        for kk in 0..k {
+            for nn in 0..n {
+                prop_assert!(cov.filter.contains_key(&map.filter(kk, nn)),
+                    "B[{kk}][{nn}] never read");
+            }
+        }
+        let k_folds = match df {
+            Dataflow::OutputStationary => 1,
+            _ => k.div_ceil(r) as u64,
+        };
+        for mm in 0..m {
+            for nn in 0..n {
+                let writes = cov.ofmap_writes.get(&map.ofmap(mm, nn)).copied().unwrap_or(0);
+                prop_assert_eq!(writes, k_folds,
+                    "C[{}][{}] written {} times, expected {}", mm, nn, writes, k_folds);
+            }
+        }
+    }
+
+    /// End-to-end cycle accounting always balances, and utilization stays
+    /// within (0, 1].
+    #[test]
+    fn report_invariants(
+        df in dataflow_strategy(),
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        bw in 1u32..32,
+    ) {
+        let mut cfg = SimConfig::builder()
+            .array(ArrayShape::new(4, 4))
+            .dataflow(df)
+            .build();
+        cfg.memory = MemoryConfig::from_kilobytes(4, 4, 4, 2);
+        cfg.memory.dram_bandwidth = bw as f64;
+        let report = CoreSim::new(cfg).simulate_gemm(&GemmShape::new(m, n, k));
+        prop_assert_eq!(
+            report.memory.total_cycles,
+            report.memory.ramp_up_cycles
+                + report.memory.compute_cycles
+                + report.memory.stall_cycles
+                + report.memory.drain_tail_cycles
+        );
+        prop_assert!(report.compute.utilization > 0.0);
+        prop_assert!(report.compute.utilization <= 1.0 + 1e-12);
+        // Everything that was computed must eventually be written out.
+        prop_assert!(report.memory.ofmap.dram_writes >= (m * n) as u64);
+        // DRAM reads can never be fewer than the distinct operand words.
+        prop_assert!(report.memory.ifmap.dram_reads >= report.memory.ifmap.unique_words);
+    }
+
+    /// Raising bandwidth can only reduce (or keep) the total runtime.
+    #[test]
+    fn bandwidth_monotonicity(
+        df in dataflow_strategy(),
+        m in 4usize..30,
+        n in 4usize..30,
+        k in 4usize..30,
+    ) {
+        let mk = |bw: f64| {
+            let mut cfg = SimConfig::builder()
+                .array(ArrayShape::new(4, 4))
+                .dataflow(df)
+                .build();
+            cfg.memory = MemoryConfig::from_kilobytes(2, 2, 2, 2);
+            cfg.memory.dram_bandwidth = bw;
+            CoreSim::new(cfg).simulate_gemm(&GemmShape::new(m, n, k)).memory.total_cycles
+        };
+        let slow = mk(1.0);
+        let mid = mk(4.0);
+        let fast = mk(1024.0);
+        prop_assert!(mid <= slow, "bw 4 ({mid}) slower than bw 1 ({slow})");
+        prop_assert!(fast <= mid, "bw 1024 ({fast}) slower than bw 4 ({mid})");
+    }
+
+    /// The ifmap address map and its inverse round-trip for random coords.
+    #[test]
+    fn operand_map_roundtrip(m in 1usize..100, n in 1usize..100, k in 1usize..100) {
+        let map = OperandMap::new(GemmShape::new(m, n, k));
+        let (mm, kk) = (m - 1, k - 1);
+        prop_assert_eq!(map.ifmap_coords(map.ifmap(mm, kk)), (mm, kk));
+        prop_assert_eq!(OperandKind::of_addr(map.filter(k - 1, n - 1)), OperandKind::Filter);
+    }
+}

@@ -1,0 +1,237 @@
+//! Convolutional network topologies (ResNet-18/50, AlexNet, R-CNN).
+//!
+//! Ifmap sizes include padding (SCALE-Sim computes `(ifmap − f)/s + 1` with
+//! valid semantics), so e.g. a padded 3×3/1 layer on a 56×56 map is entered
+//! as 58×58.
+
+use scalesim_systolic::{ConvLayer, Layer, Topology};
+
+fn conv(
+    name: String,
+    ifmap: usize,
+    filter: usize,
+    channels: usize,
+    num_filters: usize,
+    stride: usize,
+    padded: bool,
+) -> Layer {
+    let pad = if padded { filter - 1 } else { 0 };
+    Layer::Conv(ConvLayer {
+        name,
+        ifmap_h: ifmap + pad,
+        ifmap_w: ifmap + pad,
+        filter_h: filter,
+        filter_w: filter,
+        channels,
+        num_filters,
+        stride,
+    })
+}
+
+/// ResNet-18 (ImageNet, 224×224): 17 convolutions, 3 projection shortcuts
+/// and the final FC layer.
+pub fn resnet18() -> Topology {
+    let mut t = Topology::new("resnet18");
+    // conv1: 7×7/2, pad 3 → 112.
+    t.push(conv("conv1".into(), 224, 7, 3, 64, 2, true));
+    // conv2_x after 3×3/2 maxpool → 56×56, four 3×3 convs.
+    for i in 0..4 {
+        t.push(conv(format!("conv2_{i}"), 56, 3, 64, 64, 1, true));
+    }
+    // conv3_x: downsample to 28, channels 128.
+    t.push(conv("conv3_0".into(), 56, 3, 64, 128, 2, true));
+    for i in 1..4 {
+        t.push(conv(format!("conv3_{i}"), 28, 3, 128, 128, 1, true));
+    }
+    t.push(conv("conv3_proj".into(), 56, 1, 64, 128, 2, false));
+    // conv4_x: 14, channels 256.
+    t.push(conv("conv4_0".into(), 28, 3, 128, 256, 2, true));
+    for i in 1..4 {
+        t.push(conv(format!("conv4_{i}"), 14, 3, 256, 256, 1, true));
+    }
+    t.push(conv("conv4_proj".into(), 28, 1, 128, 256, 2, false));
+    // conv5_x: 7, channels 512.
+    t.push(conv("conv5_0".into(), 14, 3, 256, 512, 2, true));
+    for i in 1..4 {
+        t.push(conv(format!("conv5_{i}"), 7, 3, 512, 512, 1, true));
+    }
+    t.push(conv("conv5_proj".into(), 14, 1, 256, 512, 2, false));
+    t.push(Layer::gemm_layer("fc", 1, 1000, 512));
+    t
+}
+
+/// ResNet-50: bottleneck stages `[3, 4, 6, 3]` generated programmatically.
+pub fn resnet50() -> Topology {
+    let mut t = Topology::new("resnet50");
+    t.push(conv("conv1".into(), 224, 7, 3, 64, 2, true));
+    let stages: [(usize, usize, usize, usize); 4] = [
+        // (blocks, spatial, mid_channels, out_channels)
+        (3, 56, 64, 256),
+        (4, 28, 128, 512),
+        (6, 14, 256, 1024),
+        (3, 7, 512, 2048),
+    ];
+    let mut in_ch = 64;
+    for (s, &(blocks, size, mid, out)) in stages.iter().enumerate() {
+        let stage = s + 2;
+        for b in 0..blocks {
+            // First block of stages 3-5 downsamples via stride-2 3×3.
+            let (stride, in_size) = if b == 0 && stage > 2 {
+                (2, size * 2)
+            } else {
+                (1, size)
+            };
+            let block_in = if b == 0 { in_ch } else { out };
+            t.push(conv(
+                format!("conv{stage}_{b}_1x1a"),
+                if b == 0 && stage > 2 { in_size } else { size },
+                1,
+                block_in,
+                mid,
+                1,
+                false,
+            ));
+            t.push(conv(
+                format!("conv{stage}_{b}_3x3"),
+                if b == 0 && stage > 2 { in_size } else { size },
+                3,
+                mid,
+                mid,
+                stride,
+                true,
+            ));
+            t.push(conv(format!("conv{stage}_{b}_1x1b"), size, 1, mid, out, 1, false));
+            if b == 0 {
+                t.push(conv(
+                    format!("conv{stage}_{b}_proj"),
+                    in_size,
+                    1,
+                    block_in,
+                    out,
+                    stride,
+                    false,
+                ));
+            }
+        }
+        in_ch = out;
+    }
+    t.push(Layer::gemm_layer("fc", 1, 1000, 2048));
+    t
+}
+
+/// AlexNet (227×227 input): five convolutions and three FC layers.
+pub fn alexnet() -> Topology {
+    let mut t = Topology::new("alexnet");
+    t.push(conv("conv1".into(), 227, 11, 3, 96, 4, false));
+    t.push(conv("conv2".into(), 27, 5, 96, 256, 1, true));
+    t.push(conv("conv3".into(), 13, 3, 256, 384, 1, true));
+    t.push(conv("conv4".into(), 13, 3, 384, 384, 1, true));
+    t.push(conv("conv5".into(), 13, 3, 384, 256, 1, true));
+    t.push(Layer::gemm_layer("fc6", 1, 4096, 9216));
+    t.push(Layer::gemm_layer("fc7", 1, 4096, 4096));
+    t.push(Layer::gemm_layer("fc8", 1, 1000, 4096));
+    t
+}
+
+/// An R-CNN-style detector: VGG-16 backbone plus the region-proposal and
+/// detection-head convolutions (the workload the paper labels "RCNN").
+pub fn rcnn() -> Topology {
+    let mut t = Topology::new("rcnn");
+    let vgg: [(usize, usize, usize, usize); 13] = [
+        (224, 3, 64, 1),
+        (224, 64, 64, 1),
+        (112, 64, 128, 1),
+        (112, 128, 128, 1),
+        (56, 128, 256, 1),
+        (56, 256, 256, 1),
+        (56, 256, 256, 1),
+        (28, 256, 512, 1),
+        (28, 512, 512, 1),
+        (28, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+    ];
+    for (i, &(size, cin, cout, stride)) in vgg.iter().enumerate() {
+        t.push(conv(format!("vgg_conv{}", i + 1), size, 3, cin, cout, stride, true));
+    }
+    // Region proposal network on the 14×14 feature map.
+    t.push(conv("rpn_conv".into(), 14, 3, 512, 512, 1, true));
+    t.push(conv("rpn_cls".into(), 14, 1, 512, 18, 1, false));
+    t.push(conv("rpn_bbox".into(), 14, 1, 512, 36, 1, false));
+    // Detection head on pooled 7×7 RoIs (batched as GEMMs, 128 RoIs).
+    t.push(Layer::gemm_layer("head_fc6", 128, 4096, 7 * 7 * 512));
+    t.push(Layer::gemm_layer("head_fc7", 128, 4096, 4096));
+    t.push(Layer::gemm_layer("head_cls", 128, 21, 4096));
+    t.push(Layer::gemm_layer("head_bbox", 128, 84, 4096));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_systolic::Layer;
+
+    fn conv_layers(t: &Topology) -> Vec<&ConvLayer> {
+        t.iter()
+            .filter_map(|l| match l {
+                Layer::Conv(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resnet18_shapes() {
+        let t = resnet18();
+        let convs = conv_layers(&t);
+        // conv1 output must be 112×112.
+        assert_eq!(convs[0].ofmap_h(), 112);
+        // conv2 layers on 56×56.
+        assert_eq!(convs[1].ofmap_h(), 56);
+        // Downsample layers halve resolution.
+        let conv3_0 = convs.iter().find(|c| c.name == "conv3_0").unwrap();
+        assert_eq!(conv3_0.ofmap_h(), 28);
+        let conv5_3 = convs.iter().find(|c| c.name == "conv5_3").unwrap();
+        assert_eq!(conv5_3.ofmap_h(), 7);
+        // 17 convs + 3 projections + fc = 21 layers.
+        assert_eq!(t.len(), 21);
+        // Total MACs ≈ 1.8 GMACs for ResNet-18 (±20% from padding choices).
+        let gmacs = t.total_macs() as f64 / 1e9;
+        assert!((1.4..=2.3).contains(&gmacs), "resnet18 {gmacs} GMACs");
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let t = resnet50();
+        // 1 + (3+4+6+3)·3 convs + 4 projections + fc = 53 + fc.
+        assert_eq!(t.len(), 1 + 16 * 3 + 4 + 1);
+        let gmacs = t.total_macs() as f64 / 1e9;
+        assert!((3.2..=5.0).contains(&gmacs), "resnet50 {gmacs} GMACs");
+        // Every bottleneck output feeds the next block's input.
+        let c = conv_layers(&t);
+        let last = c.iter().find(|l| l.name == "conv5_2_1x1b").unwrap();
+        assert_eq!(last.ofmap_h(), 7);
+        assert_eq!(last.num_filters, 2048);
+    }
+
+    #[test]
+    fn alexnet_shapes() {
+        let t = alexnet();
+        let convs = conv_layers(&t);
+        assert_eq!(convs[0].ofmap_h(), 55);
+        assert_eq!(convs[1].ofmap_h(), 27);
+        assert_eq!(convs[4].ofmap_h(), 13);
+        let gmacs = t.total_macs() as f64 / 1e9;
+        assert!((0.6..=1.3).contains(&gmacs), "alexnet {gmacs} GMACs");
+    }
+
+    #[test]
+    fn rcnn_has_backbone_and_head() {
+        let t = rcnn();
+        assert!(t.iter().any(|l| l.name() == "rpn_conv"));
+        assert!(t.iter().any(|l| l.name() == "head_fc6"));
+        let gmacs = t.total_macs() as f64 / 1e9;
+        assert!(gmacs > 15.0, "rcnn {gmacs} GMACs — VGG16 alone is ~15.5");
+    }
+}

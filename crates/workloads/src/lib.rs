@@ -1,0 +1,86 @@
+//! # scalesim-workloads
+//!
+//! The workload topologies used by the SCALE-Sim v3 paper's evaluation:
+//! ResNet-18, ResNet-50, AlexNet, ViT (small/base/large), an R-CNN-style
+//! detector backbone, and synthetic GEMM sweeps.
+//!
+//! Convolutional topologies follow SCALE-Sim's CSV conventions (ifmap
+//! sizes include padding so output sizes match the canonical networks);
+//! transformer workloads are expressed as GEMM sequences with attention
+//! heads batched along `M`.
+//!
+//! ```
+//! use scalesim_workloads::{resnet18, by_name};
+//!
+//! let net = resnet18();
+//! assert_eq!(net.name(), "resnet18");
+//! assert!(net.len() > 15);
+//! assert!(by_name("vit-base").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod gemm;
+pub mod vit;
+
+pub use cnn::{alexnet, rcnn, resnet18, resnet50};
+pub use gemm::{fig3_gemm_workloads, gemm_sweep};
+pub use vit::{vit_base, vit_feed_forward_layers, vit_large, vit_small, ViTConfig};
+
+use scalesim_systolic::Topology;
+
+/// Looks a workload up by its canonical name
+/// (`resnet18`, `resnet50`, `alexnet`, `rcnn`, `vit-small`, `vit-base`,
+/// `vit-large`).
+pub fn by_name(name: &str) -> Option<Topology> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet18" | "resnet-18" => Some(resnet18()),
+        "resnet50" | "resnet-50" => Some(resnet50()),
+        "alexnet" => Some(alexnet()),
+        "rcnn" | "r-cnn" => Some(rcnn()),
+        "vit-small" | "vit_s" | "vit-s" => Some(vit_small()),
+        "vit-base" | "vit_b" | "vit-b" => Some(vit_base()),
+        "vit-large" | "vit_l" | "vit-l" => Some(vit_large()),
+        _ => None,
+    }
+}
+
+/// All named workloads with their canonical names.
+pub fn all_workloads() -> Vec<Topology> {
+    vec![
+        resnet18(),
+        resnet50(),
+        alexnet(),
+        rcnn(),
+        vit_small(),
+        vit_base(),
+        vit_large(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_all_names() {
+        for t in all_workloads() {
+            assert!(by_name(t.name()).is_some(), "{} not resolvable", t.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_is_nonempty_and_valid() {
+        for t in all_workloads() {
+            assert!(!t.is_empty(), "{} empty", t.name());
+            assert!(t.total_macs() > 1_000_000, "{} suspiciously small", t.name());
+            for layer in t.iter() {
+                let g = layer.gemm();
+                assert!(g.m > 0 && g.n > 0 && g.k > 0, "{}::{}", t.name(), layer.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Vision Transformer workloads as GEMM sequences.
+//!
+//! Each encoder block contributes five GEMMs (QKV projection, QKᵀ,
+//! attention×V, output projection, and the two feed-forward layers).
+//! Attention heads are batched along `M` (block-diagonal equivalence:
+//! same MAC count and mapping behaviour on a systolic array).
+
+use scalesim_systolic::{GemmShape, Layer, Topology};
+
+/// Transformer architectural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViTConfig {
+    /// Model name.
+    pub name: &'static str,
+    /// Encoder blocks.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP (feed-forward) dimension.
+    pub mlp: usize,
+    /// Sequence length (patches + class token).
+    pub seq: usize,
+}
+
+impl ViTConfig {
+    /// ViT-Small/16 at 224×224.
+    pub fn small() -> Self {
+        Self {
+            name: "vit-small",
+            layers: 12,
+            hidden: 384,
+            heads: 6,
+            mlp: 1536,
+            seq: 197,
+        }
+    }
+
+    /// ViT-Base/16 at 224×224.
+    pub fn base() -> Self {
+        Self {
+            name: "vit-base",
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            mlp: 3072,
+            seq: 197,
+        }
+    }
+
+    /// ViT-Large/16 at 224×224.
+    pub fn large() -> Self {
+        Self {
+            name: "vit-large",
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            mlp: 4096,
+            seq: 197,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Builds the full topology.
+    pub fn topology(&self) -> Topology {
+        let mut t = Topology::new(self.name);
+        // Patch embedding: 196 patches × (16·16·3) → hidden.
+        t.push(Layer::gemm_layer("patch_embed", self.seq - 1, self.hidden, 768));
+        for l in 0..self.layers {
+            let d = self.head_dim();
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_qkv"),
+                self.seq,
+                3 * self.hidden,
+                self.hidden,
+            ));
+            // QKᵀ and AV, heads batched along M.
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_qk"),
+                self.seq * self.heads,
+                self.seq,
+                d,
+            ));
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_av"),
+                self.seq * self.heads,
+                d,
+                self.seq,
+            ));
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_proj"),
+                self.seq,
+                self.hidden,
+                self.hidden,
+            ));
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_ff1"),
+                self.seq,
+                self.mlp,
+                self.hidden,
+            ));
+            t.push(Layer::gemm_layer(
+                format!("blk{l}_ff2"),
+                self.seq,
+                self.hidden,
+                self.mlp,
+            ));
+        }
+        t.push(Layer::gemm_layer("head", 1, 1000, self.hidden));
+        t
+    }
+
+    /// Only the feed-forward GEMMs (the Fig. 8 workload: "Feed Forward
+    /// layers of ViTs").
+    pub fn feed_forward_layers(&self) -> Vec<GemmShape> {
+        vec![
+            GemmShape::new(self.seq, self.mlp, self.hidden),
+            GemmShape::new(self.seq, self.hidden, self.mlp),
+        ]
+    }
+}
+
+/// ViT-Small topology.
+pub fn vit_small() -> Topology {
+    ViTConfig::small().topology()
+}
+
+/// ViT-Base topology.
+pub fn vit_base() -> Topology {
+    ViTConfig::base().topology()
+}
+
+/// ViT-Large topology.
+pub fn vit_large() -> Topology {
+    ViTConfig::large().topology()
+}
+
+/// Feed-forward layers of ViT-Base (Fig. 8's workload).
+pub fn vit_feed_forward_layers() -> Vec<GemmShape> {
+    ViTConfig::base().feed_forward_layers()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_have_consistent_head_dims() {
+        for c in [ViTConfig::small(), ViTConfig::base(), ViTConfig::large()] {
+            assert_eq!(c.hidden % c.heads, 0, "{}", c.name);
+            assert_eq!(c.head_dim() * c.heads, c.hidden);
+        }
+    }
+
+    #[test]
+    fn vit_base_block_count_and_layers() {
+        let t = vit_base();
+        // patch_embed + 12 blocks × 6 GEMMs + head.
+        assert_eq!(t.len(), 1 + 12 * 6 + 1);
+        // ViT-Base is ≈ 17.5 GMACs at 224².
+        let gmacs = t.total_macs() as f64 / 1e9;
+        assert!((15.0..=20.0).contains(&gmacs), "vit-base {gmacs} GMACs");
+    }
+
+    #[test]
+    fn model_size_ordering() {
+        let s = vit_small().total_macs();
+        let b = vit_base().total_macs();
+        let l = vit_large().total_macs();
+        assert!(s < b && b < l);
+        // Large ≈ 3.5× base.
+        let ratio = l as f64 / b as f64;
+        assert!((2.5..=4.5).contains(&ratio), "L/B ratio {ratio}");
+    }
+
+    #[test]
+    fn ff_layers_match_paper_shapes() {
+        let ff = vit_feed_forward_layers();
+        assert_eq!(ff[0], GemmShape::new(197, 3072, 768));
+        assert_eq!(ff[1], GemmShape::new(197, 768, 3072));
+    }
+
+    #[test]
+    fn attention_gemms_preserve_total_macs() {
+        // QKᵀ batched over heads: M=seq·heads, N=seq, K=head_dim must equal
+        // heads × (seq × seq × head_dim).
+        let c = ViTConfig::base();
+        let t = c.topology();
+        let qk = t
+            .iter()
+            .find(|l| l.name() == "blk0_qk")
+            .unwrap()
+            .gemm()
+            .macs();
+        assert_eq!(
+            qk,
+            (c.heads * c.seq * c.seq * c.head_dim()) as u64
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates the shipped `topologies/*.csv` files from the workloads
+//! crate — the CSV inputs the `scalesim` CLI consumes, in the same format
+//! the Python SCALE-Sim distributes.
+//!
+//! Run with: `cargo run --release --example gen_topologies`
+//!
+//! CNN topologies are written in conv form (8 columns); transformer
+//! workloads, being GEMM sequences, are written in GEMM form (`--gemm`).
+
+use scale_sim::systolic::Layer;
+use scale_sim::workloads::all_workloads;
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("topologies");
+    fs::create_dir_all(&dir)?;
+    for net in all_workloads() {
+        // Networks containing conv layers are written in conv form, with
+        // any GEMM layers (FC / detector heads) encoded as the equivalent
+        // 1×1 convolution over an `M×1` ifmap — the Python tool's own
+        // convention, and an exact encoding (`to_gemm` recovers M, N, K).
+        // Pure-GEMM networks (transformers) are written in GEMM form.
+        let conv_form = net.iter().any(|l| matches!(l, Layer::Conv(_)));
+        let suffix = if conv_form { "" } else { "_gemm" };
+        let path = dir.join(format!("{}{suffix}.csv", net.name().replace('-', "_")));
+        let content = if conv_form {
+            let mut out = String::from(
+                "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, \
+                 Channels, Num Filter, Strides,\n",
+            );
+            for layer in net.iter() {
+                match layer {
+                    Layer::Conv(c) => out.push_str(&format!(
+                        "{}, {}, {}, {}, {}, {}, {}, {},\n",
+                        c.name,
+                        c.ifmap_h,
+                        c.ifmap_w,
+                        c.filter_h,
+                        c.filter_w,
+                        c.channels,
+                        c.num_filters,
+                        c.stride
+                    )),
+                    Layer::Gemm { name, shape } => out.push_str(&format!(
+                        "{}, {}, 1, 1, 1, {}, {}, 1,\n",
+                        name, shape.m, shape.k, shape.n
+                    )),
+                }
+            }
+            out
+        } else {
+            let mut out = String::from("Layer, M, K, N,\n");
+            for layer in net.iter() {
+                let g = layer.gemm();
+                out.push_str(&format!("{}, {}, {}, {},\n", layer.name(), g.m, g.k, g.n));
+            }
+            out
+        };
+        fs::write(&path, content)?;
+        println!(
+            "wrote {} ({} layers, {})",
+            path.display(),
+            net.len(),
+            if conv_form { "conv form" } else { "GEMM form" }
+        );
+    }
+    Ok(())
+}

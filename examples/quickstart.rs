@@ -1,0 +1,54 @@
+//! Quickstart: simulate one convolution layer on a small systolic array
+//! and print the classic SCALE-Sim compute report, then turn on the v3
+//! features one by one.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scale_sim::systolic::{ArrayShape, Dataflow, GemmShape, MemoryConfig};
+use scale_sim::{ScaleSim, ScaleSimConfig};
+
+fn main() {
+    // A ResNet-18-like 3×3 convolution lowered to GEMM:
+    // M = 56·56 output pixels, N = 64 filters, K = 3·3·64 contraction.
+    let layer = GemmShape::new(56 * 56, 64, 3 * 3 * 64);
+
+    // --- v2 parity: compute + ideal bandwidth memory ---------------------
+    let mut config = ScaleSimConfig::default();
+    config.core.array = ArrayShape::new(32, 32);
+    config.core.dataflow = Dataflow::OutputStationary;
+    config.core.memory = MemoryConfig::from_kilobytes(256, 256, 128, 2);
+
+    let sim = ScaleSim::new(config.clone());
+    let r = sim.run_gemm("conv2_1", layer);
+    println!("== SCALE-Sim v2 view (ideal memory) ==");
+    println!("  compute cycles     : {}", r.report.compute.total_compute_cycles);
+    println!("  stall cycles       : {}", r.report.memory.stall_cycles);
+    println!("  total cycles       : {}", r.total_cycles());
+    println!("  PE utilization     : {:.1} %", r.report.compute.utilization * 100.0);
+    println!("  mapping efficiency : {:.1} %", r.report.compute.mapping_efficiency * 100.0);
+    println!("  DRAM reads/writes  : {} / {} words",
+        r.report.memory.total_dram_reads(), r.report.memory.total_dram_writes());
+
+    // --- v3: add the cycle-accurate DRAM (three-step flow of §V-B) -------
+    config.enable_dram = true;
+    let sim = ScaleSim::new(config.clone());
+    let r = sim.run_gemm("conv2_1", layer);
+    let dram = r.dram.as_ref().expect("dram enabled");
+    println!("\n== + Ramulator-class DRAM (DDR4-2400, 1 channel) ==");
+    println!("  total cycles       : {}  (stalls {})",
+        r.total_cycles(), dram.summary.stall_cycles);
+    println!("  avg read latency   : {:.1} mem cycles", dram.avg_latency);
+    println!("  row hit rate       : {:.1} %", dram.stats.row_hit_rate() * 100.0);
+    println!("  memory throughput  : {:.0} MB/s", dram.throughput_mbps);
+
+    // --- v3: add energy/power (§VII) --------------------------------------
+    config.enable_energy = true;
+    let sim = ScaleSim::new(config);
+    let r = sim.run_gemm("conv2_1", layer);
+    let e = r.energy.as_ref().expect("energy enabled");
+    println!("\n== + Accelergy-class energy ==");
+    println!("  total energy       : {:.4} mJ", e.total_mj());
+    println!("  average power      : {:.3} W", e.avg_power_w());
+    println!("  energy-delay prod. : {:.1} cycles·mJ", e.edp_cycles_mj());
+    println!("  data-movement share: {:.1} %", e.data_movement_fraction() * 100.0);
+}

@@ -1,0 +1,77 @@
+//! Transformer encoder block on a tensor core: MXU + SIMD pipelining.
+//!
+//! The paper's §III-C tensor cores pair the systolic matrix unit with a
+//! vector unit for softmax / layer-norm / GELU. This example builds the op
+//! chain of one ViT encoder layer, runs it serially and batch-pipelined,
+//! and shows where the time goes as the vector unit widens.
+//!
+//! Run with: `cargo run --release --example transformer_block`
+
+use scale_sim::multicore::{PipelineSchedule, SimdUnit, TensorCore, TransformerBlock};
+use scale_sim::systolic::{ArrayShape, Dataflow};
+
+fn main() {
+    let variants = [
+        ("ViT-Small", TransformerBlock::vit_small()),
+        ("ViT-Base", TransformerBlock::vit_base()),
+        ("ViT-Large", TransformerBlock::vit_large()),
+    ];
+    let sched = PipelineSchedule::new(Dataflow::WeightStationary);
+    let batches = 8;
+
+    println!("== one encoder layer, 128x128 MXU + 128-lane SIMD, batch {batches} ==");
+    println!(
+        "{:<10} {:>14} {:>16} {:>9} {:>11} {:>10}",
+        "model", "cyc/batch", "8-batch makespan", "speedup", "simd share", "MACs/layer"
+    );
+    let core = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
+    for (name, block) in &variants {
+        let r = sched.run(&core, &block.ops(), batches);
+        println!(
+            "{:<10} {:>12} {:>14} {:>8.2}x {:>10.1}% {:>10.2e}",
+            name,
+            r.serial_cycles,
+            r.pipelined_cycles,
+            r.speedup(),
+            r.simd_fraction() * 100.0,
+            block.macs() as f64,
+        );
+    }
+
+    // The vector unit is the knob: a narrow SIMD unit starves the MXU on
+    // softmax-heavy layers; widening it shifts the bottleneck back.
+    println!("\n== ViT-Base, sweeping the vector unit width ==");
+    println!(
+        "{:<7} {:>12} {:>11} {:>9} {:>9}",
+        "lanes", "serial cyc", "simd share", "mxu util", "speedup"
+    );
+    let block = TransformerBlock::vit_base();
+    for lanes in [16, 64, 128, 512, 2048] {
+        let core = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(lanes));
+        let r = sched.run(&core, &block.ops(), batches);
+        println!(
+            "{:<7} {:>12} {:>10.1}% {:>8.1}% {:>8.2}x",
+            lanes,
+            r.serial_cycles,
+            r.simd_fraction() * 100.0,
+            r.mxu_utilization() * 100.0,
+            r.speedup(),
+        );
+    }
+
+    // Long sequences shift work to the quadratic softmax — the reason
+    // vector units keep growing.
+    println!("\n== sequence-length scaling (d_model 768, 12 heads) ==");
+    println!("{:<8} {:>11} {:>12}", "seq len", "simd share", "serial cyc");
+    let core = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
+    for seq in [128, 256, 512, 1024, 2048] {
+        let block = TransformerBlock::new(seq, 768, 12, 3072);
+        let r = sched.run(&core, &block.ops(), 1);
+        println!(
+            "{:<8} {:>10.1}% {:>12}",
+            seq,
+            r.simd_fraction() * 100.0,
+            r.serial_cycles
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The headline experiment of the paper's abstract: sweep the systolic
+//! array size for ViT-Base and compare latency-only vs energy-aware
+//! conclusions.
+//!
+//! "A 128×128 array is 6.53× faster than a 32×32 array for ViT-base,
+//!  using only latency as a metric. However, SCALE-Sim v3 finds that
+//!  32×32 is 2.86× more energy-efficient … For EdP, 64×64 outperforms
+//!  both."
+//!
+//! Run with: `cargo run --release --example vit_energy_sweep`
+
+use scale_sim::systolic::{ArrayShape, Dataflow, MemoryConfig};
+use scale_sim::workloads::vit_base;
+use scale_sim::{ScaleSim, ScaleSimConfig};
+
+fn main() {
+    let vit = vit_base();
+    println!("workload: {} ({} layers, {:.1} GMACs)\n",
+        vit.name(), vit.len(), vit.total_macs() as f64 / 1e9);
+    println!("{:>9} {:>16} {:>12} {:>16} {:>14}",
+        "array", "cycles/layer", "energy(mJ)", "EdP(cyc·mJ)/1e6", "util(%)");
+
+    let mut rows = Vec::new();
+    for n in [32usize, 64, 128] {
+        let mut config = ScaleSimConfig::default();
+        config.core.array = ArrayShape::new(n, n);
+        config.core.dataflow = Dataflow::WeightStationary;
+        config.core.memory = MemoryConfig::from_kilobytes(2048, 2048, 2048, 2);
+        config.enable_energy = true;
+        let run = ScaleSim::new(config).run_topology(&vit);
+        let layers = run.layers.len() as f64;
+        let cyc_per_layer = run.total_compute_cycles() as f64 / layers;
+        let energy = run.total_energy_mj();
+        let edp = run.total_compute_cycles() as f64 * energy;
+        let util: f64 = run
+            .layers
+            .iter()
+            .map(|l| l.report.compute.utilization)
+            .sum::<f64>()
+            / layers;
+        println!("{:>9} {:>16.0} {:>12.2} {:>16.2} {:>14.1}",
+            format!("{n}x{n}"), cyc_per_layer, energy, edp / 1e6, util * 100.0);
+        rows.push((n, run.total_compute_cycles(), energy, edp));
+    }
+
+    let speedup = rows[0].1 as f64 / rows[2].1 as f64;
+    let eff = (rows[2].2 / rows[2].1 as f64 * rows[0].1 as f64) / rows[0].2;
+    println!("\n128x128 speedup over 32x32 (latency)        : {speedup:.2}x (paper: 6.53x)");
+    println!("32x32 energy advantage (iso-work, total mJ) : {:.2}x (paper: 2.86x)",
+        rows[2].2 / rows[0].2);
+    let _ = eff;
+    let best_edp = rows.iter().min_by(|a, b| a.3.partial_cmp(&b.3).unwrap()).unwrap();
+    println!("best EdP                                     : {0}x{0} (paper: 64x64)", best_edp.0);
+}
