@@ -42,7 +42,12 @@ fn main() {
             repeats.to_string(),
             format!("{}%", f(repeats as f64 / reads as f64 * 100.0, 1)),
         ]);
-        csv.row(vec![rw.to_string(), "os".into(), reads.to_string(), repeats.to_string()]);
+        csv.row(vec![
+            rw.to_string(),
+            "os".into(),
+            reads.to_string(),
+            repeats.to_string(),
+        ]);
     }
     t.print();
 
@@ -54,7 +59,12 @@ fn main() {
             df.short_name().to_string(),
             format!("{}%", f(repeats as f64 / reads as f64 * 100.0, 1)),
         ]);
-        csv.row(vec!["16".into(), df.short_name().into(), reads.to_string(), repeats.to_string()]);
+        csv.row(vec![
+            "16".into(),
+            df.short_name().into(),
+            reads.to_string(),
+            repeats.to_string(),
+        ]);
     }
     t.print();
 
@@ -71,7 +81,9 @@ fn main() {
             ..Default::default()
         };
         let counts = ActionCounts::from_layer(&activity, 256, (16, 16, 16), true);
-        model.evaluate(&counts, 1_000_000).component_pj("ifmap_sram")
+        model
+            .evaluate(&counts, 1_000_000)
+            .component_pj("ifmap_sram")
     };
     let with = mk(true);
     let without = mk(false);

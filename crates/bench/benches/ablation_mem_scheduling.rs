@@ -57,15 +57,40 @@ fn main() {
     let trace = trace_for_layer();
     println!("trace: {} line requests\n", trace.len());
     let variants = [
-        ("FR-FCFS + open page", SchedulingPolicy::FrFcfs, RowPolicy::OpenPage),
-        ("FCFS + open page", SchedulingPolicy::Fcfs, RowPolicy::OpenPage),
-        ("FR-FCFS + closed page", SchedulingPolicy::FrFcfs, RowPolicy::ClosedPage),
-        ("FCFS + closed page", SchedulingPolicy::Fcfs, RowPolicy::ClosedPage),
+        (
+            "FR-FCFS + open page",
+            SchedulingPolicy::FrFcfs,
+            RowPolicy::OpenPage,
+        ),
+        (
+            "FCFS + open page",
+            SchedulingPolicy::Fcfs,
+            RowPolicy::OpenPage,
+        ),
+        (
+            "FR-FCFS + closed page",
+            SchedulingPolicy::FrFcfs,
+            RowPolicy::ClosedPage,
+        ),
+        (
+            "FCFS + closed page",
+            SchedulingPolicy::Fcfs,
+            RowPolicy::ClosedPage,
+        ),
     ];
     let mut t = ResultTable::new(vec![
-        "controller", "row hit %", "avg latency", "end cycle", "bus util %",
+        "controller",
+        "row hit %",
+        "avg latency",
+        "end cycle",
+        "bus util %",
     ]);
-    let mut csv = ResultTable::new(vec!["controller", "row_hit_pct", "avg_latency", "end_cycle"]);
+    let mut csv = ResultTable::new(vec![
+        "controller",
+        "row_hit_pct",
+        "avg_latency",
+        "end_cycle",
+    ]);
     let mut results = Vec::new();
     for (name, sched, row) in variants {
         let cfg = DramConfig {

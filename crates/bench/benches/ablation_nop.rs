@@ -8,9 +8,7 @@
 //! the gap, since there is less skew to exploit.
 
 use scalesim_bench::{banner, f, write_csv, ResultTable};
-use scalesim_multicore::{
-    non_uniform_split, uniform_split_makespan, MemoryPortPlacement, NopMesh,
-};
+use scalesim_multicore::{non_uniform_split, uniform_split_makespan, MemoryPortPlacement, NopMesh};
 
 fn main() {
     banner(
@@ -29,7 +27,12 @@ fn main() {
     let work = 1_000_000u64;
 
     let mut t = ResultTable::new(vec![
-        "mesh", "placement", "avg hops", "uniform", "non-uniform", "gain",
+        "mesh",
+        "placement",
+        "avg hops",
+        "uniform",
+        "non-uniform",
+        "gain",
     ]);
     let mut csv = ResultTable::new(vec![
         "mesh",

@@ -21,10 +21,7 @@ fn main() {
     );
     let net = resnet18();
     // Six memory-intensive layers: the early convolutions.
-    let six = Topology::from_layers(
-        "resnet18-6",
-        net.layers().iter().take(6).cloned().collect(),
-    );
+    let six = Topology::from_layers("resnet18-6", net.layers().iter().take(6).cloned().collect());
     let run = |df: Dataflow, dram: bool| -> (u64, u64) {
         let mut config = ScaleSimConfig::default();
         config.core.array = ArrayShape::new(32, 32);
@@ -79,7 +76,15 @@ fn main() {
         "OS must win execution cycles with DRAM ({os_total} vs {ws_total})"
     );
     let mut csv = ResultTable::new(vec!["dataflow", "compute_cycles", "total_with_dram"]);
-    csv.row(vec!["os".to_string(), os_compute.to_string(), os_total.to_string()]);
-    csv.row(vec!["ws".to_string(), ws_compute.to_string(), ws_total.to_string()]);
+    csv.row(vec![
+        "os".to_string(),
+        os_compute.to_string(),
+        os_total.to_string(),
+    ]);
+    csv.row(vec![
+        "ws".to_string(),
+        ws_compute.to_string(),
+        ws_total.to_string(),
+    ]);
     write_csv("claim_dram_os_vs_ws.csv", &csv.to_csv());
 }

@@ -124,8 +124,12 @@ fn main() {
     );
     // Controller area is strictly linear in channels (asserted in-model,
     // restated here as the headline of the Fig. 9 caveat).
-    let a1 = AreaConfig::new(arch).with_dram_channels(1).estimate(&area_table);
-    let a8 = AreaConfig::new(arch).with_dram_channels(8).estimate(&area_table);
+    let a1 = AreaConfig::new(arch)
+        .with_dram_channels(1)
+        .estimate(&area_table);
+    let a8 = AreaConfig::new(arch)
+        .with_dram_channels(8)
+        .estimate(&area_table);
     assert!((a8.dram_ctrl_mm2 / a1.dram_ctrl_mm2 - 8.0).abs() < 1e-9);
 
     println!(

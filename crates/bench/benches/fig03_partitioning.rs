@@ -25,11 +25,25 @@ fn main() {
     let cores = [16usize, 32, 64];
 
     let mut csv = ResultTable::new(vec![
-        "objective", "gemm", "array", "cores", "scheme", "pr", "pc", "cycles", "footprint",
+        "objective",
+        "gemm",
+        "array",
+        "cores",
+        "scheme",
+        "pr",
+        "pc",
+        "cycles",
+        "footprint",
     ]);
     for (objective, tag) in [
-        (PartitionObjective::ComputeCycles, "compute-optimized (Fig. 3a)"),
-        (PartitionObjective::MemoryFootprint, "memory-optimized (Fig. 3b)"),
+        (
+            PartitionObjective::ComputeCycles,
+            "compute-optimized (Fig. 3a)",
+        ),
+        (
+            PartitionObjective::MemoryFootprint,
+            "memory-optimized (Fig. 3b)",
+        ),
     ] {
         let mut wins = [0usize; 3];
         let mut total = 0usize;
@@ -62,18 +76,22 @@ fn main() {
                     // … is the one with the least memory footprint", and
                     // vice versa in Fig. 3b.
                     let best = match objective {
-                        PartitionObjective::ComputeCycles => choices
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, c)| (c.footprint_words, c.cycles))
-                            .unwrap()
-                            .0,
-                        PartitionObjective::MemoryFootprint => choices
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, c)| (c.cycles, c.footprint_words))
-                            .unwrap()
-                            .0,
+                        PartitionObjective::ComputeCycles => {
+                            choices
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, c)| (c.footprint_words, c.cycles))
+                                .unwrap()
+                                .0
+                        }
+                        PartitionObjective::MemoryFootprint => {
+                            choices
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, c)| (c.cycles, c.footprint_words))
+                                .unwrap()
+                                .0
+                        }
                     };
                     wins[best] += 1;
                     total += 1;

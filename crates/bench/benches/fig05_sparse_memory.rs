@@ -20,7 +20,9 @@ fn run(total_kb: usize, ratio: Option<NmRatio>) -> u64 {
     let q = (total_kb / 4).max(2);
     config.core.memory = MemoryConfig::from_kilobytes(2 * q, q, q, 2);
     config.sparsity = ratio.map(SparsityMode::LayerWise);
-    ScaleSim::new(config).run_topology(&resnet18()).total_cycles()
+    ScaleSim::new(config)
+        .run_topology(&resnet18())
+        .total_cycles()
 }
 
 fn main() {
@@ -89,7 +91,10 @@ fn main() {
     );
     if let (Some(d), Some(s)) = (dense_need, sparse_need) {
         assert!(s < d, "2:4 must meet the budget with less memory");
-        println!("memory saving: {:.1}x (paper: ~3.9x at its budget)", d as f64 / s as f64);
+        println!(
+            "memory saving: {:.1}x (paper: ~3.9x at its budget)",
+            d as f64 / s as f64
+        );
     }
     write_csv("fig05_sparse_memory.csv", &csv.to_csv());
 }

@@ -20,16 +20,17 @@ fn main() {
         NmRatio::new(2, 4).unwrap(),
         NmRatio::new(3, 4).unwrap(),
     ];
-    let mut t = ResultTable::new(vec![
-        "layer", "dense kB", "1:4 kB", "2:4 kB", "3:4 kB",
-    ]);
+    let mut t = ResultTable::new(vec!["layer", "dense kB", "1:4 kB", "2:4 kB", "3:4 kB"]);
     let mut csv = ResultTable::new(vec!["layer", "ratio", "value_bytes", "metadata_bytes"]);
     let mut totals = [0u64; 4];
     for layer in net.iter() {
         let g = layer.gemm();
         let dense_bytes = SparseFormat::dense_storage_bits(g.k, g.n, 16) / 8;
         totals[0] += dense_bytes;
-        let mut row = vec![layer.name().to_string(), format!("{:.1}", dense_bytes as f64 / 1024.0)];
+        let mut row = vec![
+            layer.name().to_string(),
+            format!("{:.1}", dense_bytes as f64 / 1024.0),
+        ];
         csv.row(vec![
             layer.name().to_string(),
             "dense".to_string(),

@@ -19,7 +19,12 @@ fn main() {
     let net = resnet18();
     let channels = [1usize, 2, 4, 8];
     let mut t = ResultTable::new(vec![
-        "layer", "1ch MB/s", "2ch MB/s", "4ch MB/s", "8ch MB/s", "beyond-2ch gain",
+        "layer",
+        "1ch MB/s",
+        "2ch MB/s",
+        "4ch MB/s",
+        "8ch MB/s",
+        "beyond-2ch gain",
     ]);
     let mut csv = ResultTable::new(vec!["layer", "channels", "throughput_mbps", "stall_cycles"]);
     let mut early_scaling = Vec::new();
@@ -56,8 +61,7 @@ fn main() {
         t.row(row);
         // "The 1×1 filters and smaller ifmaps reduce the memory throughput
         // for later convolution and fully connected layers": conv5_x + fc.
-        let is_late =
-            matches!(layer, Layer::Gemm { .. }) || layer.name().starts_with("conv5");
+        let is_late = matches!(layer, Layer::Gemm { .. }) || layer.name().starts_with("conv5");
         if is_late {
             late_scaling.push(scaling);
         } else if idx <= 10 {

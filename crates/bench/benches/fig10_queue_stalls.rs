@@ -38,7 +38,11 @@ fn main() {
         subset(&vit_small(), 7),
     ];
     let mut t = ResultTable::new(vec![
-        "workload", "queue", "total cycles", "stall cycles", "stall %",
+        "workload",
+        "queue",
+        "total cycles",
+        "stall cycles",
+        "stall %",
     ]);
     let mut csv = ResultTable::new(vec!["workload", "queue", "total_cycles", "stall_cycles"]);
     let mut totals: Vec<[u64; 3]> = Vec::new();

@@ -39,13 +39,16 @@ pub fn run_layout_figure(layers: &[(String, GemmShape)], csv_name: &str) {
     let array = ArrayShape::new(128, 128);
     let bandwidths = [64usize, 128, 256, 512, 1024];
     let banks = [1usize, 2, 4, 8, 16];
-    let mut csv = ResultTable::new(vec![
-        "dataflow", "bandwidth", "banks", "layer", "slowdown",
-    ]);
+    let mut csv = ResultTable::new(vec!["dataflow", "bandwidth", "banks", "layer", "slowdown"]);
     for df in Dataflow::ALL {
         println!("\n-- {df} --");
         let mut t = ResultTable::new(vec![
-            "bandwidth", "1 bank", "2 banks", "4 banks", "8 banks", "16 banks",
+            "bandwidth",
+            "1 bank",
+            "2 banks",
+            "4 banks",
+            "8 banks",
+            "16 banks",
         ]);
         let mut by_banks: Vec<Vec<f64>> = vec![Vec::new(); banks.len()];
         for &bw in &bandwidths {

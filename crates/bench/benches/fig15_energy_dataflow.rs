@@ -22,7 +22,9 @@ fn energy_mj(workload: &Topology, array: usize, df: Dataflow) -> f64 {
     config.core.dataflow = df;
     config.core.memory = MemoryConfig::from_kilobytes(2048, 2048, 2048, 2);
     config.enable_energy = true;
-    ScaleSim::new(config).run_topology(workload).total_energy_mj()
+    ScaleSim::new(config)
+        .run_topology(workload)
+        .total_energy_mj()
 }
 
 fn main() {

@@ -1,70 +1,184 @@
-//! Criterion microbenchmarks of the simulator's hot paths — not a paper
-//! experiment, but a performance regression guard for the substrate
-//! (demand generation, double-buffer planning, DRAM replay).
+//! Performance regression harness for the simulator's hot path.
+//!
+//! Times full-topology ResNet-18 and ViT-Base simulation (planning +
+//! timing) three ways:
+//!
+//! * `legacy_serial`   — the pre-optimization scheme: three demand-stream
+//!   traversals per layer (`plan_gemm_unfused`), layers serial, no cache;
+//! * `fused_serial`    — fused single-pass planning, still serial/uncached;
+//! * `fused_parallel_cached` — the shipping path (`simulate_topology`):
+//!   fused planning, plan cache, worker-pool layer parallelism.
+//!
+//! All three must produce bit-identical reports; the harness asserts it.
+//! Results are appended to `target/experiments/perf_microbench.csv` and a
+//! machine-readable `BENCH_perf.json` is written at the repo root so the
+//! speedup trajectory is tracked across PRs.
+//!
+//! Run with: `cargo bench --bench perf_microbench`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use scalesim_mem::{replay_trace, AccessKind, DramConfig, TraceRequest};
+use scalesim_bench::{banner, write_csv, ResultTable};
 use scalesim_systolic::{
-    ArrayShape, CoreSim, Dataflow, DemandSummary, GemmShape, MemoryConfig, SimConfig,
+    timing, ArrayShape, CoreSim, Dataflow, GemmShape, IdealBandwidthStore, LayerReport, SimConfig,
+    Topology,
 };
-use std::hint::black_box;
+use scalesim_workloads::{resnet18, vit_base};
+use std::fmt::Write as _;
+use std::time::Instant;
 
-fn bench_demand_generation(c: &mut Criterion) {
-    let cfg = SimConfig::builder()
+/// Measurement repetitions; the minimum is reported (least noise).
+const REPS: usize = 3;
+
+fn sim_config() -> SimConfig {
+    SimConfig::builder()
         .array(ArrayShape::new(32, 32))
         .dataflow(Dataflow::WeightStationary)
-        .build();
-    let sim = CoreSim::new(cfg);
-    let gemm = GemmShape::new(197, 768, 768);
-    c.bench_function("demand_stream_vit_proj_32x32", |b| {
-        b.iter(|| {
-            let gen = sim.demand_generator(black_box(gemm));
-            let mut s = DemandSummary::default();
-            gen.run(&mut s);
-            black_box(s.macs)
-        })
-    });
+        .build()
 }
 
-fn bench_planning(c: &mut Criterion) {
-    let mut cfg = SimConfig::builder()
-        .array(ArrayShape::new(32, 32))
-        .dataflow(Dataflow::WeightStationary)
-        .build();
-    cfg.memory = MemoryConfig::from_kilobytes(512, 512, 512, 2);
-    let sim = CoreSim::new(cfg);
-    let gemm = GemmShape::new(197, 768, 768);
-    c.bench_function("plan_gemm_vit_proj_32x32", |b| {
-        b.iter(|| {
-            let planned = sim.plan_gemm(black_box(gemm));
-            black_box(planned.compute.total_compute_cycles)
-        })
-    });
+fn legacy_layer(sim: &CoreSim, name: &str, gemm: GemmShape) -> LayerReport {
+    let planned = sim.plan_gemm_unfused(gemm);
+    let mut store = IdealBandwidthStore::new(sim.config().memory.dram_bandwidth);
+    let memory = timing(&planned.inputs, &mut store);
+    LayerReport {
+        name: name.to_string(),
+        gemm,
+        compute: planned.compute,
+        memory,
+        sram: planned.sram,
+    }
 }
 
-fn bench_dram_replay(c: &mut Criterion) {
-    let trace: Vec<TraceRequest> = (0..20_000u64)
-        .map(|i| TraceRequest {
-            cycle: i / 4,
-            byte_addr: (i % 4096) * 64 + (i / 4096) * (1 << 20),
-            kind: if i % 5 == 0 {
-                AccessKind::Write
-            } else {
-                AccessKind::Read
-            },
-        })
-        .collect();
-    c.bench_function("dram_replay_20k_requests_ddr4", |b| {
-        b.iter(|| {
-            let res = replay_trace(DramConfig::default(), black_box(&trace));
-            black_box(res.stats.reads)
-        })
-    });
+/// Times `f` over [`REPS`] repetitions, returning (best seconds, result).
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_demand_generation, bench_planning, bench_dram_replay
+struct WorkloadRow {
+    name: &'static str,
+    layers: usize,
+    legacy_s: f64,
+    fused_s: f64,
+    shipping_s: f64,
+    identical: bool,
 }
-criterion_main!(benches);
+
+impl WorkloadRow {
+    fn speedup_fused(&self) -> f64 {
+        self.legacy_s / self.fused_s
+    }
+
+    fn speedup_shipping(&self) -> f64 {
+        self.legacy_s / self.shipping_s
+    }
+}
+
+fn measure(name: &'static str, topo: &Topology) -> WorkloadRow {
+    let sim = CoreSim::new(sim_config());
+    let (legacy_s, legacy) = best_of(|| {
+        topo.iter()
+            .map(|l| legacy_layer(&sim, l.name(), l.gemm()))
+            .collect::<Vec<_>>()
+    });
+    let (fused_s, fused) = best_of(|| {
+        topo.iter()
+            .map(|l| sim.simulate_layer(l))
+            .collect::<Vec<_>>()
+    });
+    let (shipping_s, shipping) = best_of(|| sim.simulate_topology(topo));
+    let identical = legacy == fused && fused == shipping;
+    assert!(
+        identical,
+        "{name}: optimized paths must be bit-identical to the legacy scheme"
+    );
+    WorkloadRow {
+        name,
+        layers: topo.len(),
+        legacy_s,
+        fused_s,
+        shipping_s,
+        identical,
+    }
+}
+
+fn main() {
+    banner(
+        "perf",
+        "hot-path performance: fused planning, plan cache, parallel layers",
+        "v3's speed over the Python original comes from single-pass streaming",
+    );
+
+    let rows = vec![
+        measure("resnet18", &resnet18()),
+        measure("vit-base", &vit_base()),
+    ];
+
+    let mut table = ResultTable::new(vec![
+        "workload",
+        "layers",
+        "legacy_serial_s",
+        "fused_serial_s",
+        "shipping_s",
+        "speedup_fused",
+        "speedup_total",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.name.to_string(),
+            r.layers.to_string(),
+            format!("{:.3}", r.legacy_s),
+            format!("{:.3}", r.fused_s),
+            format!("{:.3}", r.shipping_s),
+            format!("{:.2}x", r.speedup_fused()),
+            format!("{:.2}x", r.speedup_shipping()),
+        ]);
+    }
+    table.print();
+    write_csv("perf_microbench.csv", &table.to_csv());
+
+    // Machine-readable trajectory record at the repo root.
+    let threads = scalesim_systolic::num_threads();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"perf_microbench\",");
+    let _ = writeln!(json, "  \"config\": \"32x32 ws, stock memory\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"layers\": {}, \"legacy_serial_s\": {:.6}, \
+             \"fused_serial_s\": {:.6}, \"fused_parallel_cached_s\": {:.6}, \
+             \"speedup_fused\": {:.3}, \"speedup_total\": {:.3}, \"identical\": {}}}{comma}",
+            r.name,
+            r.layers,
+            r.legacy_s,
+            r.fused_s,
+            r.shipping_s,
+            r.speedup_fused(),
+            r.speedup_shipping(),
+            r.identical,
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[json] {}", path.display());
+
+    let resnet = &rows[0];
+    assert!(
+        resnet.speedup_shipping() >= 3.0,
+        "regression: ResNet-18 end-to-end speedup {:.2}x < 3x over the three-pass serial baseline",
+        resnet.speedup_shipping()
+    );
+}

@@ -49,26 +49,42 @@ fn main() {
         subset(&vit_small(), 9),
     ];
     let features: Vec<(&str, Box<dyn Fn(&mut ScaleSimConfig)>)> = vec![
-        ("multi-core (4x)", Box::new(|c: &mut ScaleSimConfig| {
-            c.multicore = Some(scalesim::config::MultiCoreIntegration {
-                grid: PartitionGrid::new(2, 2),
-                scheme: PartitionScheme::Spatial,
-                l2: Some(L2Config::default()),
-            });
-        })),
-        ("sparsity 2:4", Box::new(|c| {
-            c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(2, 4).unwrap()));
-        })),
-        ("sparsity 1:4", Box::new(|c| {
-            c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(1, 4).unwrap()));
-        })),
+        (
+            "multi-core (4x)",
+            Box::new(|c: &mut ScaleSimConfig| {
+                c.multicore = Some(scalesim::config::MultiCoreIntegration {
+                    grid: PartitionGrid::new(2, 2),
+                    scheme: PartitionScheme::Spatial,
+                    l2: Some(L2Config::default()),
+                });
+            }),
+        ),
+        (
+            "sparsity 2:4",
+            Box::new(|c| {
+                c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(2, 4).unwrap()));
+            }),
+        ),
+        (
+            "sparsity 1:4",
+            Box::new(|c| {
+                c.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(1, 4).unwrap()));
+            }),
+        ),
         ("accelergy (energy)", Box::new(|c| c.enable_energy = true)),
         ("ramulator (dram)", Box::new(|c| c.enable_dram = true)),
         ("layout", Box::new(|c| c.enable_layout = true)),
     ];
 
     let mut t = ResultTable::new(vec![
-        "workload", "baseline s", "multicore", "sp 2:4", "sp 1:4", "energy", "dram", "layout",
+        "workload",
+        "baseline s",
+        "multicore",
+        "sp 2:4",
+        "sp 1:4",
+        "energy",
+        "dram",
+        "layout",
     ]);
     let mut csv = ResultTable::new(vec!["workload", "feature", "seconds", "overhead_x"]);
     let mut means = vec![0.0f64; features.len()];
@@ -111,8 +127,14 @@ fn main() {
     // Shape: sparsity must be cheaper than baseline; layout must be the
     // most expensive feature.
     let n = workloads.len() as f64;
-    assert!(means[1] / n < 1.0 && means[2] / n < 1.0, "sparsity must speed up simulation");
+    assert!(
+        means[1] / n < 1.0 && means[2] / n < 1.0,
+        "sparsity must speed up simulation"
+    );
     let max_other = means[..5].iter().cloned().fold(0.0f64, f64::max);
-    assert!(means[5] >= max_other, "layout must be the most expensive feature");
+    assert!(
+        means[5] >= max_other,
+        "layout must be the most expensive feature"
+    );
     write_csv("tab04_overhead.csv", &csv.to_csv());
 }

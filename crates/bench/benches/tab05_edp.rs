@@ -47,14 +47,16 @@ fn main() {
     let workloads = [subset(&resnet50(), 12), subset(&rcnn(), 10), vit_base()];
     let arrays = [32usize, 64, 128];
     let mut csv = ResultTable::new(vec![
-        "workload", "array", "latency_cycles_per_layer", "energy_mj", "edp_cycles_mj",
+        "workload",
+        "array",
+        "latency_cycles_per_layer",
+        "energy_mj",
+        "edp_cycles_mj",
     ]);
     let mut edp_winners = Vec::new();
     for w in &workloads {
         println!("\n-- {} --", w.name());
-        let mut t = ResultTable::new(vec![
-            "metric", "32x32", "64x64", "128x128",
-        ]);
+        let mut t = ResultTable::new(vec!["metric", "32x32", "64x64", "128x128"]);
         let cells: Vec<Cell> = arrays.iter().map(|&a| run(w, a)).collect();
         t.row(vec![
             "latency (cycles/layer)".to_string(),

@@ -39,7 +39,11 @@ fn main() {
          multi-core EdP by 1.31x",
     );
     let mut t = ResultTable::new(vec![
-        "config", "dataflow", "latency (cycles)", "energy (mJ)", "EdP/1e6",
+        "config",
+        "dataflow",
+        "latency (cycles)",
+        "energy (mJ)",
+        "EdP/1e6",
     ]);
     let mut csv = ResultTable::new(vec!["config", "dataflow", "cycles", "energy_mj"]);
     let mut results = Vec::new();
@@ -89,8 +93,16 @@ fn main() {
         f(single_ratio, 2),
         f(multi_ratio, 2)
     );
-    let single_edp_winner = if (ws1 as f64 * ws1_e) < (is1 as f64 * is1_e) { "ws" } else { "is" };
-    let multi_edp_winner = if (ws16 as f64 * ws16_e) < (is16 as f64 * is16_e) { "ws" } else { "is" };
+    let single_edp_winner = if (ws1 as f64 * ws1_e) < (is1 as f64 * is1_e) {
+        "ws"
+    } else {
+        "is"
+    };
+    let multi_edp_winner = if (ws16 as f64 * ws16_e) < (is16 as f64 * is16_e) {
+        "ws"
+    } else {
+        "is"
+    };
     println!(
         "EdP winner: single-core {single_edp_winner}, multi-core {multi_edp_winner} \
          (paper: the single-core latency loser wins multi-core EdP)"

@@ -119,7 +119,11 @@ fn run(args: Args) -> Result<(), String> {
         topo.name(),
         config.core.array,
         config.core.dataflow,
-        if config.sparsity.is_some() { " (sparse)" } else { "" },
+        if config.sparsity.is_some() {
+            " (sparse)"
+        } else {
+            ""
+        },
     );
     let sim = ScaleSim::new(config);
     let mut result = scalesim::RunResult::default();

@@ -119,9 +119,7 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                 config.sparse_format = match val.to_ascii_lowercase().as_str() {
                     "csr" => SparseFormat::Csr,
                     "csc" => SparseFormat::Csc,
-                    "ellpack_block" | "blocked_ellpack" | "ellpack" => {
-                        SparseFormat::BlockedEllpack
-                    }
+                    "ellpack_block" | "blocked_ellpack" | "ellpack" => SparseFormat::BlockedEllpack,
                     other => {
                         return Err(SimError::InvalidConfig(format!(
                             "unknown SparseRep '{other}'"
@@ -134,7 +132,9 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
     }
 
     if array_h == 0 || array_w == 0 {
-        return Err(SimError::InvalidConfig("array dimensions must be non-zero".into()));
+        return Err(SimError::InvalidConfig(
+            "array dimensions must be non-zero".into(),
+        ));
     }
     config.core.array = ArrayShape::new(array_h, array_w);
     config.core.dataflow = dataflow;

@@ -233,7 +233,10 @@ mod tests {
     fn tpu_like_shape() {
         let c = ScaleSimConfig::tpu_like();
         assert_eq!(c.core.array.rows(), 128);
-        assert_eq!(c.core.dataflow, scalesim_systolic::Dataflow::WeightStationary);
+        assert_eq!(
+            c.core.dataflow,
+            scalesim_systolic::Dataflow::WeightStationary
+        );
         assert!(c.core.validate().is_ok());
     }
 

@@ -15,8 +15,7 @@
 
 use crate::config::DramIntegration;
 use scalesim_mem::{
-    replay_trace, AccessKind as MemAccess, DramConfig, DramEnergyBreakdown, MemStats,
-    TraceRequest,
+    replay_trace, AccessKind as MemAccess, DramConfig, DramEnergyBreakdown, MemStats, TraceRequest,
 };
 use scalesim_systolic::{
     timing, AccessKind, Addr, BackingStore, IdealBandwidthStore, MemorySummary, OperandKind,
@@ -399,7 +398,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(four.summary.total_cycles <= one.summary.total_cycles + one.summary.total_cycles / 10);
+        assert!(
+            four.summary.total_cycles <= one.summary.total_cycles + one.summary.total_cycles / 10
+        );
     }
 
     #[test]

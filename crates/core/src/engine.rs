@@ -10,14 +10,19 @@ use scalesim_energy::{
 use scalesim_multicore::{core_subgemm, L2Report, MappingDims};
 use scalesim_sparse::{SparseReport, SparsityPattern};
 use scalesim_systolic::{
-    timing, CoreSim, Dataflow, GemmShape, IdealBandwidthStore, LayerReport, TimingInputs,
-    Topology,
+    parallel_map, timing, CoreSim, Dataflow, GemmShape, IdealBandwidthStore, LayerReport,
+    PlanCache, PlannedLayer, Topology,
 };
+use std::sync::Arc;
 
 /// The integrated simulator.
 #[derive(Debug, Clone)]
 pub struct ScaleSim {
     config: ScaleSimConfig,
+    /// Shared across layers (and threads): fetch plans depend only on the
+    /// array/dataflow/GEMM/scratchpad geometry, never on the backing
+    /// store, so repeated shapes re-use one plan across the whole run.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl ScaleSim {
@@ -31,7 +36,15 @@ impl ScaleSim {
             .core
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-        Self { config }
+        Self {
+            config,
+            plan_cache: Arc::new(PlanCache::new()),
+        }
+    }
+
+    /// The plan cache shared by this simulator's runs.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
     }
 
     /// The configuration in use.
@@ -99,7 +112,7 @@ impl ScaleSim {
         &self,
         name: &str,
         gemm: GemmShape,
-    ) -> (LayerReport, usize, u64, TimingInputs) {
+    ) -> (LayerReport, usize, u64, Arc<PlannedLayer>) {
         let mut core_cfg = self.config.core.clone();
         core_cfg.dataflow = self.effective_dataflow();
         let (sub_gemm, cores, noc_words, bandwidth) = match &self.config.multicore {
@@ -120,8 +133,8 @@ impl ScaleSim {
         };
         let mut shared_cfg = core_cfg.clone();
         shared_cfg.memory.dram_bandwidth = bandwidth;
-        let sim = CoreSim::new(shared_cfg);
-        let planned = sim.plan_gemm(sub_gemm);
+        let sim = CoreSim::new(shared_cfg).with_plan_cache(Arc::clone(&self.plan_cache));
+        let planned = sim.plan_gemm_shared(sub_gemm);
         let mut store = IdealBandwidthStore::new(bandwidth);
         let memory = timing(&planned.inputs, &mut store);
         let report = LayerReport {
@@ -131,19 +144,19 @@ impl ScaleSim {
             memory,
             sram: planned.sram,
         };
-        (report, cores, noc_words, planned.inputs)
+        (report, cores, noc_words, planned)
     }
 
     /// Runs one GEMM layer through the enabled pipeline.
     pub fn run_gemm(&self, name: &str, dense_gemm: GemmShape) -> LayerResult {
         let seed_tag = name.bytes().map(u64::from).sum::<u64>();
         let (gemm, pattern) = self.sparsify(dense_gemm, seed_tag);
-        let (report, cores, noc_words, inputs) = self.simulate_core(name, gemm);
+        let (report, cores, noc_words, planned) = self.simulate_core(name, gemm);
 
         // §V: three-step DRAM flow on the representative core's plan.
         let dram = if self.config.enable_dram {
             Some(dram_analysis(
-                &inputs,
+                &planned.inputs,
                 self.config.core.memory.dram_bandwidth,
                 self.config.core.memory.bytes_per_word,
                 &self.config.dram,
@@ -258,12 +271,13 @@ impl ScaleSim {
     }
 
     /// Runs a whole topology.
+    ///
+    /// Layers execute concurrently on a scoped worker pool (control the
+    /// size with `SCALESIM_THREADS`) sharing this simulator's plan cache;
+    /// results come back in layer order, identical to serial execution.
     pub fn run_topology(&self, topology: &Topology) -> RunResult {
         RunResult {
-            layers: topology
-                .iter()
-                .map(|l| self.run_gemm(l.name(), l.gemm()))
-                .collect(),
+            layers: parallel_map(topology.layers(), |_, l| self.run_gemm(l.name(), l.gemm())),
         }
     }
 }

@@ -78,7 +78,8 @@ impl LayoutSink {
                 self.model.bandwidth_per_bank(),
                 self.model.num_banks(),
             );
-            self.key_scratch.push(((p.bank as u64) << 40) | p.line as u64);
+            self.key_scratch
+                .push(((p.bank as u64) << 40) | p.line as u64);
         }
         if elems == 0 {
             return (0, 0);
@@ -91,7 +92,8 @@ impl LayoutSink {
         self.bank_new.resize(self.model.num_banks(), 0);
         let cache = &mut self.line_cache[which];
         for &key in self.key_scratch.iter() {
-            let fresh = matches!(cache.get(&key), Some(&last) if cycle.saturating_sub(last) <= window);
+            let fresh =
+                matches!(cache.get(&key), Some(&last) if cycle.saturating_sub(last) <= window);
             if !fresh {
                 self.bank_new[(key >> 40) as usize] += 1;
             }
@@ -131,7 +133,8 @@ pub fn layout_slowdown_for_gemm(
     gemm: GemmShape,
     cfg: &LayoutIntegration,
 ) -> LayoutAnalysis {
-    let model = BankModel::from_total_bandwidth(cfg.total_bandwidth, cfg.num_banks, cfg.ports_per_bank);
+    let model =
+        BankModel::from_total_bandwidth(cfg.total_bandwidth, cfg.num_banks, cfg.ports_per_bank);
     let mut sink = LayoutSink {
         map: OperandMap::new(gemm),
         model,

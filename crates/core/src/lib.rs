@@ -57,8 +57,7 @@ pub use config::{
     DramIntegration, LayoutIntegration, MultiCoreIntegration, ScaleSimConfig, SparsityMode,
 };
 pub use dram::{
-    dram_analysis, shared_dram_contention, DramAnalysis, LatencyReplayStore,
-    SharedDramContention,
+    dram_analysis, shared_dram_contention, DramAnalysis, LatencyReplayStore, SharedDramContention,
 };
 pub use engine::ScaleSim;
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};

@@ -143,9 +143,8 @@ impl RunResult {
         if self.layers.iter().all(|l| l.sparse.is_none()) {
             return String::new();
         }
-        let mut out = String::from(
-            "Layer, Sparsity, Representation, OriginalFilterBytes, NewFilterBytes\n",
-        );
+        let mut out =
+            String::from("Layer, Sparsity, Representation, OriginalFilterBytes, NewFilterBytes\n");
         for l in &self.layers {
             if let Some(s) = &l.sparse {
                 out.push_str(&format!(

@@ -110,9 +110,8 @@ impl ActionCounts {
         } else {
             (unused, 0)
         };
-        let idle = |accesses: u64, port: u64| {
-            (activity.total_cycles * port).saturating_sub(accesses)
-        };
+        let idle =
+            |accesses: u64, port: u64| (activity.total_cycles * port).saturating_sub(accesses);
         Self {
             mac_random,
             mac_constant,

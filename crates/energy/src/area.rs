@@ -133,13 +133,12 @@ impl AreaConfig {
 
     /// Composes the estimate against an area table.
     pub fn estimate(&self, table: &AreaTable) -> AreaBreakdown {
-        let pe = (table.mac_um2 + PE_SPAD_BYTES as f64 * table.spad_um2_per_byte)
-            * table.pe_overhead;
+        let pe =
+            (table.mac_um2 + PE_SPAD_BYTES as f64 * table.spad_um2_per_byte) * table.pe_overhead;
         let pe_array = pe * self.arch.num_pes() as f64;
 
         let sram = |bytes: usize| -> f64 {
-            bytes as f64 * table.sram_um2_per_byte
-                + self.sram_banks as f64 * table.sram_bank_um2
+            bytes as f64 * table.sram_um2_per_byte + self.sram_banks as f64 * table.sram_bank_um2
         };
         let ifmap = sram(self.arch.ifmap_sram_bytes);
         let filter = sram(self.arch.filter_sram_bytes);
@@ -253,10 +252,10 @@ mod tests {
     #[test]
     fn area_grows_quadratically_with_array_size() {
         let table = AreaTable::eyeriss_65nm();
-        let a32 = AreaConfig::new(ArchSpec::new(32, 32, 1 << 20, 1 << 20, 1 << 19))
-            .estimate(&table);
-        let a128 = AreaConfig::new(ArchSpec::new(128, 128, 1 << 20, 1 << 20, 1 << 19))
-            .estimate(&table);
+        let a32 =
+            AreaConfig::new(ArchSpec::new(32, 32, 1 << 20, 1 << 20, 1 << 19)).estimate(&table);
+        let a128 =
+            AreaConfig::new(ArchSpec::new(128, 128, 1 << 20, 1 << 20, 1 << 19)).estimate(&table);
         let ratio = a128.pe_array_mm2 / a32.pe_array_mm2;
         assert!((ratio - 16.0).abs() < 1e-9, "PE array must scale with #PEs");
         // NoC scales with the perimeter, not the area.

@@ -51,4 +51,4 @@ pub use area::{AreaBreakdown, AreaConfig, AreaTable};
 pub use ert::{ArchSpec, EnergyModel, EnergyTable};
 pub use report::{ComponentEnergy, EnergyReport};
 pub use validate::{system_state_table, SystemState, SystemStateRow};
-pub use yamlgen::{architecture_yaml, action_counts_yaml};
+pub use yamlgen::{action_counts_yaml, architecture_yaml};

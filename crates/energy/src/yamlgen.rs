@@ -25,7 +25,10 @@ pub fn architecture_yaml(arch: &ArchSpec) -> String {
         y.push_str(&format!("        - name: {name}\n"));
         y.push_str("          class: smartbuffer_SRAM\n");
         y.push_str("          attributes:\n");
-        y.push_str(&format!("            memory_depth: {}\n", bytes * 8 / arch.word_bits));
+        y.push_str(&format!(
+            "            memory_depth: {}\n",
+            bytes * 8 / arch.word_bits
+        ));
         y.push_str(&format!("            memory_width: {}\n", arch.word_bits));
         y.push_str("            n_banks: 16\n");
     }

@@ -1,14 +1,25 @@
 //! Property-based tests of the energy/area model invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_energy::{
     ActionCounts, ArchSpec, AreaConfig, AreaTable, EnergyModel, EnergyTable, LayerActivity,
 };
 
 fn arch_strategy() -> impl Strategy<Value = ArchSpec> {
-    (2usize..129, 2usize..129, 1usize..2048, 1usize..2048, 1usize..1024).prop_map(
-        |(r, c, i_kb, f_kb, o_kb)| ArchSpec::new(r, c, i_kb << 10, f_kb << 10, o_kb << 10),
+    (
+        2usize..129,
+        2usize..129,
+        1usize..2048,
+        1usize..2048,
+        1usize..1024,
     )
+        .prop_map(|(r, c, i_kb, f_kb, o_kb)| {
+            ArchSpec::new(r, c, i_kb << 10, f_kb << 10, o_kb << 10)
+        })
 }
 
 fn counts_strategy() -> impl Strategy<Value = ActionCounts> {
@@ -20,22 +31,24 @@ fn counts_strategy() -> impl Strategy<Value = ActionCounts> {
         0u64..100_000,
         0u64..100_000,
     )
-        .prop_map(|(mac_random, mac_gated, spad, sram, dram_reads, noc_words)| ActionCounts {
-            mac_random,
-            mac_gated,
-            ifmap_spad_reads: spad,
-            weight_spad_reads: spad,
-            psum_spad_reads: spad,
-            psum_spad_writes: spad,
-            ifmap_sram_random: sram,
-            ifmap_sram_repeat: sram / 2,
-            filter_sram_random: sram,
-            ofmap_sram_random: sram / 4,
-            dram_reads,
-            dram_writes: dram_reads / 2,
-            noc_words,
-            ..Default::default()
-        })
+        .prop_map(
+            |(mac_random, mac_gated, spad, sram, dram_reads, noc_words)| ActionCounts {
+                mac_random,
+                mac_gated,
+                ifmap_spad_reads: spad,
+                weight_spad_reads: spad,
+                psum_spad_reads: spad,
+                psum_spad_writes: spad,
+                ifmap_sram_random: sram,
+                ifmap_sram_repeat: sram / 2,
+                filter_sram_random: sram,
+                ofmap_sram_random: sram / 4,
+                dram_reads,
+                dram_writes: dram_reads / 2,
+                noc_words,
+                ..Default::default()
+            },
+        )
 }
 
 proptest! {

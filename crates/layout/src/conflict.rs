@@ -115,9 +115,9 @@ impl BankModel {
 
     /// The flat-bandwidth cost of the same element set.
     pub fn bandwidth_model_cycles(&self, num_elements: usize) -> u64 {
-        (num_elements as u64).div_ceil(self.total_bandwidth() as u64).max(
-            if num_elements > 0 { 1 } else { 0 },
-        )
+        (num_elements as u64)
+            .div_ceil(self.total_bandwidth() as u64)
+            .max(if num_elements > 0 { 1 } else { 0 })
     }
 }
 
@@ -278,7 +278,12 @@ mod tests {
         for h in 0..4 {
             // 4 elements from 2 rows: 2 lines × 2 banks, each bank 2 lines,
             // 2 ports → 1 cycle. Bandwidth model: 4/2 = 2 cycles.
-            eval.observe([(0, 2 * h, 0), (0, 2 * h, 1), (0, 2 * h + 1, 0), (0, 2 * h + 1, 1)]);
+            eval.observe([
+                (0, 2 * h, 0),
+                (0, 2 * h, 1),
+                (0, 2 * h + 1, 0),
+                (0, 2 * h + 1, 1),
+            ]);
         }
         let r = eval.report();
         assert!(
@@ -291,7 +296,8 @@ mod tests {
     #[test]
     fn empty_cycles_still_tick() {
         let model = BankModel::new(2, 1, 2);
-        let mut eval = StreamEvaluator::new(model, LayoutSpec::row_major(4), TensorDims::matrix(4, 4));
+        let mut eval =
+            StreamEvaluator::new(model, LayoutSpec::row_major(4), TensorDims::matrix(4, 4));
         eval.observe(std::iter::empty());
         eval.observe([(0, 0, 0)]);
         let r = eval.report();

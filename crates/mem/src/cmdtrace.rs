@@ -159,7 +159,11 @@ pub struct TimingViolation {
 
 impl fmt::Display for TimingViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "command #{} violates {}: {}", self.index, self.rule, self.detail)
+        write!(
+            f,
+            "command #{} violates {}: {}",
+            self.index, self.rule, self.detail
+        )
     }
 }
 
@@ -227,28 +231,40 @@ pub fn verify_timing(log: &CommandLog, spec: &DramSpec) -> Result<(), TimingViol
     let mut prev_cycle = 0u64;
     for (i, c) in log.commands().iter().enumerate() {
         if c.cycle < prev_cycle {
-            return Err(fail(i, "issue order", format!("cycle {} after {}", c.cycle, prev_cycle)));
+            return Err(fail(
+                i,
+                "issue order",
+                format!("cycle {} after {}", c.cycle, prev_cycle),
+            ));
         }
         prev_cycle = c.cycle;
         if c.kind != CommandKind::Ref && c.cycle < ref_until {
             return Err(fail(
                 i,
                 "tRFC",
-                format!("command at {} during refresh (until {})", c.cycle, ref_until),
+                format!(
+                    "command at {} during refresh (until {})",
+                    c.cycle, ref_until
+                ),
             ));
         }
-        if c.kind != CommandKind::Ref {
-            if c.rank >= org.ranks || c.bank_group >= org.bank_groups || c.bank >= org.banks_per_group
-            {
-                return Err(fail(i, "address range", format!("{c:?}")));
-            }
+        if c.kind != CommandKind::Ref
+            && (c.rank >= org.ranks
+                || c.bank_group >= org.bank_groups
+                || c.bank >= org.banks_per_group)
+        {
+            return Err(fail(i, "address range", format!("{c:?}")));
         }
         match c.kind {
             CommandKind::Act => {
                 let bi = bank_of(c);
                 let b = banks[bi];
                 if b.state != BankTrack::Closed {
-                    return Err(fail(i, "ACT on open bank", format!("bank {bi} at {}", c.cycle)));
+                    return Err(fail(
+                        i,
+                        "ACT on open bank",
+                        format!("bank {bi} at {}", c.cycle),
+                    ));
                 }
                 if let Some(act) = b.last_act {
                     if c.cycle < act + t.tRC {
@@ -261,7 +277,11 @@ pub fn verify_timing(log: &CommandLog, spec: &DramSpec) -> Result<(), TimingViol
                     }
                 }
                 if let Some((last, bg)) = last_act_rank[c.rank] {
-                    let rrd = if bg == c.bank_group { t.tRRD_L } else { t.tRRD_S };
+                    let rrd = if bg == c.bank_group {
+                        t.tRRD_L
+                    } else {
+                        t.tRRD_S
+                    };
                     if c.cycle < last + rrd {
                         return Err(fail(i, "tRRD", format!("{} after ACT@{last}", c.cycle)));
                     }
@@ -287,19 +307,31 @@ pub fn verify_timing(log: &CommandLog, spec: &DramSpec) -> Result<(), TimingViol
                 let bi = bank_of(c);
                 let b = banks[bi];
                 let BankTrack::Open(_) = b.state else {
-                    return Err(fail(i, "CAS on closed bank", format!("bank {bi} at {}", c.cycle)));
+                    return Err(fail(
+                        i,
+                        "CAS on closed bank",
+                        format!("bank {bi} at {}", c.cycle),
+                    ));
                 };
                 let act = b.last_act.expect("open bank has an ACT");
                 if c.cycle < act + t.tRCD {
                     return Err(fail(i, "tRCD", format!("CAS {} after ACT@{act}", c.cycle)));
                 }
                 if let Some((last, bg)) = last_cas {
-                    let ccd = if bg == c.bank_group { t.tCCD_L } else { t.tCCD_S };
+                    let ccd = if bg == c.bank_group {
+                        t.tCCD_L
+                    } else {
+                        t.tCCD_S
+                    };
                     if c.cycle < last + ccd {
                         return Err(fail(i, "tCCD", format!("CAS {} after CAS@{last}", c.cycle)));
                     }
                 }
-                let lat = if c.kind == CommandKind::Rd { t.CL } else { t.CWL };
+                let lat = if c.kind == CommandKind::Rd {
+                    t.CL
+                } else {
+                    t.CWL
+                };
                 let data_start = c.cycle + lat;
                 if data_start < bus_data_end {
                     return Err(fail(
@@ -321,7 +353,11 @@ pub fn verify_timing(log: &CommandLog, spec: &DramSpec) -> Result<(), TimingViol
                 let bi = bank_of(c);
                 let b = banks[bi];
                 let BankTrack::Open(_) = b.state else {
-                    return Err(fail(i, "PRE on closed bank", format!("bank {bi} at {}", c.cycle)));
+                    return Err(fail(
+                        i,
+                        "PRE on closed bank",
+                        format!("bank {bi} at {}", c.cycle),
+                    ));
                 };
                 let act = b.last_act.expect("open bank has an ACT");
                 if c.cycle < act + t.tRAS {
@@ -473,7 +509,7 @@ mod tests {
         let mut log = CommandLog::new();
         log.push(0, CommandKind::Act, 0, 0, 0, 1);
         log.push(0, CommandKind::Act, 0, 1, 0, 1); // violates tRRD? 0 vs 0+tRRD_S
-        // Rebuild legally: second ACT after tRRD_S.
+                                                   // Rebuild legally: second ACT after tRRD_S.
         let mut log2 = CommandLog::new();
         log2.push(0, CommandKind::Act, 0, 0, 0, 1);
         log2.push(t.tRRD_S, CommandKind::Act, 0, 1, 0, 1);
@@ -500,7 +536,10 @@ mod tests {
         let mut log = CommandLog::new();
         log.push(100, CommandKind::Act, 0, 0, 0, 1);
         log.push(50, CommandKind::Act, 0, 1, 0, 1);
-        assert_eq!(verify_timing(&log, &spec()).unwrap_err().rule, "issue order");
+        assert_eq!(
+            verify_timing(&log, &spec()).unwrap_err().rule,
+            "issue order"
+        );
     }
 
     #[test]

@@ -497,7 +497,11 @@ mod tests {
         AddressMapping::RoBaRaCoCh.decode(byte, &spec.org, 1)
     }
 
-    fn run_until_reads(ctrl: &mut ChannelController, n: usize, limit: u64) -> Vec<(RequestId, u64)> {
+    fn run_until_reads(
+        ctrl: &mut ChannelController,
+        n: usize,
+        limit: u64,
+    ) -> Vec<(RequestId, u64)> {
         let mut done = Vec::new();
         let mut out = Vec::new();
         for now in 0..limit {
@@ -541,8 +545,10 @@ mod tests {
         assert_eq!(c.stats().row_misses, 1);
         // The hit should complete well before a second miss path would.
         let gap = done[1].1 - done[0].1;
-        assert!(gap <= spec.timing.tCCD_L.max(spec.org.burst_cycles()) + 1,
-            "hit gap {gap} too large");
+        assert!(
+            gap <= spec.timing.tCCD_L.max(spec.org.burst_cycles()) + 1,
+            "hit gap {gap} too large"
+        );
     }
 
     #[test]
@@ -601,7 +607,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(order, vec![3, 2], "row hit must complete first under FR-FCFS");
+        assert_eq!(
+            order,
+            vec![3, 2],
+            "row hit must complete first under FR-FCFS"
+        );
     }
 
     #[test]

@@ -269,8 +269,7 @@ mod tests {
         assert!((e.activate_pj - exp_act).abs() < 1e-9, "{e:?}");
         let exp_rd = vdd * (p.idd4r_ma - p.idd3n_ma) as f64 * 4.0 * tck_ns;
         assert!((e.read_pj - exp_rd).abs() < 1e-9);
-        let exp_bg =
-            vdd * (p.idd3n_ma as f64 * 60.0 + p.idd2n_ma as f64 * 40.0) * tck_ns;
+        let exp_bg = vdd * (p.idd3n_ma as f64 * 60.0 + p.idd2n_ma as f64 * 40.0) * tck_ns;
         assert!((e.background_pj - exp_bg).abs() < 1e-9);
         assert!(e.write_pj == 0.0 && e.refresh_pj == 0.0);
         assert!((e.total_pj() - (exp_act + exp_rd + exp_bg)).abs() < 1e-9);
@@ -338,7 +337,10 @@ mod tests {
         let wio2 = ppb(DramSpec::wio2());
         assert!(wio2 < hbm, "WIO2 ({wio2}) should be below HBM2 ({hbm})");
         assert!(hbm < ddr4, "HBM2 ({hbm}) should be below DDR4 ({ddr4})");
-        assert!(ddr4 < gddr5, "DDR4 ({ddr4}) should be below GDDR5 ({gddr5})");
+        assert!(
+            ddr4 < gddr5,
+            "DDR4 ({ddr4}) should be below GDDR5 ({gddr5})"
+        );
     }
 
     #[test]

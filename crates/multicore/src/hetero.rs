@@ -120,10 +120,9 @@ impl HeteroAccelerator {
                 let cycles = if rows == 0 {
                     0
                 } else {
-                    self.cores[i].gemm_cycles(
-                        dataflow,
-                        GemmShape::new(rows as usize, gemm.n, gemm.k),
-                    ) + self.nop_latency[i]
+                    self.cores[i]
+                        .gemm_cycles(dataflow, GemmShape::new(rows as usize, gemm.n, gemm.k))
+                        + self.nop_latency[i]
                 };
                 (rows, cycles)
             })
@@ -157,7 +156,8 @@ mod tests {
     #[test]
     fn hetero_split_favors_big_core() {
         let acc = HeteroAccelerator::from_cores(vec![big(), small()]);
-        let (detail, makespan) = acc.split_gemm(Dataflow::WeightStationary, GemmShape::new(1024, 256, 256));
+        let (detail, makespan) =
+            acc.split_gemm(Dataflow::WeightStationary, GemmShape::new(1024, 256, 256));
         assert_eq!(detail.iter().map(|&(r, _)| r).sum::<u64>(), 1024);
         assert!(detail[0].0 > detail[1].0, "32×32 core must take more rows");
         // Makespan must not exceed running everything on the big core.
@@ -169,7 +169,8 @@ mod tests {
     fn nop_profile_pushes_work_to_near_cores() {
         let acc = HeteroAccelerator::homogeneous(4, small())
             .with_nop_latency(vec![0, 10_000, 20_000, 40_000]);
-        let (detail, _) = acc.split_gemm(Dataflow::WeightStationary, GemmShape::new(2048, 128, 128));
+        let (detail, _) =
+            acc.split_gemm(Dataflow::WeightStationary, GemmShape::new(2048, 128, 128));
         assert!(detail[0].0 >= detail[3].0, "{detail:?}");
     }
 

@@ -63,8 +63,7 @@ impl L2Report {
         // L2 holds one copy of each distinct partition; double buffered.
         let distinct = a_part * pr + b_part * pc;
         let required_words = 2 * distinct;
-        let duplication_saved_words =
-            a_part * pr * (a_dup - 1) + b_part * pc * (b_dup - 1);
+        let duplication_saved_words = a_part * pr * (a_dup - 1) + b_part * pc * (b_dup - 1);
         // Every core still fills its L1 once per partition.
         let l1_fill_words = a_part * pr * a_dup + b_part * pc * b_dup;
         L2Report {
@@ -93,6 +92,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out factors mirror the worked example
     fn spatial_duplication_savings() {
         let grid = PartitionGrid::new(4, 2);
         let r = L2Report::evaluate(PartitionScheme::Spatial, dims(), grid);

@@ -41,12 +41,10 @@ pub use hetero::{HeteroAccelerator, TensorCore};
 pub use l2::{L2Config, L2Report};
 pub use nonuniform::{non_uniform_split, uniform_split_makespan, NopProfile};
 pub use nop::{MemoryPortPlacement, NopMesh};
-pub use pipeline::{
-    Op, OpKind, PipelineReport, PipelineSchedule, TransformerBlock, Unit,
-};
 pub use partition::{
     best_partition, core_subgemm, factor_pairs, memory_footprint_words, runtime_cycles,
     MappingDims, PartitionChoice, PartitionGrid, PartitionObjective, PartitionScheme,
 };
+pub use pipeline::{Op, OpKind, PipelineReport, PipelineSchedule, TransformerBlock, Unit};
 pub use sim::{MultiCoreConfig, MultiCoreReport, MultiCoreSim};
 pub use simd::{SimdOp, SimdUnit};

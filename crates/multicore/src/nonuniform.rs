@@ -98,7 +98,10 @@ pub fn non_uniform_split(profile: &NopProfile, total_work: u64) -> (Vec<u64>, u6
         })
         .collect();
     let scale = total_work as f64 / fractional.iter().sum::<f64>().max(1e-12);
-    let mut shares: Vec<u64> = fractional.iter().map(|f| (f * scale).floor() as u64).collect();
+    let mut shares: Vec<u64> = fractional
+        .iter()
+        .map(|f| (f * scale).floor() as u64)
+        .collect();
     let mut assigned: u64 = shares.iter().sum();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -113,7 +116,9 @@ pub fn non_uniform_split(profile: &NopProfile, total_work: u64) -> (Vec<u64>, u6
         idx += 1;
     }
     let makespan = (0..n)
-        .map(|i| profile.nop_latency[i] + (shares[i] as f64 * profile.cycles_per_unit[i]).ceil() as u64)
+        .map(|i| {
+            profile.nop_latency[i] + (shares[i] as f64 * profile.cycles_per_unit[i]).ceil() as u64
+        })
         .max()
         .unwrap();
     (shares, makespan)
@@ -124,9 +129,7 @@ pub fn uniform_split_makespan(profile: &NopProfile, total_work: u64) -> u64 {
     let n = profile.cores() as u64;
     let share = total_work.div_ceil(n);
     (0..profile.cores())
-        .map(|i| {
-            profile.nop_latency[i] + (share as f64 * profile.cycles_per_unit[i]).ceil() as u64
-        })
+        .map(|i| profile.nop_latency[i] + (share as f64 * profile.cycles_per_unit[i]).ceil() as u64)
         .max()
         .unwrap()
 }

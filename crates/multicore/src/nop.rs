@@ -63,12 +63,7 @@ impl NopMesh {
     /// # Panics
     ///
     /// Panics if either dimension is zero or `hop_cycles == 0`.
-    pub fn new(
-        rows: usize,
-        cols: usize,
-        hop_cycles: u64,
-        placement: MemoryPortPlacement,
-    ) -> Self {
+    pub fn new(rows: usize, cols: usize, hop_cycles: u64, placement: MemoryPortPlacement) -> Self {
         assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
         assert!(hop_cycles > 0, "hop latency must be positive");
         Self {
@@ -212,8 +207,7 @@ mod tests {
     fn west_edge_matches_simba_column_profile() {
         // The mesh derivation must reproduce the hand-written Simba
         // profile used elsewhere.
-        let mesh = NopMesh::new(2, 4, 500, MemoryPortPlacement::WestEdge)
-            .with_link_bandwidth(1.0);
+        let mesh = NopMesh::new(2, 4, 500, MemoryPortPlacement::WestEdge).with_link_bandwidth(1.0);
         let by_hand = NopProfile::grid_west_edge(2, 4, 500, 1.0);
         let derived = mesh.profile(1.0, 0);
         assert_eq!(derived.nop_latency, by_hand.nop_latency);
@@ -259,8 +253,7 @@ mod tests {
 
     #[test]
     fn serialization_adds_payload_term() {
-        let mesh = NopMesh::new(2, 2, 10, MemoryPortPlacement::WestEdge)
-            .with_link_bandwidth(16.0);
+        let mesh = NopMesh::new(2, 2, 10, MemoryPortPlacement::WestEdge).with_link_bandwidth(16.0);
         let no_payload = mesh.core_latency(0, 1, 0);
         let with_payload = mesh.core_latency(0, 1, 4096);
         assert_eq!(with_payload - no_payload, 4096 / 16);
@@ -315,7 +308,10 @@ mod tests {
     fn bisection_and_energy() {
         let mesh = NopMesh::new(4, 6, 1, MemoryPortPlacement::WestEdge);
         assert_eq!(mesh.bisection_links(), 4);
-        assert_eq!(NopMesh::new(4, 1, 1, MemoryPortPlacement::WestEdge).bisection_links(), 0);
+        assert_eq!(
+            NopMesh::new(4, 1, 1, MemoryPortPlacement::WestEdge).bisection_links(),
+            0
+        );
         // Energy: hops × bytes × pJ.
         let e = mesh.transfer_energy_pj(0, 2, 100, 0.5);
         assert!((e - 3.0 * 100.0 * 0.5).abs() < 1e-12);

@@ -225,7 +225,7 @@ pub struct PartitionChoice {
 pub fn factor_pairs(cores: usize) -> Vec<PartitionGrid> {
     let mut v = Vec::new();
     for pr in 1..=cores {
-        if cores % pr == 0 {
+        if cores.is_multiple_of(pr) {
             v.push(PartitionGrid::new(pr, cores / pr));
         }
     }

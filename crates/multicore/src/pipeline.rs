@@ -139,7 +139,10 @@ impl PipelineSchedule {
     /// Panics if `batches == 0`.
     pub fn run(&self, core: &TensorCore, ops: &[Op], batches: usize) -> PipelineReport {
         assert!(batches > 0, "need at least one batch");
-        let cycles: Vec<u64> = ops.iter().map(|op| op.cycles(core, self.dataflow)).collect();
+        let cycles: Vec<u64> = ops
+            .iter()
+            .map(|op| op.cycles(core, self.dataflow))
+            .collect();
         let units: Vec<Unit> = ops.iter().map(Op::unit).collect();
         let serial: u64 = cycles.iter().sum();
 
@@ -431,8 +434,11 @@ mod tests {
     #[test]
     fn vit_block_is_mxu_dominated_on_big_arrays() {
         let c = TensorCore::new(ArrayShape::new(128, 128), SimdUnit::new(128));
-        let r = PipelineSchedule::new(Dataflow::WeightStationary)
-            .run(&c, &TransformerBlock::vit_base().ops(), 1);
+        let r = PipelineSchedule::new(Dataflow::WeightStationary).run(
+            &c,
+            &TransformerBlock::vit_base().ops(),
+            1,
+        );
         assert!(
             r.simd_fraction() < 0.5,
             "ViT-Base encoder should be GEMM-bound: simd fraction {}",

@@ -9,8 +9,10 @@
 use crate::l2::{L2Config, L2Report};
 use crate::partition::{core_subgemm, MappingDims, PartitionGrid, PartitionScheme};
 use scalesim_systolic::{
-    CoreSim, GemmShape, IdealBandwidthStore, LayerReport, SimConfig,
+    parallel_map, CoreSim, GemmShape, IdealBandwidthStore, LayerReport, PlanCache, SimConfig,
+    Topology,
 };
+use std::sync::Arc;
 
 /// Multi-core configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,12 +85,19 @@ impl MultiCoreReport {
 #[derive(Debug, Clone)]
 pub struct MultiCoreSim {
     config: MultiCoreConfig,
+    /// Shared plan cache: under uniform partitioning the same sub-GEMM
+    /// shape recurs across layers of a topology, so the representative
+    /// core's plans are memoized exactly like the single-core path.
+    plan_cache: Arc<PlanCache>,
 }
 
 impl MultiCoreSim {
     /// Creates the simulator.
     pub fn new(config: MultiCoreConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            plan_cache: Arc::new(PlanCache::new()),
+        }
     }
 
     /// The configuration in use.
@@ -105,7 +114,7 @@ impl MultiCoreSim {
             core_cfg.memory.dram_bandwidth =
                 (cfg.core.memory.dram_bandwidth / cfg.grid.cores() as f64).max(0.125);
         }
-        let sim = CoreSim::new(core_cfg.clone());
+        let sim = CoreSim::new(core_cfg.clone()).with_plan_cache(Arc::clone(&self.plan_cache));
         let mut store = IdealBandwidthStore::new(core_cfg.memory.dram_bandwidth);
         let per_core = sim.simulate_gemm_with_store(name, sub, &mut store);
         let dims = MappingDims::new(cfg.core.dataflow, gemm);
@@ -122,6 +131,17 @@ impl MultiCoreSim {
             l2,
             noc_words,
         }
+    }
+
+    /// Simulates every layer of a topology across the grid.
+    ///
+    /// Layers run concurrently on a scoped worker pool sharing the plan
+    /// cache (control the size with `SCALESIM_THREADS`); reports come back
+    /// in layer order, identical to serial execution.
+    pub fn simulate_topology(&self, topology: &Topology) -> Vec<MultiCoreReport> {
+        parallel_map(topology.layers(), |_, layer| {
+            self.simulate_gemm(layer.name(), layer.gemm())
+        })
     }
 }
 
@@ -142,10 +162,10 @@ mod tests {
     fn four_cores_cut_compute_cycles() {
         let gemm = GemmShape::new(256, 256, 256);
         let one = MultiCoreSim::new(base_config(PartitionGrid::new(1, 1))).simulate_gemm("g", gemm);
-        let four = MultiCoreSim::new(base_config(PartitionGrid::new(2, 2))).simulate_gemm("g", gemm);
+        let four =
+            MultiCoreSim::new(base_config(PartitionGrid::new(2, 2))).simulate_gemm("g", gemm);
         assert!(
-            four.per_core.compute.total_compute_cycles
-                < one.per_core.compute.total_compute_cycles
+            four.per_core.compute.total_compute_cycles < one.per_core.compute.total_compute_cycles
         );
         assert_eq!(four.cores, 4);
         assert!(four.total_macs() >= gemm.macs());

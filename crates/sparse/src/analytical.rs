@@ -128,8 +128,7 @@ impl AnalyticalSparseModel {
 
     /// Expected skipping speedup over dense execution.
     pub fn expected_speedup(&self, gemm: GemmShape) -> f64 {
-        let dense =
-            FoldGeometry::new(self.array, Dataflow::WeightStationary, gemm).total_cycles();
+        let dense = FoldGeometry::new(self.array, Dataflow::WeightStationary, gemm).total_cycles();
         dense as f64 / self.expected_cycles(gemm, Saf::Skipping).max(1) as f64
     }
 }

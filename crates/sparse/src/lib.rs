@@ -119,7 +119,11 @@ mod tests {
     fn formats_all_beat_dense_at_high_sparsity() {
         let p = SparsityPattern::layer_wise(256, NmRatio::new(1, 4).unwrap());
         let dense = SparseFormat::dense_storage_bits(256, 128, 16);
-        for f in [SparseFormat::Csr, SparseFormat::Csc, SparseFormat::BlockedEllpack] {
+        for f in [
+            SparseFormat::Csr,
+            SparseFormat::Csc,
+            SparseFormat::BlockedEllpack,
+        ] {
             let s = f.filter_storage_bits(&p, 128, 16);
             assert!(s < dense, "{} not smaller than dense", f.name());
         }

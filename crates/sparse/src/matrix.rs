@@ -88,7 +88,13 @@ impl DenseMatrix {
 
 impl fmt::Display for DenseMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DenseMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "DenseMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 
@@ -150,8 +156,7 @@ impl Csr {
     /// Storage in bits: values + column indices + row pointers.
     pub fn storage_bits(&self, bits_per_value: usize) -> u64 {
         let col_bits = usize::BITS - (self.cols.max(2) - 1).leading_zeros();
-        self.nnz() as u64 * (bits_per_value as u64 + col_bits as u64)
-            + (self.rows as u64 + 1) * 32
+        self.nnz() as u64 * (bits_per_value as u64 + col_bits as u64) + (self.rows as u64 + 1) * 32
     }
 
     /// CSR × dense multiply.
@@ -230,8 +235,7 @@ impl Csc {
     /// Storage in bits: values + row indices + column pointers.
     pub fn storage_bits(&self, bits_per_value: usize) -> u64 {
         let row_bits = usize::BITS - (self.rows.max(2) - 1).leading_zeros();
-        self.nnz() as u64 * (bits_per_value as u64 + row_bits as u64)
-            + (self.cols as u64 + 1) * 32
+        self.nnz() as u64 * (bits_per_value as u64 + row_bits as u64) + (self.cols as u64 + 1) * 32
     }
 }
 
@@ -391,7 +395,9 @@ mod tests {
         let b = DenseMatrix::from_vec(
             4,
             3,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+            ],
         );
         let reference = a.matmul(&b);
         let via_csr = Csr::from_dense(&a).matmul_dense(&b);

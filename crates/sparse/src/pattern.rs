@@ -92,7 +92,10 @@ impl SparsityPattern {
     /// (paper §IV-B: "the number of non-zero elements (N) is randomized for
     /// different rows and is kept ≤ M/2"), deterministically from `seed`.
     pub fn row_wise(k: usize, block: usize, seed: u64) -> Self {
-        assert!(block.is_power_of_two() && block >= 2, "block must be 2^i ≥ 2");
+        assert!(
+            block.is_power_of_two() && block >= 2,
+            "block must be 2^i ≥ 2"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let group_nnz = (0..k.div_ceil(block))
             .map(|g| {
@@ -207,7 +210,7 @@ mod tests {
         let b = SparsityPattern::row_wise(256, 8, 42);
         assert_eq!(a, b, "same seed, same pattern");
         for &nnz in a.group_nnz() {
-            assert!(nnz >= 1 && nnz <= 4, "nnz {nnz} violates 1..=M/2");
+            assert!((1..=4).contains(&nnz), "nnz {nnz} violates 1..=M/2");
         }
         let c = SparsityPattern::row_wise(256, 8, 43);
         assert_ne!(a, c, "different seed should differ");

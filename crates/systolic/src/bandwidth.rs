@@ -82,7 +82,11 @@ impl BandwidthReport {
 
     /// Converts an average words/cycle figure to MB/s given a clock and
     /// word size (used by the Fig. 9-style throughput plots).
-    pub fn words_per_cycle_to_mbps(words_per_cycle: f64, clock_hz: f64, bytes_per_word: usize) -> f64 {
+    pub fn words_per_cycle_to_mbps(
+        words_per_cycle: f64,
+        clock_hz: f64,
+        bytes_per_word: usize,
+    ) -> f64 {
         words_per_cycle * clock_hz * bytes_per_word as f64 / 1.0e6
     }
 }

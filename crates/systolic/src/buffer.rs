@@ -122,13 +122,15 @@ impl<S: BackingStore> RecordingStore<S> {
 impl<S: BackingStore> BackingStore for RecordingStore<S> {
     fn fetch(&mut self, op: OperandKind, earliest: u64, addrs: &[Addr]) -> u64 {
         let done = self.inner.fetch(op, earliest, addrs);
-        self.trace.record(earliest, done, op, AccessKind::Read, addrs);
+        self.trace
+            .record(earliest, done, op, AccessKind::Read, addrs);
         done
     }
 
     fn drain(&mut self, op: OperandKind, earliest: u64, addrs: &[Addr]) -> u64 {
         let done = self.inner.drain(op, earliest, addrs);
-        self.trace.record(earliest, done, op, AccessKind::Write, addrs);
+        self.trace
+            .record(earliest, done, op, AccessKind::Write, addrs);
         done
     }
 }
@@ -206,6 +208,13 @@ pub struct ReadPlanner {
     fetch_seq: Vec<Addr>,
     needs: Vec<(u64, usize)>,
     max_needed: Option<usize>,
+    /// Cached eviction horizon — the index below which fetched data has
+    /// been evicted (with active chunk `j`, only chunks `j−1` and `j` are
+    /// resident). Kept in sync with `max_needed`: planning performs one
+    /// residency test per array-edge word, so the division behind this
+    /// value is paid only when the maximum fetch index advances, not on
+    /// every access.
+    resident_min: usize,
     unique_words: u64,
     refetch_words: u64,
     total_reads: u64,
@@ -240,35 +249,33 @@ impl ReadPlanner {
             fetch_seq: Vec::new(),
             needs: Vec::new(),
             max_needed: None,
+            resident_min: 0,
             unique_words: 0,
             refetch_words: 0,
             total_reads: 0,
         }
     }
 
-    /// Index below which fetched data has been evicted: with the active
-    /// chunk `j`, only chunks `j−1` and `j` are resident.
-    fn resident_min(&self) -> usize {
-        match self.max_needed {
-            Some(idx) => {
-                let chunk = idx / self.half_words;
-                chunk.saturating_sub(1) * self.half_words
-            }
-            None => 0,
-        }
-    }
-
     /// Observes the SRAM reads of one cycle.
     pub fn observe(&mut self, cycle: u64, addrs: &[Addr]) {
+        self.observe_with(cycle, addrs, |_| {});
+    }
+
+    /// [`observe`](Self::observe), additionally calling `per_addr` for each
+    /// address inside the planning loop. Lets a fused pass piggyback other
+    /// per-address work (the SRAM repeat lookup) on the single traversal of
+    /// the batch instead of scanning it twice.
+    #[inline]
+    pub fn observe_with(&mut self, cycle: u64, addrs: &[Addr], mut per_addr: impl FnMut(Addr)) {
         if addrs.is_empty() {
             return;
         }
         self.total_reads += addrs.len() as u64;
         let mut new_max = None::<usize>;
         for &a in addrs {
-            let resident_min = self.resident_min();
+            per_addr(a);
             let idx = match self.last_fetch_idx.get(a) {
-                Some(idx) if idx as usize >= resident_min => idx as usize,
+                Some(idx) if idx as usize >= self.resident_min => idx as usize,
                 hit => {
                     if hit.is_some() {
                         self.refetch_words += 1;
@@ -276,7 +283,10 @@ impl ReadPlanner {
                         self.unique_words += 1;
                     }
                     let idx = self.fetch_seq.len();
-                    assert!(idx < EMPTY as usize, "fetch sequence exceeds u32 index space");
+                    assert!(
+                        idx < EMPTY as usize,
+                        "fetch sequence exceeds u32 index space"
+                    );
                     self.fetch_seq.push(a);
                     self.last_fetch_idx.set(a, idx as u32);
                     idx
@@ -284,6 +294,8 @@ impl ReadPlanner {
             };
             if self.max_needed.is_none_or(|m| idx > m) {
                 self.max_needed = Some(idx);
+                let chunk = idx / self.half_words;
+                self.resident_min = chunk.saturating_sub(1) * self.half_words;
                 new_max = Some(idx);
             }
         }
@@ -307,7 +319,7 @@ impl ReadPlanner {
 }
 
 /// Finished fetch plan for a read operand.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadPlan {
     /// Operand this plan belongs to.
     pub op: OperandKind,
@@ -401,7 +413,10 @@ impl WritePlanner {
     #[inline]
     fn insert(&mut self, cycle: u64, addr: Addr) {
         let slot = self.next_slot;
-        self.next_slot = (self.next_slot + 1) % self.capacity_words;
+        self.next_slot += 1;
+        if self.next_slot == self.capacity_words {
+            self.next_slot = 0;
+        }
         let old = self.ring[slot];
         if old != Addr::MAX {
             // FIFO eviction of the slot's previous occupant.
@@ -424,7 +439,21 @@ impl WritePlanner {
 
     /// Observes one cycle of ofmap activity (RMW reads then writes).
     pub fn observe(&mut self, cycle: u64, reads: &[Addr], writes: &[Addr]) {
+        self.observe_with(cycle, reads, writes, |_| {});
+    }
+
+    /// [`observe`](Self::observe) with a per-address hook, the write-side
+    /// counterpart of [`ReadPlanner::observe_with`].
+    #[inline]
+    pub fn observe_with(
+        &mut self,
+        cycle: u64,
+        reads: &[Addr],
+        writes: &[Addr],
+        mut per_addr: impl FnMut(Addr),
+    ) {
         for &a in reads {
+            per_addr(a);
             if self.resident.get(a).is_some() {
                 self.read_hits += 1;
             } else {
@@ -438,6 +467,7 @@ impl WritePlanner {
             }
         }
         for &a in writes {
+            per_addr(a);
             if self.resident.get(a).is_some() {
                 self.write_hits += 1;
             } else {
@@ -470,7 +500,7 @@ impl WritePlanner {
 }
 
 /// Finished ofmap traffic plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WritePlan {
     /// Drain burst granularity (half the ofmap SRAM).
     pub half_words: usize,
@@ -501,7 +531,7 @@ pub struct WritePlan {
 // ---------------------------------------------------------------------------
 
 /// Inputs to the timing pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingInputs {
     /// Ifmap fetch plan.
     pub ifmap: ReadPlan,
@@ -650,7 +680,9 @@ pub fn timing(inputs: &TimingInputs, store: &mut dyn BackingStore) -> MemorySumm
     let mut tail_end = compute_end.max(pending_drain_done);
     if drain_cursor < inputs.ofmap.drain_addrs.len() {
         let addrs = &inputs.ofmap.drain_addrs[drain_cursor..];
-        tail_end = store.drain(OperandKind::Ofmap, tail_end, addrs).max(tail_end);
+        tail_end = store
+            .drain(OperandKind::Ofmap, tail_end, addrs)
+            .max(tail_end);
     }
     if !inputs.ofmap.flush_addrs.is_empty() {
         tail_end = store

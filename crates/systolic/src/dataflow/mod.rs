@@ -21,6 +21,7 @@ use crate::demand::{DemandSink, DemandSummary};
 use crate::operand::OperandMap;
 use crate::topology::GemmShape;
 use crate::util::ceil_div;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Geometry of one fold: the clipped array extent it occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +172,7 @@ impl DemandGenerator {
 
     /// Streams the full cycle-accurate demand into `sink`.
     pub fn run(&self, sink: &mut dyn DemandSink) {
+        RUN_COUNT.fetch_add(1, Ordering::Relaxed);
         match &self.inner {
             GeneratorKind::Os(g) => g.run(sink),
             GeneratorKind::Ws(g) => g.run(sink),
@@ -183,13 +185,74 @@ impl DemandGenerator {
         self.geometry().total_cycles()
     }
 
-    /// Runs the generator collecting only aggregate totals.
+    /// Aggregate demand totals in closed form, without streaming.
+    ///
+    /// Every per-fold total is derivable from the fold geometry (each fold
+    /// contributes `R'·T` reads on the streamed-operand edge, `R'·C'` loads
+    /// of the stationary operand, `T·C'` output events, and `R'·C'·T`
+    /// MACs), so the whole-stream summary costs O(1) instead of a full
+    /// cycle-accurate traversal. Verified against [`streamed_summary`]
+    /// (see `crates/systolic/tests/fused_equivalence.rs`).
+    ///
+    /// [`streamed_summary`]: Self::streamed_summary
     pub fn summary(&self) -> DemandSummary {
+        let g = self.geometry();
+        let (sr, sc, t) = (g.sr as u64, g.sc as u64, g.t as u64);
+        let (rf, cf) = (g.row_folds() as u64, g.col_folds() as u64);
+        let cycles = g.total_cycles();
+        let macs = sr * sc * t;
+        match &self.inner {
+            // OS: each fold reads R'·K ifmap and C'·K filter words and
+            // drains its R'·C' outputs exactly once.
+            GeneratorKind::Os(_) => DemandSummary {
+                cycles,
+                ifmap_reads: sr * cf * t,
+                filter_reads: sc * rf * t,
+                ofmap_reads: 0,
+                ofmap_writes: sr * sc,
+                macs,
+            },
+            // WS: each fold pins R'·C' weights, streams R'·M inputs and
+            // emits M·C' outputs; folds past the first K-tile re-read them.
+            GeneratorKind::Ws(_) => DemandSummary {
+                cycles,
+                ifmap_reads: sr * cf * t,
+                filter_reads: sr * sc,
+                ofmap_reads: t * sc * (rf - 1),
+                ofmap_writes: t * sc * rf,
+                macs,
+            },
+            // IS: the WS mirror image with inputs pinned, weights streamed.
+            GeneratorKind::Is(_) => DemandSummary {
+                cycles,
+                ifmap_reads: sr * sc,
+                filter_reads: sr * cf * t,
+                ofmap_reads: t * sc * (rf - 1),
+                ofmap_writes: t * sc * rf,
+                macs,
+            },
+        }
+    }
+
+    /// Aggregate totals obtained by actually streaming the demand — the
+    /// reference implementation [`summary`](Self::summary) is checked
+    /// against. Prefer `summary()`; this costs a full traversal.
+    pub fn streamed_summary(&self) -> DemandSummary {
         let mut s = DemandSummary::default();
         self.run(&mut s);
         s
     }
+
+    /// Total [`run`](Self::run) invocations process-wide — a diagnostics
+    /// counter used to assert that planning performs exactly one
+    /// cycle-accurate traversal per layer.
+    pub fn total_runs() -> u64 {
+        RUN_COUNT.load(Ordering::Relaxed)
+    }
 }
+
+/// Process-wide count of full demand-stream traversals.
+static RUN_COUNT: AtomicU64 = AtomicU64::new(0);
 
 #[cfg(test)]
 mod tests {

@@ -59,7 +59,9 @@ impl OsGenerator {
                     let r_lo = (ti - (k as i64 - 1)).max(0) as usize;
                     let r_hi = (t as usize).min(rp - 1);
                     for r in r_lo..=r_hi {
-                        demand.ifmap_reads.push(self.map.ifmap(m0 + r, t as usize - r));
+                        demand
+                            .ifmap_reads
+                            .push(self.map.ifmap(m0 + r, t as usize - r));
                     }
                 }
                 // Filter reads on the top edge (skewed by column index).
@@ -67,12 +69,14 @@ impl OsGenerator {
                     let c_lo = (ti - (k as i64 - 1)).max(0) as usize;
                     let c_hi = (t as usize).min(cp - 1);
                     for c in c_lo..=c_hi {
-                        demand.filter_reads.push(self.map.filter(t as usize - c, n0 + c));
+                        demand
+                            .filter_reads
+                            .push(self.map.filter(t as usize - c, n0 + c));
                     }
                 }
                 // Active MACs this cycle.
-                demand.active_macs = antidiagonal_prefix(rp, cp, ti)
-                    - antidiagonal_prefix(rp, cp, ti - k as i64);
+                demand.active_macs =
+                    antidiagonal_prefix(rp, cp, ti) - antidiagonal_prefix(rp, cp, ti - k as i64);
                 // Output drain: one row of outputs per cycle, bottom-up.
                 if t >= drain_start {
                     let d = (t - drain_start) as usize;

@@ -63,7 +63,7 @@ impl WsGenerator {
                     }
                 } else {
                     let tp = (t - prefetch) as i64; // stream-phase time t'
-                    // Ifmap stream on the left edge, skewed by row.
+                                                    // Ifmap stream on the left edge, skewed by row.
                     let r_lo = (tp - (m_dim as i64 - 1)).max(0) as usize;
                     let r_hi = (tp as usize).min(rp - 1);
                     if r_lo <= r_hi && (tp as usize) < m_dim + rp - 1 {
@@ -155,7 +155,10 @@ mod tests {
         let mut w = W(HashMap::new());
         gen.run(&mut w);
         assert_eq!(w.0.len(), 4 * 3);
-        assert!(w.0.values().all(|&v| v == 3), "each output written once per K fold");
+        assert!(
+            w.0.values().all(|&v| v == 3),
+            "each output written once per K fold"
+        );
     }
 
     #[test]

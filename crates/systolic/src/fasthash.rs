@@ -72,6 +72,10 @@ mod tests {
             i.hash(&mut h);
             lows.insert(h.finish() & 0x3F);
         }
-        assert!(lows.len() > 32, "only {} distinct low-6-bit values", lows.len());
+        assert!(
+            lows.len() > 32,
+            "only {} distinct low-6-bit values",
+            lows.len()
+        );
     }
 }

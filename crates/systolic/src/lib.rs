@@ -33,7 +33,7 @@
 //!     .dataflow(Dataflow::OutputStationary)
 //!     .build();
 //! let sim = CoreSim::new(config);
-//! let report = sim.simulate_gemm(&GemmShape::new(32, 32, 32));
+//! let report = sim.simulate_gemm(GemmShape::new(32, 32, 32));
 //! assert!(report.compute.total_compute_cycles > 0);
 //! assert!(report.compute.utilization > 0.0);
 //! ```
@@ -48,26 +48,28 @@ pub mod config;
 pub mod dataflow;
 pub mod demand;
 pub mod error;
+pub(crate) mod fasthash;
 pub mod operand;
+pub mod parallel;
 pub mod report;
 pub mod sim;
 pub mod topology;
 pub mod trace;
-pub(crate) mod fasthash;
 pub(crate) mod util;
 
 pub use analytical::{analytical_runtime, AnalyticalModel};
 pub use bandwidth::{BandwidthReport, InterfaceBandwidth};
 pub use buffer::{
-    timing, BackingStore, IdealBandwidthStore, ReadPlan, ReadPlanner, RecordingStore,
-    TimingInputs, WritePlan, WritePlanner,
+    timing, BackingStore, IdealBandwidthStore, ReadPlan, ReadPlanner, RecordingStore, TimingInputs,
+    WritePlan, WritePlanner,
 };
 pub use config::{ArrayShape, Dataflow, MemoryConfig, SimConfig, SimConfigBuilder};
 pub use dataflow::{DemandGenerator, Fold, FoldGeometry};
 pub use demand::{CycleDemand, DemandSink, DemandSummary};
 pub use error::SimError;
 pub use operand::{Addr, OperandKind, OperandMap, FILTER_BASE, IFMAP_BASE, OFMAP_BASE};
+pub use parallel::{num_threads, parallel_map, THREADS_ENV};
 pub use report::{ComputeSummary, LayerReport, MemorySummary, OperandMemoryStats, SramSummary};
-pub use sim::{CoreSim, PlannedLayer, RepeatLookup};
+pub use sim::{CoreSim, PlanCache, PlanKey, PlannedLayer, RepeatLookup};
 pub use topology::{ConvLayer, GemmShape, Layer, Topology};
 pub use trace::{AccessKind, TraceEntry, TraceRecorder};

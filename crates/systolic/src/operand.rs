@@ -131,7 +131,7 @@ mod tests {
         let b = map.filter(9_999, 9_999);
         let c = map.ofmap(9_999, 9_999);
         assert!(a < FILTER_BASE);
-        assert!(b < OFMAP_BASE && b >= FILTER_BASE);
+        assert!((FILTER_BASE..OFMAP_BASE).contains(&b));
         assert!(c >= OFMAP_BASE);
         assert_eq!(OperandKind::of_addr(a), OperandKind::Ifmap);
         assert_eq!(OperandKind::of_addr(b), OperandKind::Filter);

@@ -1,0 +1,103 @@
+//! Deterministic parallel execution over independent work items.
+//!
+//! Topology simulation is embarrassingly parallel: every layer plans and
+//! times against its own state, so layers can run on a scoped worker pool
+//! with results written back by index. Ordering and values are therefore
+//! identical to serial execution regardless of the thread count.
+//!
+//! The pool size defaults to the machine's available parallelism and can
+//! be overridden (e.g. pinned to 1 for profiling) with the
+//! `SCALESIM_THREADS` environment variable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-pool size.
+pub const THREADS_ENV: &str = "SCALESIM_THREADS";
+
+/// The worker-pool size: `SCALESIM_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on a scoped worker pool, returning results
+/// in item order. `f` receives `(index, &item)`.
+///
+/// Items are claimed dynamically (an atomic cursor), so heterogeneous
+/// layer costs balance across workers; each result lands in its item's
+/// slot, so the output is bit-identical to `items.iter().map(...)`.
+/// Falls back to a plain serial loop for a single worker or a single
+/// item.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool left an item unprocessed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        let parallel = parallel_map(&items, |_, &x| x * x + 1);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = parallel_map(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, ["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -4,14 +4,37 @@
 //! once, feeding the double-buffer planners and the SRAM repeat-access
 //! lookup, then replays the plans against a [`BackingStore`] to obtain stall
 //! timing, and assembles the [`LayerReport`].
+//!
+//! Planning is the simulator's hot path, so it is organized around three
+//! stacked optimizations (all bit-identical to the naive scheme):
+//!
+//! 1. **Fused single-pass planning** — [`FusedPlanPass`] drives both read
+//!    planners, the write planner and all three repeat lookups from *one*
+//!    [`DemandGenerator::run`], where the original scheme traversed the
+//!    cycle-accurate stream once per operand.
+//! 2. **Plan caching** — a [`PlanCache`] memoizes [`PlannedLayer`]s by
+//!    `(array, dataflow, GEMM, scratchpad geometry)`, so topologies that
+//!    repeat a layer shape (every CNN/ViT) plan it once and re-time it
+//!    cheaply against any backing store.
+//! 3. **Parallel topology execution** — independent layers simulate on a
+//!    scoped worker pool (see [`crate::parallel`]) with results returned
+//!    in layer order, identical to serial execution.
 
-use crate::buffer::{timing, BackingStore, IdealBandwidthStore, ReadPlanner, TimingInputs, WritePlanner};
-use crate::config::SimConfig;
+use crate::buffer::{
+    timing, BackingStore, IdealBandwidthStore, ReadPlanner, TimingInputs, WritePlanner,
+};
+use crate::config::{ArrayShape, Dataflow, SimConfig};
 use crate::dataflow::DemandGenerator;
 use crate::demand::{CycleDemand, DemandSink, DemandSummary};
+use crate::fasthash::FastHasher;
 use crate::operand::{Addr, OperandKind};
+use crate::parallel::parallel_map;
 use crate::report::{ComputeSummary, LayerReport, SramSummary};
 use crate::topology::{GemmShape, Layer, Topology};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Tracks "repeated" SRAM accesses: an access that falls in a currently
 /// open SRAM row costs much less energy than a random one (paper §VII-C).
@@ -22,6 +45,10 @@ use crate::topology::{GemmShape, Layer, Topology};
 #[derive(Debug, Clone)]
 pub struct RepeatLookup {
     row_words: u64,
+    /// `log2(row_words)` when the row size is a power of two (the common
+    /// configuration): the per-access division in the planning hot loop
+    /// then strength-reduces to a shift.
+    row_shift: Option<u32>,
     slot_mask: u64,
     open_rows: Vec<u64>,
     /// Total accesses observed.
@@ -34,8 +61,12 @@ impl RepeatLookup {
     /// Creates a lookup with the given row size (words) and row-buffer count.
     pub fn new(row_words: usize, row_buffers: usize) -> Self {
         let buffers = row_buffers.max(1).next_power_of_two();
+        let row_words = row_words.max(1) as u64;
         Self {
-            row_words: row_words.max(1) as u64,
+            row_words,
+            row_shift: row_words
+                .is_power_of_two()
+                .then(|| row_words.trailing_zeros()),
             slot_mask: buffers as u64 - 1,
             open_rows: vec![u64::MAX; buffers],
             accesses: 0,
@@ -47,7 +78,10 @@ impl RepeatLookup {
     #[inline]
     pub fn access(&mut self, addr: Addr) {
         self.accesses += 1;
-        let row = addr / self.row_words;
+        let row = match self.row_shift {
+            Some(shift) => addr >> shift,
+            None => addr / self.row_words,
+        };
         let slot = (row & self.slot_mask) as usize;
         if self.open_rows[slot] == row {
             self.repeats += 1;
@@ -64,12 +98,49 @@ impl RepeatLookup {
     }
 }
 
-/// Pass 1: ifmap-side planning (plus the cheap whole-stream summary).
+/// Fused planning sink: one pass over the cycle-accurate demand stream
+/// drives the ifmap/filter read planners, the ofmap write planner, the
+/// three per-SRAM repeat lookups and the whole-stream summary.
 ///
-/// Planning is split into per-operand passes over the demand stream: the
-/// per-operand working sets (direct-mapped address indices) are far
-/// smaller than their union, and cache residency dominates the planning
-/// cost for large layers.
+/// The per-operand working sets (direct-mapped address indices) stay
+/// disjoint inside their planners exactly as in the per-operand passes, so
+/// fusing trades a little extra cache footprint per cycle for two entire
+/// stream traversals — the stream generation itself, not the planner
+/// lookups, dominates at that point.
+struct FusedPlanPass {
+    summary: DemandSummary,
+    ifmap: ReadPlanner,
+    ifmap_repeat: RepeatLookup,
+    filter: ReadPlanner,
+    filter_repeat: RepeatLookup,
+    ofmap: WritePlanner,
+    ofmap_repeat: RepeatLookup,
+}
+
+impl DemandSink for FusedPlanPass {
+    fn on_cycle(&mut self, d: &CycleDemand) {
+        self.summary.absorb(d);
+        if !d.ifmap_reads.is_empty() {
+            let repeat = &mut self.ifmap_repeat;
+            self.ifmap
+                .observe_with(d.cycle, &d.ifmap_reads, |a| repeat.access(a));
+        }
+        if !d.filter_reads.is_empty() {
+            let repeat = &mut self.filter_repeat;
+            self.filter
+                .observe_with(d.cycle, &d.filter_reads, |a| repeat.access(a));
+        }
+        if !d.ofmap_reads.is_empty() || !d.ofmap_writes.is_empty() {
+            let repeat = &mut self.ofmap_repeat;
+            self.ofmap
+                .observe_with(d.cycle, &d.ofmap_reads, &d.ofmap_writes, |a| {
+                    repeat.access(a)
+                });
+        }
+    }
+}
+
+/// Legacy pass 1: ifmap-side planning (plus the whole-stream summary).
 struct IfmapPass {
     planner: ReadPlanner,
     repeat: RepeatLookup,
@@ -84,7 +155,7 @@ impl DemandSink for IfmapPass {
     }
 }
 
-/// Pass 2: filter-side planning.
+/// Legacy pass 2: filter-side planning.
 struct FilterPass {
     planner: ReadPlanner,
     repeat: RepeatLookup,
@@ -97,7 +168,7 @@ impl DemandSink for FilterPass {
     }
 }
 
-/// Pass 3: ofmap-side planning.
+/// Legacy pass 3: ofmap-side planning.
 struct OfmapPass {
     planner: WritePlanner,
     repeat: RepeatLookup,
@@ -105,14 +176,15 @@ struct OfmapPass {
 
 impl DemandSink for OfmapPass {
     fn on_cycle(&mut self, d: &CycleDemand) {
-        self.planner.observe(d.cycle, &d.ofmap_reads, &d.ofmap_writes);
+        self.planner
+            .observe(d.cycle, &d.ofmap_reads, &d.ofmap_writes);
         self.repeat.access_all(&d.ofmap_reads);
         self.repeat.access_all(&d.ofmap_writes);
     }
 }
 
 /// A planned layer: everything needed to time it against any backing store.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannedLayer {
     /// Timing inputs for [`timing`].
     pub inputs: TimingInputs,
@@ -124,10 +196,142 @@ pub struct PlannedLayer {
     pub sram: SramSummary,
 }
 
+/// Cache key: everything the fetch plans depend on. Deliberately excludes
+/// the backing-store bandwidth — plans describe *what* to fetch and
+/// *when it is needed*; timing against a store happens per replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    array: ArrayShape,
+    dataflow: Dataflow,
+    gemm: GemmShape,
+    ifmap_words: usize,
+    filter_words: usize,
+    ofmap_words: usize,
+    sram_row_words: usize,
+    sram_row_buffers: usize,
+}
+
+impl PlanKey {
+    /// Builds the key for planning `gemm` under `config`.
+    pub fn new(config: &SimConfig, gemm: GemmShape) -> Self {
+        let mem = &config.memory;
+        Self {
+            array: config.array,
+            dataflow: config.dataflow,
+            gemm,
+            ifmap_words: mem.ifmap_words,
+            filter_words: mem.filter_words,
+            ofmap_words: mem.ofmap_words,
+            sram_row_words: mem.sram_row_words,
+            sram_row_buffers: mem.sram_row_buffers,
+        }
+    }
+}
+
+/// Thread-safe memoization of [`PlannedLayer`]s by [`PlanKey`].
+///
+/// CNN and transformer topologies repeat layer shapes heavily (ResNet-18
+/// lowers 21 layers to ~10 distinct GEMMs; every ViT encoder block repeats
+/// the same four), so planning each distinct shape once and re-timing the
+/// shared plan is a large end-to-end win. Plans are returned as
+/// [`Arc`]s — replaying one against a [`BackingStore`] never mutates it.
+///
+/// Plans can be large (fetch sequences scale with unique words), so the
+/// cache is bounded: once it holds `capacity` distinct plans, the next
+/// insert drops the whole generation and starts fresh. Any topology with
+/// fewer distinct shapes than the capacity — all realistic networks —
+/// never evicts; long-lived simulators sweeping many shapes stay within a
+/// predictable footprint. Eviction only ever costs re-planning, never
+/// correctness.
+#[derive(Debug)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Default bound on distinct plans held at once.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// Creates an empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` distinct plans
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: Mutex::new(HashMap::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for `key`, or plans it with `plan` and
+    /// caches the result.
+    ///
+    /// Concurrent callers missing on the same key may plan redundantly
+    /// (planning happens outside the lock); the first insert wins, so all
+    /// callers still observe one canonical plan.
+    pub fn get_or_insert_with(
+        &self,
+        key: PlanKey,
+        plan: impl FnOnce() -> PlannedLayer,
+    ) -> Arc<PlannedLayer> {
+        if let Some(hit) = self.map.lock().expect("plan cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let planned = Arc::new(plan());
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert(planned))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. plans actually computed) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct plans held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached plans (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache poisoned").clear();
+    }
+}
+
 /// Single-core cycle-accurate simulator.
 #[derive(Debug, Clone)]
 pub struct CoreSim {
     config: SimConfig,
+    cache: Option<Arc<PlanCache>>,
 }
 
 impl CoreSim {
@@ -141,7 +345,22 @@ impl CoreSim {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid simulator configuration: {e}"));
-        Self { config }
+        Self {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared plan cache; repeated GEMM shapes are planned once
+    /// across every simulator holding the same cache.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
     }
 
     /// The configuration in use.
@@ -154,38 +373,18 @@ impl CoreSim {
         DemandGenerator::new(self.config.array, self.config.dataflow, gemm)
     }
 
-    /// Runs the planning pass: one full demand-stream traversal producing
-    /// the fetch plans, demand totals and SRAM profiles.
-    pub fn plan_gemm(&self, gemm: GemmShape) -> PlannedLayer {
-        let gen = self.demand_generator(gemm);
-        let mem = &self.config.memory;
-        let ifmap_domain = Some((crate::operand::IFMAP_BASE, (gemm.m * gemm.k) as u64));
-        let filter_domain = Some((crate::operand::FILTER_BASE, (gemm.k * gemm.n) as u64));
-        let ofmap_domain = Some((crate::operand::OFMAP_BASE, (gemm.m * gemm.n) as u64));
+    fn operand_domains(gemm: GemmShape) -> [(Addr, u64); 3] {
+        [
+            (crate::operand::IFMAP_BASE, (gemm.m * gemm.k) as u64),
+            (crate::operand::FILTER_BASE, (gemm.k * gemm.n) as u64),
+            (crate::operand::OFMAP_BASE, (gemm.m * gemm.n) as u64),
+        ]
+    }
 
-        let mut pass1 = IfmapPass {
-            planner: ReadPlanner::with_domain(OperandKind::Ifmap, mem.ifmap_words, ifmap_domain),
-            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
-            summary: DemandSummary::default(),
-        };
-        gen.run(&mut pass1);
-        let mut pass2 = FilterPass {
-            planner: ReadPlanner::with_domain(
-                OperandKind::Filter,
-                mem.filter_words,
-                filter_domain,
-            ),
-            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
-        };
-        gen.run(&mut pass2);
-        let mut pass3 = OfmapPass {
-            planner: WritePlanner::with_domain(mem.ofmap_words, ofmap_domain),
-            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
-        };
-        gen.run(&mut pass3);
-        let summary = pass1.summary;
-
-        let geom = gen.geometry();
+    fn assemble(&self, gemm: GemmShape, pass: FusedPlanPass) -> PlannedLayer {
+        let geom =
+            crate::dataflow::FoldGeometry::new(self.config.array, self.config.dataflow, gemm);
+        let summary = pass.summary;
         let cycles = summary.cycles;
         let pes = self.config.array.num_pes() as u64;
         let compute = ComputeSummary {
@@ -208,14 +407,14 @@ impl CoreSim {
             filter_reads: summary.filter_reads,
             ofmap_reads: summary.ofmap_reads,
             ofmap_writes: summary.ofmap_writes,
-            ifmap_repeat_reads: pass1.repeat.repeats,
-            filter_repeat_reads: pass2.repeat.repeats,
-            ofmap_repeat_accesses: pass3.repeat.repeats,
+            ifmap_repeat_reads: pass.ifmap_repeat.repeats,
+            filter_repeat_reads: pass.filter_repeat.repeats,
+            ofmap_repeat_accesses: pass.ofmap_repeat.repeats,
         };
         let inputs = TimingInputs {
-            ifmap: pass1.planner.finish(),
-            filter: pass2.planner.finish(),
-            ofmap: pass3.planner.finish(),
+            ifmap: pass.ifmap.finish(),
+            filter: pass.filter.finish(),
+            ofmap: pass.ofmap.finish(),
             compute_cycles: cycles,
         };
         PlannedLayer {
@@ -226,6 +425,95 @@ impl CoreSim {
         }
     }
 
+    /// Runs the planning pass: one fused demand-stream traversal producing
+    /// the fetch plans, demand totals and SRAM profiles for all three
+    /// operands at once.
+    pub fn plan_gemm(&self, gemm: GemmShape) -> PlannedLayer {
+        let gen = self.demand_generator(gemm);
+        let mem = &self.config.memory;
+        let [ifmap_domain, filter_domain, ofmap_domain] = Self::operand_domains(gemm);
+        let mut pass = FusedPlanPass {
+            summary: DemandSummary::default(),
+            ifmap: ReadPlanner::with_domain(
+                OperandKind::Ifmap,
+                mem.ifmap_words,
+                Some(ifmap_domain),
+            ),
+            ifmap_repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+            filter: ReadPlanner::with_domain(
+                OperandKind::Filter,
+                mem.filter_words,
+                Some(filter_domain),
+            ),
+            filter_repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+            ofmap: WritePlanner::with_domain(mem.ofmap_words, Some(ofmap_domain)),
+            ofmap_repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+        };
+        gen.run(&mut pass);
+        self.assemble(gemm, pass)
+    }
+
+    /// Plans through the attached [`PlanCache`] when one is present,
+    /// otherwise plans directly. This is what the simulation entry points
+    /// use; call it to share plans across repeated shapes.
+    pub fn plan_gemm_shared(&self, gemm: GemmShape) -> Arc<PlannedLayer> {
+        match &self.cache {
+            Some(cache) => {
+                cache.get_or_insert_with(PlanKey::new(&self.config, gemm), || self.plan_gemm(gemm))
+            }
+            None => Arc::new(self.plan_gemm(gemm)),
+        }
+    }
+
+    /// The original per-operand planning scheme: three full demand-stream
+    /// traversals, one per operand. Kept (not wired into any simulation
+    /// path) as the reference the fused pass is verified against and as
+    /// the perf-regression baseline.
+    #[doc(hidden)]
+    pub fn plan_gemm_unfused(&self, gemm: GemmShape) -> PlannedLayer {
+        let gen = self.demand_generator(gemm);
+        let mem = &self.config.memory;
+        let [ifmap_domain, filter_domain, ofmap_domain] = Self::operand_domains(gemm);
+
+        let mut pass1 = IfmapPass {
+            planner: ReadPlanner::with_domain(
+                OperandKind::Ifmap,
+                mem.ifmap_words,
+                Some(ifmap_domain),
+            ),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+            summary: DemandSummary::default(),
+        };
+        gen.run(&mut pass1);
+        let mut pass2 = FilterPass {
+            planner: ReadPlanner::with_domain(
+                OperandKind::Filter,
+                mem.filter_words,
+                Some(filter_domain),
+            ),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+        };
+        gen.run(&mut pass2);
+        let mut pass3 = OfmapPass {
+            planner: WritePlanner::with_domain(mem.ofmap_words, Some(ofmap_domain)),
+            repeat: RepeatLookup::new(mem.sram_row_words, mem.sram_row_buffers),
+        };
+        gen.run(&mut pass3);
+
+        self.assemble(
+            gemm,
+            FusedPlanPass {
+                summary: pass1.summary,
+                ifmap: pass1.planner,
+                ifmap_repeat: pass1.repeat,
+                filter: pass2.planner,
+                filter_repeat: pass2.repeat,
+                ofmap: pass3.planner,
+                ofmap_repeat: pass3.repeat,
+            },
+        )
+    }
+
     /// Simulates a GEMM against an explicit backing store.
     pub fn simulate_gemm_with_store(
         &self,
@@ -233,7 +521,7 @@ impl CoreSim {
         gemm: GemmShape,
         store: &mut dyn BackingStore,
     ) -> LayerReport {
-        let planned = self.plan_gemm(gemm);
+        let planned = self.plan_gemm_shared(gemm);
         let memory = timing(&planned.inputs, store);
         LayerReport {
             name: name.to_string(),
@@ -245,9 +533,9 @@ impl CoreSim {
     }
 
     /// Simulates a GEMM with SCALE-Sim v2's ideal fixed-bandwidth memory.
-    pub fn simulate_gemm(&self, gemm: &GemmShape) -> LayerReport {
+    pub fn simulate_gemm(&self, gemm: GemmShape) -> LayerReport {
         let mut store = IdealBandwidthStore::new(self.config.memory.dram_bandwidth);
-        self.simulate_gemm_with_store("gemm", *gemm, &mut store)
+        self.simulate_gemm_with_store("gemm", gemm, &mut store)
     }
 
     /// Simulates one layer (convs are lowered to GEMM first).
@@ -257,8 +545,55 @@ impl CoreSim {
     }
 
     /// Simulates every layer of a topology with ideal memory.
+    ///
+    /// Layers execute concurrently on a scoped worker pool (control the
+    /// size with `SCALESIM_THREADS`, see [`crate::parallel`]); reports come
+    /// back in layer order with values identical to serial execution. A
+    /// temporary plan cache dedupes repeated shapes for the duration of the
+    /// call when the simulator has none attached, and — because every layer
+    /// here replays against a fresh fixed-bandwidth store — the timing
+    /// result is memoized alongside the plan, so a repeated shape costs
+    /// only a lookup.
     pub fn simulate_topology(&self, topology: &Topology) -> Vec<LayerReport> {
-        topology.iter().map(|l| self.simulate_layer(l)).collect()
+        let sim = match &self.cache {
+            Some(_) => self.clone(),
+            None => self.clone().with_plan_cache(Arc::new(PlanCache::new())),
+        };
+        // Timing against `IdealBandwidthStore::new(bandwidth)` is a pure
+        // function of (plan, bandwidth), and bandwidth is constant for the
+        // whole call — memoize per plan key.
+        let timed: Mutex<
+            HashMap<PlanKey, crate::report::MemorySummary, BuildHasherDefault<FastHasher>>,
+        > = Mutex::new(HashMap::default());
+        parallel_map(topology.layers(), |_, layer| {
+            let gemm = layer.gemm();
+            let key = PlanKey::new(&sim.config, gemm);
+            let memo = timed
+                .lock()
+                .expect("timing memo poisoned")
+                .get(&key)
+                .copied();
+            match memo {
+                Some(memory) => {
+                    let planned = sim.plan_gemm_shared(gemm); // plan-cache hit
+                    LayerReport {
+                        name: layer.name().to_string(),
+                        gemm,
+                        compute: planned.compute,
+                        memory,
+                        sram: planned.sram,
+                    }
+                }
+                None => {
+                    let report = sim.simulate_layer(layer);
+                    timed
+                        .lock()
+                        .expect("timing memo poisoned")
+                        .insert(key, report.memory);
+                    report
+                }
+            }
+        })
     }
 }
 
@@ -280,7 +615,7 @@ mod tests {
     fn report_is_consistent_across_dataflows() {
         let gemm = GemmShape::new(32, 32, 32);
         for df in Dataflow::ALL {
-            let r = sim(df).simulate_gemm(&gemm);
+            let r = sim(df).simulate_gemm(gemm);
             assert_eq!(r.compute.macs, gemm.macs(), "{df}");
             assert!(r.compute.utilization > 0.0 && r.compute.utilization <= 1.0);
             assert!(r.compute.mapping_efficiency > 0.0 && r.compute.mapping_efficiency <= 1.0);
@@ -293,7 +628,10 @@ mod tests {
                 "{df}: cycle accounting"
             );
             // All final outputs must reach DRAM.
-            assert!(r.memory.ofmap.dram_writes >= (gemm.m * gemm.n) as u64, "{df}");
+            assert!(
+                r.memory.ofmap.dram_writes >= (gemm.m * gemm.n) as u64,
+                "{df}"
+            );
         }
     }
 
@@ -308,13 +646,16 @@ mod tests {
             slow_cfg.memory.dram_bandwidth = 1.0;
             let mut fast_cfg = slow_cfg.clone();
             fast_cfg.memory.dram_bandwidth = 64.0;
-            let slow = CoreSim::new(slow_cfg).simulate_gemm(&gemm);
-            let fast = CoreSim::new(fast_cfg).simulate_gemm(&gemm);
+            let slow = CoreSim::new(slow_cfg).simulate_gemm(gemm);
+            let fast = CoreSim::new(fast_cfg).simulate_gemm(gemm);
             assert!(
                 fast.memory.total_cycles <= slow.memory.total_cycles,
                 "{df}: more bandwidth must not hurt"
             );
-            assert_eq!(fast.compute.total_compute_cycles, slow.compute.total_compute_cycles);
+            assert_eq!(
+                fast.compute.total_compute_cycles,
+                slow.compute.total_compute_cycles
+            );
         }
     }
 
@@ -325,8 +666,8 @@ mod tests {
         small_cfg.memory = MemoryConfig::from_kilobytes(2, 2, 2, 2);
         let mut big_cfg = small_cfg.clone();
         big_cfg.memory = MemoryConfig::from_kilobytes(512, 512, 128, 2);
-        let small = CoreSim::new(small_cfg).simulate_gemm(&gemm);
-        let big = CoreSim::new(big_cfg).simulate_gemm(&gemm);
+        let small = CoreSim::new(small_cfg).simulate_gemm(gemm);
+        let big = CoreSim::new(big_cfg).simulate_gemm(gemm);
         assert!(big.memory.total_dram_reads() <= small.memory.total_dram_reads());
     }
 
@@ -344,7 +685,7 @@ mod tests {
     #[test]
     fn sram_reads_match_between_summary_and_report() {
         let gemm = GemmShape::new(24, 16, 8);
-        let r = sim(Dataflow::WeightStationary).simulate_gemm(&gemm);
+        let r = sim(Dataflow::WeightStationary).simulate_gemm(gemm);
         // WS: filter reads = K·N prefetches; the ifmap streams once per
         // column fold (N=16 on C=8 → 2 folds), so reads = 2·K·M.
         assert_eq!(r.sram.filter_reads, (8 * 16) as u64);
@@ -358,5 +699,66 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.memory.dram_bandwidth = -1.0;
         let _ = CoreSim::new(cfg);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_shapes() {
+        let cache = Arc::new(PlanCache::new());
+        let sim = sim(Dataflow::WeightStationary).with_plan_cache(Arc::clone(&cache));
+        let gemm = GemmShape::new(32, 24, 16);
+        let a = sim.simulate_gemm(gemm);
+        let b = sim.simulate_gemm(gemm);
+        assert_eq!(a, b);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        // A different shape misses.
+        let _ = sim.simulate_gemm(GemmShape::new(16, 16, 16));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn plan_cache_bounds_its_footprint() {
+        let cache = Arc::new(PlanCache::with_capacity(2));
+        let sim = sim(Dataflow::OutputStationary).with_plan_cache(Arc::clone(&cache));
+        for n in 1..=5 {
+            let _ = sim.plan_gemm_shared(GemmShape::new(8, 8 * n, 8));
+        }
+        assert!(cache.len() <= 2, "capacity must bound distinct plans");
+        // Evicted shapes still re-plan correctly.
+        let r = sim.simulate_gemm(GemmShape::new(8, 8, 8));
+        assert_eq!(r, sim.simulate_gemm(GemmShape::new(8, 8, 8)));
+    }
+
+    #[test]
+    fn cached_and_uncached_reports_agree() {
+        let gemm = GemmShape::new(40, 28, 12);
+        for df in Dataflow::ALL {
+            let plain = sim(df).simulate_gemm(gemm);
+            let cached_sim = sim(df).with_plan_cache(Arc::new(PlanCache::new()));
+            let warm = cached_sim.simulate_gemm(gemm); // miss
+            let hot = cached_sim.simulate_gemm(gemm); // hit
+            assert_eq!(plain, warm, "{df}");
+            assert_eq!(plain, hot, "{df}");
+        }
+    }
+
+    #[test]
+    fn topology_runs_in_layer_order_and_matches_serial() {
+        let topo = Topology::from_layers(
+            "t",
+            vec![
+                Layer::gemm_layer("a", 16, 16, 16),
+                Layer::gemm_layer("b", 24, 24, 24),
+                Layer::gemm_layer("a2", 16, 16, 16), // repeated shape
+                Layer::gemm_layer("c", 8, 40, 12),
+            ],
+        );
+        let s = sim(Dataflow::OutputStationary);
+        let serial: Vec<LayerReport> = topo.iter().map(|l| s.simulate_layer(l)).collect();
+        let parallel = s.simulate_topology(&topo);
+        assert_eq!(serial, parallel);
+        let names: Vec<&str> = parallel.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "a2", "c"]);
     }
 }

@@ -328,7 +328,10 @@ impl Topology {
                     ));
                 }
                 Layer::Gemm { name, shape } => {
-                    out.push_str(&format!("{}, {}, {}, {},\n", name, shape.m, shape.k, shape.n));
+                    out.push_str(&format!(
+                        "{}, {}, {}, {},\n",
+                        name, shape.m, shape.k, shape.n
+                    ));
                 }
             }
         }

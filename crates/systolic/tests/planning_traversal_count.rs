@@ -1,0 +1,59 @@
+//! Asserts how many cycle-accurate demand-stream traversals planning
+//! performs, via the process-wide [`DemandGenerator::total_runs`] counter.
+//!
+//! The counter is global, so this file holds exactly one `#[test]` — its
+//! own test binary, nothing else bumping the counter concurrently.
+
+use scalesim_systolic::{
+    ArrayShape, CoreSim, Dataflow, DemandGenerator, GemmShape, PlanCache, SimConfig,
+};
+use std::sync::Arc;
+
+#[test]
+fn planning_traversal_counts() {
+    let sim = CoreSim::new(
+        SimConfig::builder()
+            .array(ArrayShape::new(8, 8))
+            .dataflow(Dataflow::WeightStationary)
+            .build(),
+    );
+    let gemm = GemmShape::new(24, 24, 24);
+
+    // Fused planning: exactly one run per planned layer.
+    let before = DemandGenerator::total_runs();
+    let _ = sim.plan_gemm(gemm);
+    assert_eq!(
+        DemandGenerator::total_runs() - before,
+        1,
+        "fused planning must traverse the stream exactly once"
+    );
+
+    // The legacy scheme it replaced: one run per operand.
+    let before = DemandGenerator::total_runs();
+    let _ = sim.plan_gemm_unfused(gemm);
+    assert_eq!(
+        DemandGenerator::total_runs() - before,
+        3,
+        "legacy planning traverses once per operand"
+    );
+
+    // A plan-cache hit: no traversal at all.
+    let cached = sim.clone().with_plan_cache(Arc::new(PlanCache::new()));
+    let _ = cached.plan_gemm_shared(gemm); // cold: one traversal
+    let before = DemandGenerator::total_runs();
+    let _ = cached.plan_gemm_shared(gemm);
+    assert_eq!(
+        DemandGenerator::total_runs() - before,
+        0,
+        "a cache hit must not re-traverse the demand stream"
+    );
+
+    // The closed-form summary: no traversal either.
+    let before = DemandGenerator::total_runs();
+    let _ = sim.demand_generator(gemm).summary();
+    assert_eq!(
+        DemandGenerator::total_runs() - before,
+        0,
+        "the closed-form summary must not stream"
+    );
+}

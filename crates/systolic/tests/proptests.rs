@@ -1,5 +1,9 @@
 //! Property-based tests of the systolic core invariants.
 
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use scalesim_systolic::{
     ArrayShape, CoreSim, CycleDemand, Dataflow, DemandGenerator, DemandSink, GemmShape,
@@ -121,7 +125,7 @@ proptest! {
             .build();
         cfg.memory = MemoryConfig::from_kilobytes(4, 4, 4, 2);
         cfg.memory.dram_bandwidth = bw as f64;
-        let report = CoreSim::new(cfg).simulate_gemm(&GemmShape::new(m, n, k));
+        let report = CoreSim::new(cfg).simulate_gemm(GemmShape::new(m, n, k));
         prop_assert_eq!(
             report.memory.total_cycles,
             report.memory.ramp_up_cycles
@@ -152,7 +156,7 @@ proptest! {
                 .build();
             cfg.memory = MemoryConfig::from_kilobytes(2, 2, 2, 2);
             cfg.memory.dram_bandwidth = bw;
-            CoreSim::new(cfg).simulate_gemm(&GemmShape::new(m, n, k)).memory.total_cycles
+            CoreSim::new(cfg).simulate_gemm(GemmShape::new(m, n, k)).memory.total_cycles
         };
         let slow = mk(1.0);
         let mid = mk(4.0);

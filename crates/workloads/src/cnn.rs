@@ -100,7 +100,15 @@ pub fn resnet50() -> Topology {
                 stride,
                 true,
             ));
-            t.push(conv(format!("conv{stage}_{b}_1x1b"), size, 1, mid, out, 1, false));
+            t.push(conv(
+                format!("conv{stage}_{b}_1x1b"),
+                size,
+                1,
+                mid,
+                out,
+                1,
+                false,
+            ));
             if b == 0 {
                 t.push(conv(
                     format!("conv{stage}_{b}_proj"),
@@ -153,7 +161,15 @@ pub fn rcnn() -> Topology {
         (14, 512, 512, 1),
     ];
     for (i, &(size, cin, cout, stride)) in vgg.iter().enumerate() {
-        t.push(conv(format!("vgg_conv{}", i + 1), size, 3, cin, cout, stride, true));
+        t.push(conv(
+            format!("vgg_conv{}", i + 1),
+            size,
+            3,
+            cin,
+            cout,
+            stride,
+            true,
+        ));
     }
     // Region proposal network on the 14×14 feature map.
     t.push(conv("rpn_conv".into(), 14, 3, 512, 512, 1, true));

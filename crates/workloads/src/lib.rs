@@ -76,10 +76,19 @@ mod tests {
     fn every_workload_is_nonempty_and_valid() {
         for t in all_workloads() {
             assert!(!t.is_empty(), "{} empty", t.name());
-            assert!(t.total_macs() > 1_000_000, "{} suspiciously small", t.name());
+            assert!(
+                t.total_macs() > 1_000_000,
+                "{} suspiciously small",
+                t.name()
+            );
             for layer in t.iter() {
                 let g = layer.gemm();
-                assert!(g.m > 0 && g.n > 0 && g.k > 0, "{}::{}", t.name(), layer.name());
+                assert!(
+                    g.m > 0 && g.n > 0 && g.k > 0,
+                    "{}::{}",
+                    t.name(),
+                    layer.name()
+                );
             }
         }
     }

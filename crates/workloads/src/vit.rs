@@ -70,7 +70,12 @@ impl ViTConfig {
     pub fn topology(&self) -> Topology {
         let mut t = Topology::new(self.name);
         // Patch embedding: 196 patches × (16·16·3) → hidden.
-        t.push(Layer::gemm_layer("patch_embed", self.seq - 1, self.hidden, 768));
+        t.push(Layer::gemm_layer(
+            "patch_embed",
+            self.seq - 1,
+            self.hidden,
+            768,
+        ));
         for l in 0..self.layers {
             let d = self.head_dim();
             t.push(Layer::gemm_layer(
@@ -197,9 +202,6 @@ mod tests {
             .unwrap()
             .gemm()
             .macs();
-        assert_eq!(
-            qk,
-            (c.heads * c.seq * c.seq * c.head_dim()) as u64
-        );
+        assert_eq!(qk, (c.heads * c.seq * c.seq * c.head_dim()) as u64);
     }
 }

@@ -8,9 +8,9 @@
 //!
 //! Run with: `cargo run --release --example dram_power_area`
 
+use scale_sim::energy::{ArchSpec, AreaConfig, AreaTable};
 use scale_sim::mem::power::DramEnergyBreakdown;
 use scale_sim::mem::{AccessKind, DramConfig, DramSpec, DramSystem};
-use scale_sim::energy::{ArchSpec, AreaConfig, AreaTable};
 
 /// Streams `n` sequential reads and returns `(cycles, energy)`.
 fn stream_reads(spec: DramSpec, channels: usize, n: u64) -> (u64, DramEnergyBreakdown) {

@@ -18,15 +18,26 @@ fn main() {
 
     println!("GEMM {gemm} on {cores} cores of {array} PEs\n");
     println!("-- partition search (compute-optimized) ---------------------");
-    println!("{:>17} {:>8} {:>14} {:>18}", "scheme", "grid", "cycles", "footprint(words)");
+    println!(
+        "{:>17} {:>8} {:>14} {:>18}",
+        "scheme", "grid", "cycles", "footprint(words)"
+    );
     for scheme in PartitionScheme::ALL {
-        let best = best_partition(array, scheme, dims, cores,
-            PartitionObjective::ComputeCycles, None);
-        println!("{:>17} {:>8} {:>14} {:>18}",
+        let best = best_partition(
+            array,
+            scheme,
+            dims,
+            cores,
+            PartitionObjective::ComputeCycles,
+            None,
+        );
+        println!(
+            "{:>17} {:>8} {:>14} {:>18}",
             scheme.label(),
             format!("{}x{}", best.grid.pr, best.grid.pc),
             best.cycles,
-            best.footprint_words);
+            best.footprint_words
+        );
     }
 
     println!("\n-- shared L2 deduplication (Fig. 4) --------------------------");
@@ -36,8 +47,10 @@ fn main() {
     let without = memory_footprint_words(PartitionScheme::Spatial, dims, grid, None);
     let report = L2Report::evaluate(PartitionScheme::Spatial, dims, grid);
     println!("  L1-only footprint   : {without} words");
-    println!("  with shared L2      : {with} words  ({:.1}x smaller)",
-        without as f64 / with as f64);
+    println!(
+        "  with shared L2      : {with} words  ({:.1}x smaller)",
+        without as f64 / with as f64
+    );
     println!("  required L2 (2x buf): {} words", report.required_words);
     println!("  L2->L1 NoC traffic  : {} words", report.l1_fill_words);
 
@@ -47,8 +60,12 @@ fn main() {
     let (shares, makespan) = non_uniform_split(&profile, work);
     let uniform = uniform_split_makespan(&profile, work);
     println!("  uniform split makespan     : {uniform} cycles");
-    println!("  non-uniform split makespan : {makespan} cycles ({:.1}% better)",
-        (uniform - makespan) as f64 / uniform as f64 * 100.0);
-    println!("  per-column work shares     : {:?}",
-        (0..4).map(|c| shares[c]).collect::<Vec<_>>());
+    println!(
+        "  non-uniform split makespan : {makespan} cycles ({:.1}% better)",
+        (uniform - makespan) as f64 / uniform as f64 * 100.0
+    );
+    println!(
+        "  per-column work shares     : {:?}",
+        (0..4).map(|c| shares[c]).collect::<Vec<_>>()
+    );
 }

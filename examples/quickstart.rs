@@ -21,13 +21,25 @@ fn main() {
     let sim = ScaleSim::new(config.clone());
     let r = sim.run_gemm("conv2_1", layer);
     println!("== SCALE-Sim v2 view (ideal memory) ==");
-    println!("  compute cycles     : {}", r.report.compute.total_compute_cycles);
+    println!(
+        "  compute cycles     : {}",
+        r.report.compute.total_compute_cycles
+    );
     println!("  stall cycles       : {}", r.report.memory.stall_cycles);
     println!("  total cycles       : {}", r.total_cycles());
-    println!("  PE utilization     : {:.1} %", r.report.compute.utilization * 100.0);
-    println!("  mapping efficiency : {:.1} %", r.report.compute.mapping_efficiency * 100.0);
-    println!("  DRAM reads/writes  : {} / {} words",
-        r.report.memory.total_dram_reads(), r.report.memory.total_dram_writes());
+    println!(
+        "  PE utilization     : {:.1} %",
+        r.report.compute.utilization * 100.0
+    );
+    println!(
+        "  mapping efficiency : {:.1} %",
+        r.report.compute.mapping_efficiency * 100.0
+    );
+    println!(
+        "  DRAM reads/writes  : {} / {} words",
+        r.report.memory.total_dram_reads(),
+        r.report.memory.total_dram_writes()
+    );
 
     // --- v3: add the cycle-accurate DRAM (three-step flow of §V-B) -------
     config.enable_dram = true;
@@ -35,10 +47,16 @@ fn main() {
     let r = sim.run_gemm("conv2_1", layer);
     let dram = r.dram.as_ref().expect("dram enabled");
     println!("\n== + Ramulator-class DRAM (DDR4-2400, 1 channel) ==");
-    println!("  total cycles       : {}  (stalls {})",
-        r.total_cycles(), dram.summary.stall_cycles);
+    println!(
+        "  total cycles       : {}  (stalls {})",
+        r.total_cycles(),
+        dram.summary.stall_cycles
+    );
     println!("  avg read latency   : {:.1} mem cycles", dram.avg_latency);
-    println!("  row hit rate       : {:.1} %", dram.stats.row_hit_rate() * 100.0);
+    println!(
+        "  row hit rate       : {:.1} %",
+        dram.stats.row_hit_rate() * 100.0
+    );
     println!("  memory throughput  : {:.0} MB/s", dram.throughput_mbps);
 
     // --- v3: add energy/power (§VII) --------------------------------------
@@ -50,5 +68,8 @@ fn main() {
     println!("  total energy       : {:.4} mJ", e.total_mj());
     println!("  average power      : {:.3} W", e.avg_power_w());
     println!("  energy-delay prod. : {:.1} cycles·mJ", e.edp_cycles_mj());
-    println!("  data-movement share: {:.1} %", e.data_movement_fraction() * 100.0);
+    println!(
+        "  data-movement share: {:.1} %",
+        e.data_movement_fraction() * 100.0
+    );
 }

@@ -24,22 +24,34 @@ fn main() {
     println!("  dense total cycles  : {}", dense.total_cycles());
 
     println!("\n-- layer-wise N:M sparsity ----------------------------------");
-    println!("{:>8} {:>14} {:>9} {:>14} {:>14}",
-        "ratio", "cycles", "speedup", "filter(dense)", "filter(sparse)");
+    println!(
+        "{:>8} {:>14} {:>9} {:>14} {:>14}",
+        "ratio", "cycles", "speedup", "filter(dense)", "filter(sparse)"
+    );
     for (n, m) in [(1usize, 4usize), (2, 4), (4, 4)] {
         let mut cfg = base_config();
         cfg.sparsity = Some(SparsityMode::LayerWise(NmRatio::new(n, m).unwrap()));
         let run = ScaleSim::new(cfg).run_topology(&net);
-        let orig: u64 = run.layers.iter().filter_map(|l| l.sparse.as_ref())
-            .map(|s| s.original_bytes).sum();
-        let new: u64 = run.layers.iter().filter_map(|l| l.sparse.as_ref())
-            .map(|s| s.new_filter_bytes()).sum();
-        println!("{:>8} {:>14} {:>8.2}x {:>13}kB {:>13}kB",
+        let orig: u64 = run
+            .layers
+            .iter()
+            .filter_map(|l| l.sparse.as_ref())
+            .map(|s| s.original_bytes)
+            .sum();
+        let new: u64 = run
+            .layers
+            .iter()
+            .filter_map(|l| l.sparse.as_ref())
+            .map(|s| s.new_filter_bytes())
+            .sum();
+        println!(
+            "{:>8} {:>14} {:>8.2}x {:>13}kB {:>13}kB",
             format!("{n}:{m}"),
             run.total_cycles(),
             dense.total_cycles() as f64 / run.total_cycles() as f64,
             orig / 1024,
-            new / 1024);
+            new / 1024
+        );
     }
 
     println!("\n-- row-wise sparsity (random N <= M/2 per block) ------------");
@@ -48,10 +60,12 @@ fn main() {
         let mut cfg = base_config();
         cfg.sparsity = Some(SparsityMode::RowWise { block, seed: 42 });
         let run = ScaleSim::new(cfg).run_topology(&net);
-        println!("{:>8} {:>14} {:>8.2}x",
+        println!(
+            "{:>8} {:>14} {:>8.2}x",
             format!("M={block}"),
             run.total_cycles(),
-            dense.total_cycles() as f64 / run.total_cycles() as f64);
+            dense.total_cycles() as f64 / run.total_cycles() as f64
+        );
     }
 
     println!("\nSPARSE_REPORT.csv (first layers, 2:4):");

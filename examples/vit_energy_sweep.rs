@@ -15,10 +15,16 @@ use scale_sim::{ScaleSim, ScaleSimConfig};
 
 fn main() {
     let vit = vit_base();
-    println!("workload: {} ({} layers, {:.1} GMACs)\n",
-        vit.name(), vit.len(), vit.total_macs() as f64 / 1e9);
-    println!("{:>9} {:>16} {:>12} {:>16} {:>14}",
-        "array", "cycles/layer", "energy(mJ)", "EdP(cyc·mJ)/1e6", "util(%)");
+    println!(
+        "workload: {} ({} layers, {:.1} GMACs)\n",
+        vit.name(),
+        vit.len(),
+        vit.total_macs() as f64 / 1e9
+    );
+    println!(
+        "{:>9} {:>16} {:>12} {:>16} {:>14}",
+        "array", "cycles/layer", "energy(mJ)", "EdP(cyc·mJ)/1e6", "util(%)"
+    );
 
     let mut rows = Vec::new();
     for n in [32usize, 64, 128] {
@@ -38,17 +44,31 @@ fn main() {
             .map(|l| l.report.compute.utilization)
             .sum::<f64>()
             / layers;
-        println!("{:>9} {:>16.0} {:>12.2} {:>16.2} {:>14.1}",
-            format!("{n}x{n}"), cyc_per_layer, energy, edp / 1e6, util * 100.0);
+        println!(
+            "{:>9} {:>16.0} {:>12.2} {:>16.2} {:>14.1}",
+            format!("{n}x{n}"),
+            cyc_per_layer,
+            energy,
+            edp / 1e6,
+            util * 100.0
+        );
         rows.push((n, run.total_compute_cycles(), energy, edp));
     }
 
     let speedup = rows[0].1 as f64 / rows[2].1 as f64;
     let eff = (rows[2].2 / rows[2].1 as f64 * rows[0].1 as f64) / rows[0].2;
     println!("\n128x128 speedup over 32x32 (latency)        : {speedup:.2}x (paper: 6.53x)");
-    println!("32x32 energy advantage (iso-work, total mJ) : {:.2}x (paper: 2.86x)",
-        rows[2].2 / rows[0].2);
+    println!(
+        "32x32 energy advantage (iso-work, total mJ) : {:.2}x (paper: 2.86x)",
+        rows[2].2 / rows[0].2
+    );
     let _ = eff;
-    let best_edp = rows.iter().min_by(|a, b| a.3.partial_cmp(&b.3).unwrap()).unwrap();
-    println!("best EdP                                     : {0}x{0} (paper: 64x64)", best_edp.0);
+    let best_edp = rows
+        .iter()
+        .min_by(|a, b| a.3.partial_cmp(&b.3).unwrap())
+        .unwrap();
+    println!(
+        "best EdP                                     : {0}x{0} (paper: 64x64)",
+        best_edp.0
+    );
 }

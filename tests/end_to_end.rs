@@ -97,9 +97,7 @@ fn multicore_speedup_and_work_conservation() {
         l2: Some(L2Config::default()),
     });
     let multi = ScaleSim::new(config).run_gemm("g", gemm);
-    assert!(
-        multi.report.compute.total_compute_cycles < single.report.compute.total_compute_cycles
-    );
+    assert!(multi.report.compute.total_compute_cycles < single.report.compute.total_compute_cycles);
     assert!(multi.report.compute.macs * 4 >= gemm.macs());
 }
 
@@ -159,10 +157,7 @@ Bandwidth : 16
 fn run_reports_are_well_formed_csv() {
     let sim = ScaleSim::new(small_config());
     let net = workloads::alexnet();
-    let topo = scale_sim::systolic::Topology::from_layers(
-        "head",
-        net.layers()[..2].to_vec(),
-    );
+    let topo = scale_sim::systolic::Topology::from_layers("head", net.layers()[..2].to_vec());
     let run = sim.run_topology(&topo);
     let csv = run.compute_report_csv();
     let lines: Vec<&str> = csv.lines().collect();

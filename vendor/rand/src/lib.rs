@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny slice of the rand 0.9 API it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`RngExt::random_range`] over
+//! inclusive `usize` ranges. The generator is SplitMix64 — deterministic,
+//! uniform, and more than adequate for synthesizing sparsity patterns.
+//! It makes no attempt to match upstream rand's output streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::RangeInclusive;
+
+/// A random number generator that can be seeded from integers.
+pub trait SeedableRng: Sized {
+    /// Creates the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods (rand 0.9 spells this `Rng`; the
+/// workspace imports it as `RngExt`).
+pub trait RngExt {
+    /// Returns the next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from an inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`start > end`).
+    fn random_range(&mut self, range: RangeInclusive<usize>) -> usize {
+        let (start, end) = (*range.start(), *range.end());
+        assert!(start <= end, "cannot sample from empty range");
+        let span = (end - start) as u64 + 1;
+        // Multiply-shift keeps the mapping unbiased enough for the small
+        // spans (block sizes) used here without a rejection loop.
+        let x = self.next_u64();
+        start + ((x as u128 * span as u128) >> 64) as usize
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard RNG: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.random_range(2..=6);
+            assert!((2..=6).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 2..=6 sampled");
+    }
+
+    #[test]
+    fn singleton_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.random_range(3..=3), 3);
+    }
+}
