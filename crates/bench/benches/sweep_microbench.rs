@@ -1,0 +1,148 @@
+//! Performance harness for the design-space sweep engine.
+//!
+//! A sweep's planning cost is shared: grid points that differ only in
+//! knobs a fetch plan doesn't depend on (DRAM bandwidth, feature flags)
+//! reuse one `PlannedLayer` through the grid-wide `PlanCache`. This
+//! bench times a small grid (2 arrays × 2 bandwidths over ViT-Small)
+//! two ways:
+//!
+//! * `isolated` — every `(point, topology)` run builds its own engine
+//!   with a private plan cache (no sharing across the grid);
+//! * `shared`   — the shipping `run_sweep` path: one plan cache for the
+//!   whole grid, sharded worker-pool execution.
+//!
+//! Both must produce byte-identical `SWEEP_REPORT.csv` bodies; the
+//! harness asserts it, prints the speedup, appends a CSV under
+//! `target/experiments/` and appends a `"sweep_microbench"` section to
+//! the `BENCH_perf.json` trajectory at the repo root.
+//!
+//! Run with: `cargo bench --bench sweep_microbench`
+
+use scalesim::sweep::SweepSpec;
+use scalesim::{run_sweep, ScaleSim, ScaleSimConfig};
+use scalesim_bench::{banner, write_csv, ResultTable};
+use scalesim_workloads::vit_small;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Measurement repetitions; the minimum is reported (least noise).
+const REPS: usize = 3;
+
+const GRID: &str = "[sweep]\nname = bench\n[grid]\n\
+                    array = 16x16, 32x32\nbandwidth = 4, 10\nenergy = true\n";
+
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn main() {
+    banner(
+        "sweep",
+        "design-space sweep: grid-wide plan-cache sharing",
+        "DSE grids repeat planning work; sharing one cache removes it",
+    );
+
+    let spec = SweepSpec::parse(GRID).expect("bench grid parses");
+    let base = ScaleSimConfig::default();
+    let topologies = vec![vit_small()];
+    let runs = spec.grid_size() * topologies.len();
+
+    // Baseline: private caches — every grid point replans everything.
+    let (isolated_s, isolated_cycles) = best_of(|| {
+        let mut total = 0u64;
+        for point in spec.expand() {
+            for topo in &topologies {
+                let cfg = scalesim::apply_point(&base, &point);
+                let sim = ScaleSim::new(cfg);
+                total += sim.run_topology(topo).total_cycles();
+            }
+        }
+        total
+    });
+
+    // Shipping path: one plan cache across the whole grid.
+    let (shared_s, report) = best_of(|| {
+        let (report, _) = run_sweep(&spec, &base, &topologies, 1).expect("grid is valid");
+        report
+    });
+    let shared_cycles: u64 = report.records().iter().map(|r| r.total_cycles).sum();
+    assert_eq!(
+        isolated_cycles, shared_cycles,
+        "plan sharing must not change results"
+    );
+
+    let speedup = isolated_s / shared_s;
+    let mut table = ResultTable::new(vec![
+        "grid_runs",
+        "isolated_s",
+        "shared_s",
+        "speedup",
+        "pareto_points",
+    ]);
+    table.row(vec![
+        runs.to_string(),
+        format!("{isolated_s:.3}"),
+        format!("{shared_s:.3}"),
+        format!("{speedup:.2}x"),
+        report.pareto_labels().len().to_string(),
+    ]);
+    table.print();
+    write_csv("sweep_microbench.csv", &table.to_csv());
+
+    append_bench_json(runs, isolated_s, shared_s, speedup);
+
+    // The bandwidth axis shares every plan; anything below parity means
+    // sharing broke. Wall-clock gates stay loose for noisy runners.
+    assert!(
+        speedup >= 1.05,
+        "regression: grid-wide plan sharing gives only {speedup:.2}x over isolated caches"
+    );
+}
+
+/// Appends (or replaces) the `"sweep_microbench"` section of the
+/// `BENCH_perf.json` trajectory. `perf_microbench` rewrites the file
+/// wholesale, so this section is always last when present.
+fn append_bench_json(runs: usize, isolated_s: f64, shared_s: f64, speedup: f64) {
+    let mut section = String::new();
+    let _ = writeln!(section, "  \"sweep_microbench\": {{");
+    let _ = writeln!(
+        section,
+        "    \"grid\": \"2 arrays x 2 bandwidths, vit-small\","
+    );
+    let _ = writeln!(section, "    \"runs\": {runs},");
+    let _ = writeln!(section, "    \"isolated_s\": {isolated_s:.6},");
+    let _ = writeln!(section, "    \"shared_s\": {shared_s:.6},");
+    let _ = writeln!(section, "    \"speedup_shared_cache\": {speedup:.3}");
+    let _ = writeln!(section, "  }}");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(mut existing) => {
+            if let Some(i) = existing.find(",\n  \"sweep_microbench\"") {
+                existing.truncate(i);
+            } else {
+                existing.truncate(existing.trim_end().len());
+                match existing.pop() {
+                    Some('}') => existing.truncate(existing.trim_end().len()),
+                    _ => existing = String::from("{"),
+                }
+            }
+            if existing.trim_end().ends_with('{') {
+                format!("{existing}\n{section}}}\n")
+            } else {
+                format!("{existing},\n{section}}}\n")
+            }
+        }
+        Err(_) => format!("{{\n{section}}}\n"),
+    };
+    std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[json] {}", path.display());
+}

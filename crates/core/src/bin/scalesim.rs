@@ -1,117 +1,75 @@
 //! `scalesim` — command-line front end mirroring the Python tool's
 //! interface: a `.cfg` architecture file plus a topology CSV in, report
-//! CSVs out.
+//! CSVs out. The `sweep` subcommand runs a whole design-space grid.
 //!
 //! ```text
 //! scalesim -c configs/tpu.cfg -t topologies/resnet18.csv -p ./results \
 //!          [--gemm] [--dram] [--energy] [--layout]
+//! scalesim sweep -s configs/example_sweep.toml -p ./results
 //! ```
+//!
+//! Argument parsing lives in [`scalesim::cli`] (unit-tested there); the
+//! full reference is `docs/CLI.md`.
 
+use scalesim::cli::{parse_cli, Command, RunArgs, SweepArgs};
+use scalesim::sweep::SweepSpec;
 use scalesim::systolic::Topology;
-use scalesim::{parse_cfg, ScaleSim, ScaleSimConfig};
-use std::path::PathBuf;
+use scalesim::{parse_cfg, run_sweep, ScaleSim, ScaleSimConfig};
+use std::path::Path;
 use std::process::ExitCode;
 
-struct Args {
-    config: Option<PathBuf>,
-    topology: PathBuf,
-    out_dir: PathBuf,
-    gemm: bool,
-    dram: bool,
-    energy: bool,
-    layout: bool,
-    area: bool,
-    verbose: bool,
-}
-
-const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p <outdir>]
-                [--gemm] [--dram] [--energy] [--layout] [--area] [-v]
-
-  -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
-              with --gemm: name,M,K,N)
-  -c <file>   SCALE-Sim .cfg architecture file (default: 32x32 OS core)
-  -p <dir>    output directory for report CSVs (default: .)
-  --gemm      parse the topology as GEMM rows
-  --dram      enable the cycle-accurate DRAM flow (paper SecV)
-  --energy    enable energy/power estimation (paper SecVII)
-  --layout    enable bank-conflict layout analysis (paper SecVI)
-  --area      emit the silicon-area report for the configured core
-  -v          print per-layer results while running";
-
-fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
-    let _bin = argv.next();
-    let mut config = None;
-    let mut topology = None;
-    let mut out_dir = PathBuf::from(".");
-    let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
-        (false, false, false, false, false, false);
-    while let Some(arg) = argv.next() {
-        match arg.as_str() {
-            "-c" | "--config" => {
-                config = Some(PathBuf::from(
-                    argv.next().ok_or("-c requires a file argument")?,
-                ))
-            }
-            "-t" | "--topology" => {
-                topology = Some(PathBuf::from(
-                    argv.next().ok_or("-t requires a file argument")?,
-                ))
-            }
-            "-p" | "--path" => {
-                out_dir = PathBuf::from(argv.next().ok_or("-p requires a directory")?)
-            }
-            "--gemm" => gemm = true,
-            "--dram" => dram = true,
-            "--energy" => energy = true,
-            "--layout" => layout = true,
-            "--area" => area = true,
-            "-v" | "--verbose" => verbose = true,
-            "-h" | "--help" => return Err(String::new()),
-            other => return Err(format!("unknown argument '{other}'")),
-        }
-    }
-    Ok(Args {
-        config,
-        topology: topology.ok_or("missing required -t <topology.csv>")?,
-        out_dir,
-        gemm,
-        dram,
-        energy,
-        layout,
-        area,
-        verbose,
-    })
-}
-
-fn run(args: Args) -> Result<(), String> {
-    let mut config = match &args.config {
+fn load_config(path: Option<&Path>) -> Result<ScaleSimConfig, String> {
+    match path {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            parse_cfg(&text).map_err(|e| e.to_string())?
+            parse_cfg(&text).map_err(|e| e.to_string())
         }
-        None => ScaleSimConfig::default(),
-    };
+        None => Ok(ScaleSimConfig::default()),
+    }
+}
+
+#[derive(Clone, Copy)]
+enum TopoFormat {
+    /// Detect conv vs GEMM from the CSV header (sweep inputs).
+    Auto,
+    /// Conv rows — the historical default of plain `scalesim`.
+    Conv,
+    /// GEMM rows (`--gemm`).
+    Gemm,
+}
+
+fn load_topology(path: &Path, format: TopoFormat) -> Result<Topology, String> {
+    let csv = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "workload".into());
+    let topo = match format {
+        TopoFormat::Auto => Topology::parse_csv_auto(&name, &csv),
+        TopoFormat::Conv => Topology::parse_conv_csv(&name, &csv),
+        TopoFormat::Gemm => Topology::parse_gemm_csv(&name, &csv),
+    }
+    .map_err(|e| e.to_string())?;
+    if topo.is_empty() {
+        return Err(format!("{}: topology has no layers", path.display()));
+    }
+    Ok(topo)
+}
+
+fn run(args: RunArgs) -> Result<(), String> {
+    let mut config = load_config(args.config.as_deref())?;
     config.enable_dram = args.dram;
     config.enable_energy = args.energy;
     config.enable_layout = args.layout;
 
-    let csv = std::fs::read_to_string(&args.topology)
-        .map_err(|e| format!("cannot read {}: {e}", args.topology.display()))?;
-    let name = args
-        .topology
-        .file_stem()
-        .map(|s| s.to_string_lossy().to_string())
-        .unwrap_or_else(|| "workload".into());
-    let topo = if args.gemm {
-        Topology::parse_gemm_csv(&name, &csv)
+    let format = if args.gemm {
+        TopoFormat::Gemm
     } else {
-        Topology::parse_conv_csv(&name, &csv)
-    }
-    .map_err(|e| e.to_string())?;
-    if topo.is_empty() {
-        return Err("topology has no layers".into());
-    }
+        TopoFormat::Conv
+    };
+    let topo = load_topology(&args.topology, format)?;
 
     eprintln!(
         "scalesim: {} layers of '{}' on a {} {} core{}",
@@ -192,9 +150,93 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn sweep(args: SweepArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.spec)
+        .map_err(|e| format!("cannot read {}: {e}", args.spec.display()))?;
+    let mut spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
+    let base = load_config(args.config.as_deref())?;
+
+    // Topology paths from the spec resolve against the spec's own
+    // directory first (so a spec can sit next to its topologies and a
+    // same-named file in the CWD cannot shadow them), then fall back to
+    // the CWD — the shipped spec lists repo-root-relative paths, so run
+    // it from the repo root. Extra -t files are CWD-relative as usual.
+    let spec_dir = args.spec.parent().unwrap_or_else(|| Path::new("."));
+    let mut topologies = Vec::new();
+    for rel in spec.topologies.drain(..) {
+        let p = Path::new(&rel);
+        let spec_relative = spec_dir.join(p);
+        let path = if !p.is_absolute() && spec_relative.exists() {
+            spec_relative
+        } else {
+            p.to_path_buf()
+        };
+        topologies.push(load_topology(&path, TopoFormat::Auto)?);
+    }
+    for path in &args.topologies {
+        topologies.push(load_topology(path, TopoFormat::Auto)?);
+    }
+    if topologies.is_empty() {
+        return Err("sweep has no topologies (add a [workloads] section or -t)".into());
+    }
+
+    let grid_size = spec.grid_size();
+    eprintln!(
+        "scalesim sweep '{}': {} grid points x {} topologies = {} runs ({} shards)",
+        spec.name,
+        grid_size,
+        topologies.len(),
+        grid_size * topologies.len(),
+        args.shards,
+    );
+    if args.verbose {
+        for point in spec.expand() {
+            eprintln!("  point {:>3}: {}", point.index, point.label());
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let (report, cache) = run_sweep(&spec, &base, &topologies, args.shards)?;
+    let elapsed = started.elapsed();
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+    for (file, content) in [
+        ("SWEEP_REPORT.csv", report.to_csv()),
+        ("SWEEP_REPORT.json", report.to_json()),
+    ] {
+        let path = args.out_dir.join(file);
+        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+
+    if args.verbose {
+        for r in report.records() {
+            eprintln!(
+                "  run {:>3} {:<28} {:<12} {:>12} cycles {:>10.4} mJ",
+                r.run, r.point_label, r.topology, r.total_cycles, r.energy_mj,
+            );
+        }
+    }
+    eprintln!(
+        "sweep done in {:.2}s: plan cache {} — pareto frontier: {}",
+        elapsed.as_secs_f64(),
+        cache,
+        report.pareto_labels().join(", "),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    match parse_args(std::env::args()) {
-        Ok(args) => match run(args) {
+    match parse_cli(std::env::args()) {
+        Ok(Command::Run(args)) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Command::Sweep(args)) => match sweep(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -202,10 +244,10 @@ fn main() -> ExitCode {
             }
         },
         Err(e) => {
-            if !e.is_empty() {
-                eprintln!("error: {e}\n");
+            if !e.message.is_empty() {
+                eprintln!("error: {}\n", e.message);
             }
-            eprintln!("{USAGE}");
+            eprintln!("{}", e.usage);
             ExitCode::FAILURE
         }
     }

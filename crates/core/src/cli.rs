@@ -1,0 +1,355 @@
+//! Command-line parsing for the `scalesim` binary.
+//!
+//! Lives in the library (rather than the binary) so argument handling is
+//! unit-testable: in particular, *any* unknown flag or subcommand must
+//! produce an error (never be silently ignored), which the binary turns
+//! into the usage string and a non-zero exit. See [`parse_cli`].
+//!
+//! Two commands:
+//!
+//! * `scalesim …` — one simulation of one topology ([`RunArgs`]).
+//! * `scalesim sweep …` — a design-space sweep over a spec-file grid
+//!   ([`SweepArgs`]); full formats in `docs/CLI.md`.
+
+use std::path::PathBuf;
+
+/// Usage string for the single-run command (also the `-h` output).
+pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p <outdir>]
+                [--gemm] [--dram] [--energy] [--layout] [--area] [-v]
+       scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
+                [-p <outdir>] [--shards <n>] [-v]
+
+  -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
+              with --gemm: name,M,K,N)
+  -c <file>   SCALE-Sim .cfg architecture file (default: 32x32 OS core)
+  -p <dir>    output directory for report CSVs (default: .)
+  --gemm      parse the topology as GEMM rows
+  --dram      enable the cycle-accurate DRAM flow (paper SecV)
+  --energy    enable energy/power estimation (paper SecVII)
+  --layout    enable bank-conflict layout analysis (paper SecVI)
+  --area      emit the silicon-area report for the configured core
+  -v          print per-layer results while running
+
+  sweep       run a design-space-exploration grid; see 'scalesim sweep -h'
+              and docs/CLI.md for the spec format";
+
+/// Usage string for the `sweep` subcommand.
+pub const SWEEP_USAGE: &str = "usage: scalesim sweep -s <spec> [-c <config.cfg>]
+                [-t <topology.csv>]... [-p <outdir>] [--shards <n>] [-v]
+
+  -s <file>      sweep spec: a cfg-style grid of array/dataflow/sram_kb/
+                 bandwidth/cores/dram/energy/layout values plus workload
+                 topologies (see docs/CLI.md)
+  -c <file>      base architecture .cfg the grid overrides (default:
+                 32x32 OS core)
+  -t <file>      additional topology CSV (repeatable; format
+                 auto-detected, conv or GEMM); appended to the spec's
+                 [workloads] list
+  -p <dir>       output directory for SWEEP_REPORT.{csv,json} (default: .)
+  --shards <n>   split the grid into n round-robin shards (default 1);
+                 output is byte-identical for any shard count
+  -v             print per-run results while sweeping
+
+Reports are deterministic: byte-identical for any SCALESIM_THREADS and
+any --shards value.";
+
+/// Arguments of the single-run command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Architecture `.cfg` path (None = built-in default core).
+    pub config: Option<PathBuf>,
+    /// Topology CSV path.
+    pub topology: PathBuf,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Parse the topology as GEMM rows.
+    pub gemm: bool,
+    /// Enable the cycle-accurate DRAM flow.
+    pub dram: bool,
+    /// Enable energy estimation.
+    pub energy: bool,
+    /// Enable layout analysis.
+    pub layout: bool,
+    /// Emit the area report.
+    pub area: bool,
+    /// Per-layer progress on stderr.
+    pub verbose: bool,
+}
+
+/// Arguments of the `sweep` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Sweep spec path.
+    pub spec: PathBuf,
+    /// Base architecture `.cfg` path (None = built-in default core).
+    pub config: Option<PathBuf>,
+    /// Topology CSVs appended to the spec's workload list.
+    pub topologies: Vec<PathBuf>,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Shard count for the executor.
+    pub shards: usize,
+    /// Per-run progress on stderr.
+    pub verbose: bool,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Simulate one topology.
+    Run(RunArgs),
+    /// Run a design-space sweep.
+    Sweep(SweepArgs),
+}
+
+/// A parse failure: the message to print (empty for a plain `-h`) and
+/// the usage text to follow it with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Error message; empty when the user asked for help.
+    pub message: String,
+    /// The relevant usage string ([`USAGE`] or [`SWEEP_USAGE`]).
+    pub usage: &'static str,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>, usage: &'static str) -> Self {
+        Self {
+            message: message.into(),
+            usage,
+        }
+    }
+}
+
+/// Parses a full argument vector (including `argv[0]`).
+///
+/// Every unknown flag, unknown subcommand, or flag missing its value is
+/// an error carrying the appropriate usage string — the binary prints it
+/// and exits non-zero.
+///
+/// # Errors
+///
+/// Returns a [`CliError`]; an empty `message` means help was requested
+/// explicitly (`-h`/`--help`).
+pub fn parse_cli<I>(argv: I) -> Result<Command, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut argv = argv.into_iter();
+    let _bin = argv.next();
+    let mut peeked = argv.next();
+    if peeked.as_deref() == Some("sweep") {
+        return parse_sweep(argv).map(Command::Sweep);
+    }
+    // Single-run: re-chain the consumed first argument.
+    let mut args: Vec<String> = Vec::new();
+    if let Some(first) = peeked.take() {
+        args.push(first);
+    }
+    args.extend(argv);
+    parse_run(args.into_iter()).map(Command::Run)
+}
+
+fn parse_run<I>(mut argv: I) -> Result<RunArgs, CliError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut config = None;
+    let mut topology = None;
+    let mut out_dir = PathBuf::from(".");
+    let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
+        (false, false, false, false, false, false);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-c" | "--config" => {
+                config =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        CliError::new("-c requires a file argument", USAGE)
+                    })?))
+            }
+            "-t" | "--topology" => {
+                topology =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        CliError::new("-t requires a file argument", USAGE)
+                    })?))
+            }
+            "-p" | "--path" => {
+                out_dir = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-p requires a directory", USAGE))?,
+                )
+            }
+            "--gemm" => gemm = true,
+            "--dram" => dram = true,
+            "--energy" => energy = true,
+            "--layout" => layout = true,
+            "--area" => area = true,
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => return Err(CliError::new("", USAGE)),
+            other => return Err(CliError::new(format!("unknown argument '{other}'"), USAGE)),
+        }
+    }
+    Ok(RunArgs {
+        config,
+        topology: topology
+            .ok_or_else(|| CliError::new("missing required -t <topology.csv>", USAGE))?,
+        out_dir,
+        gemm,
+        dram,
+        energy,
+        layout,
+        area,
+        verbose,
+    })
+}
+
+fn parse_sweep<I>(mut argv: I) -> Result<SweepArgs, CliError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut spec = None;
+    let mut config = None;
+    let mut topologies = Vec::new();
+    let mut out_dir = PathBuf::from(".");
+    let mut shards = 1usize;
+    let mut verbose = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-s" | "--spec" => {
+                spec = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("-s requires a file argument", SWEEP_USAGE)
+                })?))
+            }
+            "-c" | "--config" => {
+                config = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("-c requires a file argument", SWEEP_USAGE)
+                })?))
+            }
+            "-t" | "--topology" => topologies
+                .push(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("-t requires a file argument", SWEEP_USAGE)
+                })?)),
+            "-p" | "--path" => {
+                out_dir = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-p requires a directory", SWEEP_USAGE))?,
+                )
+            }
+            "--shards" => {
+                let v = argv
+                    .next()
+                    .ok_or_else(|| CliError::new("--shards requires a count", SWEEP_USAGE))?;
+                shards = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::new(
+                        format!("bad --shards '{v}' (positive integer)"),
+                        SWEEP_USAGE,
+                    )
+                })?;
+            }
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => return Err(CliError::new("", SWEEP_USAGE)),
+            other => {
+                return Err(CliError::new(
+                    format!("unknown argument '{other}'"),
+                    SWEEP_USAGE,
+                ))
+            }
+        }
+    }
+    Ok(SweepArgs {
+        spec: spec.ok_or_else(|| CliError::new("missing required -s <spec>", SWEEP_USAGE))?,
+        config,
+        topologies,
+        out_dir,
+        shards,
+        verbose,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        std::iter::once("scalesim".to_string())
+            .chain(args.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn run_command_round_trip() {
+        let cmd = parse_cli(argv(&["-t", "net.csv", "--gemm", "--energy", "-p", "out"])).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run command")
+        };
+        assert_eq!(args.topology, PathBuf::from("net.csv"));
+        assert_eq!(args.out_dir, PathBuf::from("out"));
+        assert!(args.gemm && args.energy && !args.dram && !args.verbose);
+    }
+
+    #[test]
+    fn sweep_command_round_trip() {
+        let cmd = parse_cli(argv(&[
+            "sweep", "-s", "grid.cfg", "-t", "a.csv", "-t", "b.csv", "--shards", "4",
+        ]))
+        .unwrap();
+        let Command::Sweep(args) = cmd else {
+            panic!("expected sweep command")
+        };
+        assert_eq!(args.spec, PathBuf::from("grid.cfg"));
+        assert_eq!(args.topologies.len(), 2);
+        assert_eq!(args.shards, 4);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_with_usage() {
+        let err = parse_cli(argv(&["-t", "net.csv", "--frobnicate"])).unwrap_err();
+        assert!(err.message.contains("unknown argument '--frobnicate'"));
+        assert_eq!(err.usage, USAGE);
+    }
+
+    #[test]
+    fn unknown_positional_is_an_error() {
+        // A mistyped subcommand must not fall through to the run parser
+        // silently succeeding.
+        let err = parse_cli(argv(&["swep", "-s", "grid.cfg"])).unwrap_err();
+        assert!(err.message.contains("unknown argument 'swep'"));
+    }
+
+    #[test]
+    fn unknown_sweep_flag_uses_sweep_usage() {
+        let err = parse_cli(argv(&["sweep", "-s", "g.cfg", "--wat"])).unwrap_err();
+        assert!(err.message.contains("unknown argument '--wat'"));
+        assert_eq!(err.usage, SWEEP_USAGE);
+    }
+
+    #[test]
+    fn missing_value_and_missing_required() {
+        assert!(parse_cli(argv(&["-t"])).unwrap_err().message.contains("-t"));
+        assert!(parse_cli(argv(&[]))
+            .unwrap_err()
+            .message
+            .contains("missing required -t"));
+        assert!(parse_cli(argv(&["sweep"]))
+            .unwrap_err()
+            .message
+            .contains("missing required -s"));
+    }
+
+    #[test]
+    fn bad_shards_is_an_error() {
+        for bad in ["0", "-1", "many"] {
+            let err = parse_cli(argv(&["sweep", "-s", "g", "--shards", bad])).unwrap_err();
+            assert!(err.message.contains("--shards"), "{bad}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn help_has_empty_message() {
+        let err = parse_cli(argv(&["-h"])).unwrap_err();
+        assert!(err.message.is_empty());
+        let err = parse_cli(argv(&["sweep", "-h"])).unwrap_err();
+        assert!(err.message.is_empty());
+        assert_eq!(err.usage, SWEEP_USAGE);
+    }
+}

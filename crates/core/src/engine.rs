@@ -47,6 +47,16 @@ impl ScaleSim {
         &self.plan_cache
     }
 
+    /// Replaces the plan cache with a shared one, so *several* simulator
+    /// instances — e.g. every configuration of a design-space sweep —
+    /// plan each distinct `(array, dataflow, GEMM, scratchpad)` shape
+    /// once between them. Safe across arbitrary configurations: the
+    /// cache key carries everything a plan depends on.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = cache;
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &ScaleSimConfig {
         &self.config

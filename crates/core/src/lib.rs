@@ -46,13 +46,16 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod cli;
 pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod layout_analysis;
 pub mod result;
+pub mod sweep_run;
 
 pub use cfg::parse_cfg;
+pub use cli::{parse_cli, Command, RunArgs, SweepArgs};
 pub use config::{
     DramIntegration, LayoutIntegration, MultiCoreIntegration, ScaleSimConfig, SparsityMode,
 };
@@ -62,6 +65,7 @@ pub use dram::{
 pub use engine::ScaleSim;
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
 pub use result::{LayerResult, RunResult};
+pub use sweep_run::{apply_point, run_sweep};
 
 /// Re-export: energy & power modeling substrate.
 pub use scalesim_energy as energy;
@@ -73,6 +77,8 @@ pub use scalesim_mem as mem;
 pub use scalesim_multicore as multicore;
 /// Re-export: sparsity support.
 pub use scalesim_sparse as sparse;
+/// Re-export: the design-space-exploration sweep engine.
+pub use scalesim_sweep as sweep;
 /// Re-export: the cycle-accurate systolic core.
 pub use scalesim_systolic as systolic;
 /// Re-export: evaluation workloads.

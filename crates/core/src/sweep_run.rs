@@ -1,0 +1,270 @@
+//! Design-space-exploration glue: runs a [`SweepSpec`] grid through the
+//! integrated [`ScaleSim`] engine.
+//!
+//! The generic sweep machinery (spec parsing, grid expansion, sharded
+//! execution, Pareto analysis, report emission) lives in the
+//! `scalesim-sweep` crate; this module binds it to the engine — applying
+//! each [`SweepPoint`]'s overrides to a base [`ScaleSimConfig`], running
+//! every `(point, topology)` pair on the shared worker pool with **one
+//! plan cache for the whole grid**, and reducing per-layer results into
+//! [`RunRecord`]s.
+//!
+//! Everything here is deterministic: records are keyed by run index and
+//! the report emitters sort by it, so `SWEEP_REPORT.{csv,json}` are
+//! byte-identical regardless of `SCALESIM_THREADS` and the shard count.
+
+use crate::config::{MultiCoreIntegration, ScaleSimConfig};
+use crate::engine::ScaleSim;
+use crate::result::RunResult;
+use scalesim_energy::EnergyReport;
+use scalesim_multicore::{L2Config, PartitionScheme};
+use scalesim_sweep::{run_sharded, RunRecord, SweepPoint, SweepReport, SweepSpec};
+use scalesim_systolic::{Dataflow, MemoryConfig, PlanCache, PlanCacheStats, Topology};
+use std::sync::Arc;
+
+/// Applies a grid point's overrides to a base configuration; `None`
+/// axes inherit the base value.
+pub fn apply_point(base: &ScaleSimConfig, point: &SweepPoint) -> ScaleSimConfig {
+    let mut cfg = base.clone();
+    if let Some(array) = point.array {
+        cfg.core.array = array;
+    }
+    if let Some(dataflow) = point.dataflow {
+        cfg.core.dataflow = dataflow;
+    }
+    if let Some((ifmap_kb, filter_kb, ofmap_kb)) = point.sram_kb {
+        let old = cfg.core.memory;
+        let mut mem =
+            MemoryConfig::from_kilobytes(ifmap_kb, filter_kb, ofmap_kb, old.bytes_per_word);
+        mem.dram_bandwidth = old.dram_bandwidth;
+        mem.sram_row_words = old.sram_row_words;
+        mem.sram_row_buffers = old.sram_row_buffers;
+        cfg.core.memory = mem;
+    }
+    if let Some(bandwidth) = point.bandwidth {
+        cfg.core.memory.dram_bandwidth = bandwidth;
+    }
+    if let Some(grid) = point.cores {
+        cfg.multicore = if grid.cores() == 1 {
+            None
+        } else {
+            // Preserve the base scheme/L2 choice when the base is already
+            // multi-core; default to spatial partitioning with a shared L2.
+            let (scheme, l2) = match &base.multicore {
+                Some(mc) => (mc.scheme, mc.l2),
+                None => (PartitionScheme::Spatial, Some(L2Config::default())),
+            };
+            Some(MultiCoreIntegration { grid, scheme, l2 })
+        };
+    }
+    if let Some(dram) = point.dram {
+        cfg.enable_dram = dram;
+    }
+    if let Some(energy) = point.energy {
+        cfg.enable_energy = energy;
+    }
+    if let Some(layout) = point.layout {
+        cfg.enable_layout = layout;
+    }
+    cfg
+}
+
+fn dataflow_tag(d: Dataflow) -> &'static str {
+    match d {
+        Dataflow::OutputStationary => "os",
+        Dataflow::WeightStationary => "ws",
+        Dataflow::InputStationary => "is",
+    }
+}
+
+/// Reduces one topology run under `cfg` into a sweep record.
+fn record_for(
+    run: usize,
+    point: &SweepPoint,
+    cfg: &ScaleSimConfig,
+    topology: &Topology,
+    result: &RunResult,
+) -> RunRecord {
+    let mem = &cfg.core.memory;
+    let kb = |words: usize| words * mem.bytes_per_word / 1024;
+    // Compute-cycle-weighted mean utilization over the layers.
+    let (mut util_weighted, mut compute_total) = (0.0f64, 0u64);
+    for l in &result.layers {
+        util_weighted +=
+            l.report.compute.utilization * l.report.compute.total_compute_cycles as f64;
+        compute_total += l.report.compute.total_compute_cycles;
+    }
+    // Roll per-layer energy up through the aggregation hook so the run
+    // total matches the component-wise report exactly.
+    let mut energy = EnergyReport::empty();
+    for l in result.layers.iter().filter_map(|l| l.energy.as_ref()) {
+        energy.merge(l);
+    }
+    RunRecord {
+        run,
+        point: point.index,
+        point_label: point.label(),
+        topology: topology.name().to_string(),
+        array_rows: cfg.core.array.rows(),
+        array_cols: cfg.core.array.cols(),
+        dataflow: dataflow_tag(cfg.core.dataflow).to_string(),
+        sram_kb: (
+            kb(mem.ifmap_words),
+            kb(mem.filter_words),
+            kb(mem.ofmap_words),
+        ),
+        bandwidth: mem.dram_bandwidth,
+        cores: cfg.multicore.as_ref().map_or(1, |mc| mc.grid.cores()),
+        dram_enabled: cfg.enable_dram,
+        energy_enabled: cfg.enable_energy,
+        layout_enabled: cfg.enable_layout,
+        layers: result.layers.len(),
+        total_cycles: result.total_cycles(),
+        compute_cycles: result.total_compute_cycles(),
+        stall_cycles: result.total_stall_cycles(),
+        utilization: if compute_total == 0 {
+            0.0
+        } else {
+            util_weighted / compute_total as f64
+        },
+        macs: result.total_macs(),
+        energy_mj: energy.total_mj(),
+        edp_cycles_mj: result.total_cycles() as f64 * energy.total_mj(),
+        noc_words: result.layers.iter().map(|l| l.noc_words).sum(),
+    }
+}
+
+/// Executes the whole sweep: expands the grid, validates every point,
+/// runs each `(point, topology)` pair on the sharded worker pool with a
+/// single [`PlanCache`] shared across all configurations, and aggregates
+/// everything into a [`SweepReport`].
+///
+/// Returns the report plus the shared cache's counters (how much
+/// planning the grid shared; the counters are timing-dependent under
+/// parallel execution and are *not* part of the deterministic report).
+///
+/// # Errors
+///
+/// Returns an error naming the offending grid point when any expanded
+/// configuration fails validation (e.g. an SRAM too small to
+/// double-buffer the array), before any simulation runs.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    base: &ScaleSimConfig,
+    topologies: &[Topology],
+    shards: usize,
+) -> Result<(SweepReport, PlanCacheStats), String> {
+    let grid = spec.expand();
+    for point in &grid {
+        let cfg = apply_point(base, point);
+        cfg.core
+            .validate()
+            .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
+    }
+    // One cache for every configuration in the grid. Sized to hold the
+    // worst case — each point's distinct layer shapes — so sweeping never
+    // thrashes a generation-evicting cache.
+    let distinct_shapes: usize = topologies.iter().map(|t| t.len()).sum::<usize>().max(1);
+    let cache = Arc::new(PlanCache::with_capacity(
+        (grid.len() * distinct_shapes).max(PlanCache::DEFAULT_CAPACITY),
+    ));
+    let records = run_sharded(&grid, topologies, shards, |run, point, topology| {
+        let cfg = apply_point(base, point);
+        let sim = ScaleSim::new(cfg.clone()).with_plan_cache(Arc::clone(&cache));
+        let result = sim.run_topology(topology);
+        record_for(run, point, &cfg, topology, &result)
+    });
+    Ok((SweepReport::new(spec.name.clone(), records), cache.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_systolic::{ArrayShape, Layer};
+
+    fn spec(text: &str) -> SweepSpec {
+        SweepSpec::parse(text).unwrap()
+    }
+
+    fn small_topos() -> Vec<Topology> {
+        vec![
+            Topology::from_layers(
+                "t0",
+                vec![
+                    Layer::gemm_layer("a", 16, 16, 16),
+                    Layer::gemm_layer("b", 24, 24, 24),
+                ],
+            ),
+            Topology::from_layers("t1", vec![Layer::gemm_layer("c", 32, 32, 32)]),
+        ]
+    }
+
+    #[test]
+    fn apply_point_overrides_only_swept_axes() {
+        let base = ScaleSimConfig::default();
+        let grid = spec("array = 16x8\nbandwidth = 4\n").expand();
+        let cfg = apply_point(&base, &grid[0]);
+        assert_eq!(cfg.core.array, ArrayShape::new(16, 8));
+        assert_eq!(cfg.core.memory.dram_bandwidth, 4.0);
+        assert_eq!(cfg.core.dataflow, base.core.dataflow);
+        assert_eq!(cfg.core.memory.ifmap_words, base.core.memory.ifmap_words);
+    }
+
+    #[test]
+    fn apply_point_multicore_roundtrip() {
+        let base = ScaleSimConfig::default();
+        let grid = spec("cores = 1x1, 2x2\n").expand();
+        assert!(apply_point(&base, &grid[0]).multicore.is_none());
+        let mc = apply_point(&base, &grid[1]).multicore.unwrap();
+        assert_eq!(mc.grid.cores(), 4);
+    }
+
+    #[test]
+    fn invalid_grid_point_is_reported_before_running() {
+        let base = ScaleSimConfig::default();
+        // 1 kB SRAM cannot double-buffer a 512-wide array.
+        let s = spec("array = 512x512\nsram_kb = 1/1/1\n");
+        let err = run_sweep(&s, &base, &small_topos(), 1).unwrap_err();
+        assert!(err.contains("512x512"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runs_grid_times_topologies() {
+        let base = ScaleSimConfig::default();
+        let s = spec("array = 8x8, 16x16\ndataflow = os, ws\nenergy = true\n");
+        // shards = total runs serializes across runs, making the cache
+        // counters deterministic (concurrent misses on one key may
+        // otherwise both plan and both count).
+        let (report, stats) = run_sweep(&s, &base, &small_topos(), 8).unwrap();
+        assert_eq!(report.records().len(), 4 * 2);
+        assert_eq!(report.points().len(), 4);
+        assert!(!report.pareto_labels().is_empty());
+        // 4 configs x 3 distinct shapes planned once each.
+        assert_eq!(stats.misses, 12);
+        assert!(report.records().iter().all(|r| r.total_cycles > 0));
+        assert!(report.records().iter().all(|r| r.energy_mj > 0.0));
+    }
+
+    #[test]
+    fn shard_count_does_not_change_report_bytes() {
+        let base = ScaleSimConfig::default();
+        let s = spec("array = 8x8, 16x16\nbandwidth = 4, 10\nenergy = true\n");
+        let topos = small_topos();
+        let (r1, _) = run_sweep(&s, &base, &topos, 1).unwrap();
+        let (r3, _) = run_sweep(&s, &base, &topos, 3).unwrap();
+        assert_eq!(r1.to_csv(), r3.to_csv());
+        assert_eq!(r1.to_json(), r3.to_json());
+    }
+
+    #[test]
+    fn bandwidth_axis_shares_plans_across_points() {
+        let base = ScaleSimConfig::default();
+        // Two bandwidths, same planning key -> each shape planned once.
+        let s = spec("bandwidth = 4, 10\n");
+        let topos = small_topos();
+        // shards = total runs serializes across runs (see above).
+        let (_, stats) = run_sweep(&s, &base, &topos, 4).unwrap();
+        assert_eq!(stats.misses, 3, "plans must be shared across the grid");
+        assert!(stats.hits >= 3);
+    }
+}

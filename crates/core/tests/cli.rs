@@ -1,0 +1,128 @@
+//! End-to-end tests of the `scalesim` binary: argument rejection and
+//! sweep-report determinism across thread counts and shard counts.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scalesim"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scalesim-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_nonzero() {
+    let out = bin()
+        .args(["--frobnicate"])
+        .output()
+        .expect("spawn scalesim");
+    assert!(!out.status.success(), "unknown flag must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown argument '--frobnicate'"),
+        "stderr was: {stderr}"
+    );
+    assert!(stderr.contains("usage: scalesim"), "stderr was: {stderr}");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_nonzero() {
+    let out = bin().args(["swoop"]).output().expect("spawn scalesim");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument 'swoop'"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_sweep_flag_prints_sweep_usage() {
+    let out = bin()
+        .args(["sweep", "-s", "nope.toml", "--wat"])
+        .output()
+        .expect("spawn scalesim");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument '--wat'"), "{stderr}");
+    assert!(stderr.contains("usage: scalesim sweep"), "{stderr}");
+}
+
+fn write_sweep_inputs(dir: &Path) -> (PathBuf, PathBuf) {
+    let topo_a = dir.join("a_gemm.csv");
+    std::fs::write(
+        &topo_a,
+        "Layer, M, K, N,\nl0, 16, 16, 16,\nl1, 24, 24, 24,\n",
+    )
+    .unwrap();
+    let topo_b = dir.join("b_gemm.csv");
+    std::fs::write(&topo_b, "Layer, M, K, N,\nl0, 32, 16, 8,\n").unwrap();
+    let spec = dir.join("grid.toml");
+    std::fs::write(
+        &spec,
+        format!(
+            "[sweep]\nname = cli-test\n[grid]\narray = 8x8, 16x16\nbandwidth = 4, 10\n\
+             energy = true\n[workloads]\ntopology = {}, {}\n",
+            topo_a.display(),
+            topo_b.display()
+        ),
+    )
+    .unwrap();
+    (spec, dir.to_path_buf())
+}
+
+/// The acceptance property: SWEEP_REPORT bytes must not depend on
+/// `SCALESIM_THREADS` or `--shards`.
+#[test]
+fn sweep_reports_are_byte_identical_across_threads_and_shards() {
+    let dir = tmp_dir("det");
+    let (spec, _) = write_sweep_inputs(&dir);
+    let mut outputs = Vec::new();
+    for (tag, threads, shards) in [("t1s1", "1", "1"), ("t8s1", "8", "1"), ("t8s3", "8", "3")] {
+        let out_dir = dir.join(tag);
+        let out = bin()
+            .args(["sweep", "-s"])
+            .arg(&spec)
+            .args(["--shards", shards, "-p"])
+            .arg(&out_dir)
+            .env("SCALESIM_THREADS", threads)
+            .output()
+            .expect("spawn scalesim sweep");
+        assert!(
+            out.status.success(),
+            "sweep failed ({tag}): {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let csv = std::fs::read(out_dir.join("SWEEP_REPORT.csv")).unwrap();
+        let json = std::fs::read(out_dir.join("SWEEP_REPORT.json")).unwrap();
+        outputs.push((tag, csv, json));
+    }
+    let (_, csv0, json0) = &outputs[0];
+    for (tag, csv, json) in &outputs[1..] {
+        assert_eq!(csv, csv0, "CSV differs for {tag}");
+        assert_eq!(json, json0, "JSON differs for {tag}");
+    }
+    // Sanity: 4 grid points x 2 topologies = 8 runs + header.
+    let text = String::from_utf8(csv0.clone()).unwrap();
+    assert_eq!(text.lines().count(), 9, "expected 8 runs:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_without_topologies_fails_with_message() {
+    let dir = tmp_dir("notopo");
+    let spec = dir.join("grid.toml");
+    std::fs::write(&spec, "[grid]\narray = 8x8\n").unwrap();
+    let out = bin()
+        .args(["sweep", "-s"])
+        .arg(&spec)
+        .output()
+        .expect("spawn scalesim sweep");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no topologies"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -71,6 +71,45 @@ impl EnergyReport {
             .map_or(0.0, |c| c.energy_pj)
     }
 
+    /// Accumulates another report into this one — the aggregation hook
+    /// whole-run and design-space-sweep reports use to roll per-layer
+    /// energies up to a run total. Components are matched by name (a
+    /// component present only in `other` is appended), cycles add, and
+    /// the clock is taken from whichever report has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports were evaluated at different non-zero
+    /// clock frequencies — average power would be meaningless.
+    pub fn merge(&mut self, other: &EnergyReport) {
+        assert!(
+            self.clock_hz == 0.0 || other.clock_hz == 0.0 || self.clock_hz == other.clock_hz,
+            "cannot merge energy reports with different clocks ({} Hz vs {} Hz)",
+            self.clock_hz,
+            other.clock_hz
+        );
+        if self.clock_hz == 0.0 {
+            self.clock_hz = other.clock_hz;
+        }
+        self.cycles += other.cycles;
+        for c in &other.components {
+            match self.components.iter_mut().find(|m| m.name == c.name) {
+                Some(mine) => mine.energy_pj += c.energy_pj,
+                None => self.components.push(*c),
+            }
+        }
+    }
+
+    /// An empty report (no components, zero cycles) — the identity for
+    /// [`EnergyReport::merge`], useful as a fold seed.
+    pub fn empty() -> EnergyReport {
+        EnergyReport {
+            components: Vec::new(),
+            cycles: 0,
+            clock_hz: 0.0,
+        }
+    }
+
     /// Fraction of total energy attributable to data movement (spads,
     /// SRAMs, DRAM, NoC) rather than compute.
     pub fn data_movement_fraction(&self) -> f64 {
@@ -217,6 +256,34 @@ mod tests {
         assert!(r.total_pj() > 0.0);
         assert!(r.avg_power_w() > 0.0);
         assert!(r.edp_cycles_mj() > 0.0);
+    }
+
+    #[test]
+    fn merge_sums_components_and_cycles() {
+        let a = model().evaluate(&counts(), 10_000);
+        let b = model().evaluate(&counts(), 4_000);
+        let mut merged = EnergyReport::empty();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.cycles(), 14_000);
+        assert!((merged.total_pj() - (a.total_pj() + b.total_pj())).abs() < 1e-6);
+        assert_eq!(merged.components().len(), a.components().len());
+        for c in a.components() {
+            let got = merged.component_pj(c.name);
+            let want = c.energy_pj + b.component_pj(c.name);
+            assert!((got - want).abs() < 1e-6, "{}: {got} vs {want}", c.name);
+        }
+        // Clock carried over -> power/EDP stay well-defined.
+        assert!(merged.avg_power_w() > 0.0);
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let a = model().evaluate(&counts(), 10_000);
+        let mut merged = a.clone();
+        merged.merge(&EnergyReport::empty());
+        assert_eq!(merged, a);
+        assert_eq!(EnergyReport::empty().total_pj(), 0.0);
     }
 
     #[test]

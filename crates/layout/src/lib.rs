@@ -18,6 +18,11 @@
 //! against the idealized pure-bandwidth model of SCALE-Sim v2
 //! (Figs. 12–13).
 //!
+//! Within the integrated pipeline (the `scalesim` crate) this analysis
+//! runs per layer when the layout feature is enabled, and design-space
+//! sweeps toggle it per grid point via the `layout` axis; the crate map
+//! lives in `docs/ARCHITECTURE.md`.
+//!
 //! ```
 //! use scalesim_layout::{BankModel, LayoutSpec, TensorDims};
 //!

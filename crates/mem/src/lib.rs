@@ -25,6 +25,16 @@
 //!   JEDEC-legality checker (see [`cmdtrace`]), the analogue of
 //!   Ramulator's validation against the Micron Verilog model (§VIII).
 //!
+//! ## Module map
+//!
+//! [`spec`] devices and timing presets · [`bank`] per-bank state
+//! machine · [`controller`] FR-FCFS scheduling and refresh · [`system`]
+//! multi-channel front end · [`addrmap`] address interleaving ·
+//! [`replay`] demand-trace replay (the §V-B middle step) · [`stats`]
+//! counters · [`power`] IDD energy · [`cmdtrace`] JEDEC legality
+//! checking. The integrated engine (`scalesim` crate) drives all of
+//! this through the three-step flow described in `docs/ARCHITECTURE.md`.
+//!
 //! ## Example
 //!
 //! ```

@@ -41,6 +41,16 @@ pub struct L2Report {
 }
 
 impl L2Report {
+    /// Accumulates another layer's L2 accounting into this one, rolling
+    /// per-layer reports up into a topology-level summary:
+    /// `required_words` takes the maximum (the L2 must fit the largest
+    /// layer), the traffic counters sum.
+    pub fn merge(&mut self, other: &L2Report) {
+        self.required_words = self.required_words.max(other.required_words);
+        self.duplication_saved_words += other.duplication_saved_words;
+        self.l1_fill_words += other.l1_fill_words;
+    }
+
     /// Evaluates the shared L2 for a partitioned layer.
     pub fn evaluate(scheme: PartitionScheme, dims: MappingDims, grid: PartitionGrid) -> L2Report {
         let (sr, sc, t) = (dims.sr as u64, dims.sc as u64, dims.t as u64);
@@ -101,6 +111,32 @@ mod tests {
         assert_eq!(r.duplication_saved_words, 8192 * 4 * 1 + 8192 * 2 * 3);
         assert_eq!(r.required_words, 2 * (8192 * 4 + 8192 * 2));
         assert_eq!(r.l1_fill_words, 8192 * 4 * 2 + 8192 * 2 * 4);
+    }
+
+    #[test]
+    fn merge_maxes_capacity_and_sums_traffic() {
+        let grid = PartitionGrid::new(4, 2);
+        let big = L2Report::evaluate(PartitionScheme::Spatial, dims(), grid);
+        let small = L2Report::evaluate(
+            PartitionScheme::Spatial,
+            MappingDims {
+                sr: 16,
+                sc: 16,
+                t: 16,
+            },
+            grid,
+        );
+        let mut merged = small;
+        merged.merge(&big);
+        assert_eq!(merged.required_words, big.required_words);
+        assert_eq!(
+            merged.l1_fill_words,
+            small.l1_fill_words + big.l1_fill_words
+        );
+        assert_eq!(
+            merged.duplication_saved_words,
+            small.duplication_saved_words + big.duplication_saved_words
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Network-on-Package (NoP) mesh topology for chiplet-based accelerators
 //! (paper §III-D).
 //!
-//! [`NopProfile`](crate::nonuniform::NopProfile) captures *what the
+//! [`NopProfile`] captures *what the
 //! partitioner needs* — a per-core latency vector — but Simba-class
 //! multi-chip modules derive that vector from a physical package topology:
 //! a 2D mesh of chiplets, XY routing, and one or more memory ports on the

@@ -111,6 +111,17 @@ impl PartitionGrid {
     pub fn cores(&self) -> usize {
         self.pr * self.pc
     }
+
+    /// Parses a `PRxPC` grid string (e.g. `"2x2"`, `"1x4"`); both
+    /// dimensions must be positive integers.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (pr, pc) = text.trim().split_once(['x', 'X'])?;
+        let (pr, pc) = (pr.trim().parse().ok()?, pc.trim().parse().ok()?);
+        if pr == 0 || pc == 0 {
+            return None;
+        }
+        Some(Self { pr, pc })
+    }
 }
 
 fn ceil(a: usize, b: usize) -> usize {
@@ -263,6 +274,18 @@ mod tests {
 
     fn arr() -> ArrayShape {
         ArrayShape::new(8, 8)
+    }
+
+    #[test]
+    fn grid_parse_round_trip() {
+        assert_eq!(PartitionGrid::parse("2x2"), Some(PartitionGrid::new(2, 2)));
+        assert_eq!(
+            PartitionGrid::parse(" 1X4 "),
+            Some(PartitionGrid::new(1, 4))
+        );
+        for bad in ["0x2", "2x0", "2", "x", "axb", ""] {
+            assert_eq!(PartitionGrid::parse(bad), None, "{bad:?}");
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * **Reports** ([`report`]) — the `SPARSE_REPORT.csv` equivalent:
 //!   original vs compressed filter storage including metadata.
 //!
+//! The integrated engine (the `scalesim` crate) applies these patterns
+//! per layer when a `[sparsity]` section is configured — always on a
+//! weight-stationary array, as the paper fixes for §IV — and reports
+//! storage through `SPARSE_REPORT.csv`; the crate map lives in
+//! `docs/ARCHITECTURE.md`.
+//!
 //! ```
 //! use scalesim_sparse::{NmRatio, SparsityPattern, SparseFormat};
 //!

@@ -1,0 +1,61 @@
+//! # scalesim-sweep
+//!
+//! Design-space-exploration (DSE) engine for SCALE-Sim v3.
+//!
+//! Architects rarely run a simulator once: finding a good design point
+//! means sweeping grids of array shapes, dataflows, SRAM sizes,
+//! bandwidths and feature flags across a set of workloads (the
+//! end-to-end *system analysis* the v3 paper is built for). This crate
+//! turns that workflow into a first-class, deterministic pipeline:
+//!
+//! 1. **Spec** ([`spec`]) — a small cfg-style grid file listing the
+//!    values of each swept axis ([`SweepSpec::parse`]).
+//! 2. **Grid expansion** ([`SweepSpec::expand`]) — the Cartesian product
+//!    of all axes as [`SweepPoint`]s, in a stable odometer order.
+//! 3. **Sharded execution** ([`exec`]) — every `(point, topology)` pair
+//!    runs on the existing scoped worker pool
+//!    ([`scalesim_systolic::parallel_map`]), partitioned into shards;
+//!    results are reassembled in run order, so output is **byte-identical
+//!    regardless of thread count and shard order**. The caller supplies
+//!    the run closure (the integrated engine lives in the `scalesim`
+//!    crate, which depends on this one), typically sharing one
+//!    [`PlanCache`](scalesim_systolic::PlanCache) across the whole grid
+//!    so repeated layer shapes are planned once — not once per grid
+//!    point.
+//! 4. **Aggregation & Pareto analysis** ([`report`], [`pareto`]) — one
+//!    [`SweepReport`] holding every run's cycles/utilization/energy, the
+//!    per-point roll-up, and the runtime-vs-energy Pareto frontier,
+//!    emitted as `SWEEP_REPORT.csv` and `SWEEP_REPORT.json`.
+//!
+//! ## Example
+//!
+//! ```
+//! use scalesim_sweep::{pareto_min, SweepSpec};
+//!
+//! let spec = SweepSpec::parse(
+//!     "[grid]\n\
+//!      array     = 8x8, 16x16\n\
+//!      dataflow  = os, ws\n\
+//!      bandwidth = 10, 20\n",
+//! )
+//! .unwrap();
+//! let grid = spec.expand();
+//! assert_eq!(grid.len(), 8); // 2 arrays x 2 dataflows x 2 bandwidths
+//!
+//! // After running the grid, pick the runtime-vs-energy frontier:
+//! let outcomes = [(100.0, 9.0), (80.0, 12.0), (120.0, 20.0)];
+//! assert_eq!(pareto_min(&outcomes), vec![0, 1]); // point 2 is dominated
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod pareto;
+pub mod report;
+pub mod spec;
+
+pub use exec::run_sharded;
+pub use pareto::pareto_min;
+pub use report::{PointSummary, RunRecord, SweepReport};
+pub use spec::{SweepPoint, SweepSpec};

@@ -1,0 +1,354 @@
+//! Sweep-level aggregation: per-run records, per-point roll-ups, the
+//! Pareto frontier, and the `SWEEP_REPORT.{csv,json}` emitters.
+//!
+//! Emitters use fixed-precision formatting throughout and operate on
+//! records sorted by run index, so for a given spec the report bytes are
+//! identical regardless of how the runs were scheduled.
+
+use crate::pareto::pareto_min;
+
+/// Aggregated metrics for one `(grid point, topology)` run, with the
+/// point's *resolved* configuration (base config + overrides) inlined so
+/// the report is self-describing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Global run index (point-major).
+    pub run: usize,
+    /// Grid-point index.
+    pub point: usize,
+    /// Grid-point label (see `SweepPoint::label`).
+    pub point_label: String,
+    /// Topology name.
+    pub topology: String,
+    /// Resolved PE array rows.
+    pub array_rows: usize,
+    /// Resolved PE array columns.
+    pub array_cols: usize,
+    /// Resolved dataflow (`"os"`/`"ws"`/`"is"`).
+    pub dataflow: String,
+    /// Resolved (ifmap, filter, ofmap) SRAM kilobytes.
+    pub sram_kb: (usize, usize, usize),
+    /// Resolved DRAM bandwidth in words/cycle.
+    pub bandwidth: f64,
+    /// Resolved tensor-core count (1 = single core).
+    pub cores: usize,
+    /// Whether the cycle-accurate DRAM flow ran.
+    pub dram_enabled: bool,
+    /// Whether energy estimation ran.
+    pub energy_enabled: bool,
+    /// Whether layout analysis ran.
+    pub layout_enabled: bool,
+    /// Layers simulated.
+    pub layers: usize,
+    /// End-to-end cycles (DRAM-aware when the DRAM flow ran).
+    pub total_cycles: u64,
+    /// Stall-free compute cycles.
+    pub compute_cycles: u64,
+    /// Stall cycles under the selected memory model.
+    pub stall_cycles: u64,
+    /// Compute-cycle-weighted mean PE utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Total energy in mJ (0 when energy estimation is off).
+    pub energy_mj: f64,
+    /// Energy-delay product in cycles × mJ.
+    pub edp_cycles_mj: f64,
+    /// L2→L1 NoC words (0 for single-core points).
+    pub noc_words: u64,
+}
+
+/// Per-grid-point roll-up across all topologies, with the Pareto verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Grid-point index.
+    pub point: usize,
+    /// Grid-point label.
+    pub label: String,
+    /// Cycles summed over the point's runs.
+    pub total_cycles: u64,
+    /// Energy summed over the point's runs, mJ.
+    pub energy_mj: f64,
+    /// Point-level EDP: `total_cycles × energy_mj`.
+    pub edp_cycles_mj: f64,
+    /// Whether the point is on the runtime-vs-energy Pareto frontier.
+    pub pareto: bool,
+}
+
+/// The whole sweep's results: every run, the per-point roll-up and the
+/// Pareto frontier over `(total cycles, energy)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    name: String,
+    records: Vec<RunRecord>,
+    points: Vec<PointSummary>,
+}
+
+impl SweepReport {
+    /// Builds the report from per-run records (any order; they are
+    /// sorted by run index), rolling runs up to points and marking the
+    /// Pareto frontier over `(cycles, energy)` minimization.
+    pub fn new(name: impl Into<String>, mut records: Vec<RunRecord>) -> SweepReport {
+        records.sort_by_key(|r| r.run);
+        let mut points: Vec<PointSummary> = Vec::new();
+        for r in &records {
+            match points.iter_mut().find(|p| p.point == r.point) {
+                Some(p) => {
+                    p.total_cycles += r.total_cycles;
+                    p.energy_mj += r.energy_mj;
+                }
+                None => points.push(PointSummary {
+                    point: r.point,
+                    label: r.point_label.clone(),
+                    total_cycles: r.total_cycles,
+                    energy_mj: r.energy_mj,
+                    edp_cycles_mj: 0.0,
+                    pareto: false,
+                }),
+            }
+        }
+        points.sort_by_key(|p| p.point);
+        let objectives: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.total_cycles as f64, p.energy_mj))
+            .collect();
+        for i in pareto_min(&objectives) {
+            points[i].pareto = true;
+        }
+        for p in &mut points {
+            p.edp_cycles_mj = p.total_cycles as f64 * p.energy_mj;
+        }
+        SweepReport {
+            name: name.into(),
+            records,
+            points,
+        }
+    }
+
+    /// Sweep name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-run records, sorted by run index.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Per-point roll-ups, sorted by point index.
+    pub fn points(&self) -> &[PointSummary] {
+        &self.points
+    }
+
+    /// Labels of the Pareto-frontier points, in point order.
+    pub fn pareto_labels(&self) -> Vec<&str> {
+        self.points
+            .iter()
+            .filter(|p| p.pareto)
+            .map(|p| p.label.as_str())
+            .collect()
+    }
+
+    /// The `SWEEP_REPORT.csv` body: one row per run plus the resolved
+    /// configuration and the owning point's Pareto verdict.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "Run, Point, PointLabel, Topology, ArrayRows, ArrayCols, Dataflow, \
+             IfmapKB, FilterKB, OfmapKB, Bandwidth, Cores, Dram, Energy, Layout, \
+             Layers, TotalCycles, ComputeCycles, StallCycles, Utilization, MACs, \
+             EnergyMj, EdpCyclesMj, NocWords, Pareto\n",
+        );
+        for r in &self.records {
+            let pareto = self
+                .points
+                .iter()
+                .find(|p| p.point == r.point)
+                .is_some_and(|p| p.pareto);
+            out.push_str(&format!(
+                "{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {:.3}, {}, {}, {}, {}, \
+                 {}, {}, {}, {}, {:.4}, {}, {:.6}, {:.4}, {}, {}\n",
+                r.run,
+                r.point,
+                r.point_label,
+                r.topology,
+                r.array_rows,
+                r.array_cols,
+                r.dataflow,
+                r.sram_kb.0,
+                r.sram_kb.1,
+                r.sram_kb.2,
+                r.bandwidth,
+                r.cores,
+                u8::from(r.dram_enabled),
+                u8::from(r.energy_enabled),
+                u8::from(r.layout_enabled),
+                r.layers,
+                r.total_cycles,
+                r.compute_cycles,
+                r.stall_cycles,
+                r.utilization,
+                r.macs,
+                r.energy_mj,
+                r.edp_cycles_mj,
+                r.noc_words,
+                u8::from(pareto),
+            ));
+        }
+        out
+    }
+
+    /// The `SWEEP_REPORT.json` body: sweep metadata, every run, every
+    /// point roll-up and the Pareto frontier labels.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"sweep\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"grid_points\": {},\n", self.points.len()));
+        out.push_str(&format!("  \"runs\": {},\n", self.records.len()));
+        out.push_str("  \"run_results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"run\": {}, \"point\": {}, \"label\": \"{}\", \"topology\": \"{}\", \
+                 \"array\": \"{}x{}\", \"dataflow\": \"{}\", \"sram_kb\": [{}, {}, {}], \
+                 \"bandwidth\": {:.3}, \"cores\": {}, \"dram\": {}, \"energy\": {}, \
+                 \"layout\": {}, \"layers\": {}, \"total_cycles\": {}, \
+                 \"compute_cycles\": {}, \"stall_cycles\": {}, \"utilization\": {:.4}, \
+                 \"macs\": {}, \"energy_mj\": {:.6}, \"edp_cycles_mj\": {:.4}, \
+                 \"noc_words\": {}}}{comma}\n",
+                r.run,
+                r.point,
+                escape(&r.point_label),
+                escape(&r.topology),
+                r.array_rows,
+                r.array_cols,
+                r.dataflow,
+                r.sram_kb.0,
+                r.sram_kb.1,
+                r.sram_kb.2,
+                r.bandwidth,
+                r.cores,
+                r.dram_enabled,
+                r.energy_enabled,
+                r.layout_enabled,
+                r.layers,
+                r.total_cycles,
+                r.compute_cycles,
+                r.stall_cycles,
+                r.utilization,
+                r.macs,
+                r.energy_mj,
+                r.edp_cycles_mj,
+                r.noc_words,
+            ));
+        }
+        out.push_str("  ],\n  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"point\": {}, \"label\": \"{}\", \"total_cycles\": {}, \
+                 \"energy_mj\": {:.6}, \"edp_cycles_mj\": {:.4}, \"pareto\": {}}}{comma}\n",
+                p.point,
+                escape(&p.label),
+                p.total_cycles,
+                p.energy_mj,
+                p.edp_cycles_mj,
+                p.pareto,
+            ));
+        }
+        out.push_str("  ],\n");
+        let front: Vec<String> = self
+            .pareto_labels()
+            .iter()
+            .map(|l| format!("\"{}\"", escape(l)))
+            .collect();
+        out.push_str(&format!("  \"pareto_frontier\": [{}]\n", front.join(", ")));
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(run: usize, point: usize, cycles: u64, energy: f64) -> RunRecord {
+        RunRecord {
+            run,
+            point,
+            point_label: format!("p{point}"),
+            topology: "t".into(),
+            array_rows: 8,
+            array_cols: 8,
+            dataflow: "ws".into(),
+            sram_kb: (256, 256, 128),
+            bandwidth: 10.0,
+            cores: 1,
+            dram_enabled: false,
+            energy_enabled: energy > 0.0,
+            layout_enabled: false,
+            layers: 2,
+            total_cycles: cycles,
+            compute_cycles: cycles / 2,
+            stall_cycles: cycles / 2,
+            utilization: 0.5,
+            macs: 1000,
+            energy_mj: energy,
+            edp_cycles_mj: cycles as f64 * energy,
+            noc_words: 0,
+        }
+    }
+
+    #[test]
+    fn rolls_runs_up_to_points_and_marks_pareto() {
+        // Point 0: 100 cycles / 2 mJ; point 1: 80 / 3; point 2: 120 / 4
+        // (dominated by point 0).
+        let records = vec![
+            record(0, 0, 60, 1.0),
+            record(1, 0, 40, 1.0),
+            record(2, 1, 50, 1.5),
+            record(3, 1, 30, 1.5),
+            record(4, 2, 70, 2.0),
+            record(5, 2, 50, 2.0),
+        ];
+        let rep = SweepReport::new("s", records);
+        assert_eq!(rep.points().len(), 3);
+        assert_eq!(rep.points()[0].total_cycles, 100);
+        assert_eq!(rep.points()[0].energy_mj, 2.0);
+        assert_eq!(rep.pareto_labels(), ["p0", "p1"]);
+        assert!(!rep.points()[2].pareto);
+    }
+
+    #[test]
+    fn report_bytes_independent_of_record_order() {
+        let fwd = vec![record(0, 0, 10, 1.0), record(1, 1, 20, 2.0)];
+        let rev = vec![record(1, 1, 20, 2.0), record(0, 0, 10, 1.0)];
+        let (a, b) = (SweepReport::new("s", fwd), SweepReport::new("s", rev));
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn csv_has_header_plus_row_per_run() {
+        let rep = SweepReport::new("s", vec![record(0, 0, 10, 0.0)]);
+        let csv = rep.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("Run, Point, PointLabel"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(", 1")); // sole point is the frontier
+    }
+
+    #[test]
+    fn json_is_balanced_and_names_the_frontier() {
+        let rep = SweepReport::new("s", vec![record(0, 0, 10, 1.0)]);
+        let json = rep.to_json();
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert!(json.contains("\"pareto_frontier\": [\"p0\"]"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Sweep specification: which axes to sweep and over which values.
+//!
+//! A spec is a small INI/cfg-style text file (the same dialect as
+//! SCALE-Sim `.cfg` files: `key = value` or `key : value`, `#`/`;`
+//! comments, case-insensitive keys). Every *grid* key lists one or more
+//! comma-separated values; the sweep is the Cartesian product of all
+//! listed axes. Omitted axes inherit the base configuration the sweep is
+//! run against (`scalesim sweep -c base.cfg` or the built-in default).
+//!
+//! ```text
+//! [sweep]
+//! name = example
+//!
+//! [grid]
+//! array     = 8x8, 16x16, 16x64      # PE array RxC
+//! dataflow  = os, ws                 # os / ws / is
+//! sram_kb   = 256/256/128            # ifmap/filter/ofmap SRAM, kB
+//! bandwidth = 10, 20                 # DRAM words per cycle
+//! cores     = 1x1                    # tensor-core grid (1x1 = single)
+//! dram      = false                  # cycle-accurate DRAM flow
+//! energy    = true                   # energy/power estimation
+//! layout    = false                  # bank-conflict layout analysis
+//!
+//! [workloads]
+//! topology = topologies/vit_small_gemm.csv, topologies/alexnet.csv
+//! ```
+
+use scalesim_multicore::PartitionGrid;
+use scalesim_systolic::{ArrayShape, Dataflow};
+
+/// A parse failure, naming the offending key/value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed sweep specification: the value lists of every swept axis.
+///
+/// Empty axis vectors mean "not swept" — the point inherits the base
+/// configuration for that knob (see [`SweepPoint`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (used in report headers); defaults to `"sweep"`.
+    pub name: String,
+    /// PE array shapes (`array = 8x8, 16x64`).
+    pub arrays: Vec<ArrayShape>,
+    /// Dataflows (`dataflow = os, ws, is`).
+    pub dataflows: Vec<Dataflow>,
+    /// SRAM sizes as (ifmap, filter, ofmap) kilobytes
+    /// (`sram_kb = 256/256/128, 512/512/256`).
+    pub srams_kb: Vec<(usize, usize, usize)>,
+    /// DRAM interface bandwidths in words/cycle (`bandwidth = 10, 20`).
+    pub bandwidths: Vec<f64>,
+    /// Tensor-core grids (`cores = 1x1, 2x2`); `1x1` is single-core.
+    pub core_grids: Vec<PartitionGrid>,
+    /// Cycle-accurate DRAM flow on/off (`dram = false, true`).
+    pub dram: Vec<bool>,
+    /// Energy estimation on/off (`energy = true`).
+    pub energy: Vec<bool>,
+    /// Layout bank-conflict analysis on/off (`layout = false`).
+    pub layout: Vec<bool>,
+    /// Workload topology CSV paths (`topology = a.csv, b.csv`;
+    /// repeatable). The CLI may append more with `-t`.
+    pub topologies: Vec<String>,
+}
+
+fn parse_kv(line: &str) -> Option<(String, String)> {
+    let sep = line.find([':', '='])?;
+    let key = line[..sep].trim().to_ascii_lowercase();
+    let val = line[sep + 1..].trim().to_string();
+    if key.is_empty() || val.is_empty() {
+        None
+    } else {
+        Some((key, val))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['#', ';']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_array(v: &str) -> Result<ArrayShape, SpecError> {
+    let (r, c) = v
+        .split_once(['x', 'X'])
+        .ok_or_else(|| SpecError(format!("bad array '{v}' (expected RxC, e.g. 16x64)")))?;
+    let parse = |s: &str| -> Result<usize, SpecError> {
+        s.trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| SpecError(format!("bad array dimension '{s}' in '{v}'")))
+    };
+    Ok(ArrayShape::new(parse(r)?, parse(c)?))
+}
+
+fn parse_dataflow(v: &str) -> Result<Dataflow, SpecError> {
+    match v.to_ascii_lowercase().as_str() {
+        "os" => Ok(Dataflow::OutputStationary),
+        "ws" => Ok(Dataflow::WeightStationary),
+        "is" => Ok(Dataflow::InputStationary),
+        other => Err(SpecError(format!(
+            "unknown dataflow '{other}' (expected os/ws/is)"
+        ))),
+    }
+}
+
+fn parse_sram(v: &str) -> Result<(usize, usize, usize), SpecError> {
+    let parts: Vec<&str> = v.split('/').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(SpecError(format!(
+            "bad sram_kb '{v}' (expected ifmap/filter/ofmap, e.g. 512/512/256)"
+        )));
+    }
+    let parse = |s: &str| -> Result<usize, SpecError> {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| SpecError(format!("bad SRAM size '{s}' in '{v}'")))
+    };
+    Ok((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?))
+}
+
+fn parse_bool(v: &str) -> Result<bool, SpecError> {
+    match v.to_ascii_lowercase().as_str() {
+        "true" | "1" | "on" | "yes" => Ok(true),
+        "false" | "0" | "off" | "no" => Ok(false),
+        other => Err(SpecError(format!("bad boolean '{other}'"))),
+    }
+}
+
+impl SweepSpec {
+    /// Parses a sweep spec from its text form.
+    ///
+    /// Unknown keys are errors (a typo'd axis silently inheriting the
+    /// base config would invalidate a whole sweep); unknown *sections*
+    /// are ignored for forward compatibility.
+    ///
+    /// ```
+    /// use scalesim_sweep::SweepSpec;
+    ///
+    /// let spec = SweepSpec::parse(
+    ///     "[sweep]\n\
+    ///      name = demo\n\
+    ///      [grid]\n\
+    ///      array    = 8x8, 16x16\n\
+    ///      dataflow = ws\n\
+    ///      [workloads]\n\
+    ///      topology = topologies/alexnet.csv\n",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(spec.name, "demo");
+    /// assert_eq!(spec.arrays.len(), 2);
+    /// assert_eq!(spec.topologies, ["topologies/alexnet.csv"]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first malformed key or value.
+    pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
+        let mut spec = SweepSpec {
+            name: "sweep".into(),
+            ..SweepSpec::default()
+        };
+        for raw in text.lines() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() || line.starts_with('[') {
+                continue;
+            }
+            let Some((key, val)) = parse_kv(line) else {
+                return Err(SpecError(format!("malformed line '{line}'")));
+            };
+            let values = || val.split(',').map(str::trim).filter(|v| !v.is_empty());
+            match key.as_str() {
+                "name" => spec.name = val.clone(),
+                "array" | "arrays" => {
+                    for v in values() {
+                        spec.arrays.push(parse_array(v)?);
+                    }
+                }
+                "dataflow" | "dataflows" => {
+                    for v in values() {
+                        spec.dataflows.push(parse_dataflow(v)?);
+                    }
+                }
+                "sram_kb" | "sram" => {
+                    for v in values() {
+                        spec.srams_kb.push(parse_sram(v)?);
+                    }
+                }
+                "bandwidth" | "bandwidths" => {
+                    for v in values() {
+                        let bw: f64 = v
+                            .parse()
+                            .map_err(|_| SpecError(format!("bad bandwidth '{v}'")))?;
+                        if !bw.is_finite() || bw <= 0.0 {
+                            return Err(SpecError(format!("bandwidth must be positive: '{v}'")));
+                        }
+                        spec.bandwidths.push(bw);
+                    }
+                }
+                "cores" | "core_grid" => {
+                    for v in values() {
+                        spec.core_grids.push(PartitionGrid::parse(v).ok_or_else(|| {
+                            SpecError(format!("bad cores '{v}' (expected PRxPC, e.g. 2x2)"))
+                        })?);
+                    }
+                }
+                "dram" => {
+                    for v in values() {
+                        spec.dram.push(parse_bool(v)?);
+                    }
+                }
+                "energy" => {
+                    for v in values() {
+                        spec.energy.push(parse_bool(v)?);
+                    }
+                }
+                "layout" => {
+                    for v in values() {
+                        spec.layout.push(parse_bool(v)?);
+                    }
+                }
+                "topology" | "topologies" => {
+                    spec.topologies.extend(values().map(String::from));
+                }
+                other => {
+                    return Err(SpecError(format!("unknown key '{other}'")));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Number of grid points the spec expands to (the product of all
+    /// non-empty axis lengths).
+    pub fn grid_size(&self) -> usize {
+        [
+            self.arrays.len(),
+            self.dataflows.len(),
+            self.srams_kb.len(),
+            self.bandwidths.len(),
+            self.core_grids.len(),
+            self.dram.len(),
+            self.energy.len(),
+            self.layout.len(),
+        ]
+        .iter()
+        .map(|&n| n.max(1))
+        .product()
+    }
+
+    /// Expands the spec into the full Cartesian product of its axes, in
+    /// a stable odometer order (the last listed axis varies fastest).
+    ///
+    /// ```
+    /// use scalesim_sweep::SweepSpec;
+    ///
+    /// let spec = SweepSpec::parse(
+    ///     "array = 8x8, 16x16\nbandwidth = 10, 20, 40\n",
+    /// )
+    /// .unwrap();
+    /// let grid = spec.expand();
+    /// assert_eq!(grid.len(), 6); // 2 arrays x 3 bandwidths
+    /// // The first point holds the first value of every axis...
+    /// assert_eq!(grid[0].bandwidth, Some(10.0));
+    /// // ...and un-swept axes stay None (inherit the base config).
+    /// assert!(grid[0].dataflow.is_none());
+    /// assert_eq!(grid[0].label(), "8x8-bw10");
+    /// ```
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+        let mut grid = Vec::with_capacity(self.grid_size());
+        for &array in &axis(&self.arrays) {
+            for &dataflow in &axis(&self.dataflows) {
+                for &sram_kb in &axis(&self.srams_kb) {
+                    for &bandwidth in &axis(&self.bandwidths) {
+                        for &cores in &axis(&self.core_grids) {
+                            for &dram in &axis(&self.dram) {
+                                for &energy in &axis(&self.energy) {
+                                    for &layout in &axis(&self.layout) {
+                                        grid.push(SweepPoint {
+                                            index: grid.len(),
+                                            array,
+                                            dataflow,
+                                            sram_kb,
+                                            bandwidth,
+                                            cores,
+                                            dram,
+                                            energy,
+                                            layout,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grid
+    }
+}
+
+/// One concrete grid point: the swept value of every axis, or `None`
+/// where the axis is not swept (the base configuration applies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the expanded grid (stable across runs).
+    pub index: usize,
+    /// PE array shape override.
+    pub array: Option<ArrayShape>,
+    /// Dataflow override.
+    pub dataflow: Option<Dataflow>,
+    /// (ifmap, filter, ofmap) SRAM kilobytes override.
+    pub sram_kb: Option<(usize, usize, usize)>,
+    /// DRAM bandwidth override (words/cycle).
+    pub bandwidth: Option<f64>,
+    /// Tensor-core grid override (`1x1` forces single-core).
+    pub cores: Option<PartitionGrid>,
+    /// Cycle-accurate DRAM flow toggle override.
+    pub dram: Option<bool>,
+    /// Energy estimation toggle override.
+    pub energy: Option<bool>,
+    /// Layout analysis toggle override.
+    pub layout: Option<bool>,
+}
+
+impl SweepPoint {
+    /// A compact, stable, human-readable label naming the swept values
+    /// (`"16x64-ws-s256/256/128-bw20"`); `"base"` when nothing is swept.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(a) = self.array {
+            parts.push(format!("{}x{}", a.rows(), a.cols()));
+        }
+        if let Some(d) = self.dataflow {
+            parts.push(
+                match d {
+                    Dataflow::OutputStationary => "os",
+                    Dataflow::WeightStationary => "ws",
+                    Dataflow::InputStationary => "is",
+                }
+                .into(),
+            );
+        }
+        if let Some((i, f, o)) = self.sram_kb {
+            parts.push(format!("s{i}/{f}/{o}"));
+        }
+        if let Some(bw) = self.bandwidth {
+            if bw.fract() == 0.0 {
+                parts.push(format!("bw{}", bw as u64));
+            } else {
+                parts.push(format!("bw{bw}"));
+            }
+        }
+        if let Some(g) = self.cores {
+            parts.push(format!("c{}x{}", g.pr, g.pc));
+        }
+        for (flag, tag) in [
+            (self.dram, "dram"),
+            (self.energy, "e"),
+            (self.layout, "lay"),
+        ] {
+            if let Some(on) = flag {
+                parts.push(format!("{tag}{}", u8::from(on)));
+            }
+        }
+        if parts.is_empty() {
+            "base".into()
+        } else {
+            parts.join("-")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_axes() {
+        let spec = SweepSpec::parse(
+            "[sweep]\nname = full\n[grid]\n\
+             array = 8x8, 16x64\ndataflow = os, ws, is\n\
+             sram_kb = 256/256/128\nbandwidth = 10, 20\n\
+             cores = 1x1, 2x2\ndram = false, true\nenergy = true\nlayout = false\n\
+             [workloads]\ntopology = a.csv, b.csv\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name, "full");
+        assert_eq!(spec.arrays.len(), 2);
+        assert_eq!(spec.dataflows.len(), 3);
+        assert_eq!(spec.srams_kb, [(256, 256, 128)]);
+        assert_eq!(spec.bandwidths, [10.0, 20.0]);
+        assert_eq!(spec.core_grids.len(), 2);
+        assert_eq!(spec.dram, [false, true]);
+        assert_eq!(spec.topologies, ["a.csv", "b.csv"]);
+        assert_eq!(spec.grid_size(), 2 * 3 * 2 * 2 * 2);
+        assert_eq!(spec.expand().len(), spec.grid_size());
+    }
+
+    #[test]
+    fn comments_and_separators() {
+        let spec =
+            SweepSpec::parse("# c\narray : 4x4  # inline\n; other\nbandwidth = 2.5\n").unwrap();
+        assert_eq!(spec.arrays, [ArrayShape::new(4, 4)]);
+        assert_eq!(spec.bandwidths, [2.5]);
+    }
+
+    #[test]
+    fn empty_spec_is_one_base_point() {
+        let spec = SweepSpec::parse("").unwrap();
+        assert_eq!(spec.grid_size(), 1);
+        let grid = spec.expand();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].label(), "base");
+    }
+
+    #[test]
+    fn expansion_order_is_odometer() {
+        let spec = SweepSpec::parse("array = 1x1, 2x2\nbandwidth = 1, 2\n").unwrap();
+        let labels: Vec<String> = spec.expand().iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["1x1-bw1", "1x1-bw2", "2x2-bw1", "2x2-bw2"]);
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let spec = SweepSpec::parse("dataflow = os, ws, is\n").unwrap();
+        for (i, p) in spec.expand().iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        for (text, needle) in [
+            ("array = 8\n", "bad array"),
+            ("array = 0x8\n", "bad array dimension"),
+            ("dataflow = zz\n", "unknown dataflow"),
+            ("sram_kb = 1/2\n", "bad sram_kb"),
+            ("bandwidth = fast\n", "bad bandwidth"),
+            ("bandwidth = -1\n", "positive"),
+            ("cores = 0x2\n", "bad cores"),
+            ("dram = maybe\n", "bad boolean"),
+            ("wat = 1\n", "unknown key"),
+        ] {
+            let err = SweepSpec::parse(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "'{text}' -> '{err}'");
+        }
+    }
+}

@@ -70,6 +70,6 @@ pub use error::SimError;
 pub use operand::{Addr, OperandKind, OperandMap, FILTER_BASE, IFMAP_BASE, OFMAP_BASE};
 pub use parallel::{num_threads, parallel_map, THREADS_ENV};
 pub use report::{ComputeSummary, LayerReport, MemorySummary, OperandMemoryStats, SramSummary};
-pub use sim::{CoreSim, PlanCache, PlanKey, PlannedLayer, RepeatLookup};
+pub use sim::{CoreSim, PlanCache, PlanCacheStats, PlanKey, PlannedLayer, RepeatLookup};
 pub use topology::{ConvLayer, GemmShape, Layer, Topology};
 pub use trace::{AccessKind, TraceEntry, TraceRecorder};

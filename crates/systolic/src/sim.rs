@@ -8,7 +8,7 @@
 //! Planning is the simulator's hot path, so it is organized around three
 //! stacked optimizations (all bit-identical to the naive scheme):
 //!
-//! 1. **Fused single-pass planning** — [`FusedPlanPass`] drives both read
+//! 1. **Fused single-pass planning** — `FusedPlanPass` (internal) drives both read
 //!    planners, the write planner and all three repeat lookups from *one*
 //!    [`DemandGenerator::run`], where the original scheme traversed the
 //!    cycle-accurate stream once per operand.
@@ -324,6 +324,41 @@ impl PlanCache {
     /// Drops all cached plans (counters are kept).
     pub fn clear(&self) {
         self.map.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// The cache counters bundled up for end-of-run summaries (e.g. how
+    /// much planning a design-space sweep shared across its grid
+    /// points). Each counter is read independently, so a snapshot taken
+    /// while planning is still in flight may be momentarily inconsistent
+    /// (hits + misses need not equal lookups observed elsewhere); read it
+    /// after the runs complete.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            plans: self.len(),
+        }
+    }
+}
+
+/// Snapshot of a [`PlanCache`]'s counters (see [`PlanCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan (distinct work actually done).
+    pub misses: u64,
+    /// Distinct plans currently held.
+    pub plans: usize,
+}
+
+impl std::fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} plans held)",
+            self.hits, self.misses, self.plans
+        )
     }
 }
 
@@ -715,6 +750,13 @@ mod tests {
         // A different shape misses.
         let _ = sim.simulate_gemm(GemmShape::new(16, 16, 16));
         assert_eq!(cache.misses(), 2);
+        // The snapshot matches the individual counters.
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.plans),
+            (cache.hits(), cache.misses(), cache.len())
+        );
+        assert_eq!(stats.to_string(), "1 hits / 2 misses (2 plans held)");
     }
 
     #[test]

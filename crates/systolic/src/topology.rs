@@ -308,6 +308,26 @@ impl Topology {
         Ok(topo)
     }
 
+    /// Parses a topology CSV, auto-detecting the row format: lines with at
+    /// least 8 columns are treated as conv rows
+    /// (`name, ifh, ifw, fh, fw, c, n, stride`), otherwise GEMM rows
+    /// (`name, M, K, N`). Detection looks at the first data line, so a file
+    /// must not mix the two formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ParseTopology`] naming the first bad line.
+    pub fn parse_csv_auto(name: &str, csv: &str) -> Result<Self, SimError> {
+        let first_data = csv
+            .lines()
+            .map(|l| l.trim().trim_end_matches(','))
+            .find(|l| !l.is_empty() && !is_header(l) && !l.starts_with('#'));
+        match first_data {
+            Some(line) if line.split(',').count() >= 8 => Self::parse_conv_csv(name, csv),
+            _ => Self::parse_gemm_csv(name, csv),
+        }
+    }
+
     /// Serializes the topology back to SCALE-Sim CSV (conv layers only keep
     /// full fidelity; GEMM layers are emitted in `name, M, K, N` form).
     pub fn to_csv(&self) -> String {
@@ -356,6 +376,20 @@ fn is_header(line: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn auto_detect_conv_vs_gemm() {
+        let conv = "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, \
+                    Channels, Num Filter, Strides,\nc1, 8, 8, 3, 3, 4, 4, 1,\n";
+        let t = Topology::parse_csv_auto("n", conv).unwrap();
+        assert!(matches!(t.layers()[0], Layer::Conv(_)));
+        let gemm = "Layer, M, K, N,\nl0, 16, 32, 8,\n";
+        let t = Topology::parse_csv_auto("n", gemm).unwrap();
+        assert!(matches!(t.layers()[0], Layer::Gemm { .. }));
+        assert_eq!(t.layers()[0].gemm(), GemmShape::new(16, 8, 32));
+        // Empty input parses as an empty (GEMM-form) topology.
+        assert!(Topology::parse_csv_auto("n", "").unwrap().is_empty());
+    }
 
     #[test]
     fn conv_to_gemm_im2col() {

@@ -141,6 +141,24 @@ pub fn alexnet() -> Topology {
     t
 }
 
+/// A CIFAR-10-scale CNN (32×32 input): six 3×3 convolutions and two FC
+/// layers. Small enough that design-space sweeps over many architecture
+/// points stay fast — it is the conv workload of the shipped
+/// `configs/example_sweep.toml` — while still exercising every layer
+/// shape class (early wide convs, late channel-heavy convs, FC tails).
+pub fn cifar_cnn() -> Topology {
+    let mut t = Topology::new("cifar-cnn");
+    t.push(conv("conv1".into(), 32, 3, 3, 32, 1, true));
+    t.push(conv("conv2".into(), 32, 3, 32, 32, 1, true));
+    t.push(conv("conv3".into(), 16, 3, 32, 64, 1, true));
+    t.push(conv("conv4".into(), 16, 3, 64, 64, 1, true));
+    t.push(conv("conv5".into(), 8, 3, 64, 128, 1, true));
+    t.push(conv("conv6".into(), 8, 3, 128, 128, 1, true));
+    t.push(Layer::gemm_layer("fc1", 1, 256, 2048));
+    t.push(Layer::gemm_layer("fc2", 1, 10, 256));
+    t
+}
+
 /// An R-CNN-style detector: VGG-16 backbone plus the region-proposal and
 /// detection-head convolutions (the workload the paper labels "RCNN").
 pub fn rcnn() -> Topology {

@@ -25,20 +25,21 @@ pub mod cnn;
 pub mod gemm;
 pub mod vit;
 
-pub use cnn::{alexnet, rcnn, resnet18, resnet50};
+pub use cnn::{alexnet, cifar_cnn, rcnn, resnet18, resnet50};
 pub use gemm::{fig3_gemm_workloads, gemm_sweep};
 pub use vit::{vit_base, vit_feed_forward_layers, vit_large, vit_small, ViTConfig};
 
 use scalesim_systolic::Topology;
 
 /// Looks a workload up by its canonical name
-/// (`resnet18`, `resnet50`, `alexnet`, `rcnn`, `vit-small`, `vit-base`,
-/// `vit-large`).
+/// (`resnet18`, `resnet50`, `alexnet`, `cifar-cnn`, `rcnn`, `vit-small`,
+/// `vit-base`, `vit-large`).
 pub fn by_name(name: &str) -> Option<Topology> {
     match name.to_ascii_lowercase().as_str() {
         "resnet18" | "resnet-18" => Some(resnet18()),
         "resnet50" | "resnet-50" => Some(resnet50()),
         "alexnet" => Some(alexnet()),
+        "cifar-cnn" | "cifar_cnn" | "cifarcnn" => Some(cifar_cnn()),
         "rcnn" | "r-cnn" => Some(rcnn()),
         "vit-small" | "vit_s" | "vit-s" => Some(vit_small()),
         "vit-base" | "vit_b" | "vit-b" => Some(vit_base()),
@@ -53,6 +54,7 @@ pub fn all_workloads() -> Vec<Topology> {
         resnet18(),
         resnet50(),
         alexnet(),
+        cifar_cnn(),
         rcnn(),
         vit_small(),
         vit_base(),

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in README.md and docs/*.md
+# points at a file (or file#anchor) that exists. External links
+# (http/https/mailto) are skipped. Exits non-zero listing every broken
+# link. Run from the repo root: scripts/check_doc_links.sh
+set -u
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract the (target) of every [text](target) markdown link.
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path=${target%%#*}
+        # Pure-anchor links (#section) refer to the same file.
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $doc -> $target"
+            fail=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc links OK"

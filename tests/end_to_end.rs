@@ -250,9 +250,32 @@ fn shipped_configs_and_topologies_are_usable() {
     // layer must simulate under each preset.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut configs = 0;
+    let mut sweep_specs = 0;
     for entry in std::fs::read_dir(root.join("configs")).unwrap() {
         let path = entry.unwrap().path();
         let text = std::fs::read_to_string(&path).unwrap();
+        if path.extension().is_some_and(|e| e == "toml") {
+            // Sweep specs (`scalesim sweep -s`) ship alongside the .cfg
+            // presets; the example must expand to a real grid over at
+            // least two workloads.
+            let spec = scale_sim::scalesim::sweep::SweepSpec::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(
+                spec.grid_size() >= 24,
+                "{}: example sweep must cover >= 24 grid points",
+                path.display()
+            );
+            assert!(
+                spec.topologies.len() >= 2,
+                "{}: example sweep must cover >= 2 topologies",
+                path.display()
+            );
+            for topo in &spec.topologies {
+                assert!(root.join(topo).exists(), "{topo} missing");
+            }
+            sweep_specs += 1;
+            continue;
+        }
         let config = scale_sim::scalesim::parse_cfg(&text)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let r = ScaleSim::new(config).run_gemm("probe", GemmShape::new(64, 64, 64));
@@ -260,6 +283,7 @@ fn shipped_configs_and_topologies_are_usable() {
         configs += 1;
     }
     assert!(configs >= 3, "expected at least three shipped configs");
+    assert!(sweep_specs >= 1, "expected the example sweep spec");
 
     let mut topologies = 0;
     for entry in std::fs::read_dir(root.join("topologies")).unwrap() {
