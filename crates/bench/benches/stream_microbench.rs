@@ -1,0 +1,169 @@
+//! Bounded-memory streaming harness for the staged layer pipeline.
+//!
+//! A long topology used to materialize every `LayerResult` before any
+//! report row was written: peak result memory grew O(n) in the layer
+//! count. The streaming engine (`ScaleSim::run_topology_with` + a
+//! `ResultSink`) consumes each worker block as it finishes, so at most
+//! `STREAM_BLOCK` results are ever resident — O(1) in the layer count.
+//!
+//! This bench runs a synthetic 5 000-layer topology (a few distinct GEMM
+//! shapes cycled, so the plan cache keeps planning cost flat) two ways:
+//!
+//! * `collect`   — the classic `run_topology` path (buffers all layers);
+//! * `streaming` — `run_topology_with` into an O(1) `RunSummary` sink.
+//!
+//! It asserts the two agree on every aggregate, asserts the streaming
+//! peak buffer is bounded by `STREAM_BLOCK` (and identical for a 10×
+//! shorter topology — the O(1) claim), prints the table, and appends a
+//! `"stream_microbench"` section to the `BENCH_perf.json` trajectory.
+//!
+//! Run with: `cargo bench --bench stream_microbench`
+
+use scalesim::systolic::{Layer, Topology};
+use scalesim::{RunSummary, ScaleSim, ScaleSimConfig, STREAM_BLOCK};
+use scalesim_bench::{banner, write_csv, ResultTable};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Synthetic topology: `n` layers cycling a handful of GEMM shapes.
+fn synthetic(n: usize) -> Topology {
+    let shapes = [
+        (64, 64, 64),
+        (96, 32, 48),
+        (32, 128, 32),
+        (80, 48, 64),
+        (48, 48, 96),
+        (128, 32, 32),
+        (56, 72, 40),
+        (40, 40, 120),
+    ];
+    let layers = (0..n)
+        .map(|i| {
+            let (m, n_, k) = shapes[i % shapes.len()];
+            Layer::gemm_layer(format!("l{i}"), m, n_, k)
+        })
+        .collect();
+    Topology::from_layers("synthetic", layers)
+}
+
+fn main() {
+    banner(
+        "stream",
+        "streaming results engine: O(1) result memory on long topologies",
+        "reports are emitted incrementally instead of buffering every layer",
+    );
+
+    let mut config = ScaleSimConfig::default();
+    config.core.array = scalesim::systolic::ArrayShape::new(16, 16);
+    config.enable_energy = true;
+    let sim = ScaleSim::new(config);
+
+    const LAYERS: usize = 5_000;
+    let topo = synthetic(LAYERS);
+
+    // Classic path: every LayerResult buffered until the run completes.
+    let t0 = Instant::now();
+    let collected = sim.run_topology(&topo);
+    let collect_s = t0.elapsed().as_secs_f64();
+
+    // Streaming path: O(1) summary sink, block-bounded buffering.
+    let t0 = Instant::now();
+    let mut summary = RunSummary::new();
+    let stats = sim.run_topology_with(&topo, &mut summary);
+    let stream_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(summary.layers, LAYERS);
+    assert_eq!(summary.total_cycles, collected.total_cycles());
+    assert_eq!(summary.compute_cycles, collected.total_compute_cycles());
+    assert_eq!(summary.macs, collected.total_macs());
+
+    // The acceptance property: peak resident results are bounded by the
+    // stream block — O(1) in the layer count.
+    assert!(
+        stats.peak_buffered <= STREAM_BLOCK,
+        "peak buffered {} exceeds STREAM_BLOCK {}",
+        stats.peak_buffered,
+        STREAM_BLOCK
+    );
+    let mut short_summary = RunSummary::new();
+    let short_stats = sim.run_topology_with(&synthetic(LAYERS / 10), &mut short_summary);
+    assert_eq!(
+        stats.peak_buffered, short_stats.peak_buffered,
+        "peak buffering must not grow with layer count"
+    );
+
+    let buffer_ratio = LAYERS as f64 / stats.peak_buffered as f64;
+    let mut table = ResultTable::new(vec![
+        "layers",
+        "collect_s",
+        "stream_s",
+        "peak_buffered",
+        "buffer_reduction",
+    ]);
+    table.row(vec![
+        LAYERS.to_string(),
+        format!("{collect_s:.3}"),
+        format!("{stream_s:.3}"),
+        stats.peak_buffered.to_string(),
+        format!("{buffer_ratio:.0}x"),
+    ]);
+    table.print();
+    write_csv("stream_microbench.csv", &table.to_csv());
+
+    // The gate is the memory bound above, not wall-clock: both passes
+    // run in tens of milliseconds, far inside single-core scheduler
+    // noise, so the timings are reported for the trajectory but never
+    // asserted against.
+    append_bench_json(LAYERS, collect_s, stream_s, stats.peak_buffered);
+}
+
+/// Appends (or replaces) the `"stream_microbench"` section of the
+/// `BENCH_perf.json` trajectory. Runs after `sweep_microbench` in CI
+/// (which truncates everything from its own key on), so this section is
+/// always last when present.
+fn append_bench_json(layers: usize, collect_s: f64, stream_s: f64, peak: usize) {
+    let mut section = String::new();
+    let _ = writeln!(section, "  \"stream_microbench\": {{");
+    let _ = writeln!(section, "    \"topology\": \"synthetic, 8 shapes cycled\",");
+    let _ = writeln!(section, "    \"layers\": {layers},");
+    let _ = writeln!(section, "    \"collect_s\": {collect_s:.6},");
+    let _ = writeln!(section, "    \"stream_s\": {stream_s:.6},");
+    let _ = writeln!(section, "    \"peak_buffered_results\": {peak},");
+    let _ = writeln!(
+        section,
+        "    \"buffer_reduction\": {:.1}",
+        layers as f64 / peak as f64
+    );
+    let _ = writeln!(section, "  }}");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf.json");
+    let merged = match std::fs::read_to_string(&path) {
+        Ok(mut existing) => {
+            // Drop any previous section regardless of whether a comma
+            // precedes it (it is the sole section when this bench
+            // created the file), then strip the trailing comma/brace so
+            // the rebuilt tail is always valid JSON.
+            if let Some(i) = existing.find("\n  \"stream_microbench\"") {
+                existing.truncate(i);
+                existing.truncate(existing.trim_end().len());
+                if existing.ends_with(',') {
+                    existing.pop();
+                }
+            } else {
+                existing.truncate(existing.trim_end().len());
+                match existing.pop() {
+                    Some('}') => existing.truncate(existing.trim_end().len()),
+                    _ => existing = String::from("{"),
+                }
+            }
+            if existing.trim_end().ends_with('{') {
+                format!("{existing}\n{section}}}\n")
+            } else {
+                format!("{existing},\n{section}}}\n")
+            }
+        }
+        Err(_) => format!("{{\n{section}}}\n"),
+    };
+    std::fs::write(&path, &merged).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\n[json] {}", path.display());
+}

@@ -11,10 +11,13 @@
 //! Argument parsing lives in [`scalesim::cli`] (unit-tested there); the
 //! full reference is `docs/CLI.md`.
 
-use scalesim::cli::{parse_cli, Command, RunArgs, SweepArgs};
+use scalesim::cli::{parse_cli, version_string, Command, RunArgs, SweepArgs};
 use scalesim::sweep::SweepSpec;
 use scalesim::systolic::Topology;
-use scalesim::{parse_cfg, run_sweep, ScaleSim, ScaleSimConfig};
+use scalesim::{
+    parse_cfg, CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary, ScaleSim,
+    ScaleSimConfig,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -58,6 +61,32 @@ fn load_topology(path: &Path, format: TopoFormat) -> Result<Topology, String> {
     Ok(topo)
 }
 
+/// The run command's streaming sink: tees every finished layer into the
+/// incremental CSV writers and the O(1) run summary, printing verbose
+/// progress along the way. Layer results are dropped as soon as they
+/// are consumed — the run never materializes the whole topology.
+struct RunCliSink {
+    csv: CsvReportSink,
+    summary: RunSummary,
+    verbose: bool,
+}
+
+impl ResultSink for RunCliSink {
+    fn layer(&mut self, r: LayerResult) {
+        if self.verbose {
+            eprintln!(
+                "  {:<16} {:>12} cycles ({:>3.0}% util, {} stalls)",
+                r.name,
+                r.total_cycles(),
+                r.report.compute.utilization * 100.0,
+                r.stall_cycles()
+            );
+        }
+        self.summary.add(&r);
+        self.csv.layer(r);
+    }
+}
+
 fn run(args: RunArgs) -> Result<(), String> {
     let mut config = load_config(args.config.as_deref())?;
     config.enable_dram = args.dram;
@@ -84,38 +113,23 @@ fn run(args: RunArgs) -> Result<(), String> {
         },
     );
     let sim = ScaleSim::new(config);
-    let mut result = scalesim::RunResult::default();
-    for layer in topo.iter() {
-        let r = sim.run_gemm(layer.name(), layer.gemm());
-        if args.verbose {
-            eprintln!(
-                "  {:<16} {:>12} cycles ({:>3.0}% util, {} stalls)",
-                r.name,
-                r.total_cycles(),
-                r.report.compute.utilization * 100.0,
-                r.stall_cycles()
-            );
-        }
-        result.layers.push(r);
-    }
+    let sim = if args.profile_stages {
+        sim.with_stage_profiling()
+    } else {
+        sim
+    };
 
     std::fs::create_dir_all(&args.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
-    let mut written = Vec::new();
-    let mut emit = |file: &str, content: String| -> Result<(), String> {
-        if content.is_empty() {
-            return Ok(());
-        }
-        let path = args.out_dir.join(file);
-        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
-        written.push(path);
-        Ok(())
+    let mut sink = RunCliSink {
+        csv: CsvReportSink::new(&args.out_dir, ReportSections::for_config(sim.config())),
+        summary: RunSummary::new(),
+        verbose: args.verbose,
     };
-    emit("COMPUTE_REPORT.csv", result.compute_report_csv())?;
-    emit("BANDWIDTH_REPORT.csv", result.bandwidth_report_csv())?;
-    emit("SPARSE_REPORT.csv", result.sparse_report_csv())?;
-    emit("ENERGY_REPORT.csv", result.energy_report_csv())?;
-    emit("DRAM_REPORT.csv", result.dram_report_csv())?;
+    sim.run_topology_with(&topo, &mut sink);
+    let RunCliSink { csv, summary, .. } = sink;
+    let mut written = csv.finish()?;
+
     if args.area {
         use scalesim::energy::AreaBreakdown;
         let area = sim.area_report();
@@ -127,23 +141,43 @@ fn run(args: RunArgs) -> Result<(), String> {
             area.noc_mm2,
             area.dram_ctrl_mm2,
         );
-        emit(
-            "AREA_REPORT.csv",
+        let path = args.out_dir.join("AREA_REPORT.csv");
+        std::fs::write(
+            &path,
             format!("{}\n{}\n", AreaBreakdown::csv_header(), area.to_csv_row()),
-        )?;
+        )
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
     }
 
     eprintln!(
         "total: {} cycles ({} compute + {} stalls){}",
-        result.total_cycles(),
-        result.total_compute_cycles(),
-        result.total_stall_cycles(),
+        summary.total_cycles,
+        summary.compute_cycles,
+        summary.stall_cycles,
         if args.energy {
-            format!(", {:.3} mJ", result.total_energy_mj())
+            format!(", {:.3} mJ", summary.energy_mj())
         } else {
             String::new()
         }
     );
+    if let Some(profile) = sim.stage_profile() {
+        let total_ms: f64 = profile.iter().map(|t| t.millis()).sum();
+        eprintln!("stage profile ({total_ms:.1} ms total):");
+        for t in profile {
+            eprintln!(
+                "  {:<10} {:>6} calls {:>10.3} ms ({:>5.1}%)",
+                t.stage,
+                t.calls,
+                t.millis(),
+                if total_ms > 0.0 {
+                    t.millis() / total_ms * 100.0
+                } else {
+                    0.0
+                },
+            );
+        }
+    }
     for p in written {
         eprintln!("wrote {}", p.display());
     }
@@ -196,7 +230,16 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
     }
 
     let started = std::time::Instant::now();
-    let (report, cache) = run_sweep(&spec, &base, &topologies, args.shards)?;
+    // Stream per-run records to stderr as shards complete (the report
+    // itself stays deterministic: it sorts by run index).
+    let (report, cache) = scalesim::run_sweep_with(&spec, &base, &topologies, args.shards, |r| {
+        if args.verbose {
+            eprintln!(
+                "  run {:>3} {:<28} {:<12} {:>12} cycles {:>10.4} mJ",
+                r.run, r.point_label, r.topology, r.total_cycles, r.energy_mj,
+            );
+        }
+    })?;
     let elapsed = started.elapsed();
 
     std::fs::create_dir_all(&args.out_dir)
@@ -210,14 +253,6 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
         eprintln!("wrote {}", path.display());
     }
 
-    if args.verbose {
-        for r in report.records() {
-            eprintln!(
-                "  run {:>3} {:<28} {:<12} {:>12} cycles {:>10.4} mJ",
-                r.run, r.point_label, r.topology, r.total_cycles, r.energy_mj,
-            );
-        }
-    }
     eprintln!(
         "sweep done in {:.2}s: plan cache {} — pareto frontier: {}",
         elapsed.as_secs_f64(),
@@ -229,6 +264,10 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
 
 fn main() -> ExitCode {
     match parse_cli(std::env::args()) {
+        Ok(Command::Version) => {
+            println!("{}", version_string());
+            ExitCode::SUCCESS
+        }
         Ok(Command::Run(args)) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

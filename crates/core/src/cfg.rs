@@ -42,8 +42,10 @@ fn parse_kv(line: &str) -> Option<(String, String)> {
 
 /// Parses a SCALE-Sim `.cfg` string into a [`ScaleSimConfig`].
 ///
-/// Unknown keys are ignored (forward compatibility with the Python tool's
-/// extra knobs); malformed numeric values are errors.
+/// Unknown or misspelled keys are **rejected** with an error naming the
+/// key and its section — a typo like `ArrayHieght` silently inheriting
+/// the default would invalidate a whole study (the sweep-spec parser
+/// applies the same policy). Malformed numeric values are errors too.
 ///
 /// # Errors
 ///
@@ -74,7 +76,9 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
             continue;
         }
         let Some((key, val)) = parse_kv(line) else {
-            continue;
+            return Err(SimError::InvalidConfig(format!(
+                "malformed line '{line}' (expected 'key : value')"
+            )));
         };
         let num = |v: &str| -> Result<usize, SimError> {
             v.parse()
@@ -88,8 +92,18 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
             (_, "filtersramszkb") => filter_kb = num(&val)?,
             (_, "ofmapsramszkb") => ofmap_kb = num(&val)?,
             (_, "bandwidth" | "interfacebandwidth") => {
-                if let Ok(v) = val.parse::<f64>() {
-                    bandwidth = v;
+                // Upstream SCALE-Sim writes `InterfaceBandwidth : CALC`
+                // in USER mode ("derive it"); keep the default then.
+                if !val.eq_ignore_ascii_case("calc") {
+                    bandwidth = val
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|b| b.is_finite() && *b > 0.0)
+                        .ok_or_else(|| {
+                            SimError::InvalidConfig(format!(
+                                "'{key}' must be a positive number of words/cycle (or CALC): {val}"
+                            ))
+                        })?;
                 }
             }
             (_, "dataflow") => {
@@ -127,7 +141,25 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                     }
                 };
             }
-            _ => {} // unknown keys ignored
+            // Known upstream SCALE-Sim knobs this reproduction does not
+            // model: accepted (so stock Python-tool .cfg files keep
+            // working) but ignored. Everything else is a hard error —
+            // the point is catching *misspellings* of supported keys.
+            (_, "run_name" | "ifmapoffset" | "filteroffset" | "ofmapoffset" | "memorybanks") => {}
+            (_, other) => {
+                let place = if section.is_empty() {
+                    "at top level".to_string()
+                } else {
+                    format!("in section [{section}]")
+                };
+                return Err(SimError::InvalidConfig(format!(
+                    "unknown key '{other}' {place} (known keys: ArrayHeight, ArrayWidth, \
+                     IfmapSramSzkB, FilterSramSzkB, OfmapSramSzkB, Dataflow, Bandwidth, \
+                     run_name, IfmapOffset, FilterOffset, OfmapOffset, MemoryBanks; \
+                     [sparsity]: SparsitySupport, SparseRep, OptimizedMapping, \
+                     BlockSize, SparseRatio)"
+                )));
+            }
         }
     }
 
@@ -229,8 +261,77 @@ SparseRatio : 2:4
     }
 
     #[test]
-    fn unknown_keys_ignored() {
-        let c = parse_cfg("SomeFutureKnob : 42\n").unwrap();
+    fn bad_bandwidth_is_an_error() {
+        for bad in ["ten", "-1", "0", "inf", "NaN"] {
+            let err = parse_cfg(&format!("Bandwidth : {bad}\n"))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("bandwidth"), "'{bad}' -> {err}");
+        }
+        assert_eq!(
+            parse_cfg("Bandwidth : 2.5\n")
+                .unwrap()
+                .core
+                .memory
+                .dram_bandwidth,
+            2.5
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_by_name() {
+        let err = parse_cfg("SomeFutureKnob : 42\n").unwrap_err().to_string();
+        assert!(err.contains("unknown key 'somefutureknob'"), "{err}");
+        assert!(err.contains("at top level"), "{err}");
+    }
+
+    #[test]
+    fn misspelled_key_error_names_the_section() {
+        let err = parse_cfg("[architecture_presets]\nArrayHieght : 32\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown key 'arrayhieght'"), "{err}");
+        assert!(err.contains("[architecture_presets]"), "{err}");
+        // The error lists the accepted spellings so the fix is obvious.
+        assert!(err.contains("ArrayHeight"), "{err}");
+    }
+
+    #[test]
+    fn sparsity_knob_outside_its_section_is_rejected() {
+        let err = parse_cfg("SparsitySupport : true\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown key 'sparsitysupport'"), "{err}");
+    }
+
+    #[test]
+    fn run_name_is_accepted_metadata() {
+        let c =
+            parse_cfg("[general]\nrun_name = my_run\nArrayHeight : 16\nArrayWidth : 16\n").unwrap();
+        assert_eq!(c.core.array, ArrayShape::new(16, 16));
+    }
+
+    #[test]
+    fn stock_upstream_cfg_keys_still_parse() {
+        // The unmodified Python-tool presets carry operand offsets, a
+        // bank count and `InterfaceBandwidth : CALC`; they must keep
+        // working under the strict parser.
+        let c = parse_cfg(
+            "[general]\nrun_name = scale_example_run\n\
+             [architecture_presets]\nArrayHeight : 32\nArrayWidth : 32\n\
+             IfmapSramSzkB : 64\nFilterSramSzkB : 64\nOfmapSramSzkB : 64\n\
+             IfmapOffset : 0\nFilterOffset : 10000000\nOfmapOffset : 20000000\n\
+             Dataflow : os\nBandwidth : 10\nMemoryBanks : 1\n\
+             [run_presets]\nInterfaceBandwidth : CALC\n",
+        )
+        .unwrap();
         assert_eq!(c.core.array, ArrayShape::new(32, 32));
+        assert_eq!(c.core.memory.dram_bandwidth, 10.0, "CALC keeps Bandwidth");
+    }
+
+    #[test]
+    fn malformed_line_is_rejected() {
+        let err = parse_cfg("just some words\n").unwrap_err().to_string();
+        assert!(err.contains("malformed line"), "{err}");
     }
 }

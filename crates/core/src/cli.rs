@@ -15,9 +15,11 @@ use std::path::PathBuf;
 
 /// Usage string for the single-run command (also the `-h` output).
 pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p <outdir>]
-                [--gemm] [--dram] [--energy] [--layout] [--area] [-v]
+                [--gemm] [--dram] [--energy] [--layout] [--area]
+                [--profile-stages] [-v]
        scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
                 [-p <outdir>] [--shards <n>] [-v]
+       scalesim --version
 
   -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
               with --gemm: name,M,K,N)
@@ -28,7 +30,9 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
   --energy    enable energy/power estimation (paper SecVII)
   --layout    enable bank-conflict layout analysis (paper SecVI)
   --area      emit the silicon-area report for the configured core
+  --profile-stages  print per-stage cycle/time accounting after the run
   -v          print per-layer results while running
+  --version   print the scalesim version and build hash
 
   sweep       run a design-space-exploration grid; see 'scalesim sweep -h'
               and docs/CLI.md for the spec format";
@@ -72,6 +76,8 @@ pub struct RunArgs {
     pub layout: bool,
     /// Emit the area report.
     pub area: bool,
+    /// Print per-stage call/time accounting after the run.
+    pub profile_stages: bool,
     /// Per-layer progress on stderr.
     pub verbose: bool,
 }
@@ -100,6 +106,20 @@ pub enum Command {
     Run(RunArgs),
     /// Run a design-space sweep.
     Sweep(SweepArgs),
+    /// Print the version and exit (`--version` / `-V`).
+    Version,
+}
+
+/// The version line `scalesim --version` prints: the workspace version
+/// plus the git hash when the build stamped one (`SCALESIM_GIT_HASH` at
+/// compile time; release/CI builds set it, ad-hoc builds report
+/// `unknown`).
+pub fn version_string() -> String {
+    format!(
+        "scalesim {} (git {})",
+        env!("CARGO_PKG_VERSION"),
+        option_env!("SCALESIM_GIT_HASH").unwrap_or("unknown"),
+    )
 }
 
 /// A parse failure: the message to print (empty for a plain `-h`) and
@@ -137,16 +157,14 @@ where
 {
     let mut argv = argv.into_iter();
     let _bin = argv.next();
-    let mut peeked = argv.next();
-    if peeked.as_deref() == Some("sweep") {
-        return parse_sweep(argv).map(Command::Sweep);
+    let args: Vec<String> = argv.collect();
+    // Like -h, --version anywhere aborts normal parsing and wins.
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        return Ok(Command::Version);
     }
-    // Single-run: re-chain the consumed first argument.
-    let mut args: Vec<String> = Vec::new();
-    if let Some(first) = peeked.take() {
-        args.push(first);
+    if args.first().map(String::as_str) == Some("sweep") {
+        return parse_sweep(args.into_iter().skip(1)).map(Command::Sweep);
     }
-    args.extend(argv);
     parse_run(args.into_iter()).map(Command::Run)
 }
 
@@ -159,6 +177,7 @@ where
     let mut out_dir = PathBuf::from(".");
     let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
         (false, false, false, false, false, false);
+    let mut profile_stages = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "-c" | "--config" => {
@@ -184,6 +203,7 @@ where
             "--energy" => energy = true,
             "--layout" => layout = true,
             "--area" => area = true,
+            "--profile-stages" => profile_stages = true,
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => return Err(CliError::new("", USAGE)),
             other => return Err(CliError::new(format!("unknown argument '{other}'"), USAGE)),
@@ -199,6 +219,7 @@ where
         energy,
         layout,
         area,
+        profile_stages,
         verbose,
     })
 }
@@ -342,6 +363,43 @@ mod tests {
             let err = parse_cli(argv(&["sweep", "-s", "g", "--shards", bad])).unwrap_err();
             assert!(err.message.contains("--shards"), "{bad}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn version_flag_parses_anywhere() {
+        assert_eq!(parse_cli(argv(&["--version"])).unwrap(), Command::Version);
+        assert_eq!(parse_cli(argv(&["-V"])).unwrap(), Command::Version);
+        // Like -h, it wins from any position in either command.
+        assert_eq!(
+            parse_cli(argv(&["-t", "net.csv", "--version"])).unwrap(),
+            Command::Version
+        );
+        assert_eq!(
+            parse_cli(argv(&["sweep", "-s", "g.toml", "-V"])).unwrap(),
+            Command::Version
+        );
+    }
+
+    #[test]
+    fn version_string_names_tool_and_workspace_version() {
+        let v = version_string();
+        assert!(v.starts_with("scalesim "), "{v}");
+        assert!(v.contains(env!("CARGO_PKG_VERSION")), "{v}");
+        assert!(v.contains("git "), "{v}");
+    }
+
+    #[test]
+    fn profile_stages_flag_round_trips() {
+        let cmd = parse_cli(argv(&["-t", "net.csv", "--profile-stages"])).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run command")
+        };
+        assert!(args.profile_stages);
+        let cmd = parse_cli(argv(&["-t", "net.csv"])).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run command")
+        };
+        assert!(!args.profile_stages);
     }
 
     #[test]

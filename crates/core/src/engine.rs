@@ -1,32 +1,45 @@
-//! The SCALE-Sim v3 engine: per-layer orchestration of all five features.
+//! The SCALE-Sim v3 engine: drives the staged per-layer pipeline.
+//!
+//! [`ScaleSim`] is a thin, cloneable handle over one [`LayerPipeline`]
+//! built from its configuration (see [`crate::pipeline`] for the stage
+//! list). Single layers run through [`run_gemm`](ScaleSim::run_gemm);
+//! whole topologies stream through a [`ResultSink`] with bounded result
+//! memory ([`run_topology_with`](ScaleSim::run_topology_with)) or
+//! collect into a [`RunResult`] ([`run_topology`](ScaleSim::run_topology)).
 
-use crate::config::{ScaleSimConfig, SparsityMode};
-use crate::dram::dram_analysis;
-use crate::layout_analysis::layout_slowdown_for_gemm;
+use crate::config::ScaleSimConfig;
+use crate::pipeline::{LayerPipeline, PipelineBuilder, StageTiming};
 use crate::result::{LayerResult, RunResult};
-use scalesim_energy::{
-    ActionCounts, ArchSpec, AreaBreakdown, AreaConfig, AreaTable, EnergyModel, LayerActivity,
-};
-use scalesim_multicore::{core_subgemm, L2Report, MappingDims};
-use scalesim_sparse::{SparseReport, SparsityPattern};
-use scalesim_systolic::{
-    parallel_map, timing, CoreSim, Dataflow, GemmShape, IdealBandwidthStore, LayerReport,
-    PlanCache, PlannedLayer, Topology,
-};
+use crate::sink::{CollectSink, ResultSink};
+use scalesim_energy::{ArchSpec, AreaBreakdown, AreaConfig, AreaTable};
+use scalesim_systolic::{parallel_map_streamed, GemmShape, PlanCache, Topology};
 use std::sync::Arc;
+
+/// Block size of the streaming topology runner: at most this many layer
+/// results are buffered at once, regardless of topology length.
+pub const STREAM_BLOCK: usize = 64;
+
+/// Statistics of a streaming topology run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Layers executed.
+    pub layers: usize,
+    /// Peak number of simultaneously buffered layer results — bounded by
+    /// [`STREAM_BLOCK`], independent of the layer count.
+    pub peak_buffered: usize,
+}
 
 /// The integrated simulator.
 #[derive(Debug, Clone)]
 pub struct ScaleSim {
-    config: ScaleSimConfig,
-    /// Shared across layers (and threads): fetch plans depend only on the
-    /// array/dataflow/GEMM/scratchpad geometry, never on the backing
-    /// store, so repeated shapes re-use one plan across the whole run.
-    plan_cache: Arc<PlanCache>,
+    /// The staged pipeline; shared by clones (it is immutable), so the
+    /// plan cache and the stage profiler aggregate across them.
+    pipeline: Arc<LayerPipeline>,
 }
 
 impl ScaleSim {
-    /// Creates the simulator.
+    /// Creates the simulator, building the stage pipeline once from the
+    /// configuration.
     ///
     /// # Panics
     ///
@@ -37,14 +50,32 @@ impl ScaleSim {
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         Self {
-            config,
-            plan_cache: Arc::new(PlanCache::new()),
+            pipeline: Arc::new(PipelineBuilder::new(config).build()),
         }
     }
 
     /// The plan cache shared by this simulator's runs.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plan_cache
+        self.pipeline.env().plan_cache()
+    }
+
+    /// Creates the simulator with a shared plan cache in one step —
+    /// what [`with_plan_cache`](Self::with_plan_cache) produces, without
+    /// building and discarding an intermediate pipeline (the sweep
+    /// executor constructs one simulator per run, so this is its hot
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core configuration is invalid.
+    pub fn new_with_cache(config: ScaleSimConfig, cache: Arc<PlanCache>) -> Self {
+        config
+            .core
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        Self {
+            pipeline: Arc::new(PipelineBuilder::new(config).plan_cache(cache).build()),
+        }
     }
 
     /// Replaces the plan cache with a shared one, so *several* simulator
@@ -52,14 +83,51 @@ impl ScaleSim {
     /// plan each distinct `(array, dataflow, GEMM, scratchpad)` shape
     /// once between them. Safe across arbitrary configurations: the
     /// cache key carries everything a plan depends on.
-    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
-        self.plan_cache = cache;
-        self
+    ///
+    /// Rebuilds the pipeline: any stage-profiling *counters* accumulated
+    /// so far restart from zero (profiling stays enabled).
+    pub fn with_plan_cache(self, cache: Arc<PlanCache>) -> Self {
+        let profiled = self.pipeline.profile().is_some();
+        Self {
+            pipeline: Arc::new(
+                PipelineBuilder::new(self.config().clone())
+                    .plan_cache(cache)
+                    .profile_stages(profiled)
+                    .build(),
+            ),
+        }
+    }
+
+    /// Enables per-stage call/time accounting; read it back with
+    /// [`stage_profile`](Self::stage_profile) (the `--profile-stages`
+    /// flag of the CLI). Rebuilds the pipeline, so enable profiling
+    /// before running layers.
+    pub fn with_stage_profiling(self) -> Self {
+        let cache = Arc::clone(self.plan_cache());
+        Self {
+            pipeline: Arc::new(
+                PipelineBuilder::new(self.config().clone())
+                    .plan_cache(cache)
+                    .profile_stages(true)
+                    .build(),
+            ),
+        }
+    }
+
+    /// The per-stage timings accumulated so far (None unless built with
+    /// [`with_stage_profiling`](Self::with_stage_profiling)).
+    pub fn stage_profile(&self) -> Option<Vec<StageTiming>> {
+        self.pipeline.profile()
+    }
+
+    /// The staged pipeline this simulator drives.
+    pub fn pipeline(&self) -> &LayerPipeline {
+        &self.pipeline
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &ScaleSimConfig {
-        &self.config
+        self.pipeline.env().config()
     }
 
     /// Estimates the configured accelerator's silicon area (Accelergy's
@@ -67,8 +135,9 @@ impl ScaleSim {
     /// count from the layout feature when enabled, DRAM controllers from
     /// the DRAM feature when enabled.
     pub fn area_report(&self) -> AreaBreakdown {
-        let arr = self.config.core.array;
-        let mem = &self.config.core.memory;
+        let config = self.config();
+        let arr = config.core.array;
+        let mem = &config.core.memory;
         let arch = ArchSpec::new(
             arr.rows(),
             arr.cols(),
@@ -77,228 +146,61 @@ impl ScaleSim {
             mem.ofmap_words * mem.bytes_per_word,
         );
         let mut cfg = AreaConfig::new(arch);
-        if self.config.enable_layout {
-            cfg = cfg.with_sram_banks(self.config.layout.num_banks);
+        if config.enable_layout {
+            cfg = cfg.with_sram_banks(config.layout.num_banks);
         }
         // Even the v2 ideal-bandwidth model implies one memory interface;
         // the DRAM feature's channel count applies when enabled.
-        if self.config.enable_dram {
-            cfg = cfg.with_dram_channels(self.config.dram.channels);
+        if config.enable_dram {
+            cfg = cfg.with_dram_channels(config.dram.channels);
         }
         cfg.estimate(&AreaTable::eyeriss_65nm())
     }
 
-    /// Applies the sparsity transform to a layer's GEMM, returning the
-    /// compressed GEMM and the pattern (None when dense).
-    fn sparsify(&self, gemm: GemmShape, seed_tag: u64) -> (GemmShape, Option<SparsityPattern>) {
-        match self.config.sparsity {
-            None => (gemm, None),
-            Some(SparsityMode::LayerWise(ratio)) => {
-                let pattern = SparsityPattern::layer_wise(gemm.k, ratio);
-                let kp = pattern.effective_k().max(1);
-                (GemmShape::new(gemm.m, gemm.n, kp), Some(pattern))
-            }
-            Some(SparsityMode::RowWise { block, seed }) => {
-                let pattern = SparsityPattern::row_wise(gemm.k, block, seed ^ seed_tag);
-                let kp = pattern.effective_k().max(1);
-                (GemmShape::new(gemm.m, gemm.n, kp), Some(pattern))
-            }
-        }
-    }
-
-    fn effective_dataflow(&self) -> Dataflow {
-        // The paper fixes weight-stationary for all sparsity simulations.
-        if self.config.sparsity.is_some() {
-            Dataflow::WeightStationary
-        } else {
-            self.config.core.dataflow
-        }
-    }
-
-    /// Simulates the (possibly partitioned) compute, returning the
-    /// representative-core report, core count, NoC words, and the
-    /// representative core's timing inputs (for DRAM re-timing).
-    fn simulate_core(
-        &self,
-        name: &str,
-        gemm: GemmShape,
-    ) -> (LayerReport, usize, u64, Arc<PlannedLayer>) {
-        let mut core_cfg = self.config.core.clone();
-        core_cfg.dataflow = self.effective_dataflow();
-        let (sub_gemm, cores, noc_words, bandwidth) = match &self.config.multicore {
-            None => (gemm, 1, 0, core_cfg.memory.dram_bandwidth),
-            Some(mc) => {
-                let sub = core_subgemm(core_cfg.dataflow, mc.scheme, gemm, mc.grid);
-                let l2 = mc.l2.map(|_| {
-                    L2Report::evaluate(
-                        mc.scheme,
-                        MappingDims::new(core_cfg.dataflow, gemm),
-                        mc.grid,
-                    )
-                });
-                let noc = l2.map_or(0, |r| r.l1_fill_words);
-                let bw = (core_cfg.memory.dram_bandwidth / mc.grid.cores() as f64).max(0.125);
-                (sub, mc.grid.cores(), noc, bw)
-            }
-        };
-        let mut shared_cfg = core_cfg.clone();
-        shared_cfg.memory.dram_bandwidth = bandwidth;
-        let sim = CoreSim::new(shared_cfg).with_plan_cache(Arc::clone(&self.plan_cache));
-        let planned = sim.plan_gemm_shared(sub_gemm);
-        let mut store = IdealBandwidthStore::new(bandwidth);
-        let memory = timing(&planned.inputs, &mut store);
-        let report = LayerReport {
-            name: name.to_string(),
-            gemm: sub_gemm,
-            compute: planned.compute,
-            memory,
-            sram: planned.sram,
-        };
-        (report, cores, noc_words, planned)
-    }
-
     /// Runs one GEMM layer through the enabled pipeline.
     pub fn run_gemm(&self, name: &str, dense_gemm: GemmShape) -> LayerResult {
-        let seed_tag = name.bytes().map(u64::from).sum::<u64>();
-        let (gemm, pattern) = self.sparsify(dense_gemm, seed_tag);
-        let (report, cores, noc_words, planned) = self.simulate_core(name, gemm);
+        self.pipeline.run_layer(name, dense_gemm)
+    }
 
-        // §V: three-step DRAM flow on the representative core's plan.
-        let dram = if self.config.enable_dram {
-            Some(dram_analysis(
-                &planned.inputs,
-                self.config.core.memory.dram_bandwidth,
-                self.config.core.memory.bytes_per_word,
-                &self.config.dram,
-            ))
-        } else {
-            None
-        };
-
-        // §VI: layout bank-conflict analysis of the demand stream.
-        let layout = if self.config.enable_layout {
-            Some(layout_slowdown_for_gemm(
-                self.config.core.array,
-                self.effective_dataflow(),
-                gemm,
-                &self.config.layout,
-            ))
-        } else {
-            None
-        };
-
-        // §IV: sparse storage report.
-        let sparse = pattern.as_ref().map(|p| {
-            let mut rep = SparseReport::new();
-            rep.add_layer(
-                name,
-                p,
-                dense_gemm.n,
-                self.config.sparse_format,
-                self.config.core.memory.bytes_per_word * 8,
-            );
-            rep.rows()[0].clone()
-        });
-
-        // §VII: energy.
-        let energy = if self.config.enable_energy {
-            let total_cycles = dram
-                .as_ref()
-                .map(|d| d.summary.total_cycles)
-                .unwrap_or(report.memory.total_cycles);
-            // With a shared L2, duplicated operand partitions are fetched
-            // from DRAM once and fanned out over the NoC; scale the
-            // per-core DRAM reads down by the measured duplication factor.
-            let dram_read_scale = match (&self.config.multicore, cores) {
-                (Some(mc), c) if c > 1 && mc.l2.is_some() => {
-                    let l2 = L2Report::evaluate(
-                        mc.scheme,
-                        MappingDims::new(self.effective_dataflow(), gemm),
-                        mc.grid,
-                    );
-                    let distinct = (l2.required_words / 2).max(1) as f64;
-                    (distinct / l2.l1_fill_words.max(1) as f64).min(1.0)
-                }
-                _ => 1.0,
-            };
-            let activity = LayerActivity {
-                total_cycles,
-                macs: report.compute.macs,
-                utilization: report.compute.utilization,
-                ifmap_sram_reads: report.sram.ifmap_reads,
-                ifmap_sram_repeats: report.sram.ifmap_repeat_reads,
-                filter_sram_reads: report.sram.filter_reads,
-                filter_sram_repeats: report.sram.filter_repeat_reads,
-                ofmap_sram_accesses: report.sram.ofmap_reads + report.sram.ofmap_writes,
-                ofmap_sram_repeats: report.sram.ofmap_repeat_accesses,
-                dram_reads: (report.memory.total_dram_reads() as f64 * dram_read_scale) as u64,
-                dram_writes: report.memory.total_dram_writes(),
-                // Per-core share: the counts are replicated across cores
-                // below, which restores the grid total.
-                noc_words: noc_words / cores.max(1) as u64,
-            };
-            let arr = self.config.core.array;
-            let mem = &self.config.core.memory;
-            let arch = ArchSpec::new(
-                arr.rows(),
-                arr.cols(),
-                mem.ifmap_words * mem.bytes_per_word,
-                mem.filter_words * mem.bytes_per_word,
-                mem.ofmap_words * mem.bytes_per_word,
-            );
-            let model = EnergyModel::eyeriss_65nm(arch);
-            let ports = (arr.rows() as u64, arr.cols() as u64, arr.cols() as u64);
-            // Idle PEs hold their operands (constant-input switching) rather
-            // than being clock-gated: the paper's Table V / Fig. 15 energies
-            // grow with array size at fixed work, which requires a
-            // significant per-idle-PE-cycle cost.
-            let mut counts =
-                ActionCounts::from_layer(&activity, arch.num_pes() as u64, ports, false);
-            if cores > 1 {
-                // Symmetric cores: scale all activity by the core count.
-                let single = counts;
-                for _ in 1..cores {
-                    counts.merge(&single);
-                }
-            }
-            Some(model.evaluate(&counts, total_cycles))
-        } else {
-            None
-        };
-
-        LayerResult {
-            name: name.to_string(),
-            gemm,
-            dense_gemm,
-            report,
-            dram,
-            layout,
-            energy,
-            sparse,
-            cores,
-            noc_words,
+    /// Streams a whole topology through `sink` with **bounded result
+    /// memory**: layers execute concurrently on a scoped worker pool
+    /// (control the size with `SCALESIM_THREADS`) in blocks of
+    /// [`STREAM_BLOCK`], and each block is pushed into the sink in layer
+    /// order before the next begins. The sink observes exactly the
+    /// sequence a serial run would produce.
+    pub fn run_topology_with(&self, topology: &Topology, sink: &mut dyn ResultSink) -> StreamStats {
+        let peak = parallel_map_streamed(
+            topology.layers(),
+            STREAM_BLOCK,
+            |_, layer| self.run_gemm(layer.name(), layer.gemm()),
+            |_, result| sink.layer(result),
+        );
+        StreamStats {
+            layers: topology.len(),
+            peak_buffered: peak,
         }
     }
 
-    /// Runs a whole topology.
+    /// Runs a whole topology, collecting every layer.
     ///
     /// Layers execute concurrently on a scoped worker pool (control the
     /// size with `SCALESIM_THREADS`) sharing this simulator's plan cache;
     /// results come back in layer order, identical to serial execution.
     pub fn run_topology(&self, topology: &Topology) -> RunResult {
-        RunResult {
-            layers: parallel_map(topology.layers(), |_, l| self.run_gemm(l.name(), l.gemm())),
-        }
+        let mut sink = CollectSink::new();
+        self.run_topology_with(topology, &mut sink);
+        sink.into_run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{DramIntegration, MultiCoreIntegration};
+    use crate::config::{DramIntegration, MultiCoreIntegration, SparsityMode};
+    use crate::sink::RunSummary;
     use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
     use scalesim_sparse::NmRatio;
-    use scalesim_systolic::{ArrayShape, MemoryConfig, SimConfig};
+    use scalesim_systolic::{ArrayShape, Dataflow, MemoryConfig, SimConfig};
 
     fn small_core() -> SimConfig {
         let mut cfg = SimConfig::builder()
@@ -401,5 +303,48 @@ mod tests {
             with_dram.energy.as_ref().unwrap().cycles()
                 >= no_dram.energy.as_ref().unwrap().cycles()
         );
+    }
+
+    #[test]
+    fn streaming_matches_collect_and_bounds_buffering() {
+        let mut config = ScaleSimConfig::default();
+        config.core = small_core();
+        config.enable_energy = true;
+        let layers: Vec<_> = (0..150)
+            .map(|i| {
+                scalesim_systolic::Layer::gemm_layer(
+                    format!("l{i}"),
+                    16 + (i % 3) * 8,
+                    16,
+                    16 + (i % 2) * 16,
+                )
+            })
+            .collect();
+        let topo = Topology::from_layers("t", layers);
+        let sim = ScaleSim::new(config);
+        let collected = sim.run_topology(&topo);
+        let mut summary = RunSummary::new();
+        let stats = sim.run_topology_with(&topo, &mut summary);
+        assert_eq!(stats.layers, 150);
+        assert!(
+            stats.peak_buffered <= STREAM_BLOCK,
+            "peak {} exceeds the block bound",
+            stats.peak_buffered
+        );
+        assert_eq!(summary.total_cycles, collected.total_cycles());
+        assert_eq!(summary.macs, collected.total_macs());
+    }
+
+    #[test]
+    fn stage_profiling_survives_shared_caches() {
+        let mut config = ScaleSimConfig::default();
+        config.core = small_core();
+        let sim = ScaleSim::new(config).with_stage_profiling();
+        assert!(sim.stage_profile().is_some());
+        let shared = sim.with_plan_cache(Arc::new(PlanCache::new()));
+        shared.run_gemm("g", GemmShape::new(16, 16, 16));
+        let profile = shared.stage_profile().expect("still profiling");
+        assert_eq!(profile[0].stage, "compute");
+        assert_eq!(profile[0].calls, 1);
     }
 }

@@ -51,21 +51,25 @@ pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod layout_analysis;
+pub mod pipeline;
 pub mod result;
+pub mod sink;
 pub mod sweep_run;
 
 pub use cfg::parse_cfg;
-pub use cli::{parse_cli, Command, RunArgs, SweepArgs};
+pub use cli::{parse_cli, version_string, Command, RunArgs, SweepArgs};
 pub use config::{
     DramIntegration, LayoutIntegration, MultiCoreIntegration, ScaleSimConfig, SparsityMode,
 };
 pub use dram::{
     dram_analysis, shared_dram_contention, DramAnalysis, LatencyReplayStore, SharedDramContention,
 };
-pub use engine::ScaleSim;
+pub use engine::{ScaleSim, StreamStats, STREAM_BLOCK};
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
+pub use pipeline::{LayerCtx, LayerPipeline, LayerStage, PipelineBuilder, StageEnv, StageTiming};
 pub use result::{LayerResult, RunResult};
-pub use sweep_run::{apply_point, run_sweep};
+pub use sink::{CollectSink, CsvReportSink, ReportSections, ResultSink, RunSummary};
+pub use sweep_run::{apply_point, run_sweep, run_sweep_with};
 
 /// Re-export: energy & power modeling substrate.
 pub use scalesim_energy as energy;

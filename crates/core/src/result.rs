@@ -53,6 +53,104 @@ impl LayerResult {
     }
 }
 
+/// Per-layer CSV row formatters shared by the batch emitters on
+/// [`RunResult`] and the streaming [`CsvReportSink`](crate::sink::CsvReportSink).
+///
+/// Keeping one source of truth for every row format is what makes
+/// streamed reports byte-identical to batch reports by construction.
+pub mod rows {
+    use super::LayerResult;
+
+    /// `COMPUTE_REPORT.csv` header.
+    pub const COMPUTE_HEADER: &str =
+        "LayerName, ComputeCycles, StallCycles, TotalCycles, Utilization, MappingEfficiency\n";
+
+    /// One `COMPUTE_REPORT.csv` row.
+    pub fn compute(l: &LayerResult) -> String {
+        format!(
+            "{}, {}, {}, {}, {:.4}, {:.4}\n",
+            l.name,
+            l.report.compute.total_compute_cycles,
+            l.stall_cycles(),
+            l.total_cycles(),
+            l.report.compute.utilization,
+            l.report.compute.mapping_efficiency,
+        )
+    }
+
+    /// `BANDWIDTH_REPORT.csv` header.
+    pub const BANDWIDTH_HEADER: &str =
+        "LayerName, IfmapReadBW, FilterReadBW, OfmapWriteBW, DramThroughputMBps\n";
+
+    /// One `BANDWIDTH_REPORT.csv` row (average words/cycle per interface
+    /// over the layer).
+    pub fn bandwidth(l: &LayerResult) -> String {
+        let m = &l.report.memory;
+        let cycles = l.total_cycles().max(1) as f64;
+        format!(
+            "{}, {:.4}, {:.4}, {:.4}, {:.1}\n",
+            l.name,
+            m.ifmap.dram_reads as f64 / cycles,
+            m.filter.dram_reads as f64 / cycles,
+            m.ofmap.dram_writes as f64 / cycles,
+            l.dram.as_ref().map_or(0.0, |d| d.throughput_mbps),
+        )
+    }
+
+    /// `SPARSE_REPORT.csv` header.
+    pub const SPARSE_HEADER: &str =
+        "Layer, Sparsity, Representation, OriginalFilterBytes, NewFilterBytes\n";
+
+    /// One `SPARSE_REPORT.csv` row (None for dense layers).
+    pub fn sparse(l: &LayerResult) -> Option<String> {
+        let s = l.sparse.as_ref()?;
+        Some(format!(
+            "{}, {}, {}, {}, {}\n",
+            s.layer,
+            s.sparsity,
+            s.representation,
+            s.original_bytes,
+            s.new_filter_bytes()
+        ))
+    }
+
+    /// `DRAM_REPORT.csv` header.
+    pub const DRAM_HEADER: &str =
+        "LayerName, LineRequests, AvgLatency, ThroughputMBps, RowHitRate, \
+         DramEnergyPj, DramPjPerBit, DramAvgPowerMw\n";
+
+    /// One `DRAM_REPORT.csv` row (None when the DRAM flow was off).
+    pub fn dram(l: &LayerResult) -> Option<String> {
+        let d = l.dram.as_ref()?;
+        Some(format!(
+            "{}, {}, {:.2}, {:.1}, {:.4}, {:.1}, {:.3}, {:.2}\n",
+            l.name,
+            d.line_requests,
+            d.avg_latency,
+            d.throughput_mbps,
+            d.stats.row_hit_rate(),
+            d.energy.total_pj(),
+            d.energy.pj_per_bit(),
+            d.energy.avg_power_mw(),
+        ))
+    }
+
+    /// `ENERGY_REPORT.csv` header.
+    pub const ENERGY_HEADER: &str = "LayerName, EnergyMj, AvgPowerW, EdpCyclesMj\n";
+
+    /// One `ENERGY_REPORT.csv` row (None when energy was off).
+    pub fn energy(l: &LayerResult) -> Option<String> {
+        let e = l.energy.as_ref()?;
+        Some(format!(
+            "{}, {:.6}, {:.4}, {:.4}\n",
+            l.name,
+            e.total_mj(),
+            e.avg_power_w(),
+            e.edp_cycles_mj()
+        ))
+    }
+}
+
 /// A full-network run.
 #[derive(Debug, Clone, Default)]
 pub struct RunResult {
@@ -100,19 +198,9 @@ impl RunResult {
 
     /// The `COMPUTE_REPORT.csv` equivalent.
     pub fn compute_report_csv(&self) -> String {
-        let mut out = String::from(
-            "LayerName, ComputeCycles, StallCycles, TotalCycles, Utilization, MappingEfficiency\n",
-        );
+        let mut out = String::from(rows::COMPUTE_HEADER);
         for l in &self.layers {
-            out.push_str(&format!(
-                "{}, {}, {}, {}, {:.4}, {:.4}\n",
-                l.name,
-                l.report.compute.total_compute_cycles,
-                l.stall_cycles(),
-                l.total_cycles(),
-                l.report.compute.utilization,
-                l.report.compute.mapping_efficiency,
-            ));
+            out.push_str(&rows::compute(l));
         }
         out
     }
@@ -120,20 +208,9 @@ impl RunResult {
     /// The `BANDWIDTH_REPORT.csv` equivalent (average words/cycle per
     /// interface over each layer).
     pub fn bandwidth_report_csv(&self) -> String {
-        let mut out = String::from(
-            "LayerName, IfmapReadBW, FilterReadBW, OfmapWriteBW, DramThroughputMBps\n",
-        );
+        let mut out = String::from(rows::BANDWIDTH_HEADER);
         for l in &self.layers {
-            let m = &l.report.memory;
-            let cycles = l.total_cycles().max(1) as f64;
-            out.push_str(&format!(
-                "{}, {:.4}, {:.4}, {:.4}, {:.1}\n",
-                l.name,
-                m.ifmap.dram_reads as f64 / cycles,
-                m.filter.dram_reads as f64 / cycles,
-                m.ofmap.dram_writes as f64 / cycles,
-                l.dram.as_ref().map_or(0.0, |d| d.throughput_mbps),
-            ));
+            out.push_str(&rows::bandwidth(l));
         }
         out
     }
@@ -143,18 +220,10 @@ impl RunResult {
         if self.layers.iter().all(|l| l.sparse.is_none()) {
             return String::new();
         }
-        let mut out =
-            String::from("Layer, Sparsity, Representation, OriginalFilterBytes, NewFilterBytes\n");
+        let mut out = String::from(rows::SPARSE_HEADER);
         for l in &self.layers {
-            if let Some(s) = &l.sparse {
-                out.push_str(&format!(
-                    "{}, {}, {}, {}, {}\n",
-                    s.layer,
-                    s.sparsity,
-                    s.representation,
-                    s.original_bytes,
-                    s.new_filter_bytes()
-                ));
+            if let Some(row) = rows::sparse(l) {
+                out.push_str(&row);
             }
         }
         out
@@ -174,23 +243,10 @@ impl RunResult {
         if self.layers.iter().all(|l| l.dram.is_none()) {
             return String::new();
         }
-        let mut out = String::from(
-            "LayerName, LineRequests, AvgLatency, ThroughputMBps, RowHitRate, \
-             DramEnergyPj, DramPjPerBit, DramAvgPowerMw\n",
-        );
+        let mut out = String::from(rows::DRAM_HEADER);
         for l in &self.layers {
-            if let Some(d) = &l.dram {
-                out.push_str(&format!(
-                    "{}, {}, {:.2}, {:.1}, {:.4}, {:.1}, {:.3}, {:.2}\n",
-                    l.name,
-                    d.line_requests,
-                    d.avg_latency,
-                    d.throughput_mbps,
-                    d.stats.row_hit_rate(),
-                    d.energy.total_pj(),
-                    d.energy.pj_per_bit(),
-                    d.energy.avg_power_mw(),
-                ));
+            if let Some(row) = rows::dram(l) {
+                out.push_str(&row);
             }
         }
         out
@@ -201,16 +257,10 @@ impl RunResult {
         if self.layers.iter().all(|l| l.energy.is_none()) {
             return String::new();
         }
-        let mut out = String::from("LayerName, EnergyMj, AvgPowerW, EdpCyclesMj\n");
+        let mut out = String::from(rows::ENERGY_HEADER);
         for l in &self.layers {
-            if let Some(e) = &l.energy {
-                out.push_str(&format!(
-                    "{}, {:.6}, {:.4}, {:.4}\n",
-                    l.name,
-                    e.total_mj(),
-                    e.avg_power_w(),
-                    e.edp_cycles_mj()
-                ));
+            if let Some(row) = rows::energy(l) {
+                out.push_str(&row);
             }
         }
         out

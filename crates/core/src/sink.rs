@@ -1,0 +1,407 @@
+//! Streaming result consumption: the [`ResultSink`] trait and its
+//! standard implementations.
+//!
+//! The engine pushes every finished [`LayerResult`] into a sink instead
+//! of returning a grown vector, so long topologies (and whole sweep
+//! grids) run with **bounded result memory**: only the in-flight block
+//! of the worker pool is ever resident. The standard sinks:
+//!
+//! * [`CollectSink`] — in-memory collector producing a [`RunResult`]
+//!   (the classic API; memory grows with layer count).
+//! * [`RunSummary`] — O(1) accumulator of the run-level aggregates
+//!   (cycles, utilization, energy, …); what the sweep executor uses.
+//! * [`CsvReportSink`] — incremental report writer emitting the
+//!   standard `*_REPORT.csv` files row by row, byte-identical to the
+//!   batch emitters on [`RunResult`].
+//!
+//! ## Writing a new sink
+//!
+//! Implement [`ResultSink::layer`]; it receives each layer **in
+//! topology order** and owns the result. Compose sinks by forwarding
+//! (see the CLI's run sink, which tees into a [`RunSummary`] and a
+//! [`CsvReportSink`]).
+
+use crate::config::ScaleSimConfig;
+use crate::result::{rows, LayerResult, RunResult};
+use scalesim_energy::EnergyReport;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Consumes finished layers as they stream out of the engine.
+pub trait ResultSink {
+    /// Accepts the next layer, in topology order.
+    fn layer(&mut self, result: LayerResult);
+}
+
+/// Collects every layer into a [`RunResult`] (the non-streaming API).
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    layers: Vec<LayerResult>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected run.
+    pub fn into_run(self) -> RunResult {
+        RunResult {
+            layers: self.layers,
+        }
+    }
+}
+
+impl ResultSink for CollectSink {
+    fn layer(&mut self, result: LayerResult) {
+        self.layers.push(result);
+    }
+}
+
+/// O(1)-memory accumulator of a run's aggregate metrics.
+///
+/// Mirrors the reductions [`RunResult`] computes over its layer vector,
+/// but without retaining the layers — the sweep executor summarizes
+/// thousands-of-layer runs through this sink with constant memory.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Layers accumulated.
+    pub layers: usize,
+    /// Sum of per-layer end-to-end cycles (DRAM-aware when available).
+    pub total_cycles: u64,
+    /// Sum of stall-free compute cycles.
+    pub compute_cycles: u64,
+    /// Sum of stall cycles.
+    pub stall_cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Compute-cycle-weighted utilization numerator (see
+    /// [`utilization`](Self::utilization)).
+    pub util_weighted: f64,
+    /// Component-wise merged energy report (empty when energy is off).
+    pub energy: EnergyReport,
+    /// L2→L1 NoC words.
+    pub noc_words: u64,
+}
+
+impl Default for RunSummary {
+    fn default() -> Self {
+        Self {
+            layers: 0,
+            total_cycles: 0,
+            compute_cycles: 0,
+            stall_cycles: 0,
+            macs: 0,
+            util_weighted: 0.0,
+            energy: EnergyReport::empty(),
+            noc_words: 0,
+        }
+    }
+}
+
+impl RunSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one layer into the aggregates.
+    pub fn add(&mut self, l: &LayerResult) {
+        self.layers += 1;
+        self.total_cycles += l.total_cycles();
+        self.compute_cycles += l.report.compute.total_compute_cycles;
+        self.stall_cycles += l.stall_cycles();
+        self.macs += l.report.compute.macs;
+        self.util_weighted +=
+            l.report.compute.utilization * l.report.compute.total_compute_cycles as f64;
+        if let Some(e) = &l.energy {
+            self.energy.merge(e);
+        }
+        self.noc_words += l.noc_words;
+    }
+
+    /// Compute-cycle-weighted mean PE utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.compute_cycles == 0 {
+            0.0
+        } else {
+            self.util_weighted / self.compute_cycles as f64
+        }
+    }
+
+    /// Total energy in mJ (0.0 when energy estimation is off).
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Energy-delay product in `cycles × mJ`.
+    pub fn edp_cycles_mj(&self) -> f64 {
+        self.total_cycles as f64 * self.energy_mj()
+    }
+}
+
+impl ResultSink for RunSummary {
+    fn layer(&mut self, result: LayerResult) {
+        self.add(&result);
+    }
+}
+
+/// Which report files a [`CsvReportSink`] emits; derived from the
+/// configuration so streaming runs create exactly the files the batch
+/// path would (a feature that is off contributes no file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportSections {
+    /// `COMPUTE_REPORT.csv` (always on).
+    pub compute: bool,
+    /// `BANDWIDTH_REPORT.csv` (always on).
+    pub bandwidth: bool,
+    /// `SPARSE_REPORT.csv` (sparsity runs only).
+    pub sparse: bool,
+    /// `ENERGY_REPORT.csv` (energy estimation on).
+    pub energy: bool,
+    /// `DRAM_REPORT.csv` (cycle-accurate DRAM flow on).
+    pub dram: bool,
+}
+
+impl ReportSections {
+    /// The sections `config` produces rows for.
+    pub fn for_config(config: &ScaleSimConfig) -> Self {
+        Self {
+            compute: true,
+            bandwidth: true,
+            sparse: config.sparsity.is_some(),
+            energy: config.enable_energy,
+            dram: config.enable_dram,
+        }
+    }
+}
+
+/// One lazily-opened report file.
+struct SectionFile {
+    file_name: &'static str,
+    header: &'static str,
+    writer: Option<BufWriter<File>>,
+}
+
+impl SectionFile {
+    fn new(file_name: &'static str, header: &'static str) -> Self {
+        Self {
+            file_name,
+            header,
+            writer: None,
+        }
+    }
+}
+
+/// Streams the standard report CSVs to `out_dir` as layers arrive.
+///
+/// Rows are produced by the same formatters ([`rows`]) the batch
+/// emitters on [`RunResult`] use, so for a given run the files are
+/// byte-identical to `RunResult::*_report_csv()` — just written
+/// incrementally with O(1) buffering. Feature-gated sections are
+/// created lazily on their first row (matching the batch path, which
+/// skips empty reports); the always-on compute/bandwidth files are
+/// guaranteed by [`finish`](Self::finish) even for a zero-layer run
+/// (header only, as the batch emitters produce). I/O errors are
+/// latched and surfaced by `finish`.
+pub struct CsvReportSink {
+    out_dir: PathBuf,
+    sections: Vec<SectionFile>,
+    emit: ReportSections,
+    error: Option<String>,
+}
+
+impl CsvReportSink {
+    /// A sink writing the sections enabled by `sections` into `out_dir`
+    /// (which must already exist).
+    pub fn new(out_dir: impl Into<PathBuf>, sections: ReportSections) -> Self {
+        // Emission order mirrors the CLI's historical order.
+        let files = vec![
+            SectionFile::new("COMPUTE_REPORT.csv", rows::COMPUTE_HEADER),
+            SectionFile::new("BANDWIDTH_REPORT.csv", rows::BANDWIDTH_HEADER),
+            SectionFile::new("SPARSE_REPORT.csv", rows::SPARSE_HEADER),
+            SectionFile::new("ENERGY_REPORT.csv", rows::ENERGY_HEADER),
+            SectionFile::new("DRAM_REPORT.csv", rows::DRAM_HEADER),
+        ];
+        Self {
+            out_dir: out_dir.into(),
+            sections: files,
+            emit: sections,
+            error: None,
+        }
+    }
+
+    /// Opens the section's file and writes its header, once.
+    fn ensure_open(&mut self, index: usize) {
+        if self.error.is_some() || self.sections[index].writer.is_some() {
+            return;
+        }
+        let section = &mut self.sections[index];
+        let path = self.out_dir.join(section.file_name);
+        match File::create(&path) {
+            Ok(f) => {
+                let mut w = BufWriter::new(f);
+                if let Err(e) = w.write_all(section.header.as_bytes()) {
+                    self.error = Some(format!("write {}: {e}", path.display()));
+                    return;
+                }
+                section.writer = Some(w);
+            }
+            Err(e) => {
+                self.error = Some(format!("create {}: {e}", path.display()));
+            }
+        }
+    }
+
+    fn write_row(&mut self, index: usize, row: &str) {
+        self.ensure_open(index);
+        if self.error.is_some() {
+            return;
+        }
+        let section = &mut self.sections[index];
+        let file_name = section.file_name;
+        if let Err(e) = section
+            .writer
+            .as_mut()
+            .expect("writer opened above")
+            .write_all(row.as_bytes())
+        {
+            self.error = Some(format!("write {file_name}: {e}"));
+        }
+    }
+
+    /// Flushes all writers, returning the paths written (in emission
+    /// order) or the first I/O error.
+    pub fn finish(mut self) -> Result<Vec<PathBuf>, String> {
+        // The batch emitters always produce the compute and bandwidth
+        // reports (header-only for a zero-layer run); match them even if
+        // no layer ever arrived.
+        if self.emit.compute {
+            self.ensure_open(0);
+        }
+        if self.emit.bandwidth {
+            self.ensure_open(1);
+        }
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut written = Vec::new();
+        for section in &mut self.sections {
+            if let Some(w) = section.writer.as_mut() {
+                let path = self.out_dir.join(section.file_name);
+                w.flush()
+                    .map_err(|e| format!("flush {}: {e}", path.display()))?;
+                written.push(path);
+            }
+        }
+        Ok(written)
+    }
+}
+
+impl ResultSink for CsvReportSink {
+    fn layer(&mut self, result: LayerResult) {
+        if self.emit.compute {
+            self.write_row(0, &rows::compute(&result));
+        }
+        if self.emit.bandwidth {
+            self.write_row(1, &rows::bandwidth(&result));
+        }
+        if self.emit.sparse {
+            if let Some(row) = rows::sparse(&result) {
+                self.write_row(2, &row);
+            }
+        }
+        if self.emit.energy {
+            if let Some(row) = rows::energy(&result) {
+                self.write_row(3, &row);
+            }
+        }
+        if self.emit.dram {
+            if let Some(row) = rows::dram(&result) {
+                self.write_row(4, &row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScaleSim;
+    use scalesim_systolic::{ArrayShape, Layer, MemoryConfig, Topology};
+
+    fn config() -> ScaleSimConfig {
+        let mut config = ScaleSimConfig::default();
+        config.core.array = ArrayShape::new(8, 8);
+        config.core.memory = MemoryConfig::from_kilobytes(16, 16, 8, 2);
+        config.enable_energy = true;
+        config
+    }
+
+    fn topo() -> Topology {
+        Topology::from_layers(
+            "t",
+            vec![
+                Layer::gemm_layer("a", 16, 16, 16),
+                Layer::gemm_layer("b", 24, 24, 24),
+                Layer::gemm_layer("c", 32, 16, 8),
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_matches_run_result_reductions() {
+        let sim = ScaleSim::new(config());
+        let run = sim.run_topology(&topo());
+        let mut summary = RunSummary::new();
+        for l in &run.layers {
+            summary.add(l);
+        }
+        assert_eq!(summary.layers, 3);
+        assert_eq!(summary.total_cycles, run.total_cycles());
+        assert_eq!(summary.compute_cycles, run.total_compute_cycles());
+        assert_eq!(summary.stall_cycles, run.total_stall_cycles());
+        assert_eq!(summary.macs, run.total_macs());
+        assert!(summary.energy_mj() > 0.0);
+    }
+
+    #[test]
+    fn csv_sink_matches_batch_emitters_for_zero_layers() {
+        let dir = std::env::temp_dir().join(format!("scalesim-sink0-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink = CsvReportSink::new(&dir, ReportSections::for_config(&config()));
+        let written = sink.finish().unwrap();
+        assert_eq!(written.len(), 2, "header-only compute + bandwidth");
+        let empty = RunResult::default();
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).unwrap();
+        assert_eq!(read("COMPUTE_REPORT.csv"), empty.compute_report_csv());
+        assert_eq!(read("BANDWIDTH_REPORT.csv"), empty.bandwidth_report_csv());
+        assert!(!dir.join("ENERGY_REPORT.csv").exists(), "no rows, no file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_sink_matches_batch_emitters() {
+        let dir = std::env::temp_dir().join(format!("scalesim-sink-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sim = ScaleSim::new(config());
+        let run = sim.run_topology(&topo());
+        let mut sink = CsvReportSink::new(&dir, ReportSections::for_config(sim.config()));
+        for l in &run.layers {
+            sink.layer(l.clone());
+        }
+        let written = sink.finish().unwrap();
+        assert_eq!(written.len(), 3, "compute + bandwidth + energy");
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).unwrap();
+        assert_eq!(read("COMPUTE_REPORT.csv"), run.compute_report_csv());
+        assert_eq!(read("BANDWIDTH_REPORT.csv"), run.bandwidth_report_csv());
+        assert_eq!(read("ENERGY_REPORT.csv"), run.energy_report_csv());
+        assert!(!dir.join("SPARSE_REPORT.csv").exists(), "dense run");
+        assert!(!dir.join("DRAM_REPORT.csv").exists(), "no dram flow");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,10 +15,9 @@
 
 use crate::config::{MultiCoreIntegration, ScaleSimConfig};
 use crate::engine::ScaleSim;
-use crate::result::RunResult;
-use scalesim_energy::EnergyReport;
+use crate::sink::RunSummary;
 use scalesim_multicore::{L2Config, PartitionScheme};
-use scalesim_sweep::{run_sharded, RunRecord, SweepPoint, SweepReport, SweepSpec};
+use scalesim_sweep::{run_sharded_with, RunRecord, SweepPoint, SweepReport, SweepSpec};
 use scalesim_systolic::{Dataflow, MemoryConfig, PlanCache, PlanCacheStats, Topology};
 use std::sync::Arc;
 
@@ -77,29 +76,20 @@ fn dataflow_tag(d: Dataflow) -> &'static str {
     }
 }
 
-/// Reduces one topology run under `cfg` into a sweep record.
+/// Reduces one topology run's streamed [`RunSummary`] into a sweep
+/// record. The summary accumulates the same reductions (in the same
+/// layer order) the collected `RunResult` path used to compute, so
+/// records — and therefore report bytes — are unchanged; the layer
+/// results themselves are never materialized.
 fn record_for(
     run: usize,
     point: &SweepPoint,
     cfg: &ScaleSimConfig,
     topology: &Topology,
-    result: &RunResult,
+    summary: &RunSummary,
 ) -> RunRecord {
     let mem = &cfg.core.memory;
     let kb = |words: usize| words * mem.bytes_per_word / 1024;
-    // Compute-cycle-weighted mean utilization over the layers.
-    let (mut util_weighted, mut compute_total) = (0.0f64, 0u64);
-    for l in &result.layers {
-        util_weighted +=
-            l.report.compute.utilization * l.report.compute.total_compute_cycles as f64;
-        compute_total += l.report.compute.total_compute_cycles;
-    }
-    // Roll per-layer energy up through the aggregation hook so the run
-    // total matches the component-wise report exactly.
-    let mut energy = EnergyReport::empty();
-    for l in result.layers.iter().filter_map(|l| l.energy.as_ref()) {
-        energy.merge(l);
-    }
     RunRecord {
         run,
         point: point.index,
@@ -118,19 +108,15 @@ fn record_for(
         dram_enabled: cfg.enable_dram,
         energy_enabled: cfg.enable_energy,
         layout_enabled: cfg.enable_layout,
-        layers: result.layers.len(),
-        total_cycles: result.total_cycles(),
-        compute_cycles: result.total_compute_cycles(),
-        stall_cycles: result.total_stall_cycles(),
-        utilization: if compute_total == 0 {
-            0.0
-        } else {
-            util_weighted / compute_total as f64
-        },
-        macs: result.total_macs(),
-        energy_mj: energy.total_mj(),
-        edp_cycles_mj: result.total_cycles() as f64 * energy.total_mj(),
-        noc_words: result.layers.iter().map(|l| l.noc_words).sum(),
+        layers: summary.layers,
+        total_cycles: summary.total_cycles,
+        compute_cycles: summary.compute_cycles,
+        stall_cycles: summary.stall_cycles,
+        utilization: summary.utilization(),
+        macs: summary.macs,
+        energy_mj: summary.energy_mj(),
+        edp_cycles_mj: summary.edp_cycles_mj(),
+        noc_words: summary.noc_words,
     }
 }
 
@@ -154,6 +140,30 @@ pub fn run_sweep(
     topologies: &[Topology],
     shards: usize,
 ) -> Result<(SweepReport, PlanCacheStats), String> {
+    run_sweep_with(spec, base, topologies, shards, |_| {})
+}
+
+/// [`run_sweep`] with a streaming observer: `on_record` sees every
+/// [`RunRecord`] as its shard completes (shard emission order — not
+/// globally sorted by run index; the final report sorts). Use it for
+/// progress reporting or incremental accumulators (e.g.
+/// [`scalesim_sweep::ParetoAccumulator`]) without waiting for the grid.
+///
+/// Each run streams its layers through an O(1) [`RunSummary`] sink, so
+/// peak memory is bounded by the worker block — not the topology length
+/// — times the thread count, plus one record per run.
+///
+/// # Errors
+///
+/// Returns an error naming the offending grid point when any expanded
+/// configuration fails validation, before any simulation runs.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    base: &ScaleSimConfig,
+    topologies: &[Topology],
+    shards: usize,
+    mut on_record: impl FnMut(&RunRecord),
+) -> Result<(SweepReport, PlanCacheStats), String> {
     let grid = spec.expand();
     for point in &grid {
         let cfg = apply_point(base, point);
@@ -168,12 +178,23 @@ pub fn run_sweep(
     let cache = Arc::new(PlanCache::with_capacity(
         (grid.len() * distinct_shapes).max(PlanCache::DEFAULT_CAPACITY),
     ));
-    let records = run_sharded(&grid, topologies, shards, |run, point, topology| {
-        let cfg = apply_point(base, point);
-        let sim = ScaleSim::new(cfg.clone()).with_plan_cache(Arc::clone(&cache));
-        let result = sim.run_topology(topology);
-        record_for(run, point, &cfg, topology, &result)
-    });
+    let mut records = Vec::with_capacity(grid.len() * topologies.len());
+    run_sharded_with(
+        &grid,
+        topologies,
+        shards,
+        |run, point, topology| {
+            let cfg = apply_point(base, point);
+            let sim = ScaleSim::new_with_cache(cfg.clone(), Arc::clone(&cache));
+            let mut summary = RunSummary::new();
+            sim.run_topology_with(topology, &mut summary);
+            record_for(run, point, &cfg, topology, &summary)
+        },
+        |_, record| {
+            on_record(&record);
+            records.push(record);
+        },
+    );
     Ok((SweepReport::new(spec.name.clone(), records), cache.stats()))
 }
 
@@ -243,6 +264,19 @@ mod tests {
         assert_eq!(stats.misses, 12);
         assert!(report.records().iter().all(|r| r.total_cycles > 0));
         assert!(report.records().iter().all(|r| r.energy_mj > 0.0));
+    }
+
+    #[test]
+    fn streaming_observer_sees_every_record() {
+        let base = ScaleSimConfig::default();
+        let s = spec("array = 8x8\nbandwidth = 4, 10\n");
+        let mut seen = Vec::new();
+        let (report, _) =
+            run_sweep_with(&s, &base, &small_topos(), 2, |r| seen.push(r.run)).unwrap();
+        assert_eq!(seen.len(), report.records().len());
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..4).collect::<Vec<_>>());
     }
 
     #[test]

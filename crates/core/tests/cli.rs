@@ -112,6 +112,38 @@ fn sweep_reports_are_byte_identical_across_threads_and_shards() {
 }
 
 #[test]
+fn version_flag_prints_the_version_and_exits_zero() {
+    for flag in ["--version", "-V"] {
+        let out = bin().args([flag]).output().expect("spawn scalesim");
+        assert!(out.status.success(), "{flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.starts_with("scalesim "), "{flag}: {stdout}");
+        assert!(stdout.contains("git "), "{flag}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_cfg_key_fails_with_named_error() {
+    let dir = tmp_dir("badcfg");
+    let cfg = dir.join("bad.cfg");
+    std::fs::write(&cfg, "[architecture_presets]\nArrayHieght : 32\n").unwrap();
+    let topo = dir.join("t_gemm.csv");
+    std::fs::write(&topo, "Layer, M, K, N,\nl0, 16, 16, 16,\n").unwrap();
+    let out = bin()
+        .args(["-c"])
+        .arg(&cfg)
+        .args(["-t"])
+        .arg(&topo)
+        .args(["--gemm"])
+        .output()
+        .expect("spawn scalesim");
+    assert!(!out.status.success(), "typo'd cfg key must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown key 'arrayhieght'"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_without_topologies_fails_with_message() {
     let dir = tmp_dir("notopo");
     let spec = dir.join("grid.toml");

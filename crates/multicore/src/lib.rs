@@ -46,5 +46,5 @@ pub use partition::{
     MappingDims, PartitionChoice, PartitionGrid, PartitionObjective, PartitionScheme,
 };
 pub use pipeline::{Op, OpKind, PipelineReport, PipelineSchedule, TransformerBlock, Unit};
-pub use sim::{MultiCoreConfig, MultiCoreReport, MultiCoreSim};
+pub use sim::{partition_layer, MultiCoreConfig, MultiCoreReport, MultiCoreSim, PartitionedLayer};
 pub use simd::{SimdOp, SimdUnit};

@@ -14,6 +14,58 @@ use scalesim_systolic::{
 };
 use std::sync::Arc;
 
+/// One layer's resolved multi-core partitioning: the sub-GEMM each core
+/// executes, the shared-L2 analysis, the NoC fill traffic and the DRAM
+/// bandwidth each core sees.
+///
+/// This is the single source of truth for the per-layer grid wiring —
+/// [`MultiCoreSim`] and the integrated engine's compute stage both call
+/// [`partition_layer`] instead of re-deriving the split, so the two
+/// paths cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedLayer {
+    /// The sub-GEMM every (symmetric) core executes.
+    pub sub_gemm: GemmShape,
+    /// Cores in the grid.
+    pub cores: usize,
+    /// Shared-L2 analysis (present when an L2 is configured).
+    pub l2: Option<L2Report>,
+    /// Words moved L2→L1 over the on-chip network (0 without L2).
+    pub noc_words: u64,
+    /// DRAM bandwidth available to one core, in words/cycle.
+    pub per_core_bandwidth: f64,
+}
+
+/// Resolves one layer's multi-core partitioning: splits the GEMM across
+/// the grid under `scheme`, evaluates the shared L2 when configured, and
+/// divides the DRAM interface bandwidth across cores when it is shared
+/// (floored at 1/8 word per cycle so a huge grid still makes progress).
+pub fn partition_layer(
+    dataflow: scalesim_systolic::Dataflow,
+    scheme: PartitionScheme,
+    gemm: GemmShape,
+    grid: PartitionGrid,
+    l2_config: Option<L2Config>,
+    dram_bandwidth: f64,
+    share_dram_bandwidth: bool,
+) -> PartitionedLayer {
+    let sub_gemm = core_subgemm(dataflow, scheme, gemm, grid);
+    let l2 = l2_config.map(|_| L2Report::evaluate(scheme, MappingDims::new(dataflow, gemm), grid));
+    let noc_words = l2.map_or(0, |r| r.l1_fill_words);
+    let per_core_bandwidth = if share_dram_bandwidth {
+        (dram_bandwidth / grid.cores() as f64).max(0.125)
+    } else {
+        dram_bandwidth
+    };
+    PartitionedLayer {
+        sub_gemm,
+        cores: grid.cores(),
+        l2,
+        noc_words,
+        per_core_bandwidth,
+    }
+}
+
 /// Multi-core configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiCoreConfig {
@@ -108,28 +160,27 @@ impl MultiCoreSim {
     /// Simulates one GEMM layer across the grid.
     pub fn simulate_gemm(&self, name: &str, gemm: GemmShape) -> MultiCoreReport {
         let cfg = &self.config;
-        let sub = core_subgemm(cfg.core.dataflow, cfg.scheme, gemm, cfg.grid);
+        let part = partition_layer(
+            cfg.core.dataflow,
+            cfg.scheme,
+            gemm,
+            cfg.grid,
+            cfg.l2,
+            cfg.core.memory.dram_bandwidth,
+            cfg.share_dram_bandwidth,
+        );
         let mut core_cfg = cfg.core.clone();
-        if cfg.share_dram_bandwidth {
-            core_cfg.memory.dram_bandwidth =
-                (cfg.core.memory.dram_bandwidth / cfg.grid.cores() as f64).max(0.125);
-        }
-        let sim = CoreSim::new(core_cfg.clone()).with_plan_cache(Arc::clone(&self.plan_cache));
-        let mut store = IdealBandwidthStore::new(core_cfg.memory.dram_bandwidth);
-        let per_core = sim.simulate_gemm_with_store(name, sub, &mut store);
-        let dims = MappingDims::new(cfg.core.dataflow, gemm);
-        let l2 = cfg
-            .l2
-            .as_ref()
-            .map(|_| L2Report::evaluate(cfg.scheme, dims, cfg.grid));
-        let noc_words = l2.as_ref().map_or(0, |r| r.l1_fill_words);
+        core_cfg.memory.dram_bandwidth = part.per_core_bandwidth;
+        let sim = CoreSim::new(core_cfg).with_plan_cache(Arc::clone(&self.plan_cache));
+        let mut store = IdealBandwidthStore::new(part.per_core_bandwidth);
+        let per_core = sim.simulate_gemm_with_store(name, part.sub_gemm, &mut store);
         MultiCoreReport {
             makespan_cycles: per_core.memory.total_cycles,
-            cores: cfg.grid.cores(),
-            sub_gemm: sub,
+            cores: part.cores,
+            sub_gemm: part.sub_gemm,
             per_core,
-            l2,
-            noc_words,
+            l2: part.l2,
+            noc_words: part.noc_words,
         }
     }
 

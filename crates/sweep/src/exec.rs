@@ -15,14 +15,52 @@
 
 use scalesim_systolic::parallel_map;
 
-/// Runs `run(run_index, point, topology)` for the full cross product of
-/// `points` × `topologies`, returning results in `run_index` order
-/// (point-major).
+/// Streams `run(run_index, point, topology)` over the full cross
+/// product of `points` × `topologies`, emitting each result through
+/// `emit(run_index, result)` as its shard completes.
+///
+/// Execution is shard-by-shard (round-robin partition of the run list),
+/// each shard on the worker pool; within a shard, results are emitted in
+/// ascending `run_index`. Only one shard's results are ever buffered, so
+/// peak memory is `O(total / shards)` instead of `O(total)`. The
+/// emission order is deterministic for a given shard count but is *not*
+/// globally `run_index`-sorted — order-sensitive consumers (the report
+/// builder sorts by run index anyway) must reorder.
 ///
 /// `shards` ≤ 1 means a single shard. The run closure is shared across
 /// worker threads — hand it an `Arc<PlanCache>`-sharing simulator
 /// factory and repeated layer shapes are planned once for the whole
 /// grid.
+pub fn run_sharded_with<P, T, R, F, E>(
+    points: &[P],
+    topologies: &[T],
+    shards: usize,
+    run: F,
+    mut emit: E,
+) where
+    P: Sync,
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &P, &T) -> R + Sync,
+    E: FnMut(usize, R),
+{
+    let total = points.len() * topologies.len();
+    let shards = shards.clamp(1, total.max(1));
+    for shard in 0..shards {
+        let work: Vec<usize> = (0..total).filter(|i| i % shards == shard).collect();
+        let results = parallel_map(&work, |_, &run_index| {
+            let (p, t) = (run_index / topologies.len(), run_index % topologies.len());
+            run(run_index, &points[p], &topologies[t])
+        });
+        for (&run_index, r) in work.iter().zip(results) {
+            emit(run_index, r);
+        }
+    }
+}
+
+/// Runs `run(run_index, point, topology)` for the full cross product of
+/// `points` × `topologies`, returning results in `run_index` order
+/// (point-major). Collecting wrapper over [`run_sharded_with`].
 pub fn run_sharded<P, T, R, F>(points: &[P], topologies: &[T], shards: usize, run: F) -> Vec<R>
 where
     P: Sync,
@@ -31,18 +69,10 @@ where
     F: Fn(usize, &P, &T) -> R + Sync,
 {
     let total = points.len() * topologies.len();
-    let shards = shards.clamp(1, total.max(1));
     let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
-    for shard in 0..shards {
-        let work: Vec<usize> = (0..total).filter(|i| i % shards == shard).collect();
-        let results = parallel_map(&work, |_, &run_index| {
-            let (p, t) = (run_index / topologies.len(), run_index % topologies.len());
-            run(run_index, &points[p], &topologies[t])
-        });
-        for (&run_index, r) in work.iter().zip(results) {
-            slots[run_index] = Some(r);
-        }
-    }
+    run_sharded_with(points, topologies, shards, run, |run_index, r| {
+        slots[run_index] = Some(r);
+    });
     slots
         .into_iter()
         .map(|s| s.expect("sharded executor left a run unprocessed"))
@@ -76,5 +106,24 @@ mod tests {
         let none: Vec<u8> = Vec::new();
         assert!(run_sharded(&none, &[1, 2], 4, |i, _, _| i).is_empty());
         assert!(run_sharded(&[1, 2], &none, 4, |i, _, _| i).is_empty());
+    }
+
+    #[test]
+    fn streamed_emission_is_shard_ordered_and_complete() {
+        let points = [0u8, 1, 2];
+        let topos = [0u8, 1];
+        let mut seen = Vec::new();
+        run_sharded_with(
+            &points,
+            &topos,
+            2,
+            |i, _, _| i * 10,
+            |i, r| seen.push((i, r)),
+        );
+        // Two round-robin shards: evens first (in order), then odds.
+        assert_eq!(seen, [(0, 0), (2, 20), (4, 40), (1, 10), (3, 30), (5, 50)]);
+        let mut indices: Vec<usize> = seen.iter().map(|&(i, _)| i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, [0, 1, 2, 3, 4, 5]);
     }
 }

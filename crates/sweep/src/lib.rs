@@ -55,7 +55,7 @@ pub mod pareto;
 pub mod report;
 pub mod spec;
 
-pub use exec::run_sharded;
-pub use pareto::pareto_min;
+pub use exec::{run_sharded, run_sharded_with};
+pub use pareto::{pareto_min, ParetoAccumulator};
 pub use report::{PointSummary, RunRecord, SweepReport};
 pub use spec::{SweepPoint, SweepSpec};

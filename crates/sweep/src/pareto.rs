@@ -29,11 +29,84 @@
 /// assert_eq!(pareto_min(&points), vec![0, 1, 3]);
 /// ```
 pub fn pareto_min(points: &[(f64, f64)]) -> Vec<usize> {
-    let dominates =
-        |a: (f64, f64), b: (f64, f64)| a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1);
     (0..points.len())
         .filter(|&i| !points.iter().any(|&other| dominates(other, points[i])))
         .collect()
+}
+
+/// `a` Pareto-dominates `b` under minimization of both objectives.
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Incremental Pareto-frontier accumulator over two minimized
+/// objectives — the streaming counterpart of [`pareto_min`].
+///
+/// Feed it `(label, objectives)` pairs as sweep records stream out of
+/// the executor (no need to collect the grid first); it
+/// retains **only the current frontier** (dominated entries are dropped
+/// on arrival), so memory is bounded by the frontier size rather than
+/// the grid size. Offering every point of a set yields exactly the
+/// labels [`pareto_min`] selects, in insertion order.
+///
+/// ```
+/// use scalesim_sweep::ParetoAccumulator;
+///
+/// let mut acc = ParetoAccumulator::new();
+/// acc.offer("fast-hot", (100.0, 9.0));
+/// acc.offer("fastest", (80.0, 12.0));
+/// acc.offer("dominated", (120.0, 20.0)); // beaten by fast-hot
+/// acc.offer("cool", (150.0, 5.0));
+/// assert_eq!(acc.labels(), ["fast-hot", "fastest", "cool"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParetoAccumulator {
+    frontier: Vec<(String, (f64, f64))>,
+}
+
+impl ParetoAccumulator {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers one point; returns whether it joined the frontier (points
+    /// it dominates are evicted). Duplicates of a frontier point are
+    /// kept, mirroring [`pareto_min`].
+    pub fn offer(&mut self, label: impl Into<String>, objectives: (f64, f64)) -> bool {
+        if self
+            .frontier
+            .iter()
+            .any(|&(_, held)| dominates(held, objectives))
+        {
+            return false;
+        }
+        self.frontier
+            .retain(|&(_, held)| !dominates(objectives, held));
+        self.frontier.push((label.into(), objectives));
+        true
+    }
+
+    /// Labels currently on the frontier, in insertion order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.frontier.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// The frontier points: `(label, (objective1, objective2))`.
+    pub fn points(&self) -> &[(String, (f64, f64))] {
+        &self.frontier
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether nothing has been offered (or everything was dominated —
+    /// impossible: the first offer always enters).
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -60,6 +133,50 @@ mod tests {
     fn equal_second_objective_degenerates_to_min_first() {
         let pts = [(3.0, 0.0), (1.0, 0.0), (2.0, 0.0), (1.0, 0.0)];
         assert_eq!(pareto_min(&pts), vec![1, 3]);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_selection() {
+        // Any offer order must converge to the pareto_min frontier.
+        let pts: Vec<(f64, f64)> = (0..60)
+            .map(|i| ((i * 37 % 17) as f64, (i * 23 % 13) as f64))
+            .collect();
+        let batch: Vec<(f64, f64)> = pareto_min(&pts).into_iter().map(|i| pts[i]).collect();
+        for stride in [1usize, 7, 13] {
+            let mut acc = ParetoAccumulator::new();
+            for k in 0..pts.len() {
+                let i = (k * stride) % pts.len();
+                acc.offer(format!("p{i}"), pts[i]);
+            }
+            let mut got: Vec<(f64, f64)> = acc.points().iter().map(|&(_, o)| o).collect();
+            let mut want = batch.clone();
+            let key = |p: &(f64, f64)| (p.0 as i64, p.1 as i64);
+            got.sort_by_key(key);
+            got.dedup();
+            want.sort_by_key(key);
+            want.dedup();
+            assert_eq!(got, want, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn accumulator_keeps_duplicates_and_reports_entry() {
+        let mut acc = ParetoAccumulator::new();
+        assert!(acc.offer("a", (1.0, 2.0)));
+        assert!(acc.offer("b", (1.0, 2.0)), "ties are kept");
+        assert!(!acc.offer("c", (2.0, 3.0)), "dominated is rejected");
+        assert!(acc.offer("d", (0.5, 2.5)));
+        assert_eq!(acc.len(), 3);
+        assert!(!acc.is_empty());
+        assert_eq!(acc.labels(), ["a", "b", "d"]);
+    }
+
+    #[test]
+    fn accumulator_evicts_newly_dominated_points() {
+        let mut acc = ParetoAccumulator::new();
+        acc.offer("worse", (5.0, 5.0));
+        acc.offer("better", (1.0, 1.0));
+        assert_eq!(acc.labels(), ["better"]);
     }
 
     #[test]

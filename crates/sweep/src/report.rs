@@ -197,11 +197,19 @@ impl SweepReport {
         out
     }
 
-    /// The `SWEEP_REPORT.json` body: sweep metadata, every run, every
-    /// point roll-up and the Pareto frontier labels.
+    /// The `SWEEP_REPORT.json` body: sweep metadata (including the
+    /// generator version), every run, every point roll-up and the
+    /// Pareto frontier labels.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"sweep\": \"{}\",\n", escape(&self.name)));
+        // Stamp the generating tool + workspace version so archived
+        // reports are traceable; deliberately no git hash or timestamp —
+        // report bytes must stay deterministic for a given build.
+        out.push_str(&format!(
+            "  \"generator\": \"scalesim {}\",\n",
+            env!("CARGO_PKG_VERSION")
+        ));
         out.push_str(&format!("  \"grid_points\": {},\n", self.points.len()));
         out.push_str(&format!("  \"runs\": {},\n", self.records.len()));
         out.push_str("  \"run_results\": [\n");
@@ -338,6 +346,19 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("Run, Point, PointLabel"));
         assert!(csv.lines().nth(1).unwrap().ends_with(", 1")); // sole point is the frontier
+    }
+
+    #[test]
+    fn json_header_stamps_the_generator_version() {
+        let rep = SweepReport::new("s", vec![record(0, 0, 10, 1.0)]);
+        let json = rep.to_json();
+        assert!(
+            json.contains(&format!(
+                "\"generator\": \"scalesim {}\"",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{json}"
+        );
     }
 
     #[test]

@@ -70,6 +70,39 @@ where
         .collect()
 }
 
+/// Streams `f` over `items` in fixed-size blocks with **bounded result
+/// memory**: each block runs on the worker pool (the same pool and
+/// `SCALESIM_THREADS` override as [`parallel_map`]), then `consume(index,
+/// result)` is called for every item of the block in item order before
+/// the next block starts. The sequence of `(index, result)` pairs the
+/// consumer sees is bit-identical to `parallel_map` followed by ordered
+/// iteration — but at most `block` results are ever resident, however
+/// long `items` is.
+///
+/// Returns the peak number of simultaneously buffered results (at most
+/// `min(block, items.len())`), so callers can assert the bound.
+pub fn parallel_map_streamed<T, R, F, C>(items: &[T], block: usize, f: F, mut consume: C) -> usize
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let block = block.max(1);
+    let mut peak = 0usize;
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = (start + block).min(items.len());
+        let results = parallel_map(&items[start..end], |i, item| f(start + i, item));
+        peak = peak.max(results.len());
+        for (offset, r) in results.into_iter().enumerate() {
+            consume(start + offset, r);
+        }
+        start = end;
+    }
+    peak
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +132,26 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn streamed_matches_map_and_bounds_buffering() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<(usize, u64)> = items.iter().map(|&x| (x as usize, x * 3)).collect();
+        for block in [1, 7, 64, 300] {
+            let mut seen = Vec::new();
+            let peak =
+                parallel_map_streamed(&items, block, |_, &x| x * 3, |i, r| seen.push((i, r)));
+            assert_eq!(seen, expect, "block={block}");
+            assert!(peak <= block.min(items.len()), "block={block}, peak={peak}");
+            assert!(peak >= 1);
+        }
+    }
+
+    #[test]
+    fn streamed_empty_is_a_no_op() {
+        let none: Vec<u8> = Vec::new();
+        let peak = parallel_map_streamed(&none, 8, |_, &x| x, |_, _| panic!("no items"));
+        assert_eq!(peak, 0);
     }
 }
