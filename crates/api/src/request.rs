@@ -1,0 +1,492 @@
+//! The typed request surface: [`SimRequest`] and its per-command specs.
+//!
+//! Requests are plain data — no file is read and nothing is validated
+//! beyond the JSON shape until a service executes them. Inputs
+//! (architecture `.cfg`, topology CSV, sweep spec) can travel **inline**
+//! in the request or as **paths** resolved by the serving process, so
+//! the same request type drives both an embedded library call and a
+//! remote `scalesim serve` instance.
+//!
+//! See `docs/API.md` for the full JSON schema; the JSON mapping
+//! implemented here is `to_json`/`from_json` on each type.
+
+use crate::error::SimError;
+use crate::json::Json;
+
+/// Where an architecture `.cfg` (or sweep spec) comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ConfigSource {
+    /// The built-in default core (32×32 OS, 1 MB/1 MB/256 kB SRAM).
+    #[default]
+    Default,
+    /// Read the file at this path (resolved by the serving process).
+    Path(String),
+    /// The `.cfg` text itself, carried in the request.
+    Inline(String),
+}
+
+impl ConfigSource {
+    fn to_json(&self) -> Json {
+        match self {
+            ConfigSource::Default => Json::Str("default".into()),
+            ConfigSource::Path(p) => Json::Obj(vec![("path".into(), Json::Str(p.clone()))]),
+            ConfigSource::Inline(t) => Json::Obj(vec![("inline".into(), Json::Str(t.clone()))]),
+        }
+    }
+
+    fn from_json(v: &Json, what: &str) -> Result<ConfigSource, SimError> {
+        match v {
+            Json::Str(s) if s == "default" => Ok(ConfigSource::Default),
+            Json::Obj(_) => {
+                if let Some(p) = v.get("path").and_then(Json::as_str) {
+                    Ok(ConfigSource::Path(p.to_string()))
+                } else if let Some(t) = v.get("inline").and_then(Json::as_str) {
+                    Ok(ConfigSource::Inline(t.to_string()))
+                } else {
+                    Err(bad(format!(
+                        "{what}: expected \"default\", {{\"path\": …}} or {{\"inline\": …}}"
+                    )))
+                }
+            }
+            _ => Err(bad(format!(
+                "{what}: expected \"default\", {{\"path\": …}} or {{\"inline\": …}}"
+            ))),
+        }
+    }
+}
+
+/// How topology CSV rows should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyFormat {
+    /// Detect conv vs GEMM from the first data row (≥ 8 columns → conv).
+    #[default]
+    Auto,
+    /// Convolution rows (`name, ifh, ifw, fh, fw, c, n, stride`).
+    Conv,
+    /// GEMM rows (`name, M, K, N`).
+    Gemm,
+}
+
+impl TopologyFormat {
+    fn tag(self) -> &'static str {
+        match self {
+            TopologyFormat::Auto => "auto",
+            TopologyFormat::Conv => "conv",
+            TopologyFormat::Gemm => "gemm",
+        }
+    }
+
+    fn parse(tag: &str) -> Result<TopologyFormat, SimError> {
+        match tag {
+            "auto" => Ok(TopologyFormat::Auto),
+            "conv" => Ok(TopologyFormat::Conv),
+            "gemm" => Ok(TopologyFormat::Gemm),
+            other => Err(bad(format!(
+                "topology format '{other}' (expected auto/conv/gemm)"
+            ))),
+        }
+    }
+}
+
+/// A workload topology: CSV rows plus how to parse and name them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySource {
+    /// Name used in reports (defaults to the path's file stem, or
+    /// `workload` for inline CSV with no name).
+    pub name: Option<String>,
+    /// CSV from a path (resolved by the serving process)…
+    pub path: Option<String>,
+    /// …or carried inline. Exactly one of `path`/`inline` is set.
+    pub inline: Option<String>,
+    /// Row interpretation.
+    pub format: TopologyFormat,
+}
+
+impl TopologySource {
+    /// A topology read from a file path.
+    pub fn from_path(path: impl Into<String>) -> Self {
+        Self {
+            name: None,
+            path: Some(path.into()),
+            inline: None,
+            format: TopologyFormat::Auto,
+        }
+    }
+
+    /// A topology carried inline, with the name reports will use.
+    pub fn inline(name: impl Into<String>, csv: impl Into<String>) -> Self {
+        Self {
+            name: Some(name.into()),
+            path: None,
+            inline: Some(csv.into()),
+            format: TopologyFormat::Auto,
+        }
+    }
+
+    /// Sets the row format (builder style).
+    pub fn with_format(mut self, format: TopologyFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(n) = &self.name {
+            fields.push(("name".into(), Json::Str(n.clone())));
+        }
+        if let Some(p) = &self.path {
+            fields.push(("path".into(), Json::Str(p.clone())));
+        }
+        if let Some(t) = &self.inline {
+            fields.push(("inline".into(), Json::Str(t.clone())));
+        }
+        if self.format != TopologyFormat::Auto {
+            fields.push(("format".into(), Json::Str(self.format.tag().into())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<TopologySource, SimError> {
+        if v.as_object().is_none() {
+            return Err(bad("topology: expected an object"));
+        }
+        let name = v.get("name").and_then(Json::as_str).map(str::to_string);
+        let path = v.get("path").and_then(Json::as_str).map(str::to_string);
+        let inline = v.get("inline").and_then(Json::as_str).map(str::to_string);
+        if path.is_some() == inline.is_some() {
+            return Err(bad(
+                "topology: exactly one of \"path\" and \"inline\" is required",
+            ));
+        }
+        let format = match v.get("format") {
+            Some(f) => TopologyFormat::parse(
+                f.as_str()
+                    .ok_or_else(|| bad("topology format must be a string"))?,
+            )?,
+            None => TopologyFormat::Auto,
+        };
+        Ok(TopologySource {
+            name,
+            path,
+            inline,
+            format,
+        })
+    }
+}
+
+/// The per-run feature toggles (the CLI's `--dram`/`--energy`/`--layout`
+/// flags plus the multi-core grid).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Features {
+    /// Run the cycle-accurate DRAM flow (§V).
+    pub dram: bool,
+    /// Run energy/power estimation (§VII).
+    pub energy: bool,
+    /// Run bank-conflict layout analysis (§VI).
+    pub layout: bool,
+    /// Partition across a tensor-core grid, `"RxC"` (§III); None or
+    /// `"1x1"` = single core.
+    pub cores: Option<String>,
+}
+
+impl Features {
+    fn is_default(&self) -> bool {
+        self == &Features::default()
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if self.dram {
+            fields.push(("dram".into(), Json::Bool(true)));
+        }
+        if self.energy {
+            fields.push(("energy".into(), Json::Bool(true)));
+        }
+        if self.layout {
+            fields.push(("layout".into(), Json::Bool(true)));
+        }
+        if let Some(c) = &self.cores {
+            fields.push(("cores".into(), Json::Str(c.clone())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<Features, SimError> {
+        if v.as_object().is_none() {
+            return Err(bad("features: expected an object"));
+        }
+        let flag = |key: &str| -> Result<bool, SimError> {
+            match v.get(key) {
+                None => Ok(false),
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| bad(format!("features.{key} must be a boolean"))),
+            }
+        };
+        Ok(Features {
+            dram: flag("dram")?,
+            energy: flag("energy")?,
+            layout: flag("layout")?,
+            cores: v.get("cores").and_then(Json::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// One simulation of one topology (the CLI's default command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Architecture configuration.
+    pub config: ConfigSource,
+    /// The workload.
+    pub topology: TopologySource,
+    /// Feature toggles.
+    pub features: Features,
+}
+
+/// A design-space sweep (the CLI's `sweep` subcommand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// The sweep grid spec (`[grid]`/`[workloads]` cfg text); Default is
+    /// rejected at execution time — a sweep needs a grid.
+    pub spec: ConfigSource,
+    /// Base architecture the grid overrides.
+    pub base_config: ConfigSource,
+    /// Topologies appended to the spec's `[workloads]` list.
+    pub topologies: Vec<TopologySource>,
+    /// Executor shard count (≥ 1; reports are byte-identical for any
+    /// value).
+    pub shards: usize,
+}
+
+/// A silicon-area estimate for a configured core.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AreaSpec {
+    /// Architecture configuration.
+    pub config: ConfigSource,
+    /// Feature toggles (layout banks and DRAM channels contribute area).
+    pub features: Features,
+}
+
+/// A versioned simulation request — the single entry point every
+/// front end (CLI, `scalesim serve`, embedding tools) goes through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimRequest {
+    /// Simulate one topology.
+    Run(RunSpec),
+    /// Run a design-space sweep.
+    Sweep(SweepRequest),
+    /// Report the configured accelerator's silicon area.
+    AreaReport(AreaSpec),
+    /// Report the server's version and API level.
+    Version,
+}
+
+impl SimRequest {
+    /// The wire tag this request is keyed by in the envelope
+    /// (`run` / `sweep` / `area` / `version`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimRequest::Run(_) => "run",
+            SimRequest::Sweep(_) => "sweep",
+            SimRequest::AreaReport(_) => "area",
+            SimRequest::Version => "version",
+        }
+    }
+
+    /// The request body as a JSON value (the envelope adds `api`/`id`;
+    /// see [`crate::wire`]).
+    pub fn to_json(&self) -> Json {
+        match self {
+            SimRequest::Run(r) => {
+                let mut fields = Vec::new();
+                if r.config != ConfigSource::Default {
+                    fields.push(("config".into(), r.config.to_json()));
+                }
+                fields.push(("topology".into(), r.topology.to_json()));
+                if !r.features.is_default() {
+                    fields.push(("features".into(), r.features.to_json()));
+                }
+                Json::Obj(fields)
+            }
+            SimRequest::Sweep(s) => {
+                let mut fields = vec![("spec".into(), s.spec.to_json())];
+                if s.base_config != ConfigSource::Default {
+                    fields.push(("base_config".into(), s.base_config.to_json()));
+                }
+                if !s.topologies.is_empty() {
+                    fields.push((
+                        "topologies".into(),
+                        Json::Arr(s.topologies.iter().map(|t| t.to_json()).collect()),
+                    ));
+                }
+                if s.shards != 1 {
+                    fields.push(("shards".into(), Json::Num(s.shards as f64)));
+                }
+                Json::Obj(fields)
+            }
+            SimRequest::AreaReport(a) => {
+                let mut fields = Vec::new();
+                if a.config != ConfigSource::Default {
+                    fields.push(("config".into(), a.config.to_json()));
+                }
+                if !a.features.is_default() {
+                    fields.push(("features".into(), a.features.to_json()));
+                }
+                Json::Obj(fields)
+            }
+            SimRequest::Version => Json::Obj(Vec::new()),
+        }
+    }
+
+    /// Decodes a request body for the given wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] describing the first shape problem.
+    pub fn from_json(tag: &str, body: &Json) -> Result<SimRequest, SimError> {
+        match tag {
+            "run" => {
+                let topology = TopologySource::from_json(
+                    body.get("topology")
+                        .ok_or_else(|| bad("run: missing required \"topology\""))?,
+                )?;
+                Ok(SimRequest::Run(RunSpec {
+                    config: opt_config(body, "config")?,
+                    topology,
+                    features: opt_features(body)?,
+                }))
+            }
+            "sweep" => {
+                let spec = ConfigSource::from_json(
+                    body.get("spec")
+                        .ok_or_else(|| bad("sweep: missing required \"spec\""))?,
+                    "sweep spec",
+                )?;
+                if spec == ConfigSource::Default {
+                    return Err(bad("sweep spec: \"default\" is not a grid"));
+                }
+                let topologies = match body.get("topologies") {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or_else(|| bad("sweep: \"topologies\" must be an array"))?
+                        .iter()
+                        .map(TopologySource::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                let shards = match body.get("shards") {
+                    None => 1,
+                    Some(v) => v
+                        .as_u64()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| bad("sweep: \"shards\" must be a positive integer"))?
+                        as usize,
+                };
+                Ok(SimRequest::Sweep(SweepRequest {
+                    spec,
+                    base_config: opt_config(body, "base_config")?,
+                    topologies,
+                    shards,
+                }))
+            }
+            "area" => Ok(SimRequest::AreaReport(AreaSpec {
+                config: opt_config(body, "config")?,
+                features: opt_features(body)?,
+            })),
+            "version" => Ok(SimRequest::Version),
+            other => Err(bad(format!(
+                "unknown request '{other}' (expected run/sweep/area/version)"
+            ))),
+        }
+    }
+}
+
+fn opt_config(body: &Json, key: &str) -> Result<ConfigSource, SimError> {
+    match body.get(key) {
+        None => Ok(ConfigSource::Default),
+        Some(v) => ConfigSource::from_json(v, key),
+    }
+}
+
+fn opt_features(body: &Json) -> Result<Features, SimError> {
+    match body.get("features") {
+        None => Ok(Features::default()),
+        Some(v) => Features::from_json(v),
+    }
+}
+
+fn bad(msg: impl Into<String>) -> SimError {
+    SimError::Config(format!("request: {}", msg.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(req: SimRequest) {
+        let body = req.to_json();
+        let back = SimRequest::from_json(req.tag(), &body).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn run_request_round_trips() {
+        round_trip(SimRequest::Run(RunSpec {
+            config: ConfigSource::Inline("ArrayHeight : 8\nArrayWidth : 8\n".into()),
+            topology: TopologySource::inline("t", "a, 8, 8, 8,\n")
+                .with_format(TopologyFormat::Gemm),
+            features: Features {
+                dram: true,
+                energy: true,
+                layout: false,
+                cores: Some("2x2".into()),
+            },
+        }));
+        round_trip(SimRequest::Run(RunSpec {
+            config: ConfigSource::Path("configs/tpu.cfg".into()),
+            topology: TopologySource::from_path("topologies/resnet18.csv"),
+            features: Features::default(),
+        }));
+    }
+
+    #[test]
+    fn sweep_and_area_round_trip() {
+        round_trip(SimRequest::Sweep(SweepRequest {
+            spec: ConfigSource::Inline("array = 8x8\n".into()),
+            base_config: ConfigSource::Default,
+            topologies: vec![TopologySource::inline("t", "a, 8, 8, 8,\n")],
+            shards: 3,
+        }));
+        round_trip(SimRequest::AreaReport(AreaSpec::default()));
+        round_trip(SimRequest::Version);
+    }
+
+    #[test]
+    fn missing_topology_is_a_config_error() {
+        let err = SimRequest::from_json("run", &Json::Obj(vec![])).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("topology"), "{err}");
+    }
+
+    #[test]
+    fn topology_requires_exactly_one_source() {
+        let both = Json::parse(r#"{"topology": {"path": "a", "inline": "b"}}"#).unwrap();
+        assert!(SimRequest::from_json("run", &both).is_err());
+        let neither = Json::parse(r#"{"topology": {"name": "x"}}"#).unwrap();
+        assert!(SimRequest::from_json("run", &neither).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let err = SimRequest::from_json("frobnicate", &Json::Obj(vec![])).unwrap_err();
+        assert!(err.message().contains("unknown request"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_default_spec_and_zero_shards() {
+        let v = Json::parse(r#"{"spec": "default"}"#).unwrap();
+        assert!(SimRequest::from_json("sweep", &v).is_err());
+        let v = Json::parse(r#"{"spec": {"inline": "array = 8x8\n"}, "shards": 0}"#).unwrap();
+        assert!(SimRequest::from_json("sweep", &v).is_err());
+    }
+}

@@ -1,0 +1,373 @@
+//! The typed response surface: [`SimResponse`] and its per-command
+//! bodies.
+//!
+//! Report **contents** travel as strings (the exact bytes the one-shot
+//! CLI writes to `*_REPORT.csv` files), so a response is verifiable
+//! byte-for-byte against the golden suite and a remote client can
+//! persist reports identical to a local run. Scalar summaries use
+//! fixed-precision formatting, making response lines deterministic for
+//! a given build.
+
+use crate::error::SimError;
+use crate::json::{escape_into, Json};
+
+/// One emitted report: the file name the CLI would write and its exact
+/// contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Standard file name (`COMPUTE_REPORT.csv`, `SWEEP_REPORT.json`, …).
+    pub name: String,
+    /// The full file contents, byte-identical to the CLI's output.
+    pub content: String,
+}
+
+/// Aggregate metrics of one run (the O(1) reduction every layer streams
+/// through).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummaryBody {
+    /// Layers simulated.
+    pub layers: usize,
+    /// End-to-end cycles (DRAM-aware when the DRAM flow ran).
+    pub total_cycles: u64,
+    /// Stall-free compute cycles.
+    pub compute_cycles: u64,
+    /// Stall cycles.
+    pub stall_cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Compute-cycle-weighted mean PE utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Total energy in mJ (0.0 when energy estimation is off).
+    pub energy_mj: f64,
+    /// L2→L1 NoC words (0 for single-core runs).
+    pub noc_words: u64,
+}
+
+/// Response body of a `run` request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunBody {
+    /// Run-level aggregates.
+    pub summary: RunSummaryBody,
+    /// Every report the configuration produces, in the CLI's emission
+    /// order.
+    pub reports: Vec<Report>,
+}
+
+/// Response body of a `sweep` request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepBody {
+    /// Grid points expanded from the spec.
+    pub grid_points: usize,
+    /// Total `(point, topology)` runs executed.
+    pub runs: usize,
+    /// Labels of the runtime-vs-energy Pareto frontier, in point order.
+    pub pareto_frontier: Vec<String>,
+    /// `SWEEP_REPORT.csv` and `SWEEP_REPORT.json`.
+    pub reports: Vec<Report>,
+}
+
+/// Response body of an `area` request (Accelergy-style silicon area).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AreaBody {
+    /// Total die area, mm².
+    pub total_mm2: f64,
+    /// PE array contribution, mm².
+    pub pe_array_mm2: f64,
+    /// SRAM contribution, mm².
+    pub sram_mm2: f64,
+    /// NoC contribution, mm².
+    pub noc_mm2: f64,
+    /// DRAM controller contribution, mm².
+    pub dram_ctrl_mm2: f64,
+    /// `AREA_REPORT.csv`.
+    pub reports: Vec<Report>,
+}
+
+/// Response body of a `version` request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionBody {
+    /// Human-readable version line (`scalesim 0.3.0 (git …)`).
+    pub version: String,
+    /// The wire-protocol version the server speaks (see
+    /// [`crate::API_VERSION`]).
+    pub api: u32,
+}
+
+/// A successful response to a [`crate::SimRequest`]; failures travel as
+/// [`SimError`] (see [`crate::wire::encode_response`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimResponse {
+    /// Result of a `run` request.
+    Run(RunBody),
+    /// Result of a `sweep` request.
+    Sweep(SweepBody),
+    /// Result of an `area` request.
+    Area(AreaBody),
+    /// Result of a `version` request.
+    Version(VersionBody),
+}
+
+fn reports_json(out: &mut String, reports: &[Report]) {
+    out.push_str("\"reports\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&r.name, out);
+        out.push_str("\",\"content\":\"");
+        escape_into(&r.content, out);
+        out.push_str("\"}");
+    }
+    out.push(']');
+}
+
+impl SimResponse {
+    /// The wire tag the body is keyed by (`run`/`sweep`/`area`/`version`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SimResponse::Run(_) => "run",
+            SimResponse::Sweep(_) => "sweep",
+            SimResponse::Area(_) => "area",
+            SimResponse::Version(_) => "version",
+        }
+    }
+
+    /// Serializes the body as a single-line JSON object with fixed key
+    /// order and fixed numeric precision — deterministic for a given
+    /// build, so serve-mode output can be pinned by golden files.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        match self {
+            SimResponse::Run(r) => {
+                let s = &r.summary;
+                out.push_str(&format!(
+                    "{{\"summary\":{{\"layers\":{},\"total_cycles\":{},\
+                     \"compute_cycles\":{},\"stall_cycles\":{},\"macs\":{},\
+                     \"utilization\":{:.4},\"energy_mj\":{:.6},\"noc_words\":{}}},",
+                    s.layers,
+                    s.total_cycles,
+                    s.compute_cycles,
+                    s.stall_cycles,
+                    s.macs,
+                    s.utilization,
+                    s.energy_mj,
+                    s.noc_words,
+                ));
+                reports_json(&mut out, &r.reports);
+                out.push('}');
+            }
+            SimResponse::Sweep(s) => {
+                out.push_str(&format!(
+                    "{{\"grid_points\":{},\"runs\":{},\"pareto_frontier\":[",
+                    s.grid_points, s.runs
+                ));
+                for (i, label) in s.pareto_frontier.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(label, &mut out);
+                    out.push('"');
+                }
+                out.push_str("],");
+                reports_json(&mut out, &s.reports);
+                out.push('}');
+            }
+            SimResponse::Area(a) => {
+                out.push_str(&format!(
+                    "{{\"total_mm2\":{:.4},\"pe_array_mm2\":{:.4},\"sram_mm2\":{:.4},\
+                     \"noc_mm2\":{:.4},\"dram_ctrl_mm2\":{:.4},",
+                    a.total_mm2, a.pe_array_mm2, a.sram_mm2, a.noc_mm2, a.dram_ctrl_mm2
+                ));
+                reports_json(&mut out, &a.reports);
+                out.push('}');
+            }
+            SimResponse::Version(v) => {
+                out.push_str("{\"version\":\"");
+                escape_into(&v.version, &mut out);
+                out.push_str(&format!("\",\"api\":{}}}", v.api));
+            }
+        }
+        out
+    }
+
+    /// Decodes a response body for the given wire tag (the client half
+    /// of the codec; servers emit via
+    /// [`to_json_string`](Self::to_json_string)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] describing the first shape problem.
+    pub fn from_json(tag: &str, body: &Json) -> Result<SimResponse, SimError> {
+        match tag {
+            "run" => {
+                let s = body
+                    .get("summary")
+                    .ok_or_else(|| bad("run response: missing \"summary\""))?;
+                Ok(SimResponse::Run(RunBody {
+                    summary: RunSummaryBody {
+                        layers: u(s, "layers")? as usize,
+                        total_cycles: u(s, "total_cycles")?,
+                        compute_cycles: u(s, "compute_cycles")?,
+                        stall_cycles: u(s, "stall_cycles")?,
+                        macs: u(s, "macs")?,
+                        utilization: f(s, "utilization")?,
+                        energy_mj: f(s, "energy_mj")?,
+                        noc_words: u(s, "noc_words")?,
+                    },
+                    reports: reports(body)?,
+                }))
+            }
+            "sweep" => Ok(SimResponse::Sweep(SweepBody {
+                grid_points: u(body, "grid_points")? as usize,
+                runs: u(body, "runs")? as usize,
+                pareto_frontier: body
+                    .get("pareto_frontier")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("sweep response: missing \"pareto_frontier\""))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("pareto labels must be strings"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                reports: reports(body)?,
+            })),
+            "area" => Ok(SimResponse::Area(AreaBody {
+                total_mm2: f(body, "total_mm2")?,
+                pe_array_mm2: f(body, "pe_array_mm2")?,
+                sram_mm2: f(body, "sram_mm2")?,
+                noc_mm2: f(body, "noc_mm2")?,
+                dram_ctrl_mm2: f(body, "dram_ctrl_mm2")?,
+                reports: reports(body)?,
+            })),
+            "version" => Ok(SimResponse::Version(VersionBody {
+                version: body
+                    .get("version")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("version response: missing \"version\""))?
+                    .to_string(),
+                api: u(body, "api")? as u32,
+            })),
+            other => Err(bad(format!("unknown response '{other}'"))),
+        }
+    }
+}
+
+fn u(v: &Json, key: &str) -> Result<u64, SimError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer \"{key}\"")))
+}
+
+fn f(v: &Json, key: &str) -> Result<f64, SimError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(format!("missing or non-numeric \"{key}\"")))
+}
+
+fn reports(body: &Json) -> Result<Vec<Report>, SimError> {
+    body.get("reports")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing \"reports\" array"))?
+        .iter()
+        .map(|r| {
+            Ok(Report {
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("report missing \"name\""))?
+                    .to_string(),
+                content: r
+                    .get("content")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("report missing \"content\""))?
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+fn bad(msg: impl Into<String>) -> SimError {
+    SimError::Config(format!("response: {}", msg.into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(resp: SimResponse) {
+        let line = resp.to_json_string();
+        assert!(!line.contains('\n'), "bodies must be single-line: {line}");
+        let parsed = Json::parse(&line).expect("body is valid JSON");
+        let back = SimResponse::from_json(resp.tag(), &parsed).unwrap();
+        // Fixed-precision floats survive one round trip exactly because
+        // the emitter formats them; re-encode to compare canonically.
+        assert_eq!(back.to_json_string(), line);
+    }
+
+    #[test]
+    fn run_response_round_trips() {
+        round_trip(SimResponse::Run(RunBody {
+            summary: RunSummaryBody {
+                layers: 3,
+                total_cycles: 123_456_789_012,
+                compute_cycles: 120_000,
+                stall_cycles: 3456,
+                macs: 1_000_000,
+                utilization: 0.8125,
+                energy_mj: 1.25,
+                noc_words: 0,
+            },
+            reports: vec![Report {
+                name: "COMPUTE_REPORT.csv".into(),
+                content: "LayerName, X\nl0, 1\n".into(),
+            }],
+        }));
+    }
+
+    #[test]
+    fn sweep_area_version_round_trip() {
+        round_trip(SimResponse::Sweep(SweepBody {
+            grid_points: 4,
+            runs: 8,
+            pareto_frontier: vec!["8x8-bw4".into(), "16x16-bw10".into()],
+            reports: vec![Report {
+                name: "SWEEP_REPORT.csv".into(),
+                content: "Run, Point\n0, 0\n".into(),
+            }],
+        }));
+        round_trip(SimResponse::Area(AreaBody {
+            total_mm2: 12.3456,
+            pe_array_mm2: 4.5,
+            sram_mm2: 6.0,
+            noc_mm2: 1.0,
+            dram_ctrl_mm2: 0.8456,
+            reports: vec![],
+        }));
+        round_trip(SimResponse::Version(VersionBody {
+            version: "scalesim 0.3.0 (git abc)".into(),
+            api: 1,
+        }));
+    }
+
+    #[test]
+    fn report_contents_are_exact() {
+        let tricky = "a,b\n\"quoted\",\t tab\r\n";
+        let resp = SimResponse::Run(RunBody {
+            summary: RunSummaryBody::default(),
+            reports: vec![Report {
+                name: "X.csv".into(),
+                content: tricky.into(),
+            }],
+        });
+        let parsed = Json::parse(&resp.to_json_string()).unwrap();
+        let back = SimResponse::from_json("run", &parsed).unwrap();
+        let SimResponse::Run(body) = back else {
+            panic!("expected run");
+        };
+        assert_eq!(body.reports[0].content, tricky);
+    }
+}

@@ -1,0 +1,245 @@
+//! The JSON-lines wire protocol of `scalesim serve`.
+//!
+//! One request per line, one response per line, in order. A request
+//! envelope is an object with:
+//!
+//! * `"api"` — required integer; must equal [`crate::API_VERSION`].
+//! * `"id"` — optional string, echoed verbatim in the response.
+//! * exactly one command key — `"run"`, `"sweep"`, `"area"` or
+//!   `"version"` — whose value is the command body
+//!   (see [`crate::request`]).
+//!
+//! A response envelope carries `"api"`, the echoed `"id"` (when the
+//! request had one), and either `"ok"` (an object keyed by the command
+//! tag) or `"error"` (`kind`/`exit_code`/`message`). Responses are
+//! emitted with fixed key order and fixed numeric precision, so serve
+//! output is byte-deterministic for a given build.
+//!
+//! ```
+//! use scalesim_api::{wire, SimRequest};
+//! let line = r#"{"api": 1, "id": "v1", "version": {}}"#;
+//! let (id, req) = wire::decode_request(line);
+//! assert_eq!(id.as_deref(), Some("v1"));
+//! assert_eq!(req.unwrap(), SimRequest::Version);
+//! ```
+
+use crate::error::SimError;
+use crate::json::{escape_into, Json};
+use crate::request::SimRequest;
+use crate::response::SimResponse;
+use crate::API_VERSION;
+
+/// The command keys an envelope may carry.
+const COMMANDS: [&str; 4] = ["run", "sweep", "area", "version"];
+
+/// Decodes one request line.
+///
+/// Returns the request id (when one could be recovered — it is echoed
+/// even on malformed requests so clients can correlate failures) and
+/// the decoded request or the failure describing what was wrong. All
+/// decode failures are [`SimError::Config`]; nothing here panics on any
+/// input.
+pub fn decode_request(line: &str) -> (Option<String>, Result<SimRequest, SimError>) {
+    let value = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                None,
+                Err(SimError::Config(format!("request is not valid JSON: {e}"))),
+            )
+        }
+    };
+    let id = value.get("id").and_then(Json::as_str).map(str::to_string);
+    let result = decode_envelope(&value);
+    (id, result)
+}
+
+fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
+    let Some(fields) = value.as_object() else {
+        return Err(SimError::Config("request must be a JSON object".into()));
+    };
+    match value.get("api").and_then(Json::as_u64) {
+        Some(v) if v == u64::from(API_VERSION) => {}
+        Some(v) => {
+            return Err(SimError::Config(format!(
+                "unsupported api version {v} (this server speaks {API_VERSION})"
+            )))
+        }
+        None => {
+            return Err(SimError::Config(format!(
+                "request: missing required \"api\": {API_VERSION}"
+            )))
+        }
+    }
+    let mut command = None;
+    for (key, body) in fields {
+        match key.as_str() {
+            "api" | "id" => {}
+            k if COMMANDS.contains(&k) => {
+                if command.is_some() {
+                    return Err(SimError::Config(
+                        "request: more than one command key".into(),
+                    ));
+                }
+                command = Some((k, body));
+            }
+            other => {
+                return Err(SimError::Config(format!(
+                    "request: unknown key \"{other}\" (expected one of run/sweep/area/version)"
+                )))
+            }
+        }
+    }
+    let Some((tag, body)) = command else {
+        return Err(SimError::Config(
+            "request: missing command key (one of run/sweep/area/version)".into(),
+        ));
+    };
+    SimRequest::from_json(tag, body)
+}
+
+/// Encodes one request line (the client half).
+pub fn encode_request(id: Option<&str>, request: &SimRequest) -> String {
+    let mut fields = vec![("api".to_string(), Json::Num(f64::from(API_VERSION)))];
+    if let Some(id) = id {
+        fields.push(("id".into(), Json::Str(id.to_string())));
+    }
+    fields.push((request.tag().to_string(), request.to_json()));
+    Json::Obj(fields).to_string()
+}
+
+/// Encodes one response line: `{"api":1[,"id":…],"ok":{…}}` on success,
+/// `{"api":1[,"id":…],"error":{…}}` on failure. Single line, fixed key
+/// order.
+pub fn encode_response(id: Option<&str>, result: &Result<SimResponse, SimError>) -> String {
+    let mut out = format!("{{\"api\":{API_VERSION}");
+    if let Some(id) = id {
+        out.push_str(",\"id\":\"");
+        escape_into(id, &mut out);
+        out.push('"');
+    }
+    match result {
+        Ok(resp) => {
+            out.push_str(",\"ok\":{\"");
+            out.push_str(resp.tag());
+            out.push_str("\":");
+            out.push_str(&resp.to_json_string());
+            out.push('}');
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                ",\"error\":{{\"kind\":\"{}\",\"exit_code\":{},\"message\":\"",
+                e.kind(),
+                e.exit_code()
+            ));
+            escape_into(e.message(), &mut out);
+            out.push_str("\"}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Decodes one response line (the client half).
+///
+/// Returns the echoed id and either the decoded response or the
+/// server-reported (or local decode) failure.
+pub fn decode_response(line: &str) -> (Option<String>, Result<SimResponse, SimError>) {
+    let value = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                None,
+                Err(SimError::Config(format!("response is not valid JSON: {e}"))),
+            )
+        }
+    };
+    let id = value.get("id").and_then(Json::as_str).map(str::to_string);
+    if let Some(err) = value.get("error") {
+        let kind = err.get("kind").and_then(Json::as_str).unwrap_or("internal");
+        let message = err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("missing error message")
+            .to_string();
+        return (id, Err(SimError::from_kind(kind, message)));
+    }
+    let result = match value.get("ok").and_then(Json::as_object) {
+        Some([(tag, body)]) => SimResponse::from_json(tag, body),
+        _ => Err(SimError::Config(
+            "response: expected exactly one body under \"ok\"".into(),
+        )),
+    };
+    (id, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ConfigSource, RunSpec, TopologyFormat, TopologySource};
+    use crate::response::{SimResponse, VersionBody};
+
+    fn run_request() -> SimRequest {
+        SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: TopologySource::inline("t", "a, 8, 8, 8,\n")
+                .with_format(TopologyFormat::Gemm),
+            features: Default::default(),
+        })
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire() {
+        let line = encode_request(Some("r-1"), &run_request());
+        assert!(!line.contains('\n'));
+        let (id, decoded) = decode_request(&line);
+        assert_eq!(id.as_deref(), Some("r-1"));
+        assert_eq!(decoded.unwrap(), run_request());
+    }
+
+    #[test]
+    fn missing_or_wrong_api_version_is_rejected() {
+        let (_, r) = decode_request(r#"{"version": {}}"#);
+        assert!(r.unwrap_err().message().contains("api"), "missing api");
+        let (_, r) = decode_request(r#"{"api": 99, "version": {}}"#);
+        assert!(r.unwrap_err().message().contains("unsupported api"));
+    }
+
+    #[test]
+    fn id_is_recovered_from_malformed_envelopes() {
+        let (id, r) = decode_request(r#"{"api": 1, "id": "x7", "frob": {}}"#);
+        assert_eq!(id.as_deref(), Some("x7"));
+        assert!(r.is_err());
+        let (id, r) = decode_request("not json at all");
+        assert_eq!(id, None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn two_command_keys_are_rejected() {
+        let (_, r) = decode_request(r#"{"api": 1, "version": {}, "area": {}}"#);
+        assert!(r.unwrap_err().message().contains("more than one"));
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let resp = SimResponse::Version(VersionBody {
+            version: "scalesim x".into(),
+            api: 1,
+        });
+        let line = encode_response(Some("v1"), &Ok(resp.clone()));
+        let (id, decoded) = decode_response(&line);
+        assert_eq!(id.as_deref(), Some("v1"));
+        assert_eq!(decoded.unwrap(), resp);
+    }
+
+    #[test]
+    fn error_response_round_trips_with_exit_code() {
+        let err = SimError::Topology("duplicate layer name 'a'".into());
+        let line = encode_response(None, &Err(err.clone()));
+        assert!(line.contains("\"exit_code\":3"), "{line}");
+        let (id, decoded) = decode_response(&line);
+        assert_eq!(id, None);
+        assert_eq!(decoded.unwrap_err(), err);
+    }
+}

@@ -1,64 +1,43 @@
 //! `scalesim` — command-line front end mirroring the Python tool's
 //! interface: a `.cfg` architecture file plus a topology CSV in, report
-//! CSVs out. The `sweep` subcommand runs a whole design-space grid.
+//! CSVs out. The `sweep` subcommand runs a whole design-space grid; the
+//! `serve` subcommand answers JSON-lines requests persistently.
 //!
 //! ```text
 //! scalesim -c configs/tpu.cfg -t topologies/resnet18.csv -p ./results \
 //!          [--gemm] [--dram] [--energy] [--layout]
 //! scalesim sweep -s configs/example_sweep.toml -p ./results
+//! scalesim serve --listen 127.0.0.1:7878
 //! ```
 //!
-//! Argument parsing lives in [`scalesim::cli`] (unit-tested there); the
-//! full reference is `docs/CLI.md`.
+//! Every command is a thin client of the same typed facade
+//! ([`scalesim::service::SimService`]): argument vectors become
+//! [`SimRequest`]s, failures are categorized [`SimError`]s mapped to
+//! stable exit codes (config=2, topology=3, io=4, internal=70; CLI
+//! usage errors stay 1). Argument parsing lives in [`scalesim::cli`]
+//! (unit-tested there); the full reference is `docs/CLI.md`, the
+//! request protocol is `docs/API.md`.
 
-use scalesim::cli::{parse_cli, version_string, Command, RunArgs, SweepArgs};
-use scalesim::sweep::SweepSpec;
-use scalesim::systolic::Topology;
-use scalesim::{
-    parse_cfg, CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary, ScaleSim,
-    ScaleSimConfig,
+use scalesim::api::{
+    ConfigSource, Features, RunSpec, SimError, SweepRequest, TopologyFormat, TopologySource,
 };
+use scalesim::cli::{parse_cli, version_string, Command, RunArgs, ServeArgs, SweepArgs};
+use scalesim::serve::{serve_listener, serve_session};
+use scalesim::service::{area_body, SimService};
+use scalesim::systolic::num_threads;
+use scalesim::{CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary};
 use std::path::Path;
 use std::process::ExitCode;
 
-fn load_config(path: Option<&Path>) -> Result<ScaleSimConfig, String> {
+fn config_source(path: Option<&Path>) -> ConfigSource {
     match path {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            parse_cfg(&text).map_err(|e| e.to_string())
-        }
-        None => Ok(ScaleSimConfig::default()),
+        Some(p) => ConfigSource::Path(p.display().to_string()),
+        None => ConfigSource::Default,
     }
 }
 
-#[derive(Clone, Copy)]
-enum TopoFormat {
-    /// Detect conv vs GEMM from the CSV header (sweep inputs).
-    Auto,
-    /// Conv rows — the historical default of plain `scalesim`.
-    Conv,
-    /// GEMM rows (`--gemm`).
-    Gemm,
-}
-
-fn load_topology(path: &Path, format: TopoFormat) -> Result<Topology, String> {
-    let csv = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let name = path
-        .file_stem()
-        .map(|s| s.to_string_lossy().to_string())
-        .unwrap_or_else(|| "workload".into());
-    let topo = match format {
-        TopoFormat::Auto => Topology::parse_csv_auto(&name, &csv),
-        TopoFormat::Conv => Topology::parse_conv_csv(&name, &csv),
-        TopoFormat::Gemm => Topology::parse_gemm_csv(&name, &csv),
-    }
-    .map_err(|e| e.to_string())?;
-    if topo.is_empty() {
-        return Err(format!("{}: topology has no layers", path.display()));
-    }
-    Ok(topo)
+fn topology_source(path: &Path, format: TopologyFormat) -> TopologySource {
+    TopologySource::from_path(path.display().to_string()).with_format(format)
 }
 
 /// The run command's streaming sink: tees every finished layer into the
@@ -87,18 +66,32 @@ impl ResultSink for RunCliSink {
     }
 }
 
-fn run(args: RunArgs) -> Result<(), String> {
-    let mut config = load_config(args.config.as_deref())?;
-    config.enable_dram = args.dram;
-    config.enable_energy = args.energy;
-    config.enable_layout = args.layout;
-
-    let format = if args.gemm {
-        TopoFormat::Gemm
-    } else {
-        TopoFormat::Conv
+fn run(service: &SimService, args: RunArgs) -> Result<(), SimError> {
+    let spec = RunSpec {
+        config: config_source(args.config.as_deref()),
+        topology: topology_source(
+            &args.topology,
+            if args.gemm {
+                TopologyFormat::Gemm
+            } else {
+                TopologyFormat::Conv
+            },
+        ),
+        features: Features {
+            dram: args.dram,
+            energy: args.energy,
+            layout: args.layout,
+            cores: None,
+        },
     };
-    let topo = load_topology(&args.topology, format)?;
+    let prepared = service.prepare_run(&spec)?;
+    let sim = if args.profile_stages {
+        prepared.sim.clone().with_stage_profiling()
+    } else {
+        prepared.sim.clone()
+    };
+    let topo = &prepared.topology;
+    let config = sim.config();
 
     eprintln!(
         "scalesim: {} layers of '{}' on a {} {} core{}",
@@ -112,42 +105,30 @@ fn run(args: RunArgs) -> Result<(), String> {
             ""
         },
     );
-    let sim = ScaleSim::new(config);
-    let sim = if args.profile_stages {
-        sim.with_stage_profiling()
-    } else {
-        sim
-    };
 
     std::fs::create_dir_all(&args.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+        .map_err(|e| SimError::Io(format!("cannot create {}: {e}", args.out_dir.display())))?;
     let mut sink = RunCliSink {
         csv: CsvReportSink::new(&args.out_dir, ReportSections::for_config(sim.config())),
         summary: RunSummary::new(),
         verbose: args.verbose,
     };
-    sim.run_topology_with(&topo, &mut sink);
+    sim.run_topology_with(topo, &mut sink);
     let RunCliSink { csv, summary, .. } = sink;
-    let mut written = csv.finish()?;
+    let mut written = csv.finish().map_err(SimError::Io)?;
 
     if args.area {
-        use scalesim::energy::AreaBreakdown;
-        let area = sim.area_report();
+        let area = area_body(&sim.area_report());
         eprintln!(
             "area: {:.1} mm2 total ({:.1} PE array, {:.1} SRAM, {:.1} NoC, {:.1} DRAM ctrl)",
-            area.total_mm2(),
-            area.pe_array_mm2,
-            area.sram_mm2(),
-            area.noc_mm2,
-            area.dram_ctrl_mm2,
+            area.total_mm2, area.pe_array_mm2, area.sram_mm2, area.noc_mm2, area.dram_ctrl_mm2,
         );
-        let path = args.out_dir.join("AREA_REPORT.csv");
-        std::fs::write(
-            &path,
-            format!("{}\n{}\n", AreaBreakdown::csv_header(), area.to_csv_row()),
-        )
-        .map_err(|e| format!("write {}: {e}", path.display()))?;
-        written.push(path);
+        for report in &area.reports {
+            let path = args.out_dir.join(&report.name);
+            std::fs::write(&path, &report.content)
+                .map_err(|e| SimError::Io(format!("write {}: {e}", path.display())))?;
+            written.push(path);
+        }
     }
 
     eprintln!(
@@ -184,47 +165,30 @@ fn run(args: RunArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn sweep(args: SweepArgs) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.spec)
-        .map_err(|e| format!("cannot read {}: {e}", args.spec.display()))?;
-    let mut spec = SweepSpec::parse(&text).map_err(|e| e.to_string())?;
-    let base = load_config(args.config.as_deref())?;
+fn sweep(service: &SimService, args: SweepArgs) -> Result<(), SimError> {
+    let request = SweepRequest {
+        spec: ConfigSource::Path(args.spec.display().to_string()),
+        base_config: config_source(args.config.as_deref()),
+        topologies: args
+            .topologies
+            .iter()
+            .map(|p| topology_source(p, TopologyFormat::Auto))
+            .collect(),
+        shards: args.shards,
+    };
+    let prepared = service.prepare_sweep(&request)?;
 
-    // Topology paths from the spec resolve against the spec's own
-    // directory first (so a spec can sit next to its topologies and a
-    // same-named file in the CWD cannot shadow them), then fall back to
-    // the CWD — the shipped spec lists repo-root-relative paths, so run
-    // it from the repo root. Extra -t files are CWD-relative as usual.
-    let spec_dir = args.spec.parent().unwrap_or_else(|| Path::new("."));
-    let mut topologies = Vec::new();
-    for rel in spec.topologies.drain(..) {
-        let p = Path::new(&rel);
-        let spec_relative = spec_dir.join(p);
-        let path = if !p.is_absolute() && spec_relative.exists() {
-            spec_relative
-        } else {
-            p.to_path_buf()
-        };
-        topologies.push(load_topology(&path, TopoFormat::Auto)?);
-    }
-    for path in &args.topologies {
-        topologies.push(load_topology(path, TopoFormat::Auto)?);
-    }
-    if topologies.is_empty() {
-        return Err("sweep has no topologies (add a [workloads] section or -t)".into());
-    }
-
-    let grid_size = spec.grid_size();
+    let grid_size = prepared.spec.grid_size();
     eprintln!(
         "scalesim sweep '{}': {} grid points x {} topologies = {} runs ({} shards)",
-        spec.name,
+        prepared.spec.name,
         grid_size,
-        topologies.len(),
-        grid_size * topologies.len(),
-        args.shards,
+        prepared.topologies.len(),
+        grid_size * prepared.topologies.len(),
+        prepared.shards,
     );
     if args.verbose {
-        for point in spec.expand() {
+        for point in prepared.spec.expand() {
             eprintln!("  point {:>3}: {}", point.index, point.label());
         }
     }
@@ -232,7 +196,7 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
     let started = std::time::Instant::now();
     // Stream per-run records to stderr as shards complete (the report
     // itself stays deterministic: it sorts by run index).
-    let (report, cache) = scalesim::run_sweep_with(&spec, &base, &topologies, args.shards, |r| {
+    let (report, cache) = prepared.run_with(|r| {
         if args.verbose {
             eprintln!(
                 "  run {:>3} {:<28} {:<12} {:>12} cycles {:>10.4} mJ",
@@ -243,13 +207,14 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
     let elapsed = started.elapsed();
 
     std::fs::create_dir_all(&args.out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", args.out_dir.display()))?;
+        .map_err(|e| SimError::Io(format!("cannot create {}: {e}", args.out_dir.display())))?;
     for (file, content) in [
         ("SWEEP_REPORT.csv", report.to_csv()),
         ("SWEEP_REPORT.json", report.to_json()),
     ] {
         let path = args.out_dir.join(file);
-        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
+        std::fs::write(&path, content)
+            .map_err(|e| SimError::Io(format!("write {}: {e}", path.display())))?;
         eprintln!("wrote {}", path.display());
     }
 
@@ -262,32 +227,54 @@ fn sweep(args: SweepArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
+    match args.listen {
+        None => {
+            eprintln!("scalesim serve: reading JSON-lines requests from stdin");
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_session(service, stdin.lock(), stdout.lock())
+                .map_err(|e| SimError::Io(format!("stdio session: {e}")))
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| SimError::Io(format!("cannot listen on {addr}: {e}")))?;
+            let bound = listener
+                .local_addr()
+                .map_err(|e| SimError::Io(format!("local_addr: {e}")))?;
+            let threads = num_threads();
+            eprintln!("scalesim serve: listening on {bound} ({threads} concurrent connections)");
+            serve_listener(service, listener, threads)
+                .map_err(|e| SimError::Io(format!("accept: {e}")))
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    match parse_cli(std::env::args()) {
+    let service = SimService::new();
+    let result = match parse_cli(std::env::args()) {
         Ok(Command::Version) => {
             println!("{}", version_string());
-            ExitCode::SUCCESS
+            return ExitCode::SUCCESS;
         }
-        Ok(Command::Run(args)) => match run(args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Ok(Command::Sweep(args)) => match sweep(args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+        Ok(Command::Run(args)) => run(&service, args),
+        Ok(Command::Sweep(args)) => sweep(&service, args),
+        Ok(Command::Serve(args)) => serve(&service, args),
         Err(e) => {
             if !e.message.is_empty() {
                 eprintln!("error: {}\n", e.message);
             }
             eprintln!("{}", e.usage);
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // The SimError taxonomy pins the exit code: config=2,
+            // topology=3, io=4, internal=70 (docs/API.md).
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -5,11 +5,13 @@
 //! produce an error (never be silently ignored), which the binary turns
 //! into the usage string and a non-zero exit. See [`parse_cli`].
 //!
-//! Two commands:
+//! Three commands:
 //!
 //! * `scalesim …` — one simulation of one topology ([`RunArgs`]).
 //! * `scalesim sweep …` — a design-space sweep over a spec-file grid
 //!   ([`SweepArgs`]); full formats in `docs/CLI.md`.
+//! * `scalesim serve …` — a persistent JSON-lines batch service over
+//!   stdio or a TCP socket ([`ServeArgs`]); protocol in `docs/API.md`.
 
 use std::path::PathBuf;
 
@@ -19,6 +21,7 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
                 [--profile-stages] [-v]
        scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
                 [-p <outdir>] [--shards <n>] [-v]
+       scalesim serve [--stdio | --listen <addr>]
        scalesim --version
 
   -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
@@ -35,7 +38,9 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
   --version   print the scalesim version and build hash
 
   sweep       run a design-space-exploration grid; see 'scalesim sweep -h'
-              and docs/CLI.md for the spec format";
+              and docs/CLI.md for the spec format
+  serve       answer JSON-lines simulation requests forever; see
+              'scalesim serve -h' and docs/API.md for the protocol";
 
 /// Usage string for the `sweep` subcommand.
 pub const SWEEP_USAGE: &str = "usage: scalesim sweep -s <spec> [-c <config.cfg>]
@@ -56,6 +61,20 @@ pub const SWEEP_USAGE: &str = "usage: scalesim sweep -s <spec> [-c <config.cfg>]
 
 Reports are deterministic: byte-identical for any SCALESIM_THREADS and
 any --shards value.";
+
+/// Usage string for the `serve` subcommand.
+pub const SERVE_USAGE: &str = "usage: scalesim serve [--stdio | --listen <addr>]
+
+  --stdio          answer one JSON request per stdin line with one JSON
+                   response per stdout line until EOF (the default)
+  --listen <addr>  accept TCP connections on <addr> (e.g. 127.0.0.1:7878
+                   or 127.0.0.1:0 for an ephemeral port), each speaking
+                   the same JSON-lines protocol; concurrent connections
+                   are capped at SCALESIM_THREADS
+
+One process keeps one plan cache: repeated workloads across requests
+and connections skip re-planning. Responses are byte-identical to the
+one-shot CLI's report files. Protocol reference: docs/API.md.";
 
 /// Arguments of the single-run command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +118,13 @@ pub struct SweepArgs {
     pub verbose: bool,
 }
 
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeArgs {
+    /// TCP listen address (`None` = stdio mode).
+    pub listen: Option<String>,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -106,6 +132,8 @@ pub enum Command {
     Run(RunArgs),
     /// Run a design-space sweep.
     Sweep(SweepArgs),
+    /// Serve JSON-lines simulation requests persistently.
+    Serve(ServeArgs),
     /// Print the version and exit (`--version` / `-V`).
     Version,
 }
@@ -165,7 +193,43 @@ where
     if args.first().map(String::as_str) == Some("sweep") {
         return parse_sweep(args.into_iter().skip(1)).map(Command::Sweep);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve(args.into_iter().skip(1)).map(Command::Serve);
+    }
     parse_run(args.into_iter()).map(Command::Run)
+}
+
+fn parse_serve<I>(mut argv: I) -> Result<ServeArgs, CliError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut stdio = false;
+    let mut listen = None;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => {
+                listen =
+                    Some(argv.next().ok_or_else(|| {
+                        CliError::new("--listen requires an address", SERVE_USAGE)
+                    })?)
+            }
+            "-h" | "--help" => return Err(CliError::new("", SERVE_USAGE)),
+            other => {
+                return Err(CliError::new(
+                    format!("unknown argument '{other}'"),
+                    SERVE_USAGE,
+                ))
+            }
+        }
+    }
+    if stdio && listen.is_some() {
+        return Err(CliError::new(
+            "--stdio and --listen are mutually exclusive",
+            SERVE_USAGE,
+        ));
+    }
+    Ok(ServeArgs { listen })
 }
 
 fn parse_run<I>(mut argv: I) -> Result<RunArgs, CliError>
@@ -409,5 +473,41 @@ mod tests {
         let err = parse_cli(argv(&["sweep", "-h"])).unwrap_err();
         assert!(err.message.is_empty());
         assert_eq!(err.usage, SWEEP_USAGE);
+        let err = parse_cli(argv(&["serve", "-h"])).unwrap_err();
+        assert!(err.message.is_empty());
+        assert_eq!(err.usage, SERVE_USAGE);
+    }
+
+    #[test]
+    fn serve_command_parses_modes() {
+        assert_eq!(
+            parse_cli(argv(&["serve"])).unwrap(),
+            Command::Serve(ServeArgs { listen: None })
+        );
+        assert_eq!(
+            parse_cli(argv(&["serve", "--stdio"])).unwrap(),
+            Command::Serve(ServeArgs { listen: None })
+        );
+        assert_eq!(
+            parse_cli(argv(&["serve", "--listen", "127.0.0.1:7878"])).unwrap(),
+            Command::Serve(ServeArgs {
+                listen: Some("127.0.0.1:7878".into())
+            })
+        );
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_and_unknown_flags() {
+        let err = parse_cli(argv(&["serve", "--stdio", "--listen", "x"])).unwrap_err();
+        assert!(
+            err.message.contains("mutually exclusive"),
+            "{}",
+            err.message
+        );
+        let err = parse_cli(argv(&["serve", "--wat"])).unwrap_err();
+        assert!(err.message.contains("unknown argument '--wat'"));
+        assert_eq!(err.usage, SERVE_USAGE);
+        let err = parse_cli(argv(&["serve", "--listen"])).unwrap_err();
+        assert!(err.message.contains("--listen requires"), "{}", err.message);
     }
 }

@@ -43,15 +43,24 @@ impl ScaleSim {
     ///
     /// # Panics
     ///
-    /// Panics if the core configuration is invalid.
+    /// Panics if the core configuration is invalid; the non-panicking
+    /// form is [`try_new`](Self::try_new) (what the request/response
+    /// facade uses).
     pub fn new(config: ScaleSimConfig) -> Self {
-        config
-            .core
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-        Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid configuration: {e}"))
+    }
+
+    /// Creates the simulator, reporting an invalid core configuration
+    /// as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure of `config.core`.
+    pub fn try_new(config: ScaleSimConfig) -> Result<Self, scalesim_systolic::SimError> {
+        config.core.validate()?;
+        Ok(Self {
             pipeline: Arc::new(PipelineBuilder::new(config).build()),
-        }
+        })
     }
 
     /// The plan cache shared by this simulator's runs.
@@ -67,15 +76,27 @@ impl ScaleSim {
     ///
     /// # Panics
     ///
-    /// Panics if the core configuration is invalid.
+    /// Panics if the core configuration is invalid; the non-panicking
+    /// form is [`try_new_with_cache`](Self::try_new_with_cache).
     pub fn new_with_cache(config: ScaleSimConfig, cache: Arc<PlanCache>) -> Self {
-        config
-            .core
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
-        Self {
+        Self::try_new_with_cache(config, cache)
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"))
+    }
+
+    /// [`new_with_cache`](Self::new_with_cache), reporting an invalid
+    /// core configuration as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure of `config.core`.
+    pub fn try_new_with_cache(
+        config: ScaleSimConfig,
+        cache: Arc<PlanCache>,
+    ) -> Result<Self, scalesim_systolic::SimError> {
+        config.core.validate()?;
+        Ok(Self {
             pipeline: Arc::new(PipelineBuilder::new(config).plan_cache(cache).build()),
-        }
+        })
     }
 
     /// Replaces the plan cache with a shared one, so *several* simulator

@@ -53,11 +53,13 @@ pub mod engine;
 pub mod layout_analysis;
 pub mod pipeline;
 pub mod result;
+pub mod serve;
+pub mod service;
 pub mod sink;
 pub mod sweep_run;
 
 pub use cfg::parse_cfg;
-pub use cli::{parse_cli, version_string, Command, RunArgs, SweepArgs};
+pub use cli::{parse_cli, version_string, Command, RunArgs, ServeArgs, SweepArgs};
 pub use config::{
     DramIntegration, LayoutIntegration, MultiCoreIntegration, ScaleSimConfig, SparsityMode,
 };
@@ -68,9 +70,14 @@ pub use engine::{ScaleSim, StreamStats, STREAM_BLOCK};
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
 pub use pipeline::{LayerCtx, LayerPipeline, LayerStage, PipelineBuilder, StageEnv, StageTiming};
 pub use result::{LayerResult, RunResult};
-pub use sink::{CollectSink, CsvReportSink, ReportSections, ResultSink, RunSummary};
-pub use sweep_run::{apply_point, run_sweep, run_sweep_with};
+pub use service::{PreparedRun, PreparedSweep, SimService, SERVICE_CACHE_CAPACITY};
+pub use sink::{
+    CollectSink, CsvReportSink, MemoryReportSink, ReportSections, ResultSink, RunSummary,
+};
+pub use sweep_run::{apply_point, run_sweep, run_sweep_cached, run_sweep_with};
 
+/// Re-export: the stable typed request/response API and wire protocol.
+pub use scalesim_api as api;
 /// Re-export: energy & power modeling substrate.
 pub use scalesim_energy as energy;
 /// Re-export: on-chip layout modeling substrate.

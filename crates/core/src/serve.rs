@@ -1,0 +1,313 @@
+//! The persistent batch service behind `scalesim serve`.
+//!
+//! Speaks the JSON-lines wire protocol of [`scalesim_api::wire`] over
+//! two transports, both std-lib only:
+//!
+//! * **stdio** — one request per stdin line, one response per stdout
+//!   line, flushed per response; EOF ends the session. Ideal for
+//!   driving the simulator as a subprocess.
+//! * **TCP** (`--listen`) — thread-per-connection, each connection an
+//!   independent JSON-lines session. Concurrent *sessions* are capped
+//!   at `SCALESIM_THREADS` (defaulting to the machine's parallelism)
+//!   so a burst of clients queues in the accept backlog. Note the cap
+//!   bounds sessions, not simulation workers: each in-flight request
+//!   runs its own `SCALESIM_THREADS`-wide worker pool, so worst-case
+//!   busy threads are cap × pool. Set `SCALESIM_THREADS=1` to bound
+//!   the process at ~one worker per connection.
+//!
+//! All connections share one [`SimService`] — and therefore one
+//! [`PlanCache`](scalesim_systolic::PlanCache) — so repeated workloads
+//! hit warm plans across requests *and* across connections. Requests
+//! are otherwise isolated: each builds its own engine, and responses
+//! are byte-identical to one-shot CLI runs regardless of what else the
+//! server has executed (pinned by `tests/serve.rs` and the CI serve
+//! smoke job).
+//!
+//! **No request can kill the process.** Malformed JSON, bad
+//! configurations and bad topologies surface as typed error responses;
+//! a panic inside request handling (always a bug) is caught per request
+//! and reported as an `internal` error, leaving the server able to
+//! answer the next line.
+
+use crate::service::SimService;
+use scalesim_api::{wire, SimError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// Handles one request line, producing exactly one response line
+/// (without the trailing newline). Never panics.
+pub fn handle_line(service: &SimService, line: &str) -> String {
+    let (id, decoded) = wire::decode_request(line);
+    let result = match decoded {
+        Ok(request) => catch_unwind(AssertUnwindSafe(|| service.handle(&request)))
+            .unwrap_or_else(|payload| Err(SimError::from_panic(payload))),
+        Err(e) => Err(e),
+    };
+    wire::encode_response(id.as_deref(), &result)
+}
+
+/// Serves one JSON-lines session: reads request lines from `input`
+/// until EOF, writing one response line per request to `output`
+/// (flushed per response, so a pipelined client sees answers as they
+/// complete). Blank lines are ignored; a line that is not valid UTF-8
+/// answers a typed `config` error like any other malformed request —
+/// it does not end the session.
+///
+/// # Errors
+///
+/// Returns the first transport-level I/O failure; request-level
+/// failures are answered in-band and do not end the session.
+pub fn serve_session(
+    service: &SimService,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(());
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        let response = match std::str::from_utf8(&buf) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => handle_line(service, line),
+            Err(e) => wire::encode_response(
+                None,
+                &Err(SimError::Config(format!(
+                    "request line is not valid UTF-8: {e}"
+                ))),
+            ),
+        };
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+}
+
+/// A counting semaphore bounding concurrent connection threads.
+struct Gate {
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(slots: usize) -> Self {
+        Self {
+            available: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        while *available == 0 {
+            available = self
+                .freed
+                .wait(available)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *available -= 1;
+    }
+
+    fn release(&self) {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        *available += 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Accepts connections forever, serving each as a JSON-lines session on
+/// its own thread. At most `max_connections` sessions run at once
+/// (pass [`scalesim_systolic::num_threads()`] to honor
+/// `SCALESIM_THREADS`); excess connections queue in the accept backlog.
+///
+/// # Errors
+///
+/// Returns the first `accept` failure. Per-connection I/O failures
+/// (e.g. a client disconnecting mid-request) end that session only.
+pub fn serve_listener(
+    service: &SimService,
+    listener: TcpListener,
+    max_connections: usize,
+) -> std::io::Result<()> {
+    let gate = Gate::new(max_connections);
+    // The loop only exits by returning the accept error; the scope then
+    // joins any sessions still draining.
+    std::thread::scope(|scope| loop {
+        let (stream, _peer) = listener.accept()?;
+        gate.acquire();
+        let gate = &gate;
+        scope.spawn(move || {
+            let _ = serve_connection(service, stream);
+            gate.release();
+        });
+    })
+}
+
+fn serve_connection(service: &SimService, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_session(service, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalesim_api::{wire, SimRequest, SimResponse};
+    use std::io::Cursor;
+
+    fn run_line(id: &str) -> String {
+        format!(
+            "{{\"api\": 1, \"id\": \"{id}\", \"run\": {{\"topology\": \
+             {{\"name\": \"t\", \"inline\": \"a, 16, 16, 16,\\n\"}}}}}}"
+        )
+    }
+
+    #[test]
+    fn session_answers_one_line_per_request_and_skips_blanks() {
+        let service = SimService::new();
+        let input = format!(
+            "{}\n\n{}\n",
+            run_line("r1"),
+            "{\"api\": 1, \"version\": {}}"
+        );
+        let mut out = Vec::new();
+        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let (id, first) = wire::decode_response(lines[0]);
+        assert_eq!(id.as_deref(), Some("r1"));
+        assert!(matches!(first.unwrap(), SimResponse::Run(_)));
+        let (_, second) = wire::decode_response(lines[1]);
+        assert!(matches!(second.unwrap(), SimResponse::Version(_)));
+    }
+
+    #[test]
+    fn malformed_requests_answer_in_band_and_do_not_end_the_session() {
+        let service = SimService::new();
+        let input = format!(
+            "this is not json\n{{\"api\": 1, \"id\": \"x\", \"frob\": {{}}}}\n{}\n",
+            run_line("r2")
+        );
+        let mut out = Vec::new();
+        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(wire::decode_response(lines[0]).1.is_err());
+        let (id, second) = wire::decode_response(lines[1]);
+        assert_eq!(id.as_deref(), Some("x"), "id echoed on bad envelopes");
+        assert!(second.is_err());
+        assert!(wire::decode_response(lines[2]).1.is_ok(), "still serving");
+    }
+
+    #[test]
+    fn non_utf8_lines_answer_a_typed_error_and_keep_the_session_alive() {
+        let service = SimService::new();
+        let mut input = Vec::new();
+        input.extend_from_slice(&[0xFF, 0xFE, b'\n']); // invalid UTF-8
+        input.extend_from_slice(b"{\"api\": 1, \"id\": \"after\", \"version\": {}}\n");
+        let mut out = Vec::new();
+        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "both lines answered: {text}");
+        let (_, first) = wire::decode_response(lines[0]);
+        let err = first.unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("UTF-8"), "{err}");
+        let (id, second) = wire::decode_response(lines[1]);
+        assert_eq!(id.as_deref(), Some("after"), "session kept serving");
+        assert!(second.is_ok());
+    }
+
+    #[test]
+    fn bad_config_is_a_typed_response_not_a_crash() {
+        let service = SimService::new();
+        let request = "{\"api\": 1, \"run\": {\"config\": {\"inline\": \"ArrayHieght : 2\\n\"}, \
+                       \"topology\": {\"inline\": \"a, 8, 8, 8,\\n\"}}}";
+        let response = handle_line(&service, request);
+        let (_, result) = wire::decode_response(&response);
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("arrayhieght"), "{err}");
+    }
+
+    #[test]
+    fn handle_line_reports_panics_as_internal_errors() {
+        // No request should panic the service; force one through the
+        // catch_unwind backstop to prove the wrapper holds.
+        let caught = catch_unwind(AssertUnwindSafe(|| -> String { panic!("injected") }))
+            .map_err(SimError::from_panic);
+        let line = wire::encode_response(None, &Err(caught.unwrap_err()));
+        let (_, result) = wire::decode_response(&line);
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), "internal");
+        assert_eq!(err.exit_code(), 70);
+        assert!(err.message().contains("injected"));
+    }
+
+    #[test]
+    fn gate_caps_concurrency() {
+        let gate = Gate::new(2);
+        gate.acquire();
+        gate.acquire();
+        // A third acquire would block; release then reacquire instead.
+        gate.release();
+        gate.acquire();
+        gate.release();
+        gate.release();
+    }
+
+    #[test]
+    fn tcp_sessions_share_the_plan_cache() {
+        let service = SimService::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Serve exactly two connections, then stop.
+                for _ in 0..2 {
+                    let (stream, _) = listener.accept().unwrap();
+                    let _ = serve_connection(&service, stream);
+                }
+            });
+            let request = SimRequest::from_json(
+                "run",
+                &scalesim_api::json::Json::parse(
+                    "{\"topology\": {\"name\": \"t\", \"inline\": \"a, 16, 16, 16,\\n\"}}",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            let mut bodies = Vec::new();
+            for _ in 0..2 {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let line = wire::encode_request(None, &request);
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                // Half-close so the server session sees EOF after our
+                // one request.
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut response = String::new();
+                BufReader::new(&stream).read_line(&mut response).unwrap();
+                let (_, result) = wire::decode_response(response.trim_end());
+                let SimResponse::Run(body) = result.unwrap() else {
+                    panic!("expected run body")
+                };
+                bodies.push(body);
+            }
+            assert_eq!(bodies[0], bodies[1], "identical requests, identical bytes");
+        });
+        let stats = service.plan_cache().stats();
+        assert!(stats.hits > 0, "second connection reused warm plans");
+    }
+}

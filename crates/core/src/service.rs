@@ -1,0 +1,632 @@
+//! The request/response facade: [`SimService`] executes typed
+//! [`SimRequest`]s from the `scalesim-api` crate.
+//!
+//! This is the **single choke point** for every scenario the simulator
+//! supports: the CLI binary, the persistent `scalesim serve` mode and
+//! embedding tools all build a [`SimRequest`] and go through here, so
+//! input loading, validation and the [`SimError`] taxonomy behave
+//! identically everywhere. Nothing on this path panics on user input —
+//! every failure surfaces as a typed error.
+//!
+//! The service owns one [`PlanCache`] shared by **all** requests it
+//! handles: a persistent server re-planning nothing for repeated
+//! workloads is the point of serve mode. Requests are otherwise
+//! isolated — each builds its own engine from its own configuration —
+//! and report bytes never depend on the cache's contents (only planning
+//! time does), so serve-mode responses are byte-identical to one-shot
+//! CLI runs.
+//!
+//! ```
+//! use scalesim::service::SimService;
+//! use scalesim::api::{Features, RunSpec, SimRequest, SimResponse, TopologySource};
+//!
+//! let service = SimService::new();
+//! let request = SimRequest::Run(RunSpec {
+//!     config: Default::default(),
+//!     topology: TopologySource::inline("demo", "l0, 32, 32, 32,\n"),
+//!     features: Features { energy: true, ..Default::default() },
+//! });
+//! let SimResponse::Run(body) = service.handle(&request).unwrap() else {
+//!     panic!("run request answers with a run body")
+//! };
+//! assert!(body.summary.total_cycles > 0);
+//! assert!(body.reports.iter().any(|r| r.name == "ENERGY_REPORT.csv"));
+//! ```
+
+use crate::cfg::parse_cfg;
+use crate::config::{MultiCoreIntegration, ScaleSimConfig};
+use crate::engine::{ScaleSim, StreamStats};
+use crate::sink::{MemoryReportSink, ReportSections, ResultSink, RunSummary};
+use crate::sweep_run::run_sweep_cached;
+use scalesim_api::{
+    AreaBody, AreaSpec, ConfigSource, Features, Report, RunBody, RunSpec, RunSummaryBody, SimError,
+    SimRequest, SimResponse, SweepBody, SweepRequest, TopologyFormat, TopologySource, VersionBody,
+    API_VERSION,
+};
+use scalesim_energy::AreaBreakdown;
+use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
+use scalesim_sweep::{SweepReport, SweepSpec};
+use scalesim_systolic::{PlanCache, PlanCacheStats, Topology};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Plan-cache capacity of a fresh service: large enough that a serve
+/// process cycling through many workloads and grids rarely evicts
+/// (plans are small; capacity bounds memory, never results).
+pub const SERVICE_CACHE_CAPACITY: usize = 4096;
+
+/// Executes [`SimRequest`]s against a persistent shared [`PlanCache`].
+#[derive(Debug, Clone)]
+pub struct SimService {
+    cache: Arc<PlanCache>,
+}
+
+impl Default for SimService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimService {
+    /// A service with a fresh plan cache of
+    /// [`SERVICE_CACHE_CAPACITY`].
+    pub fn new() -> Self {
+        Self {
+            cache: Arc::new(PlanCache::with_capacity(SERVICE_CACHE_CAPACITY)),
+        }
+    }
+
+    /// A service sharing an existing plan cache.
+    pub fn with_plan_cache(cache: Arc<PlanCache>) -> Self {
+        Self { cache }
+    }
+
+    /// The plan cache every request handled by this service shares.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Executes one request, producing the matching response variant.
+    ///
+    /// # Errors
+    ///
+    /// Every failure is a categorized [`SimError`]; no input can panic
+    /// this path (the serve loop additionally catches panics as a last
+    /// line of defense and reports them as `internal`).
+    pub fn handle(&self, request: &SimRequest) -> Result<SimResponse, SimError> {
+        match request {
+            SimRequest::Run(spec) => {
+                let prepared = self.prepare_run(spec)?;
+                Ok(SimResponse::Run(prepared.into_body()))
+            }
+            SimRequest::Sweep(spec) => {
+                let prepared = self.prepare_sweep(spec)?;
+                let (report, _) = prepared.run_with(|_| {})?;
+                Ok(SimResponse::Sweep(sweep_body(&prepared, &report)))
+            }
+            SimRequest::AreaReport(spec) => Ok(SimResponse::Area(self.area(spec)?)),
+            SimRequest::Version => Ok(SimResponse::Version(version_body())),
+        }
+    }
+
+    /// Loads and validates everything a run request needs, returning
+    /// the ready-to-execute pair. The CLI uses this directly so it can
+    /// stream results into its own sinks (progress lines, incremental
+    /// CSV files); [`handle`](Self::handle) collects into a
+    /// [`RunBody`].
+    ///
+    /// # Errors
+    ///
+    /// `Io` for unreadable inputs, `Config` for bad configurations,
+    /// `Topology` for bad workloads.
+    pub fn prepare_run(&self, spec: &RunSpec) -> Result<PreparedRun, SimError> {
+        let config = load_config(&spec.config, &spec.features)?;
+        let topology = load_topology(&spec.topology)?;
+        let sim = ScaleSim::try_new_with_cache(config, Arc::clone(&self.cache))?;
+        Ok(PreparedRun { sim, topology })
+    }
+
+    /// Loads and validates everything a sweep request needs. As with
+    /// [`prepare_run`](Self::prepare_run), the CLI drives the prepared
+    /// sweep itself for progress streaming.
+    ///
+    /// # Errors
+    ///
+    /// `Io` for unreadable inputs, `Config` for bad specs or
+    /// configurations, `Topology` for bad workloads.
+    pub fn prepare_sweep(&self, request: &SweepRequest) -> Result<PreparedSweep, SimError> {
+        let (text, spec_dir) = match &request.spec {
+            ConfigSource::Default => {
+                return Err(SimError::Config(
+                    "a sweep needs a grid spec (inline or path)".into(),
+                ))
+            }
+            ConfigSource::Inline(text) => (text.clone(), None),
+            ConfigSource::Path(path) => (
+                read_input(Path::new(path))?,
+                Path::new(path).parent().map(Path::to_path_buf),
+            ),
+        };
+        let mut spec = SweepSpec::parse(&text).map_err(|e| SimError::Config(e.to_string()))?;
+        let base = load_config(&request.base_config, &Features::default())?;
+
+        // Topology paths from the spec resolve against the spec's own
+        // directory first (so a spec can sit next to its topologies and
+        // a same-named file in the CWD cannot shadow them), then fall
+        // back to the CWD. Request topologies resolve as given.
+        let spec_dir = spec_dir.unwrap_or_else(|| Path::new(".").to_path_buf());
+        let mut topologies = Vec::new();
+        for rel in spec.topologies.drain(..) {
+            let p = Path::new(&rel);
+            let spec_relative = spec_dir.join(p);
+            let path = if !p.is_absolute() && spec_relative.exists() {
+                spec_relative
+            } else {
+                p.to_path_buf()
+            };
+            topologies.push(load_topology(&TopologySource::from_path(
+                path.display().to_string(),
+            ))?);
+        }
+        for source in &request.topologies {
+            topologies.push(load_topology(source)?);
+        }
+        if topologies.is_empty() {
+            return Err(SimError::Config(
+                "sweep has no topologies (add a [workloads] section or -t)".into(),
+            ));
+        }
+        // A grid whose worst-case plan count exceeds the shared cache's
+        // capacity gets its own right-sized cache instead: the shared
+        // cache evicts by clearing wholesale, so an oversized sweep
+        // would thrash itself *and* wipe every other request's warm
+        // plans. Small sweeps keep sharing (and warming) the service
+        // cache. Either way results are identical — only planning time
+        // differs.
+        let distinct_shapes: usize = topologies.iter().map(|t| t.len()).sum::<usize>().max(1);
+        let worst_case_plans = spec.grid_size().saturating_mul(distinct_shapes);
+        let cache = if worst_case_plans > SERVICE_CACHE_CAPACITY {
+            Arc::new(PlanCache::with_capacity(worst_case_plans))
+        } else {
+            Arc::clone(&self.cache)
+        };
+        Ok(PreparedSweep {
+            spec,
+            base,
+            topologies,
+            shards: request.shards.max(1),
+            cache,
+        })
+    }
+
+    /// Estimates the configured accelerator's silicon area.
+    ///
+    /// # Errors
+    ///
+    /// `Io` for unreadable inputs, `Config` for bad configurations.
+    pub fn area(&self, spec: &AreaSpec) -> Result<AreaBody, SimError> {
+        let config = load_config(&spec.config, &spec.features)?;
+        let sim = ScaleSim::try_new_with_cache(config, Arc::clone(&self.cache))?;
+        Ok(area_body(&sim.area_report()))
+    }
+}
+
+/// A validated run, ready to execute: the engine (sharing the service's
+/// plan cache) and the parsed workload.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    /// The configured engine.
+    pub sim: ScaleSim,
+    /// The parsed workload.
+    pub topology: Topology,
+}
+
+impl PreparedRun {
+    /// Streams the run into `sink` with bounded result memory (see
+    /// [`ScaleSim::run_topology_with`]).
+    pub fn run_into(&self, sink: &mut dyn ResultSink) -> StreamStats {
+        self.sim.run_topology_with(&self.topology, sink)
+    }
+
+    /// Executes the run, collecting the response body: the O(1) summary
+    /// plus every report the configuration produces, byte-identical to
+    /// the files the CLI writes.
+    pub fn into_body(self) -> RunBody {
+        let mut csv = MemoryReportSink::new(ReportSections::for_config(self.sim.config()));
+        let mut summary = RunSummary::new();
+        struct Tee<'a> {
+            csv: &'a mut MemoryReportSink,
+            summary: &'a mut RunSummary,
+        }
+        impl ResultSink for Tee<'_> {
+            fn layer(&mut self, result: crate::result::LayerResult) {
+                self.summary.add(&result);
+                self.csv.layer(result);
+            }
+        }
+        self.run_into(&mut Tee {
+            csv: &mut csv,
+            summary: &mut summary,
+        });
+        RunBody {
+            summary: summary_body(&summary),
+            reports: csv
+                .finish()
+                .into_iter()
+                .map(|(name, content)| Report {
+                    name: name.to_string(),
+                    content,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A validated sweep, ready to execute against the service's shared
+/// plan cache.
+#[derive(Debug, Clone)]
+pub struct PreparedSweep {
+    /// The parsed grid spec (topology paths already resolved out).
+    pub spec: SweepSpec,
+    /// The base configuration the grid overrides.
+    pub base: ScaleSimConfig,
+    /// The parsed workloads.
+    pub topologies: Vec<Topology>,
+    /// Executor shard count.
+    pub shards: usize,
+    cache: Arc<PlanCache>,
+}
+
+impl PreparedSweep {
+    /// Executes the sweep; `on_record` observes every run record as its
+    /// shard completes (see [`crate::sweep_run::run_sweep_with`]).
+    ///
+    /// # Errors
+    ///
+    /// `Config` naming the offending grid point when any expanded
+    /// configuration fails validation.
+    pub fn run_with(
+        &self,
+        on_record: impl FnMut(&scalesim_sweep::RunRecord),
+    ) -> Result<(SweepReport, PlanCacheStats), SimError> {
+        run_sweep_cached(
+            &self.spec,
+            &self.base,
+            &self.topologies,
+            self.shards,
+            &self.cache,
+            on_record,
+        )
+        .map_err(SimError::Config)
+    }
+}
+
+/// Reduces a streamed [`RunSummary`] into the response summary.
+pub fn summary_body(summary: &RunSummary) -> RunSummaryBody {
+    RunSummaryBody {
+        layers: summary.layers,
+        total_cycles: summary.total_cycles,
+        compute_cycles: summary.compute_cycles,
+        stall_cycles: summary.stall_cycles,
+        macs: summary.macs,
+        utilization: summary.utilization(),
+        energy_mj: summary.energy_mj(),
+        noc_words: summary.noc_words,
+    }
+}
+
+/// Packages an area estimate as the response body (the CSV matches the
+/// `AREA_REPORT.csv` the CLI writes).
+pub fn area_body(area: &AreaBreakdown) -> AreaBody {
+    AreaBody {
+        total_mm2: area.total_mm2(),
+        pe_array_mm2: area.pe_array_mm2,
+        sram_mm2: area.sram_mm2(),
+        noc_mm2: area.noc_mm2,
+        dram_ctrl_mm2: area.dram_ctrl_mm2,
+        reports: vec![Report {
+            name: "AREA_REPORT.csv".into(),
+            content: format!("{}\n{}\n", AreaBreakdown::csv_header(), area.to_csv_row()),
+        }],
+    }
+}
+
+/// Packages a finished sweep as the response body.
+pub fn sweep_body(prepared: &PreparedSweep, report: &SweepReport) -> SweepBody {
+    SweepBody {
+        grid_points: prepared.spec.grid_size(),
+        runs: report.records().len(),
+        pareto_frontier: report
+            .pareto_labels()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        reports: vec![
+            Report {
+                name: "SWEEP_REPORT.csv".into(),
+                content: report.to_csv(),
+            },
+            Report {
+                name: "SWEEP_REPORT.json".into(),
+                content: report.to_json(),
+            },
+        ],
+    }
+}
+
+/// The version response body.
+pub fn version_body() -> VersionBody {
+    VersionBody {
+        version: crate::cli::version_string(),
+        api: API_VERSION,
+    }
+}
+
+fn read_input(path: &Path) -> Result<String, SimError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| SimError::Io(format!("cannot read {}: {e}", path.display())))
+}
+
+/// Loads a configuration source and applies the request's feature
+/// toggles.
+pub fn load_config(source: &ConfigSource, features: &Features) -> Result<ScaleSimConfig, SimError> {
+    let mut config = match source {
+        ConfigSource::Default => ScaleSimConfig::default(),
+        ConfigSource::Inline(text) => parse_cfg(text)?,
+        ConfigSource::Path(path) => parse_cfg(&read_input(Path::new(path))?)?,
+    };
+    config.enable_dram = features.dram;
+    config.enable_energy = features.energy;
+    config.enable_layout = features.layout;
+    if let Some(cores) = &features.cores {
+        let grid = PartitionGrid::parse(cores).ok_or_else(|| {
+            SimError::Config(format!("bad cores '{cores}' (expected RxC, e.g. 2x2)"))
+        })?;
+        config.multicore = if grid.cores() == 1 {
+            None
+        } else {
+            Some(MultiCoreIntegration {
+                grid,
+                scheme: PartitionScheme::Spatial,
+                l2: Some(L2Config::default()),
+            })
+        };
+    }
+    Ok(config)
+}
+
+/// Loads and parses a topology source.
+pub fn load_topology(source: &TopologySource) -> Result<Topology, SimError> {
+    let (csv, default_name) = match (&source.inline, &source.path) {
+        (Some(text), _) => (text.clone(), "workload".to_string()),
+        (None, Some(path)) => {
+            let p = Path::new(path);
+            let stem = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_else(|| "workload".into());
+            (read_input(p)?, stem)
+        }
+        (None, None) => {
+            return Err(SimError::Config(
+                "request: topology has neither \"path\" nor \"inline\"".into(),
+            ))
+        }
+    };
+    let name = source.name.clone().unwrap_or(default_name);
+    let topo = match source.format {
+        TopologyFormat::Auto => Topology::parse_csv_auto(&name, &csv),
+        TopologyFormat::Conv => Topology::parse_conv_csv(&name, &csv),
+        TopologyFormat::Gemm => Topology::parse_gemm_csv(&name, &csv),
+    }?;
+    if topo.is_empty() {
+        return Err(SimError::Topology(format!(
+            "topology '{name}' has no layers"
+        )));
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_topology() -> TopologySource {
+        TopologySource::inline("t", "a, 16, 16, 16,\nb, 24, 24, 24,\n")
+            .with_format(TopologyFormat::Gemm)
+    }
+
+    #[test]
+    fn run_request_produces_summary_and_reports() {
+        let service = SimService::new();
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: gemm_topology(),
+            features: Features {
+                energy: true,
+                ..Default::default()
+            },
+        });
+        let SimResponse::Run(body) = service.handle(&req).unwrap() else {
+            panic!("expected run body")
+        };
+        assert_eq!(body.summary.layers, 2);
+        assert!(body.summary.total_cycles > 0);
+        assert!(body.summary.energy_mj > 0.0);
+        let names: Vec<_> = body.reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "COMPUTE_REPORT.csv",
+                "BANDWIDTH_REPORT.csv",
+                "ENERGY_REPORT.csv"
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_requests_share_the_plan_cache() {
+        let service = SimService::new();
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: gemm_topology(),
+            features: Features::default(),
+        });
+        service.handle(&req).unwrap();
+        let after_first = service.plan_cache().stats();
+        service.handle(&req).unwrap();
+        let after_second = service.plan_cache().stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second identical request must plan nothing"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn bad_inputs_map_to_the_right_categories() {
+        let service = SimService::new();
+        // Unknown cfg key -> config.
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Inline("ArrayHieght : 32\n".into()),
+            topology: gemm_topology(),
+            features: Features::default(),
+        });
+        assert_eq!(service.handle(&req).unwrap_err().kind(), "config");
+        // Duplicate layer name -> topology.
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: TopologySource::inline("t", "a, 8, 8, 8,\na, 8, 8, 8,\n"),
+            features: Features::default(),
+        });
+        let err = service.handle(&req).unwrap_err();
+        assert_eq!(err.kind(), "topology");
+        assert!(err.message().contains("duplicate layer name 'a'"), "{err}");
+        // Missing file -> io.
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Path("/nonexistent/x.cfg".into()),
+            topology: gemm_topology(),
+            features: Features::default(),
+        });
+        assert_eq!(service.handle(&req).unwrap_err().kind(), "io");
+        // Invalid core geometry (SRAM too small to double-buffer) -> config.
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Inline(
+                "ArrayHeight : 512\nArrayWidth : 512\nIfmapSramSzkB : 1\n\
+                 FilterSramSzkB : 1\nOfmapSramSzkB : 1\n"
+                    .into(),
+            ),
+            topology: gemm_topology(),
+            features: Features::default(),
+        });
+        assert_eq!(service.handle(&req).unwrap_err().kind(), "config");
+        // Bad cores string -> config.
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: gemm_topology(),
+            features: Features {
+                cores: Some("2by2".into()),
+                ..Default::default()
+            },
+        });
+        assert_eq!(service.handle(&req).unwrap_err().kind(), "config");
+    }
+
+    #[test]
+    fn oversized_sweeps_get_their_own_cache_small_ones_share() {
+        let service = SimService::new();
+        let small = service
+            .prepare_sweep(&SweepRequest {
+                spec: ConfigSource::Inline("array = 8x8, 16x16\n".into()),
+                base_config: ConfigSource::Default,
+                topologies: vec![gemm_topology()],
+                shards: 1,
+            })
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&small.cache, service.plan_cache()),
+            "small grids warm the shared cache"
+        );
+        // 72 bandwidths x 64 arrays x 2 layers = 9216 worst-case plans
+        // > SERVICE_CACHE_CAPACITY: a right-sized private cache instead
+        // of thrashing (and wiping) the shared one.
+        let bandwidths: Vec<String> = (1..=72).map(|b| b.to_string()).collect();
+        let arrays: Vec<String> = (1..=64).map(|n| format!("{n}x{n}")).collect();
+        let big_spec = format!(
+            "bandwidth = {}\narray = {}\n",
+            bandwidths.join(", "),
+            arrays.join(", ")
+        );
+        let big = service
+            .prepare_sweep(&SweepRequest {
+                spec: ConfigSource::Inline(big_spec),
+                base_config: ConfigSource::Default,
+                topologies: vec![gemm_topology()],
+                shards: 1,
+            })
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&big.cache, service.plan_cache()),
+            "oversized grids must not evict the shared cache"
+        );
+    }
+
+    #[test]
+    fn sweep_request_round_trips() {
+        let service = SimService::new();
+        let req = SimRequest::Sweep(SweepRequest {
+            spec: ConfigSource::Inline("array = 8x8, 16x16\nenergy = true\n".into()),
+            base_config: ConfigSource::Default,
+            topologies: vec![gemm_topology()],
+            shards: 2,
+        });
+        let SimResponse::Sweep(body) = service.handle(&req).unwrap() else {
+            panic!("expected sweep body")
+        };
+        assert_eq!(body.grid_points, 2);
+        assert_eq!(body.runs, 2);
+        assert!(!body.pareto_frontier.is_empty());
+        assert_eq!(body.reports[0].name, "SWEEP_REPORT.csv");
+        assert_eq!(body.reports[1].name, "SWEEP_REPORT.json");
+    }
+
+    #[test]
+    fn area_and_version_answer() {
+        let service = SimService::new();
+        let SimResponse::Area(area) = service
+            .handle(&SimRequest::AreaReport(AreaSpec::default()))
+            .unwrap()
+        else {
+            panic!("expected area body")
+        };
+        assert!(area.total_mm2 > 0.0);
+        assert!(area.reports[0].content.starts_with("pe_array_mm2"));
+        let SimResponse::Version(v) = service.handle(&SimRequest::Version).unwrap() else {
+            panic!("expected version body")
+        };
+        assert_eq!(v.api, API_VERSION);
+        assert!(v.version.starts_with("scalesim "));
+    }
+
+    #[test]
+    fn multicore_feature_parses_grids() {
+        let config = load_config(
+            &ConfigSource::Default,
+            &Features {
+                cores: Some("2x2".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(config.multicore.unwrap().grid.cores(), 4);
+        let single = load_config(
+            &ConfigSource::Default,
+            &Features {
+                cores: Some("1x1".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(single.multicore.is_none());
+    }
+}

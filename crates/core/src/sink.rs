@@ -300,6 +300,103 @@ impl CsvReportSink {
     }
 }
 
+/// Streams the standard report CSVs into in-memory strings — the
+/// [`CsvReportSink`] twin used by the request/response facade, where
+/// reports travel inside a [`SimResponse`](scalesim_api::SimResponse)
+/// instead of landing on disk.
+///
+/// Rows come from the same formatters ([`rows`]) as every other
+/// emitter, and the same lazy-section policy applies: an enabled
+/// feature that never produced a row contributes no report, while the
+/// always-on compute/bandwidth reports are emitted even for a
+/// zero-layer run (header only). The produced strings are therefore
+/// **byte-identical** to the files the CLI writes for the same run —
+/// the property the serve-mode golden tests pin.
+pub struct MemoryReportSink {
+    /// `(file name, content)` per section; optional sections stay empty
+    /// until their first row.
+    sections: Vec<(&'static str, &'static str, String)>,
+    emit: ReportSections,
+}
+
+impl MemoryReportSink {
+    /// A sink collecting the sections enabled by `sections`.
+    pub fn new(sections: ReportSections) -> Self {
+        let files = vec![
+            ("COMPUTE_REPORT.csv", rows::COMPUTE_HEADER, String::new()),
+            (
+                "BANDWIDTH_REPORT.csv",
+                rows::BANDWIDTH_HEADER,
+                String::new(),
+            ),
+            ("SPARSE_REPORT.csv", rows::SPARSE_HEADER, String::new()),
+            ("ENERGY_REPORT.csv", rows::ENERGY_HEADER, String::new()),
+            ("DRAM_REPORT.csv", rows::DRAM_HEADER, String::new()),
+        ];
+        Self {
+            sections: files,
+            emit: sections,
+        }
+    }
+
+    fn push_row(&mut self, index: usize, row: &str) {
+        let (_, header, content) = &mut self.sections[index];
+        if content.is_empty() {
+            content.push_str(header);
+        }
+        content.push_str(row);
+    }
+
+    /// The collected reports as `(file name, content)` pairs, in the
+    /// CLI's emission order — exactly the files a [`CsvReportSink`]
+    /// would have created for the same run.
+    pub fn finish(mut self) -> Vec<(&'static str, String)> {
+        // The always-on sections exist even with zero rows.
+        for index in [0, 1] {
+            let enabled = if index == 0 {
+                self.emit.compute
+            } else {
+                self.emit.bandwidth
+            };
+            if enabled && self.sections[index].2.is_empty() {
+                let header = self.sections[index].1;
+                self.sections[index].2.push_str(header);
+            }
+        }
+        self.sections
+            .into_iter()
+            .filter(|(_, _, content)| !content.is_empty())
+            .map(|(name, _, content)| (name, content))
+            .collect()
+    }
+}
+
+impl ResultSink for MemoryReportSink {
+    fn layer(&mut self, result: LayerResult) {
+        if self.emit.compute {
+            self.push_row(0, &rows::compute(&result));
+        }
+        if self.emit.bandwidth {
+            self.push_row(1, &rows::bandwidth(&result));
+        }
+        if self.emit.sparse {
+            if let Some(row) = rows::sparse(&result) {
+                self.push_row(2, &row);
+            }
+        }
+        if self.emit.energy {
+            if let Some(row) = rows::energy(&result) {
+                self.push_row(3, &row);
+            }
+        }
+        if self.emit.dram {
+            if let Some(row) = rows::dram(&result) {
+                self.push_row(4, &row);
+            }
+        }
+    }
+}
+
 impl ResultSink for CsvReportSink {
     fn layer(&mut self, result: LayerResult) {
         if self.emit.compute {

@@ -162,6 +162,33 @@ pub fn run_sweep_with(
     base: &ScaleSimConfig,
     topologies: &[Topology],
     shards: usize,
+    on_record: impl FnMut(&RunRecord),
+) -> Result<(SweepReport, PlanCacheStats), String> {
+    // One cache for every configuration in the grid. Sized to hold the
+    // worst case — each point's distinct layer shapes — so sweeping never
+    // thrashes a generation-evicting cache.
+    let distinct_shapes: usize = topologies.iter().map(|t| t.len()).sum::<usize>().max(1);
+    let cache = Arc::new(PlanCache::with_capacity(
+        (spec.grid_size() * distinct_shapes).max(PlanCache::DEFAULT_CAPACITY),
+    ));
+    run_sweep_cached(spec, base, topologies, shards, &cache, on_record)
+}
+
+/// [`run_sweep_with`] against a **caller-owned** [`PlanCache`] — what a
+/// persistent `scalesim serve` process uses so successive sweep (and
+/// run) requests share warm plans. Results never depend on the cache's
+/// contents or capacity; only planning time does.
+///
+/// # Errors
+///
+/// Returns an error naming the offending grid point when any expanded
+/// configuration fails validation, before any simulation runs.
+pub fn run_sweep_cached(
+    spec: &SweepSpec,
+    base: &ScaleSimConfig,
+    topologies: &[Topology],
+    shards: usize,
+    cache: &Arc<PlanCache>,
     mut on_record: impl FnMut(&RunRecord),
 ) -> Result<(SweepReport, PlanCacheStats), String> {
     let grid = spec.expand();
@@ -171,13 +198,6 @@ pub fn run_sweep_with(
             .validate()
             .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
     }
-    // One cache for every configuration in the grid. Sized to hold the
-    // worst case — each point's distinct layer shapes — so sweeping never
-    // thrashes a generation-evicting cache.
-    let distinct_shapes: usize = topologies.iter().map(|t| t.len()).sum::<usize>().max(1);
-    let cache = Arc::new(PlanCache::with_capacity(
-        (grid.len() * distinct_shapes).max(PlanCache::DEFAULT_CAPACITY),
-    ));
     let mut records = Vec::with_capacity(grid.len() * topologies.len());
     run_sharded_with(
         &grid,
@@ -185,7 +205,7 @@ pub fn run_sweep_with(
         shards,
         |run, point, topology| {
             let cfg = apply_point(base, point);
-            let sim = ScaleSim::new_with_cache(cfg.clone(), Arc::clone(&cache));
+            let sim = ScaleSim::new_with_cache(cfg.clone(), Arc::clone(cache));
             let mut summary = RunSummary::new();
             sim.run_topology_with(topology, &mut summary);
             record_for(run, point, &cfg, topology, &summary)

@@ -123,7 +123,7 @@ fn version_flag_prints_the_version_and_exits_zero() {
 }
 
 #[test]
-fn unknown_cfg_key_fails_with_named_error() {
+fn unknown_cfg_key_fails_with_named_error_and_config_exit_code() {
     let dir = tmp_dir("badcfg");
     let cfg = dir.join("bad.cfg");
     std::fs::write(&cfg, "[architecture_presets]\nArrayHieght : 32\n").unwrap();
@@ -137,9 +137,55 @@ fn unknown_cfg_key_fails_with_named_error() {
         .args(["--gemm"])
         .output()
         .expect("spawn scalesim");
-    assert!(!out.status.success(), "typo'd cfg key must fail the run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "configuration errors exit with code 2"
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown key 'arrayhieght'"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `SimError` taxonomy pins process exit codes: config=2,
+/// topology=3, io=4 (internal=70 is unit-tested in `scalesim-api` —
+/// it only fires on caught panics). CLI usage errors stay 1.
+#[test]
+fn error_categories_map_to_distinct_exit_codes() {
+    let dir = tmp_dir("exitcodes");
+
+    // Duplicate layer name -> topology error -> exit 3, naming the
+    // duplicate and its line numbers.
+    let dup = dir.join("dup_gemm.csv");
+    std::fs::write(&dup, "Layer, M, K, N,\nqkv, 16, 16, 16,\nqkv, 8, 8, 8,\n").unwrap();
+    let out = bin()
+        .args(["-t"])
+        .arg(&dup)
+        .args(["--gemm"])
+        .output()
+        .expect("spawn scalesim");
+    assert_eq!(out.status.code(), Some(3), "topology errors exit with 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("duplicate layer name 'qkv'"),
+        "must name the duplicate: {stderr}"
+    );
+    assert!(
+        stderr.contains("line 3") && stderr.contains("first defined at line 2"),
+        "must name both lines: {stderr}"
+    );
+
+    // Missing input file -> io error -> exit 4.
+    let out = bin()
+        .args(["-t", "/nonexistent/topo.csv"])
+        .output()
+        .expect("spawn scalesim");
+    assert_eq!(out.status.code(), Some(4), "io errors exit with 4");
+
+    // Usage errors keep the generic failure code 1.
+    let out = bin().args(["--frobnicate"]).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "usage errors exit with 1");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -231,8 +231,12 @@ impl Topology {
     /// # Errors
     ///
     /// Returns [`SimError::ParseTopology`] naming the first bad line.
+    /// Duplicate layer names are rejected (reports are keyed by layer
+    /// name; a silently-accepted duplicate would make report rows
+    /// ambiguous), naming the duplicate and both line numbers.
     pub fn parse_conv_csv(name: &str, csv: &str) -> Result<Self, SimError> {
         let mut topo = Topology::new(name);
+        let mut seen = NameTracker::new();
         for (idx, raw) in csv.lines().enumerate() {
             let line = raw.trim().trim_end_matches(',');
             if line.is_empty() || is_header(line) || line.starts_with('#') {
@@ -265,6 +269,7 @@ impl Topology {
                 line: idx + 1,
                 reason: e.to_string(),
             })?;
+            seen.check(&layer.name, idx + 1)?;
             topo.push(Layer::Conv(layer));
         }
         Ok(topo)
@@ -275,9 +280,12 @@ impl Topology {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::ParseTopology`] naming the first bad line.
+    /// Returns [`SimError::ParseTopology`] naming the first bad line,
+    /// including duplicate layer names (see
+    /// [`parse_conv_csv`](Self::parse_conv_csv)).
     pub fn parse_gemm_csv(name: &str, csv: &str) -> Result<Self, SimError> {
         let mut topo = Topology::new(name);
+        let mut seen = NameTracker::new();
         for (idx, raw) in csv.lines().enumerate() {
             let line = raw.trim().trim_end_matches(',');
             if line.is_empty() || is_header(line) || line.starts_with('#') {
@@ -303,6 +311,7 @@ impl Topology {
                     reason: "GEMM dimensions must be non-zero".into(),
                 });
             }
+            seen.check(fields[0], idx + 1)?;
             topo.push(Layer::gemm_layer(fields[0], m, n, k));
         }
         Ok(topo)
@@ -371,6 +380,36 @@ impl<'a> IntoIterator for &'a Topology {
 fn is_header(line: &str) -> bool {
     let lower = line.to_ascii_lowercase();
     lower.starts_with("layer") || lower.starts_with("name")
+}
+
+/// Rejects duplicate layer names while a CSV parse walks its rows,
+/// remembering the line each name was first defined on.
+struct NameTracker {
+    first_line: std::collections::HashMap<String, usize>,
+}
+
+impl NameTracker {
+    fn new() -> Self {
+        Self {
+            first_line: std::collections::HashMap::new(),
+        }
+    }
+
+    fn check(&mut self, name: &str, line: usize) -> Result<(), SimError> {
+        match self.first_line.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(first) => Err(SimError::ParseTopology {
+                line,
+                reason: format!(
+                    "duplicate layer name '{name}' (first defined at line {})",
+                    first.get()
+                ),
+            }),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(line);
+                Ok(())
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +499,28 @@ mod tests {
     #[test]
     fn parse_gemm_rejects_zero_dims() {
         assert!(Topology::parse_gemm_csv("x", "bad, 0, 3, 4,\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_layer_names_are_rejected_with_both_lines() {
+        let csv = "Layer, M, K, N,\nqkv, 16, 16, 16,\nff, 8, 8, 8,\nqkv, 32, 32, 32,\n";
+        let err = Topology::parse_gemm_csv("net", csv).unwrap_err();
+        match err {
+            SimError::ParseTopology { line, reason } => {
+                assert_eq!(line, 4, "duplicate is on line 4");
+                assert!(reason.contains("duplicate layer name 'qkv'"), "{reason}");
+                assert!(reason.contains("first defined at line 2"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let conv = "c1, 8, 8, 3, 3, 4, 4, 1,\nc1, 8, 8, 3, 3, 4, 4, 1,\n";
+        let err = Topology::parse_conv_csv("net", conv).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate layer name 'c1'"),
+            "{err}"
+        );
+        // Auto-detection hits the same checks.
+        assert!(Topology::parse_csv_auto("net", conv).is_err());
     }
 
     #[test]
