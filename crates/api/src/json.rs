@@ -48,6 +48,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -189,9 +190,17 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Maximum container nesting the parser accepts. The parser recurses
+/// per nesting level, so without a bound a line of a few hundred KB of
+/// `[` would overflow the thread stack — an abort no `catch_unwind` can
+/// intercept, which serve mode must never expose to a client. 128
+/// matches serde_json's default and is far beyond any real request.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -378,12 +387,25 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "value nested deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -394,6 +416,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -403,10 +426,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -422,6 +447,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -518,6 +544,26 @@ mod tests {
         ] {
             assert_eq!(Json::parse(good).unwrap(), Json::Num(want), "{good}");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_but_width_is_not() {
+        // At the limit: fine. One past it: a parse error, not a stack
+        // overflow (which would abort the process, uncatchable).
+        let deep_ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        for bomb in [
+            format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1)),
+            "[".repeat(500_000),
+            format!("{}1{}", "{\"k\":[".repeat(100_000), "]}".repeat(100_000)),
+        ] {
+            let err = Json::parse(&bomb).unwrap_err();
+            assert!(err.contains("nested deeper"), "{err}");
+        }
+        // Depth is nesting, not total container count: siblings must
+        // not accumulate.
+        let wide = format!("[{}]", vec!["[[]]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok(), "wide-but-shallow is fine");
     }
 
     #[test]

@@ -58,13 +58,22 @@ fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
     let Some(fields) = value.as_object() else {
         return Err(SimError::Config("request must be a JSON object".into()));
     };
-    match value.get("api").and_then(Json::as_u64) {
-        Some(v) if v == u64::from(API_VERSION) => {}
-        Some(v) => {
-            return Err(SimError::Config(format!(
-                "unsupported api version {v} (this server speaks {API_VERSION})"
-            )))
-        }
+    match value.get("api") {
+        Some(api) => match api.as_u64() {
+            Some(v) if v == u64::from(API_VERSION) => {}
+            Some(v) => {
+                return Err(SimError::Config(format!(
+                    "unsupported api version {v} (this server speaks {API_VERSION})"
+                )))
+            }
+            // Present but not a non-negative integer (a string, a
+            // fraction…) — say so, rather than claiming it is missing.
+            None => {
+                return Err(SimError::Config(format!(
+                    "request: \"api\" must be the integer {API_VERSION}, got {api}"
+                )))
+            }
+        },
         None => {
             return Err(SimError::Config(format!(
                 "request: missing required \"api\": {API_VERSION}"
@@ -203,6 +212,20 @@ mod tests {
         assert!(r.unwrap_err().message().contains("api"), "missing api");
         let (_, r) = decode_request(r#"{"api": 99, "version": {}}"#);
         assert!(r.unwrap_err().message().contains("unsupported api"));
+    }
+
+    #[test]
+    fn non_integer_api_is_not_reported_as_missing() {
+        for line in [
+            r#"{"api": "1", "version": {}}"#,
+            r#"{"api": 1.5, "version": {}}"#,
+            r#"{"api": -1, "version": {}}"#,
+            r#"{"api": null, "version": {}}"#,
+        ] {
+            let msg = decode_request(line).1.unwrap_err().message().to_string();
+            assert!(msg.contains("must be the integer"), "{line}: {msg}");
+            assert!(!msg.contains("missing"), "{line}: {msg}");
+        }
     }
 
     #[test]

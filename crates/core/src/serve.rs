@@ -48,12 +48,21 @@ pub fn handle_line(service: &SimService, line: &str) -> String {
     wire::encode_response(id.as_deref(), &result)
 }
 
+/// Maximum bytes a single request line may occupy (newline excluded).
+/// Without a cap, a client streaming data with no newline would grow
+/// the line buffer until the process dies of OOM — the one failure mode
+/// an in-band error can't report after the fact. Oversized lines are
+/// drained (without buffering) and answered with a typed `config`
+/// error; the session stays up. 16 MiB comfortably fits the largest
+/// inline config + topology the simulator itself could handle.
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
 /// Serves one JSON-lines session: reads request lines from `input`
 /// until EOF, writing one response line per request to `output`
 /// (flushed per response, so a pipelined client sees answers as they
-/// complete). Blank lines are ignored; a line that is not valid UTF-8
-/// answers a typed `config` error like any other malformed request —
-/// it does not end the session.
+/// complete). Blank lines are ignored; a line that is not valid UTF-8,
+/// or longer than [`MAX_REQUEST_BYTES`], answers a typed `config` error
+/// like any other malformed request — it does not end the session.
 ///
 /// # Errors
 ///
@@ -61,20 +70,48 @@ pub fn handle_line(service: &SimService, line: &str) -> String {
 /// failures are answered in-band and do not end the session.
 pub fn serve_session(
     service: &SimService,
-    mut input: impl BufRead,
+    input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<()> {
+    // `take` caps how much one line may buffer; two extra bytes leave
+    // room for a `\r\n` terminator, so the cap applies to the *content*
+    // (a CRLF client gets the same budget as a bare-LF one). The limit
+    // is restored before each line.
+    let limit = MAX_REQUEST_BYTES as u64 + 2;
+    let mut input = input.take(limit);
     let mut buf = Vec::new();
     loop {
         buf.clear();
+        input.set_limit(limit);
         if input.read_until(b'\n', &mut buf)? == 0 {
             return Ok(());
         }
-        if buf.last() == Some(&b'\n') {
+        let newline_terminated = buf.last() == Some(&b'\n');
+        if newline_terminated {
             buf.pop();
             if buf.last() == Some(&b'\r') {
                 buf.pop();
             }
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            // The line was never buffered whole, so its "id" (if any)
+            // cannot be echoed; pipelined clients fall back to response
+            // order (documented in docs/API.md). Drain the rest of the
+            // line through the unlimited inner reader.
+            let newline_found = newline_terminated || skip_to_newline(input.get_mut())?;
+            let response = wire::encode_response(
+                None,
+                &Err(SimError::Config(format!(
+                    "request line exceeds {MAX_REQUEST_BYTES} bytes"
+                ))),
+            );
+            output.write_all(response.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            if newline_found {
+                continue;
+            }
+            return Ok(()); // EOF mid-line: nothing left to serve
         }
         let response = match std::str::from_utf8(&buf) {
             Ok(line) if line.trim().is_empty() => continue,
@@ -89,6 +126,28 @@ pub fn serve_session(
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
+    }
+}
+
+/// Discards input up to and including the next `\n`, in buffer-sized
+/// chunks so an arbitrarily long line costs O(1) memory. Returns
+/// whether a newline was found (false means EOF ended the line).
+fn skip_to_newline(input: &mut impl BufRead) -> std::io::Result<bool> {
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(false);
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                input.consume(i + 1);
+                return Ok(true);
+            }
+            None => {
+                let len = chunk.len();
+                input.consume(len);
+            }
+        }
     }
 }
 
@@ -131,18 +190,46 @@ impl Gate {
 ///
 /// # Errors
 ///
-/// Returns the first `accept` failure. Per-connection I/O failures
-/// (e.g. a client disconnecting mid-request) end that session only.
+/// Returns the first *fatal* `accept` failure. Transient ones — a
+/// connection aborted before we accepted it, an interrupted syscall, or
+/// file-descriptor exhaustion under load (EMFILE/ENFILE, retried after
+/// a short backoff) — are survived, since a server meant to run forever
+/// must not be shut down by a blip. Per-connection I/O failures (e.g. a
+/// client disconnecting mid-request) end that session only.
 pub fn serve_listener(
     service: &SimService,
     listener: TcpListener,
     max_connections: usize,
 ) -> std::io::Result<()> {
     let gate = Gate::new(max_connections);
-    // The loop only exits by returning the accept error; the scope then
-    // joins any sessions still draining.
+    // The loop only exits by returning a fatal accept error; the scope
+    // then joins any sessions still draining.
     std::thread::scope(|scope| loop {
-        let (stream, _peer) = listener.accept()?;
+        let (stream, _peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            // ENFILE (23) / EMFILE (24) on Unix: out of descriptors —
+            // sessions finishing will free some. WouldBlock only
+            // happens on a listener the caller made nonblocking; the
+            // sleep turns that into a slow poll rather than a hot spin.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || (cfg!(unix) && matches!(e.raw_os_error(), Some(23 | 24))) =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         gate.acquire();
         let gate = &gate;
         scope.spawn(move || {
@@ -227,6 +314,78 @@ mod tests {
         let (id, second) = wire::decode_response(lines[1]);
         assert_eq!(id.as_deref(), Some("after"), "session kept serving");
         assert!(second.is_ok());
+    }
+
+    #[test]
+    fn oversized_lines_answer_a_typed_error_and_keep_the_session_alive() {
+        let service = SimService::new();
+        let mut input = vec![b'['; MAX_REQUEST_BYTES + 1];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"api\": 1, \"id\": \"after\", \"version\": {}}\n");
+        let mut out = Vec::new();
+        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let (_, first) = wire::decode_response(lines[0]);
+        let err = first.unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("exceeds"), "{err}");
+        let (id, second) = wire::decode_response(lines[1]);
+        assert_eq!(id.as_deref(), Some("after"), "session kept serving");
+        assert!(second.is_ok());
+    }
+
+    #[test]
+    fn the_line_limit_covers_content_not_the_terminator() {
+        // Exactly MAX_REQUEST_BYTES of content must be accepted
+        // whether the line ends in \n or \r\n (a CRLF client gets the
+        // same budget); one byte more is rejected as oversized.
+        let service = SimService::new();
+        for (content_len, terminator, expect_oversized) in [
+            (MAX_REQUEST_BYTES, "\n", false),
+            (MAX_REQUEST_BYTES, "\r\n", false),
+            (MAX_REQUEST_BYTES + 1, "\n", true),
+        ] {
+            let mut input = vec![b'z'; content_len];
+            input.extend_from_slice(terminator.as_bytes());
+            let mut out = Vec::new();
+            serve_session(&service, Cursor::new(input), &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            let (_, result) = wire::decode_response(text.trim_end());
+            let err = result.unwrap_err();
+            assert_eq!(
+                err.message().contains("exceeds"),
+                expect_oversized,
+                "{content_len} bytes + {terminator:?}: {err}"
+            );
+            if !expect_oversized {
+                // At the limit the line is processed normally — it is
+                // just not valid JSON.
+                assert!(err.message().contains("JSON"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_line_ending_in_eof_still_gets_an_answer() {
+        let service = SimService::new();
+        let input = vec![b'x'; MAX_REQUEST_BYTES + 7]; // no newline at all
+        let mut out = Vec::new();
+        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let (_, result) = wire::decode_response(text.trim_end());
+        assert_eq!(result.unwrap_err().kind(), "config");
+    }
+
+    #[test]
+    fn deeply_nested_json_is_a_parse_error_not_a_stack_overflow() {
+        let service = SimService::new();
+        let response = handle_line(&service, &"[".repeat(400_000));
+        let (_, result) = wire::decode_response(&response);
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("nested"), "{err}");
     }
 
     #[test]

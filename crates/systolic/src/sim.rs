@@ -288,17 +288,30 @@ impl PlanCache {
         key: PlanKey,
         plan: impl FnOnce() -> PlannedLayer,
     ) -> Arc<PlannedLayer> {
-        if let Some(hit) = self.map.lock().expect("plan cache poisoned").get(&key) {
+        if let Some(hit) = self.lock_map().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let planned = Arc::new(plan());
-        let mut map = self.map.lock().expect("plan cache poisoned");
+        let mut map = self.lock_map();
         if map.len() >= self.capacity && !map.contains_key(&key) {
             map.clear();
         }
         Arc::clone(map.entry(key).or_insert(planned))
+    }
+
+    /// Locks the plan map, recovering from poisoning. The map only ever
+    /// holds fully-planned `Arc<PlannedLayer>` values and is mutated by
+    /// whole-entry insert/clear, so a panic while the lock was held
+    /// cannot leave it logically inconsistent — and the cache is shared
+    /// across requests in serve mode, where a caught per-request panic
+    /// must not wedge every later request on a poisoned lock.
+    fn lock_map(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>>
+    {
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Cache hits so far.
@@ -313,7 +326,7 @@ impl PlanCache {
 
     /// Number of distinct plans held.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("plan cache poisoned").len()
+        self.lock_map().len()
     }
 
     /// Whether the cache holds no plans.
@@ -323,7 +336,7 @@ impl PlanCache {
 
     /// Drops all cached plans (counters are kept).
     pub fn clear(&self) {
-        self.map.lock().expect("plan cache poisoned").clear();
+        self.lock_map().clear();
     }
 
     /// The cache counters bundled up for end-of-run summaries (e.g. how
@@ -603,9 +616,12 @@ impl CoreSim {
         parallel_map(topology.layers(), |_, layer| {
             let gemm = layer.gemm();
             let key = PlanKey::new(&sim.config, gemm);
+            // Like the plan cache, the memo holds only whole finished
+            // values — recover a poisoned lock rather than cascading
+            // panics to sibling workers.
             let memo = timed
                 .lock()
-                .expect("timing memo poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .get(&key)
                 .copied();
             match memo {
@@ -623,7 +639,7 @@ impl CoreSim {
                     let report = sim.simulate_layer(layer);
                     timed
                         .lock()
-                        .expect("timing memo poisoned")
+                        .unwrap_or_else(|e| e.into_inner())
                         .insert(key, report.memory);
                     report
                 }
@@ -644,6 +660,27 @@ mod tests {
                 .dataflow(df)
                 .build(),
         )
+    }
+
+    #[test]
+    fn plan_cache_recovers_from_a_poisoned_lock() {
+        // A panic while the map lock is held (e.g. a caught per-request
+        // panic in serve mode) must not wedge the shared cache: every
+        // operation recovers the lock instead of panicking forever.
+        let cache = PlanCache::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.map.lock().unwrap();
+            panic!("injected while holding the plan cache lock");
+        }));
+        assert!(cache.map.is_poisoned(), "panic above must poison the lock");
+        assert_eq!(cache.len(), 0);
+        let s = sim(Dataflow::OutputStationary);
+        let key = PlanKey::new(&s.config, GemmShape::new(8, 8, 8));
+        let planned = s.plan_gemm(GemmShape::new(8, 8, 8));
+        cache.get_or_insert_with(key, || planned);
+        assert_eq!(cache.len(), 1, "cache keeps working after poisoning");
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]
