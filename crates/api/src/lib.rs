@@ -2,7 +2,8 @@
 //!
 //! The **stable, versioned, typed API** of the SCALE-Sim v3 simulator:
 //! every scenario the simulator supports — one-shot runs, design-space
-//! sweeps, area reports, version probes — is expressed as a
+//! sweeps, multi-chip scale-out runs, area reports, version probes —
+//! is expressed as a
 //! [`SimRequest`] and answered with a [`SimResponse`] or a categorized,
 //! non-panicking [`SimError`].
 //!
@@ -57,9 +58,9 @@ pub const API_VERSION: u32 = 1;
 
 pub use error::SimError;
 pub use request::{
-    AreaSpec, ConfigSource, Features, RunSpec, SimRequest, SweepRequest, TopologyFormat,
-    TopologySource,
+    AreaSpec, ConfigSource, Features, RunSpec, ScaleoutRequest, SimRequest, SweepRequest,
+    TopologyFormat, TopologySource,
 };
 pub use response::{
-    AreaBody, Report, RunBody, RunSummaryBody, SimResponse, SweepBody, VersionBody,
+    AreaBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, SweepBody, VersionBody,
 };

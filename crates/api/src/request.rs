@@ -258,6 +258,56 @@ pub struct SweepRequest {
     pub shards: usize,
 }
 
+/// A multi-chip scale-out simulation (the CLI's `scaleout`
+/// subcommand).
+///
+/// The scale-out parameters (chip count, fabric, link characteristics,
+/// strategy) come from the configuration's `[scaleout]` section; every
+/// field here is an **override** applied on top of it (or on top of
+/// the built-in defaults when the section is absent). Fabric and
+/// strategy travel as strings and are validated by the serving process
+/// with a typed `config` error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutRequest {
+    /// Architecture configuration (its `[scaleout]` section seeds the
+    /// scale-out parameters).
+    pub config: ConfigSource,
+    /// The workload.
+    pub topology: TopologySource,
+    /// Feature toggles for the per-chip simulations.
+    pub features: Features,
+    /// Chip-count override.
+    pub chips: Option<usize>,
+    /// Fabric override (`ring` / `mesh` / `switch`).
+    pub fabric: Option<String>,
+    /// Per-link bandwidth override, GB/s.
+    pub link_gbps: Option<f64>,
+    /// Per-hop latency override, core cycles.
+    pub link_latency: Option<u64>,
+    /// Strategy override (`data` / `tensor` / `pipeline`).
+    pub strategy: Option<String>,
+    /// Pipeline microbatch override.
+    pub microbatches: Option<usize>,
+}
+
+impl ScaleoutRequest {
+    /// A request for `topology` with no overrides: the configuration's
+    /// `[scaleout]` section (or the built-in defaults) rules.
+    pub fn for_topology(topology: TopologySource) -> Self {
+        Self {
+            config: ConfigSource::Default,
+            topology,
+            features: Features::default(),
+            chips: None,
+            fabric: None,
+            link_gbps: None,
+            link_latency: None,
+            strategy: None,
+            microbatches: None,
+        }
+    }
+}
+
 /// A silicon-area estimate for a configured core.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AreaSpec {
@@ -269,12 +319,14 @@ pub struct AreaSpec {
 
 /// A versioned simulation request — the single entry point every
 /// front end (CLI, `scalesim serve`, embedding tools) goes through.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimRequest {
     /// Simulate one topology.
     Run(RunSpec),
     /// Run a design-space sweep.
     Sweep(SweepRequest),
+    /// Simulate a multi-chip scale-out execution.
+    Scaleout(ScaleoutRequest),
     /// Report the configured accelerator's silicon area.
     AreaReport(AreaSpec),
     /// Report the server's version and API level.
@@ -283,11 +335,12 @@ pub enum SimRequest {
 
 impl SimRequest {
     /// The wire tag this request is keyed by in the envelope
-    /// (`run` / `sweep` / `area` / `version`).
+    /// (`run` / `sweep` / `scaleout` / `area` / `version`).
     pub fn tag(&self) -> &'static str {
         match self {
             SimRequest::Run(_) => "run",
             SimRequest::Sweep(_) => "sweep",
+            SimRequest::Scaleout(_) => "scaleout",
             SimRequest::AreaReport(_) => "area",
             SimRequest::Version => "version",
         }
@@ -321,6 +374,35 @@ impl SimRequest {
                 }
                 if s.shards != 1 {
                     fields.push(("shards".into(), Json::Num(s.shards as f64)));
+                }
+                Json::Obj(fields)
+            }
+            SimRequest::Scaleout(s) => {
+                let mut fields = Vec::new();
+                if s.config != ConfigSource::Default {
+                    fields.push(("config".into(), s.config.to_json()));
+                }
+                fields.push(("topology".into(), s.topology.to_json()));
+                if !s.features.is_default() {
+                    fields.push(("features".into(), s.features.to_json()));
+                }
+                if let Some(chips) = s.chips {
+                    fields.push(("chips".into(), Json::Num(chips as f64)));
+                }
+                if let Some(f) = &s.fabric {
+                    fields.push(("fabric".into(), Json::Str(f.clone())));
+                }
+                if let Some(g) = s.link_gbps {
+                    fields.push(("link_gbps".into(), Json::Num(g)));
+                }
+                if let Some(l) = s.link_latency {
+                    fields.push(("link_latency".into(), Json::Num(l as f64)));
+                }
+                if let Some(st) = &s.strategy {
+                    fields.push(("strategy".into(), Json::Str(st.clone())));
+                }
+                if let Some(m) = s.microbatches {
+                    fields.push(("microbatches".into(), Json::Num(m as f64)));
                 }
                 Json::Obj(fields)
             }
@@ -389,13 +471,63 @@ impl SimRequest {
                     shards,
                 }))
             }
+            "scaleout" => {
+                let topology = TopologySource::from_json(
+                    body.get("topology")
+                        .ok_or_else(|| bad("scaleout: missing required \"topology\""))?,
+                )?;
+                let positive_int = |key: &str| -> Result<Option<u64>, SimError> {
+                    match body.get(key) {
+                        None => Ok(None),
+                        Some(v) => v.as_u64().filter(|&n| n >= 1).map(Some).ok_or_else(|| {
+                            bad(format!("scaleout: \"{key}\" must be a positive integer"))
+                        }),
+                    }
+                };
+                let link_gbps =
+                    match body.get("link_gbps") {
+                        None => None,
+                        Some(v) => Some(v.as_f64().filter(|g| *g > 0.0).ok_or_else(|| {
+                            bad("scaleout: \"link_gbps\" must be a positive number")
+                        })?),
+                    };
+                let link_latency = match body.get("link_latency") {
+                    None => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        bad("scaleout: \"link_latency\" must be a non-negative integer")
+                    })?),
+                };
+                // A present-but-mistyped override must error, never be
+                // silently ignored (the run would proceed with the
+                // cfg/default value and return plausible wrong results).
+                let string = |key: &str| -> Result<Option<String>, SimError> {
+                    match body.get(key) {
+                        None => Ok(None),
+                        Some(v) => v
+                            .as_str()
+                            .map(|s| Some(s.to_string()))
+                            .ok_or_else(|| bad(format!("scaleout: \"{key}\" must be a string"))),
+                    }
+                };
+                Ok(SimRequest::Scaleout(ScaleoutRequest {
+                    config: opt_config(body, "config")?,
+                    topology,
+                    features: opt_features(body)?,
+                    chips: positive_int("chips")?.map(|n| n as usize),
+                    fabric: string("fabric")?,
+                    link_gbps,
+                    link_latency,
+                    strategy: string("strategy")?,
+                    microbatches: positive_int("microbatches")?.map(|n| n as usize),
+                }))
+            }
             "area" => Ok(SimRequest::AreaReport(AreaSpec {
                 config: opt_config(body, "config")?,
                 features: opt_features(body)?,
             })),
             "version" => Ok(SimRequest::Version),
             other => Err(bad(format!(
-                "unknown request '{other}' (expected run/sweep/area/version)"
+                "unknown request '{other}' (supported: run, sweep, scaleout, area, version)"
             ))),
         }
     }
@@ -447,6 +579,42 @@ mod tests {
             topology: TopologySource::from_path("topologies/resnet18.csv"),
             features: Features::default(),
         }));
+    }
+
+    #[test]
+    fn scaleout_request_round_trips() {
+        round_trip(SimRequest::Scaleout(ScaleoutRequest {
+            config: ConfigSource::Path("configs/example_scaleout.cfg".into()),
+            topology: TopologySource::from_path("topologies/resnet18.csv"),
+            features: Features::default(),
+            chips: Some(64),
+            fabric: Some("mesh".into()),
+            link_gbps: Some(37.5),
+            link_latency: Some(250),
+            strategy: Some("tensor".into()),
+            microbatches: Some(8),
+        }));
+        // All overrides optional: the cfg's [scaleout] section rules.
+        round_trip(SimRequest::Scaleout(ScaleoutRequest::for_topology(
+            TopologySource::inline("t", "a, 8, 8, 8,\n"),
+        )));
+    }
+
+    #[test]
+    fn scaleout_rejects_bad_overrides() {
+        for body in [
+            r#"{"topology": {"inline": "a, 8, 8, 8,\n"}, "chips": 0}"#,
+            r#"{"topology": {"inline": "a, 8, 8, 8,\n"}, "link_gbps": -1}"#,
+            r#"{"topology": {"inline": "a, 8, 8, 8,\n"}, "microbatches": 0}"#,
+            // Mistyped overrides must error, never be silently dropped.
+            r#"{"topology": {"inline": "a, 8, 8, 8,\n"}, "strategy": 5}"#,
+            r#"{"topology": {"inline": "a, 8, 8, 8,\n"}, "fabric": ["mesh"]}"#,
+        ] {
+            let v = Json::parse(body).unwrap();
+            assert!(SimRequest::from_json("scaleout", &v).is_err(), "{body}");
+        }
+        let err = SimRequest::from_json("scaleout", &Json::Obj(vec![])).unwrap_err();
+        assert!(err.message().contains("topology"), "{err}");
     }
 
     #[test]

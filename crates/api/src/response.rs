@@ -66,6 +66,36 @@ pub struct SweepBody {
     pub reports: Vec<Report>,
 }
 
+/// Response body of a `scaleout` request: the multi-chip run's
+/// aggregate timeline plus `SCALEOUT_REPORT.csv`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScaleoutBody {
+    /// Chips simulated.
+    pub chips: u64,
+    /// Strategy tag that ran (`dp` / `tp` / `pp`).
+    pub strategy: String,
+    /// Human-readable fabric description.
+    pub fabric: String,
+    /// Layers executed.
+    pub layers: usize,
+    /// End-to-end critical-path cycles.
+    pub total_cycles: u64,
+    /// Per-chip compute cycles.
+    pub compute_cycles: u64,
+    /// Collective cycles obligated.
+    pub comm_cycles: u64,
+    /// Communication hidden under compute.
+    pub overlapped_cycles: u64,
+    /// Communication on the critical path.
+    pub exposed_cycles: u64,
+    /// Pipeline fill/drain overhead (0 for data/tensor parallelism).
+    pub bubble_cycles: u64,
+    /// Compute-cycle-weighted mean PE utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// `SCALEOUT_REPORT.csv`.
+    pub reports: Vec<Report>,
+}
+
 /// Response body of an `area` request (Accelergy-style silicon area).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AreaBody {
@@ -101,6 +131,8 @@ pub enum SimResponse {
     Run(RunBody),
     /// Result of a `sweep` request.
     Sweep(SweepBody),
+    /// Result of a `scaleout` request.
+    Scaleout(ScaleoutBody),
     /// Result of an `area` request.
     Area(AreaBody),
     /// Result of a `version` request.
@@ -128,6 +160,7 @@ impl SimResponse {
         match self {
             SimResponse::Run(_) => "run",
             SimResponse::Sweep(_) => "sweep",
+            SimResponse::Scaleout(_) => "scaleout",
             SimResponse::Area(_) => "area",
             SimResponse::Version(_) => "version",
         }
@@ -171,6 +204,30 @@ impl SimResponse {
                     out.push('"');
                 }
                 out.push_str("],");
+                reports_json(&mut out, &s.reports);
+                out.push('}');
+            }
+            SimResponse::Scaleout(s) => {
+                out.push_str(&format!(
+                    "{{\"summary\":{{\"chips\":{},\"strategy\":\"",
+                    s.chips
+                ));
+                escape_into(&s.strategy, &mut out);
+                out.push_str("\",\"fabric\":\"");
+                escape_into(&s.fabric, &mut out);
+                out.push_str(&format!(
+                    "\",\"layers\":{},\"total_cycles\":{},\"compute_cycles\":{},\
+                     \"comm_cycles\":{},\"overlapped_cycles\":{},\"exposed_cycles\":{},\
+                     \"bubble_cycles\":{},\"utilization\":{:.4}}},",
+                    s.layers,
+                    s.total_cycles,
+                    s.compute_cycles,
+                    s.comm_cycles,
+                    s.overlapped_cycles,
+                    s.exposed_cycles,
+                    s.bubble_cycles,
+                    s.utilization,
+                ));
                 reports_json(&mut out, &s.reports);
                 out.push('}');
             }
@@ -235,6 +292,31 @@ impl SimResponse {
                     .collect::<Result<Vec<_>, _>>()?,
                 reports: reports(body)?,
             })),
+            "scaleout" => {
+                let s = body
+                    .get("summary")
+                    .ok_or_else(|| bad("scaleout response: missing \"summary\""))?;
+                let string = |key: &str| -> Result<String, SimError> {
+                    s.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| bad(format!("missing or non-string \"{key}\"")))
+                };
+                Ok(SimResponse::Scaleout(ScaleoutBody {
+                    chips: u(s, "chips")?,
+                    strategy: string("strategy")?,
+                    fabric: string("fabric")?,
+                    layers: u(s, "layers")? as usize,
+                    total_cycles: u(s, "total_cycles")?,
+                    compute_cycles: u(s, "compute_cycles")?,
+                    comm_cycles: u(s, "comm_cycles")?,
+                    overlapped_cycles: u(s, "overlapped_cycles")?,
+                    exposed_cycles: u(s, "exposed_cycles")?,
+                    bubble_cycles: u(s, "bubble_cycles")?,
+                    utilization: f(s, "utilization")?,
+                    reports: reports(body)?,
+                }))
+            }
             "area" => Ok(SimResponse::Area(AreaBody {
                 total_mm2: f(body, "total_mm2")?,
                 pe_array_mm2: f(body, "pe_array_mm2")?,
@@ -323,6 +405,27 @@ mod tests {
             },
             reports: vec![Report {
                 name: "COMPUTE_REPORT.csv".into(),
+                content: "LayerName, X\nl0, 1\n".into(),
+            }],
+        }));
+    }
+
+    #[test]
+    fn scaleout_response_round_trips() {
+        round_trip(SimResponse::Scaleout(ScaleoutBody {
+            chips: 8,
+            strategy: "dp".into(),
+            fabric: "ring x8 (100 GB/s, 500 cyc/hop)".into(),
+            layers: 21,
+            total_cycles: 1_234_567,
+            compute_cycles: 1_000_000,
+            comm_cycles: 400_000,
+            overlapped_cycles: 165_433,
+            exposed_cycles: 234_567,
+            bubble_cycles: 0,
+            utilization: 0.7321,
+            reports: vec![Report {
+                name: "SCALEOUT_REPORT.csv".into(),
                 content: "LayerName, X\nl0, 1\n".into(),
             }],
         }));

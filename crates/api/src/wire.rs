@@ -5,8 +5,8 @@
 //!
 //! * `"api"` — required integer; must equal [`crate::API_VERSION`].
 //! * `"id"` — optional string, echoed verbatim in the response.
-//! * exactly one command key — `"run"`, `"sweep"`, `"area"` or
-//!   `"version"` — whose value is the command body
+//! * exactly one command key — `"run"`, `"sweep"`, `"scaleout"`,
+//!   `"area"` or `"version"` — whose value is the command body
 //!   (see [`crate::request`]).
 //!
 //! A response envelope carries `"api"`, the echoed `"id"` (when the
@@ -30,7 +30,12 @@ use crate::response::SimResponse;
 use crate::API_VERSION;
 
 /// The command keys an envelope may carry.
-const COMMANDS: [&str; 4] = ["run", "sweep", "area", "version"];
+const COMMANDS: [&str; 5] = ["run", "sweep", "scaleout", "area", "version"];
+
+/// The supported command set, rendered for error messages.
+fn supported_commands() -> String {
+    COMMANDS.join(", ")
+}
 
 /// Decodes one request line.
 ///
@@ -63,7 +68,7 @@ fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
             Some(v) if v == u64::from(API_VERSION) => {}
             Some(v) => {
                 return Err(SimError::Config(format!(
-                    "unsupported api version {v} (this server speaks {API_VERSION})"
+                    "unsupported api version {v} (supported versions: {API_VERSION})"
                 )))
             }
             // Present but not a non-negative integer (a string, a
@@ -94,15 +99,17 @@ fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
             }
             other => {
                 return Err(SimError::Config(format!(
-                    "request: unknown key \"{other}\" (expected one of run/sweep/area/version)"
+                    "request: unknown key \"{other}\" (supported commands: {})",
+                    supported_commands()
                 )))
             }
         }
     }
     let Some((tag, body)) = command else {
-        return Err(SimError::Config(
-            "request: missing command key (one of run/sweep/area/version)".into(),
-        ));
+        return Err(SimError::Config(format!(
+            "request: missing command key (one of {})",
+            supported_commands()
+        )));
     };
     SimRequest::from_json(tag, body)
 }
@@ -226,6 +233,45 @@ mod tests {
             assert!(msg.contains("must be the integer"), "{line}: {msg}");
             assert!(!msg.contains("missing"), "{line}: {msg}");
         }
+    }
+
+    /// Satellite: the exact wire shape of the two "client from the
+    /// future (or the past)" failures is pinned byte for byte — an
+    /// unknown command and an unsupported api version must name the
+    /// offending value **and** the supported set, and the envelope
+    /// around them must not drift.
+    #[test]
+    fn unknown_command_and_bad_version_wire_shapes_are_pinned() {
+        let (id, r) = decode_request(r#"{"api": 1, "id": "f1", "teleport": {}}"#);
+        assert_eq!(
+            wire_line(id, r),
+            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, area, version)"}}"#
+        );
+        let (id, r) = decode_request(r#"{"api": 2, "id": "f2", "version": {}}"#);
+        assert_eq!(
+            wire_line(id, r),
+            r#"{"api":1,"id":"f2","error":{"kind":"config","exit_code":2,"message":"unsupported api version 2 (supported versions: 1)"}}"#
+        );
+        let (id, r) = decode_request(r#"{"api": 1, "id": "f3"}"#);
+        assert_eq!(
+            wire_line(id, r),
+            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, area, version)"}}"#
+        );
+    }
+
+    fn wire_line(id: Option<String>, r: Result<SimRequest, SimError>) -> String {
+        encode_response(id.as_deref(), &r.map(|_| unreachable!("decode must fail")))
+    }
+
+    #[test]
+    fn scaleout_command_is_accepted_on_the_wire() {
+        let (_, r) = decode_request(
+            r#"{"api": 1, "scaleout": {"topology": {"inline": "a, 8, 8, 8,\n"}, "chips": 4}}"#,
+        );
+        let SimRequest::Scaleout(s) = r.unwrap() else {
+            panic!("expected a scaleout request");
+        };
+        assert_eq!(s.chips, Some(4));
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The multi-chip interconnect model: a [`Fabric`] of point-to-point
+//! links characterized by bandwidth and latency, arranged as a ring, a
+//! 2D mesh, or a fully-switched (fat-tree-like) network.
+//!
+//! Everything downstream of the fabric is expressed in **core clock
+//! cycles** so collective costs compose directly with the per-chip
+//! compute cycles the systolic engine produces. The conversion is
+//! `link_gbps / clock_ghz` = bytes per core cycle per link.
+
+use std::fmt;
+
+/// The interconnect arrangement of a multi-chip system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// A unidirectional ring: chip `i` links to chip `(i + 1) mod p`.
+    /// Collectives use the bandwidth-optimal chunked ring algorithms.
+    Ring,
+    /// A 2D mesh of `rows x cols` chips with nearest-neighbour links.
+    /// Collectives run dimension-ordered: rows first, then columns.
+    Mesh2D {
+        /// Mesh rows (`rows * cols` must equal the chip count).
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// A fully-switched network: every chip pair is one hop apart.
+    /// Collectives use recursive halving/doubling (chip count must be a
+    /// power of two).
+    Switch,
+}
+
+impl FabricKind {
+    /// The stable tag used in configs, reports and labels
+    /// (`ring` / `mesh` / `switch`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FabricKind::Ring => "ring",
+            FabricKind::Mesh2D { .. } => "mesh",
+            FabricKind::Switch => "switch",
+        }
+    }
+}
+
+impl fmt::Display for FabricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricKind::Mesh2D { rows, cols } => write!(f, "mesh{rows}x{cols}"),
+            other => f.write_str(other.tag()),
+        }
+    }
+}
+
+/// A validated multi-chip interconnect: topology, chip count, and
+/// per-link bandwidth/latency in core-clock terms.
+///
+/// Construct through [`Fabric::new`], which checks the topology/chip
+/// consistency rules; the collective cost functions in
+/// [`crate::collectives`] assume a valid fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fabric {
+    kind: FabricKind,
+    chips: usize,
+    link_gbps: f64,
+    link_latency: u64,
+    clock_ghz: f64,
+}
+
+impl Fabric {
+    /// Builds and validates a fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated rule: zero chips,
+    /// non-positive bandwidth or clock, mesh dimensions that do not
+    /// multiply to the chip count, or a non-power-of-two switch.
+    pub fn new(
+        kind: FabricKind,
+        chips: usize,
+        link_gbps: f64,
+        link_latency: u64,
+        clock_ghz: f64,
+    ) -> Result<Fabric, String> {
+        if chips == 0 {
+            return Err("fabric needs at least one chip".into());
+        }
+        if !(link_gbps.is_finite() && link_gbps > 0.0) {
+            return Err(format!("link bandwidth must be positive GB/s: {link_gbps}"));
+        }
+        if !(clock_ghz.is_finite() && clock_ghz > 0.0) {
+            return Err(format!("core clock must be positive GHz: {clock_ghz}"));
+        }
+        match kind {
+            FabricKind::Mesh2D { rows, cols } => {
+                if rows == 0 || cols == 0 || rows * cols != chips {
+                    return Err(format!(
+                        "mesh {rows}x{cols} does not cover {chips} chips \
+                         (rows x cols must equal the chip count)"
+                    ));
+                }
+            }
+            FabricKind::Switch => {
+                if chips > 1 && !chips.is_power_of_two() {
+                    return Err(format!(
+                        "switch fabric uses recursive halving/doubling and needs a \
+                         power-of-two chip count, got {chips}"
+                    ));
+                }
+            }
+            FabricKind::Ring => {}
+        }
+        Ok(Fabric {
+            kind,
+            chips,
+            link_gbps,
+            link_latency,
+            clock_ghz,
+        })
+    }
+
+    /// The interconnect arrangement.
+    pub fn kind(&self) -> FabricKind {
+        self.kind
+    }
+
+    /// Chips in the system.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Per-link bandwidth in GB/s.
+    pub fn link_gbps(&self) -> f64 {
+        self.link_gbps
+    }
+
+    /// Per-hop latency in core cycles.
+    pub fn link_latency(&self) -> u64 {
+        self.link_latency
+    }
+
+    /// Core clock in GHz (converts GB/s to bytes per cycle).
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Bytes one link moves per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.link_gbps / self.clock_ghz
+    }
+
+    /// Cycles to move `bytes` across one link: serialization at
+    /// [`bytes_per_cycle`](Self::bytes_per_cycle) plus one hop of
+    /// latency. Zero bytes still pay the hop latency (a collective step
+    /// is a synchronization even when a chunk is empty).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        let serialization = (bytes as f64 / self.bytes_per_cycle()).ceil() as u64;
+        serialization + self.link_latency
+    }
+}
+
+impl fmt::Display for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{} ({} GB/s, {} cyc/hop)",
+            self.kind, self.chips, self.link_gbps, self.link_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_names_the_rule() {
+        assert!(Fabric::new(FabricKind::Ring, 0, 50.0, 500, 1.0)
+            .unwrap_err()
+            .contains("at least one chip"));
+        assert!(Fabric::new(FabricKind::Ring, 4, 0.0, 500, 1.0)
+            .unwrap_err()
+            .contains("bandwidth"));
+        assert!(Fabric::new(FabricKind::Ring, 4, 50.0, 500, 0.0)
+            .unwrap_err()
+            .contains("clock"));
+        let err =
+            Fabric::new(FabricKind::Mesh2D { rows: 2, cols: 3 }, 8, 50.0, 500, 1.0).unwrap_err();
+        assert!(err.contains("mesh 2x3") && err.contains("8 chips"), "{err}");
+        assert!(Fabric::new(FabricKind::Switch, 6, 50.0, 500, 1.0)
+            .unwrap_err()
+            .contains("power-of-two"));
+    }
+
+    #[test]
+    fn transfer_is_serialization_plus_latency() {
+        let f = Fabric::new(FabricKind::Ring, 4, 64.0, 100, 1.0).unwrap();
+        assert_eq!(f.bytes_per_cycle(), 64.0);
+        // 1 MiB over 64 B/cycle = 16384 cycles + 100 latency.
+        assert_eq!(f.transfer_cycles(1 << 20), 16384 + 100);
+        // Partial chunks round up; empty chunks still pay the hop.
+        assert_eq!(f.transfer_cycles(1), 1 + 100);
+        assert_eq!(f.transfer_cycles(0), 100);
+    }
+
+    #[test]
+    fn clock_scales_bytes_per_cycle() {
+        let slow = Fabric::new(FabricKind::Ring, 4, 50.0, 0, 1.0).unwrap();
+        let fast_core = Fabric::new(FabricKind::Ring, 4, 50.0, 0, 2.0).unwrap();
+        // A faster core sees fewer bytes per cycle from the same link.
+        assert!(fast_core.bytes_per_cycle() < slow.bytes_per_cycle());
+        assert!(fast_core.transfer_cycles(1 << 20) > slow.transfer_cycles(1 << 20));
+    }
+
+    #[test]
+    fn display_tags_are_stable() {
+        assert_eq!(FabricKind::Ring.to_string(), "ring");
+        assert_eq!(
+            FabricKind::Mesh2D { rows: 2, cols: 4 }.to_string(),
+            "mesh2x4"
+        );
+        assert_eq!(FabricKind::Switch.to_string(), "switch");
+    }
+
+    #[test]
+    fn single_chip_fabrics_are_valid_for_every_kind() {
+        for kind in [
+            FabricKind::Ring,
+            FabricKind::Mesh2D { rows: 1, cols: 1 },
+            FabricKind::Switch,
+        ] {
+            assert!(Fabric::new(kind, 1, 50.0, 500, 1.0).is_ok(), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Multi-chip parallelism strategies: how a layer's GEMM is sharded
+//! across chips and which collective its execution obligates.
+//!
+//! Three strategies cover the standard axes of distributed training:
+//!
+//! * **Data parallel** — every chip runs the full layer on `1 / p` of
+//!   the batch (the GEMM's `M` dimension); the weight gradients
+//!   (`K x N`) are all-reduced after every layer.
+//! * **Tensor parallel** — Megatron-style alternation: even layers
+//!   shard the output dimension `N` (column parallel) and all-gather
+//!   the activations; odd layers shard the contraction `K` (row
+//!   parallel) and reduce-scatter the partial sums. Both collectives
+//!   move the `M x N` activation payload.
+//! * **Pipeline parallel** — layers are partitioned into `p` contiguous
+//!   stages balanced by MAC count; each stage boundary sends the
+//!   `M x N` activation point-to-point to the next chip. The schedule
+//!   cost (fill/drain bubble over microbatches) is modeled by
+//!   [`pipeline_total_cycles`].
+
+use crate::collectives::{self, CollectiveCost};
+use crate::fabric::Fabric;
+use scalesim_systolic::GemmShape;
+
+/// A multi-chip parallelization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Shard the batch (`M`); all-reduce weight gradients per layer.
+    #[default]
+    DataParallel,
+    /// Shard `N`/`K` alternately; all-gather / reduce-scatter the
+    /// `M x N` activations per layer.
+    TensorParallel,
+    /// Partition layers into stages; point-to-point activations between
+    /// stages, with a fill/drain bubble over microbatches.
+    PipelineParallel,
+}
+
+impl Strategy {
+    /// The stable short tag used in configs, labels and reports
+    /// (`dp` / `tp` / `pp`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Strategy::DataParallel => "dp",
+            Strategy::TensorParallel => "tp",
+            Strategy::PipelineParallel => "pp",
+        }
+    }
+
+    /// The long name accepted in configs (`data` / `tensor` /
+    /// `pipeline`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::DataParallel => "data",
+            Strategy::TensorParallel => "tensor",
+            Strategy::PipelineParallel => "pipeline",
+        }
+    }
+
+    /// Parses a strategy tag (long or short form, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown value and the accepted set.
+    pub fn parse(value: &str) -> Result<Strategy, String> {
+        match value.to_ascii_lowercase().as_str() {
+            "data" | "dp" => Ok(Strategy::DataParallel),
+            "tensor" | "tp" => Ok(Strategy::TensorParallel),
+            "pipeline" | "pp" => Ok(Strategy::PipelineParallel),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected data/tensor/pipeline)"
+            )),
+        }
+    }
+}
+
+/// How one layer executes under a strategy: the per-chip GEMM shard and
+/// the communication it obligates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerPlan {
+    /// The GEMM each chip actually runs.
+    pub shard: GemmShape,
+    /// The collective the layer triggers (FREE on a single chip, and
+    /// for non-boundary pipeline layers).
+    pub comm: CollectiveCost,
+    /// Stable tag of the collective kind (`allreduce` / `allgather` /
+    /// `reducescatter` / `p2p` / `none`).
+    pub comm_kind: &'static str,
+}
+
+fn shard_dim(dim: usize, parts: usize) -> usize {
+    dim.div_ceil(parts).max(1)
+}
+
+/// Plans one data- or tensor-parallel layer: the shard every chip runs
+/// and the collective closing the layer. (`layer_index` drives the
+/// tensor-parallel column/row alternation; pipeline parallelism plans
+/// at the run level via [`partition_stages`] instead.)
+pub fn shard_layer(
+    strategy: Strategy,
+    fabric: &Fabric,
+    layer_index: usize,
+    gemm: GemmShape,
+    bytes_per_word: usize,
+) -> LayerPlan {
+    let p = fabric.chips();
+    if p <= 1 {
+        return LayerPlan {
+            shard: gemm,
+            comm: CollectiveCost::FREE,
+            comm_kind: "none",
+        };
+    }
+    let bpw = bytes_per_word as u64;
+    match strategy {
+        Strategy::DataParallel => LayerPlan {
+            shard: GemmShape::new(shard_dim(gemm.m, p), gemm.n, gemm.k),
+            comm: collectives::all_reduce(fabric, (gemm.k * gemm.n) as u64 * bpw),
+            comm_kind: "allreduce",
+        },
+        Strategy::TensorParallel => {
+            let activation = (gemm.m * gemm.n) as u64 * bpw;
+            if layer_index.is_multiple_of(2) {
+                LayerPlan {
+                    shard: GemmShape::new(gemm.m, shard_dim(gemm.n, p), gemm.k),
+                    comm: collectives::all_gather(fabric, activation),
+                    comm_kind: "allgather",
+                }
+            } else {
+                LayerPlan {
+                    shard: GemmShape::new(gemm.m, gemm.n, shard_dim(gemm.k, p)),
+                    comm: collectives::reduce_scatter(fabric, activation),
+                    comm_kind: "reducescatter",
+                }
+            }
+        }
+        Strategy::PipelineParallel => LayerPlan {
+            shard: gemm,
+            comm: CollectiveCost::FREE,
+            comm_kind: "none",
+        },
+    }
+}
+
+/// Partitions `weights.len()` layers into at most `stages` contiguous
+/// stages balanced by weight (MAC count), returning the stage index of
+/// every layer. Deterministic greedy fill: a stage closes once it holds
+/// its fair share of the remaining weight, while always leaving at
+/// least one layer per remaining stage. With fewer layers than stages,
+/// each layer is its own stage.
+pub fn partition_stages(weights: &[u64], stages: usize) -> Vec<usize> {
+    let stages = stages.max(1).min(weights.len().max(1));
+    let mut assignment = vec![0usize; weights.len()];
+    let mut remaining_weight: u64 = weights.iter().sum();
+    let mut stage = 0usize;
+    let mut in_stage: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let stages_left = stages - stage;
+        let layers_left = weights.len() - i;
+        // Close the current stage when it reached its fair share of
+        // what is left — unless that would starve a later stage.
+        let target = remaining_weight.div_ceil(stages_left as u64);
+        if stages_left > 1
+            && in_stage > 0
+            && in_stage + w / 2 >= target
+            && layers_left >= stages_left
+        {
+            stage += 1;
+            in_stage = 0;
+        }
+        assignment[i] = stage;
+        in_stage += w;
+        remaining_weight -= w;
+        // Force a boundary when exactly one layer per remaining stage
+        // is left.
+        if layers_left - 1 == stages - 1 - stage && layers_left > 1 {
+            stage += 1;
+            in_stage = 0;
+        }
+    }
+    assignment
+}
+
+/// Wall-clock cycles of a pipeline of `stage_cycles` (per-stage cost of
+/// the **whole** batch) split into `microbatches`: the first microbatch
+/// fills the pipe stage by stage, then the slowest stage paces the
+/// remaining `microbatches - 1`.
+pub fn pipeline_total_cycles(stage_cycles: &[u64], microbatches: usize) -> u64 {
+    let m = microbatches.max(1) as u64;
+    let per_micro: Vec<u64> = stage_cycles.iter().map(|&c| c.div_ceil(m)).collect();
+    let fill: u64 = per_micro.iter().sum();
+    let pace = per_micro.iter().copied().max().unwrap_or(0);
+    fill + (m - 1) * pace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricKind;
+
+    fn ring(p: usize) -> Fabric {
+        Fabric::new(FabricKind::Ring, p, 64.0, 100, 1.0).unwrap()
+    }
+
+    #[test]
+    fn strategy_tags_round_trip() {
+        for s in [
+            Strategy::DataParallel,
+            Strategy::TensorParallel,
+            Strategy::PipelineParallel,
+        ] {
+            assert_eq!(Strategy::parse(s.tag()).unwrap(), s);
+            assert_eq!(Strategy::parse(s.name()).unwrap(), s);
+        }
+        assert!(Strategy::parse("zz").unwrap_err().contains("'zz'"));
+    }
+
+    #[test]
+    fn data_parallel_shards_m_and_allreduces_weights() {
+        let plan = shard_layer(
+            Strategy::DataParallel,
+            &ring(8),
+            0,
+            GemmShape::new(256, 64, 32),
+            2,
+        );
+        assert_eq!(plan.shard, GemmShape::new(32, 64, 32));
+        assert_eq!(plan.comm_kind, "allreduce");
+        // Weight payload K·N·bpw = 32·64·2 bytes.
+        assert_eq!(plan.comm, collectives::all_reduce(&ring(8), 32 * 64 * 2));
+    }
+
+    #[test]
+    fn tensor_parallel_alternates_column_and_row_sharding() {
+        let gemm = GemmShape::new(64, 96, 48);
+        let even = shard_layer(Strategy::TensorParallel, &ring(4), 0, gemm, 2);
+        assert_eq!(even.shard, GemmShape::new(64, 24, 48));
+        assert_eq!(even.comm_kind, "allgather");
+        let odd = shard_layer(Strategy::TensorParallel, &ring(4), 1, gemm, 2);
+        assert_eq!(odd.shard, GemmShape::new(64, 96, 12));
+        assert_eq!(odd.comm_kind, "reducescatter");
+    }
+
+    #[test]
+    fn sharding_never_hits_zero_and_single_chip_is_free() {
+        let plan = shard_layer(
+            Strategy::DataParallel,
+            &ring(64),
+            0,
+            GemmShape::new(3, 5, 7),
+            2,
+        );
+        assert_eq!(plan.shard.m, 1);
+        let single = shard_layer(
+            Strategy::TensorParallel,
+            &ring(1),
+            0,
+            GemmShape::new(3, 5, 7),
+            2,
+        );
+        assert_eq!(single.shard, GemmShape::new(3, 5, 7));
+        assert_eq!(single.comm, CollectiveCost::FREE);
+    }
+
+    #[test]
+    fn stage_partition_is_contiguous_balanced_and_total() {
+        let weights = [10, 10, 10, 10, 40, 10, 10, 10];
+        let stages = partition_stages(&weights, 4);
+        assert_eq!(stages.len(), weights.len());
+        // Contiguous and non-decreasing, covering all 4 stages.
+        assert!(stages.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1));
+        assert_eq!(*stages.first().unwrap(), 0);
+        assert_eq!(*stages.last().unwrap(), 3);
+        // The heavy layer does not drag everything into one stage.
+        let heavy_stage = stages[4];
+        let heavy_total: u64 = weights
+            .iter()
+            .zip(&stages)
+            .filter(|(_, &s)| s == heavy_stage)
+            .map(|(&w, _)| w)
+            .sum();
+        assert!(heavy_total <= 60);
+    }
+
+    #[test]
+    fn stage_partition_degenerate_cases() {
+        assert_eq!(partition_stages(&[5, 5], 8), vec![0, 1]);
+        assert_eq!(partition_stages(&[5, 5, 5], 1), vec![0, 0, 0]);
+        assert_eq!(partition_stages(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pipeline_total_has_fill_plus_steady_state() {
+        // Three balanced stages of 300 cycles, 3 microbatches: fill
+        // 3·100 then 2 more microbatches paced at 100.
+        assert_eq!(pipeline_total_cycles(&[300, 300, 300], 3), 500);
+        // One microbatch degenerates to the serial sum.
+        assert_eq!(pipeline_total_cycles(&[300, 300, 300], 1), 900);
+        // The slowest stage paces the steady state: fill 25+100+25,
+        // then 3 more microbatches at 100 each.
+        assert_eq!(pipeline_total_cycles(&[100, 400, 100], 4), 450);
+    }
+}

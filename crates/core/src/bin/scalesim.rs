@@ -1,12 +1,14 @@
 //! `scalesim` — command-line front end mirroring the Python tool's
 //! interface: a `.cfg` architecture file plus a topology CSV in, report
 //! CSVs out. The `sweep` subcommand runs a whole design-space grid; the
+//! `scaleout` subcommand simulates multi-chip parallel execution; the
 //! `serve` subcommand answers JSON-lines requests persistently.
 //!
 //! ```text
 //! scalesim -c configs/tpu.cfg -t topologies/resnet18.csv -p ./results \
 //!          [--gemm] [--dram] [--energy] [--layout]
 //! scalesim sweep -s configs/example_sweep.toml -p ./results
+//! scalesim scaleout -c configs/example_scaleout.cfg -t topologies/resnet18.csv
 //! scalesim serve --listen 127.0.0.1:7878
 //! ```
 //!
@@ -19,13 +21,17 @@
 //! request protocol is `docs/API.md`.
 
 use scalesim::api::{
-    ConfigSource, Features, RunSpec, SimError, SweepRequest, TopologyFormat, TopologySource,
+    ConfigSource, Features, RunSpec, ScaleoutRequest, SimError, SweepRequest, TopologyFormat,
+    TopologySource,
 };
-use scalesim::cli::{parse_cli, version_string, Command, RunArgs, ServeArgs, SweepArgs};
+use scalesim::cli::{
+    parse_cli, version_string, Command, RunArgs, ScaleoutArgs, ServeArgs, SweepArgs,
+};
+use scalesim::scaleout::{scaleout_rows, ScaleoutCsvSink, ScaleoutLayerRecord};
 use scalesim::serve::{serve_listener, serve_session};
 use scalesim::service::{area_body, SimService};
 use scalesim::systolic::num_threads;
-use scalesim::{CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary};
+use scalesim::{CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary, ScaleoutSink};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -227,6 +233,76 @@ fn sweep(service: &SimService, args: SweepArgs) -> Result<(), SimError> {
     Ok(())
 }
 
+/// The scaleout command's streaming sink: tees resolved layers into
+/// the incremental CSV writer, printing verbose progress along the way.
+struct ScaleoutCliSink {
+    csv: ScaleoutCsvSink,
+    verbose: bool,
+}
+
+impl ScaleoutSink for ScaleoutCliSink {
+    fn layer(&mut self, r: ScaleoutLayerRecord) {
+        if self.verbose {
+            eprint!("  {}", scaleout_rows::scaleout(&r));
+        }
+        self.csv.layer(r);
+    }
+}
+
+fn scaleout(service: &SimService, args: ScaleoutArgs) -> Result<(), SimError> {
+    let mut request = ScaleoutRequest::for_topology(topology_source(
+        &args.topology,
+        if args.gemm {
+            TopologyFormat::Gemm
+        } else {
+            TopologyFormat::Auto
+        },
+    ));
+    request.config = config_source(args.config.as_deref());
+    request.chips = args.chips;
+    request.strategy = args.strategy.clone();
+    request.fabric = args.fabric.clone();
+    request.link_gbps = args.link_gbps;
+    let prepared = service.prepare_scaleout(&request)?;
+
+    eprintln!(
+        "scalesim scaleout: {} layers of '{}' on {} chips ({} parallel, {} fabric)",
+        prepared.topology.len(),
+        prepared.topology.name(),
+        prepared.spec.chips,
+        prepared.spec.strategy.name(),
+        prepared.spec.fabric.tag(),
+    );
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| SimError::Io(format!("cannot create {}: {e}", args.out_dir.display())))?;
+    let mut sink = ScaleoutCliSink {
+        csv: ScaleoutCsvSink::new(&args.out_dir),
+        verbose: args.verbose,
+    };
+    let summary = prepared.run_into(&mut sink)?;
+    let written = sink.csv.finish().map_err(SimError::Io)?;
+
+    eprintln!(
+        "total: {} cycles on {} ({} compute + {} exposed comm{}); \
+         {} of {} comm cycles hidden, utilization {:.1}%",
+        summary.total_cycles,
+        summary.fabric,
+        summary.compute_cycles,
+        summary.exposed_cycles,
+        if summary.bubble_cycles > 0 {
+            format!(" + {} pipeline bubble", summary.bubble_cycles)
+        } else {
+            String::new()
+        },
+        summary.overlapped_cycles,
+        summary.comm_cycles,
+        summary.utilization() * 100.0,
+    );
+    eprintln!("wrote {}", written.display());
+    Ok(())
+}
+
 fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
     match args.listen {
         None => {
@@ -259,6 +335,7 @@ fn main() -> ExitCode {
         }
         Ok(Command::Run(args)) => run(&service, args),
         Ok(Command::Sweep(args)) => sweep(&service, args),
+        Ok(Command::Scaleout(args)) => scaleout(&service, args),
         Ok(Command::Serve(args)) => serve(&service, args),
         Err(e) => {
             if !e.message.is_empty() {

@@ -23,9 +23,23 @@
 //! ```
 //!
 //! Both `:` and `=` separators are accepted, keys are case-insensitive,
-//! and the `[sparsity]` section implements the v3 knobs of §IV-B.
+//! and the `[sparsity]` section implements the v3 knobs of §IV-B. The
+//! `[scaleout]` section configures multi-chip execution (chip count,
+//! fabric, link bandwidth/latency, parallelization strategy — see
+//! `docs/SCALEOUT.md`):
+//!
+//! ```text
+//! [scaleout]
+//! Chips : 8
+//! Fabric : ring
+//! LinkGbps : 100
+//! LinkLatency : 500
+//! Strategy : data
+//! Microbatches : 4
+//! ```
 
 use crate::config::{ScaleSimConfig, SparsityMode};
+use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_sparse::{NmRatio, SparseFormat};
 use scalesim_systolic::{ArrayShape, Dataflow, MemoryConfig, SimError};
 
@@ -65,6 +79,9 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
     let mut optimized_mapping = false;
     let mut block_size = 4usize;
     let mut sparse_ratio: Option<NmRatio> = None;
+    // Scale-out knobs: any [scaleout] key materializes the section with
+    // its defaults, then overrides the named field.
+    let mut scaleout: Option<ScaleoutSpec> = None;
 
     for raw in text.lines() {
         let line = raw.trim();
@@ -129,6 +146,76 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                     )));
                 }
             }
+            ("scaleout", "chips") => {
+                let n = num(&val)?;
+                if n == 0 {
+                    return Err(SimError::InvalidConfig("Chips must be at least 1".into()));
+                }
+                scaleout.get_or_insert_with(ScaleoutSpec::default).chips = n;
+            }
+            ("scaleout", "fabric") => {
+                scaleout.get_or_insert_with(ScaleoutSpec::default).fabric =
+                    FabricTag::parse(&val).map_err(SimError::InvalidConfig)?;
+            }
+            ("scaleout", "mesh") => {
+                let dims = val
+                    .split_once(['x', 'X'])
+                    .and_then(|(r, c)| {
+                        let r = r.trim().parse::<usize>().ok().filter(|&n| n > 0)?;
+                        let c = c.trim().parse::<usize>().ok().filter(|&n| n > 0)?;
+                        Some((r, c))
+                    })
+                    .ok_or_else(|| {
+                        SimError::InvalidConfig(format!(
+                            "bad Mesh '{val}' (expected RxC, e.g. 2x4)"
+                        ))
+                    })?;
+                scaleout.get_or_insert_with(ScaleoutSpec::default).mesh = Some(dims);
+            }
+            ("scaleout", "linkgbps") => {
+                let gbps = val
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|b| b.is_finite() && *b > 0.0)
+                    .ok_or_else(|| {
+                        SimError::InvalidConfig(format!(
+                            "'{key}' must be a positive number of GB/s: {val}"
+                        ))
+                    })?;
+                scaleout.get_or_insert_with(ScaleoutSpec::default).link_gbps = gbps;
+            }
+            ("scaleout", "linklatency") => {
+                scaleout
+                    .get_or_insert_with(ScaleoutSpec::default)
+                    .link_latency = num(&val)? as u64;
+            }
+            ("scaleout", "strategy") => {
+                scaleout.get_or_insert_with(ScaleoutSpec::default).strategy =
+                    Strategy::parse(&val).map_err(SimError::InvalidConfig)?;
+            }
+            ("scaleout", "microbatches") => {
+                let n = num(&val)?;
+                if n == 0 {
+                    return Err(SimError::InvalidConfig(
+                        "Microbatches must be at least 1".into(),
+                    ));
+                }
+                scaleout
+                    .get_or_insert_with(ScaleoutSpec::default)
+                    .microbatches = n;
+            }
+            ("scaleout", "clockghz") => {
+                let ghz = val
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|c| c.is_finite() && *c > 0.0)
+                    .ok_or_else(|| {
+                        SimError::InvalidConfig(format!(
+                            "'{key}' must be a positive clock in GHz: {val}"
+                        ))
+                    })?;
+                scaleout.get_or_insert_with(ScaleoutSpec::default).clock_ghz = ghz;
+            }
             ("sparsity", "sparserep") => {
                 config.sparse_format = match val.to_ascii_lowercase().as_str() {
                     "csr" => SparseFormat::Csr,
@@ -157,7 +244,9 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                      IfmapSramSzkB, FilterSramSzkB, OfmapSramSzkB, Dataflow, Bandwidth, \
                      run_name, IfmapOffset, FilterOffset, OfmapOffset, MemoryBanks; \
                      [sparsity]: SparsitySupport, SparseRep, OptimizedMapping, \
-                     BlockSize, SparseRatio)"
+                     BlockSize, SparseRatio; \
+                     [scaleout]: Chips, Fabric, Mesh, LinkGbps, LinkLatency, Strategy, \
+                     Microbatches, ClockGhz)"
                 )));
             }
         }
@@ -186,6 +275,13 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
             )
         });
     }
+    if let Some(spec) = &scaleout {
+        // Fabric consistency (mesh dims vs chips, power-of-two switch)
+        // is a parse-time failure: a bad [scaleout] section should fail
+        // before any simulation, like every other config error.
+        spec.fabric().map_err(SimError::InvalidConfig)?;
+    }
+    config.scaleout = scaleout;
     Ok(config)
 }
 
@@ -327,6 +423,65 @@ SparseRatio : 2:4
         .unwrap();
         assert_eq!(c.core.array, ArrayShape::new(32, 32));
         assert_eq!(c.core.memory.dram_bandwidth, 10.0, "CALC keeps Bandwidth");
+    }
+
+    #[test]
+    fn scaleout_section_parses_all_knobs() {
+        let c = parse_cfg(
+            "[scaleout]\nChips : 16\nFabric : mesh\nMesh : 4x4\nLinkGbps : 200\n\
+             LinkLatency : 250\nStrategy : tensor\nMicrobatches : 8\nClockGhz : 1.5\n",
+        )
+        .unwrap();
+        let so = c.scaleout.unwrap();
+        assert_eq!(so.chips, 16);
+        assert_eq!(so.fabric, FabricTag::Mesh);
+        assert_eq!(so.mesh, Some((4, 4)));
+        assert_eq!(so.link_gbps, 200.0);
+        assert_eq!(so.link_latency, 250);
+        assert_eq!(so.strategy, Strategy::TensorParallel);
+        assert_eq!(so.microbatches, 8);
+        assert_eq!(so.clock_ghz, 1.5);
+    }
+
+    #[test]
+    fn scaleout_defaults_fill_unset_knobs() {
+        let c = parse_cfg("[scaleout]\nChips : 4\n").unwrap();
+        let so = c.scaleout.unwrap();
+        assert_eq!(so.chips, 4);
+        assert_eq!(so.strategy, Strategy::DataParallel);
+        assert_eq!(so.link_gbps, 100.0);
+        // No [scaleout] section at all leaves the config single-chip.
+        assert!(parse_cfg("ArrayHeight : 8\n").unwrap().scaleout.is_none());
+    }
+
+    #[test]
+    fn scaleout_errors_name_the_problem() {
+        for (text, needle) in [
+            ("[scaleout]\nChips : 0\n", "Chips"),
+            ("[scaleout]\nFabric : torus\n", "'torus'"),
+            ("[scaleout]\nMesh : 4\n", "bad Mesh"),
+            ("[scaleout]\nLinkGbps : -5\n", "GB/s"),
+            ("[scaleout]\nStrategy : zz\n", "'zz'"),
+            ("[scaleout]\nMicrobatches : 0\n", "Microbatches"),
+            ("[scaleout]\nClockGhz : 0\n", "GHz"),
+            // Fabric consistency fails at parse time too.
+            (
+                "[scaleout]\nChips : 8\nFabric : mesh\nMesh : 3x3\n",
+                "mesh 3x3",
+            ),
+            ("[scaleout]\nChips : 6\nFabric : switch\n", "power-of-two"),
+        ] {
+            let err = parse_cfg(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "'{text}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn scaleout_keys_outside_their_section_are_rejected() {
+        let err = parse_cfg("Chips : 8\n").unwrap_err().to_string();
+        assert!(err.contains("unknown key 'chips'"), "{err}");
+        // The unknown-key error now lists the [scaleout] vocabulary.
+        assert!(err.contains("[scaleout]"), "{err}");
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! produce an error (never be silently ignored), which the binary turns
 //! into the usage string and a non-zero exit. See [`parse_cli`].
 //!
-//! Three commands:
+//! Four commands:
 //!
 //! * `scalesim …` — one simulation of one topology ([`RunArgs`]).
 //! * `scalesim sweep …` — a design-space sweep over a spec-file grid
 //!   ([`SweepArgs`]); full formats in `docs/CLI.md`.
+//! * `scalesim scaleout …` — a multi-chip scale-out simulation
+//!   ([`ScaleoutArgs`]); model reference in `docs/SCALEOUT.md`.
 //! * `scalesim serve …` — a persistent JSON-lines batch service over
 //!   stdio or a TCP socket ([`ServeArgs`]); protocol in `docs/API.md`.
 
@@ -21,6 +23,7 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
                 [--profile-stages] [-v]
        scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
                 [-p <outdir>] [--shards <n>] [-v]
+       scalesim scaleout -t <topology.csv> [-c <config.cfg>] [options]
        scalesim serve [--stdio | --listen <addr>]
        scalesim --version
 
@@ -39,8 +42,32 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
 
   sweep       run a design-space-exploration grid; see 'scalesim sweep -h'
               and docs/CLI.md for the spec format
+  scaleout    simulate multi-chip parallel execution (data/tensor/pipeline
+              parallelism over a ring/mesh/switch fabric); see
+              'scalesim scaleout -h' and docs/SCALEOUT.md
   serve       answer JSON-lines simulation requests forever; see
               'scalesim serve -h' and docs/API.md for the protocol";
+
+/// Usage string for the `scaleout` subcommand.
+pub const SCALEOUT_USAGE: &str = "usage: scalesim scaleout -t <topology.csv> [-c <config.cfg>]
+                [-p <outdir>] [--gemm] [--chips <n>]
+                [--strategy data|tensor|pipeline]
+                [--fabric ring|mesh|switch] [--link-gbps <GB/s>] [-v]
+
+  -t <file>        topology CSV (format auto-detected, conv or GEMM;
+                   --gemm forces GEMM rows)
+  -c <file>        architecture .cfg; its [scaleout] section sets the
+                   defaults the flags below override (docs/SCALEOUT.md)
+  -p <dir>         output directory for SCALEOUT_REPORT.csv (default: .)
+  --chips <n>      number of chips (default: cfg [scaleout] or 8)
+  --strategy <s>   data | tensor | pipeline parallelism
+  --fabric <f>     ring | mesh | switch interconnect
+  --link-gbps <g>  per-link bandwidth in GB/s
+  -v               print per-layer results while running
+
+The report is deterministic: byte-identical for any SCALESIM_THREADS,
+and identical to the report a 'scaleout' request over 'scalesim serve'
+returns for the same inputs.";
 
 /// Usage string for the `sweep` subcommand.
 pub const SWEEP_USAGE: &str = "usage: scalesim sweep -s <spec> [-c <config.cfg>]
@@ -118,6 +145,29 @@ pub struct SweepArgs {
     pub verbose: bool,
 }
 
+/// Arguments of the `scaleout` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutArgs {
+    /// Architecture `.cfg` path (None = built-in default core).
+    pub config: Option<PathBuf>,
+    /// Topology CSV path.
+    pub topology: PathBuf,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Parse the topology as GEMM rows.
+    pub gemm: bool,
+    /// Chip-count override.
+    pub chips: Option<usize>,
+    /// Strategy override (validated by the service).
+    pub strategy: Option<String>,
+    /// Fabric override (validated by the service).
+    pub fabric: Option<String>,
+    /// Per-link bandwidth override, GB/s.
+    pub link_gbps: Option<f64>,
+    /// Per-layer progress on stderr.
+    pub verbose: bool,
+}
+
 /// Arguments of the `serve` subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServeArgs {
@@ -126,12 +176,14 @@ pub struct ServeArgs {
 }
 
 /// A parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Simulate one topology.
     Run(RunArgs),
     /// Run a design-space sweep.
     Sweep(SweepArgs),
+    /// Simulate a multi-chip scale-out execution.
+    Scaleout(ScaleoutArgs),
     /// Serve JSON-lines simulation requests persistently.
     Serve(ServeArgs),
     /// Print the version and exit (`--version` / `-V`).
@@ -193,6 +245,9 @@ where
     if args.first().map(String::as_str) == Some("sweep") {
         return parse_sweep(args.into_iter().skip(1)).map(Command::Sweep);
     }
+    if args.first().map(String::as_str) == Some("scaleout") {
+        return parse_scaleout(args.into_iter().skip(1)).map(Command::Scaleout);
+    }
     if args.first().map(String::as_str) == Some("serve") {
         return parse_serve(args.into_iter().skip(1)).map(Command::Serve);
     }
@@ -230,6 +285,101 @@ where
         ));
     }
     Ok(ServeArgs { listen })
+}
+
+fn parse_scaleout<I>(mut argv: I) -> Result<ScaleoutArgs, CliError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut config = None;
+    let mut topology = None;
+    let mut out_dir = PathBuf::from(".");
+    let mut gemm = false;
+    let mut chips = None;
+    let mut strategy = None;
+    let mut fabric = None;
+    let mut link_gbps = None;
+    let mut verbose = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-c" | "--config" => {
+                config = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("-c requires a file argument", SCALEOUT_USAGE)
+                })?))
+            }
+            "-t" | "--topology" => {
+                topology = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("-t requires a file argument", SCALEOUT_USAGE)
+                })?))
+            }
+            "-p" | "--path" => {
+                out_dir = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-p requires a directory", SCALEOUT_USAGE))?,
+                )
+            }
+            "--gemm" => gemm = true,
+            "--chips" => {
+                let v = argv
+                    .next()
+                    .ok_or_else(|| CliError::new("--chips requires a count", SCALEOUT_USAGE))?;
+                chips = Some(v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                    CliError::new(
+                        format!("bad --chips '{v}' (positive integer)"),
+                        SCALEOUT_USAGE,
+                    )
+                })?);
+            }
+            "--strategy" => {
+                strategy =
+                    Some(argv.next().ok_or_else(|| {
+                        CliError::new("--strategy requires a value", SCALEOUT_USAGE)
+                    })?)
+            }
+            "--fabric" => {
+                fabric =
+                    Some(argv.next().ok_or_else(|| {
+                        CliError::new("--fabric requires a value", SCALEOUT_USAGE)
+                    })?)
+            }
+            "--link-gbps" => {
+                let v = argv
+                    .next()
+                    .ok_or_else(|| CliError::new("--link-gbps requires a value", SCALEOUT_USAGE))?;
+                link_gbps = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|g| g.is_finite() && *g > 0.0)
+                        .ok_or_else(|| {
+                            CliError::new(
+                                format!("bad --link-gbps '{v}' (positive GB/s)"),
+                                SCALEOUT_USAGE,
+                            )
+                        })?,
+                );
+            }
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => return Err(CliError::new("", SCALEOUT_USAGE)),
+            other => {
+                return Err(CliError::new(
+                    format!("unknown argument '{other}'"),
+                    SCALEOUT_USAGE,
+                ))
+            }
+        }
+    }
+    Ok(ScaleoutArgs {
+        config,
+        topology: topology
+            .ok_or_else(|| CliError::new("missing required -t <topology.csv>", SCALEOUT_USAGE))?,
+        out_dir,
+        gemm,
+        chips,
+        strategy,
+        fabric,
+        link_gbps,
+        verbose,
+    })
 }
 
 fn parse_run<I>(mut argv: I) -> Result<RunArgs, CliError>
@@ -476,6 +626,62 @@ mod tests {
         let err = parse_cli(argv(&["serve", "-h"])).unwrap_err();
         assert!(err.message.is_empty());
         assert_eq!(err.usage, SERVE_USAGE);
+    }
+
+    #[test]
+    fn scaleout_command_round_trips() {
+        let cmd = parse_cli(argv(&[
+            "scaleout",
+            "-t",
+            "net.csv",
+            "--chips",
+            "64",
+            "--strategy",
+            "tensor",
+            "--fabric",
+            "mesh",
+            "--link-gbps",
+            "37.5",
+            "-p",
+            "out",
+        ]))
+        .unwrap();
+        let Command::Scaleout(args) = cmd else {
+            panic!("expected scaleout command")
+        };
+        assert_eq!(args.topology, PathBuf::from("net.csv"));
+        assert_eq!(args.out_dir, PathBuf::from("out"));
+        assert_eq!(args.chips, Some(64));
+        assert_eq!(args.strategy.as_deref(), Some("tensor"));
+        assert_eq!(args.fabric.as_deref(), Some("mesh"));
+        assert_eq!(args.link_gbps, Some(37.5));
+        // Minimal form: everything from the cfg.
+        let cmd = parse_cli(argv(&["scaleout", "-t", "net.csv"])).unwrap();
+        let Command::Scaleout(args) = cmd else {
+            panic!("expected scaleout command")
+        };
+        assert_eq!(args.chips, None);
+        assert!(args.strategy.is_none() && args.fabric.is_none());
+    }
+
+    #[test]
+    fn scaleout_rejects_bad_flags_with_its_usage() {
+        let err = parse_cli(argv(&["scaleout", "-t", "n.csv", "--wat"])).unwrap_err();
+        assert!(err.message.contains("unknown argument '--wat'"));
+        assert_eq!(err.usage, SCALEOUT_USAGE);
+        let err = parse_cli(argv(&["scaleout", "-t", "n.csv", "--chips", "0"])).unwrap_err();
+        assert!(err.message.contains("--chips"), "{}", err.message);
+        let err = parse_cli(argv(&["scaleout", "-t", "n.csv", "--link-gbps", "-2"])).unwrap_err();
+        assert!(err.message.contains("--link-gbps"), "{}", err.message);
+        let err = parse_cli(argv(&["scaleout"])).unwrap_err();
+        assert!(
+            err.message.contains("missing required -t"),
+            "{}",
+            err.message
+        );
+        let err = parse_cli(argv(&["scaleout", "-h"])).unwrap_err();
+        assert!(err.message.is_empty());
+        assert_eq!(err.usage, SCALEOUT_USAGE);
     }
 
     #[test]

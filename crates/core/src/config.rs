@@ -1,5 +1,6 @@
 //! Unified SCALE-Sim v3 configuration.
 
+use scalesim_collective::ScaleoutSpec;
 use scalesim_layout::LayoutSpec;
 use scalesim_mem::{AddressMapping, DramSpec};
 use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
@@ -168,6 +169,10 @@ pub struct ScaleSimConfig {
     pub enable_layout: bool,
     /// Whether energy/power estimation runs (§VII).
     pub enable_energy: bool,
+    /// Multi-chip scale-out configuration (`[scaleout]` cfg section);
+    /// None = single chip. Only the `scalesim scaleout` flow and
+    /// scale-out sweep points consult it.
+    pub scaleout: Option<ScaleoutSpec>,
 }
 
 impl Default for ScaleSimConfig {
@@ -183,6 +188,7 @@ impl Default for ScaleSimConfig {
             layout: LayoutIntegration::default(),
             enable_layout: false,
             enable_energy: false,
+            scaleout: None,
         }
     }
 }

@@ -15,6 +15,7 @@
 //! | cycle-accurate DRAM (§V) | [`mem`] |
 //! | on-chip data layout (§VI) | [`layout`] |
 //! | energy & power (§VII) | [`energy`] |
+//! | multi-chip scale-out collectives & parallelism | [`collective`] |
 //! | evaluation workloads | [`workloads`] |
 //!
 //! ## End-to-end example
@@ -53,6 +54,7 @@ pub mod engine;
 pub mod layout_analysis;
 pub mod pipeline;
 pub mod result;
+pub mod scaleout;
 pub mod serve;
 pub mod service;
 pub mod sink;
@@ -70,7 +72,13 @@ pub use engine::{ScaleSim, StreamStats, STREAM_BLOCK};
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
 pub use pipeline::{LayerCtx, LayerPipeline, LayerStage, PipelineBuilder, StageEnv, StageTiming};
 pub use result::{LayerResult, RunResult};
-pub use service::{PreparedRun, PreparedSweep, SimService, SERVICE_CACHE_CAPACITY};
+pub use scaleout::{
+    run_scaleout, CollectScaleoutSink, DiscardScaleoutSink, MemoryScaleoutSink, ScaleoutCsvSink,
+    ScaleoutLayerRecord, ScaleoutSink, ScaleoutSummary,
+};
+pub use service::{
+    PreparedRun, PreparedScaleout, PreparedSweep, SimService, SERVICE_CACHE_CAPACITY,
+};
 pub use sink::{
     CollectSink, CsvReportSink, MemoryReportSink, ReportSections, ResultSink, RunSummary,
 };
@@ -78,6 +86,9 @@ pub use sweep_run::{apply_point, run_sweep, run_sweep_cached, run_sweep_with};
 
 /// Re-export: the stable typed request/response API and wire protocol.
 pub use scalesim_api as api;
+/// Re-export: multi-chip collective-communication and parallelism
+/// modeling.
+pub use scalesim_collective as collective;
 /// Re-export: energy & power modeling substrate.
 pub use scalesim_energy as energy;
 /// Re-export: on-chip layout modeling substrate.

@@ -1,0 +1,665 @@
+//! Multi-chip scale-out execution: runs a topology across a fleet of
+//! accelerators under a parallelization strategy, merging per-chip
+//! compute (the existing [`ScaleSim`] engine) with collective
+//! communication (the `scalesim-collective` models) on an overlap
+//! timeline.
+//!
+//! The key property the implementation leans on: the strategies are
+//! **symmetric** — every chip of a data- or tensor-parallel system runs
+//! the *same* GEMM shard — so one per-layer simulation covers the whole
+//! fleet, and repeated shapes hit the shared [`PlanCache`] exactly like
+//! single-chip runs do (`scalesim serve` keeps plans warm across
+//! scale-out requests too). Pipeline parallelism runs every full layer
+//! once and schedules the stages analytically.
+//!
+//! Execution streams: shards run through
+//! [`ScaleSim::run_topology_with`] (deterministic for any
+//! `SCALESIM_THREADS`), each finished layer is joined with its
+//! collective cost in the [`OverlapTimeline`] (one-layer lookahead, so
+//! O(1) buffered state), and every resolved row is pushed into a
+//! [`ScaleoutSink`] — the CSV file writer, the in-memory twin the serve
+//! mode uses, or a collector.
+//!
+//! [`PlanCache`]: scalesim_systolic::PlanCache
+
+use crate::engine::ScaleSim;
+use crate::result::LayerResult;
+use crate::sink::ResultSink;
+use scalesim_collective::{
+    collectives, partition_stages, pipeline_total_cycles, shard_layer, CollectiveCost, Fabric,
+    OverlapTimeline, ScaleoutSpec, Strategy,
+};
+use scalesim_systolic::{GemmShape, Layer, Topology};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// One layer of a scale-out run: the shard every chip executed, its
+/// compute cost, and the overlap-split collective that closed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutLayerRecord {
+    /// Layer name.
+    pub name: String,
+    /// Pipeline stage (0 for data/tensor parallelism).
+    pub stage: usize,
+    /// The GEMM each chip ran.
+    pub shard: GemmShape,
+    /// Collective kind tag (`allreduce` / `allgather` / `reducescatter`
+    /// / `p2p` / `none`).
+    pub comm_kind: &'static str,
+    /// Per-chip compute cycles of the shard (memory-aware total).
+    pub compute_cycles: u64,
+    /// Collective cost of the layer, cycles.
+    pub comm_cycles: u64,
+    /// Communication hidden under the next layer's compute.
+    pub overlapped_cycles: u64,
+    /// Communication left on the critical path.
+    pub exposed_cycles: u64,
+    /// PE utilization of the shard's compute in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl ScaleoutLayerRecord {
+    /// The layer's critical-path contribution: compute plus exposed
+    /// communication.
+    pub fn total_cycles(&self) -> u64 {
+        self.compute_cycles + self.exposed_cycles
+    }
+}
+
+/// Per-layer CSV row formatting of `SCALEOUT_REPORT.csv` — one source
+/// of truth shared by the file sink and the in-memory sink, which is
+/// what makes serve-mode report bytes identical to the CLI's file.
+pub mod scaleout_rows {
+    use super::ScaleoutLayerRecord;
+
+    /// `SCALEOUT_REPORT.csv` header.
+    pub const SCALEOUT_HEADER: &str = "LayerName, Stage, ShardM, ShardN, ShardK, \
+         ComputeCycles, CommKind, CommCycles, OverlappedCycles, ExposedCycles, \
+         TotalCycles, Utilization\n";
+
+    /// One `SCALEOUT_REPORT.csv` row.
+    pub fn scaleout(r: &ScaleoutLayerRecord) -> String {
+        format!(
+            "{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {:.4}\n",
+            r.name,
+            r.stage,
+            r.shard.m,
+            r.shard.n,
+            r.shard.k,
+            r.compute_cycles,
+            r.comm_kind,
+            r.comm_cycles,
+            r.overlapped_cycles,
+            r.exposed_cycles,
+            r.total_cycles(),
+            r.utilization,
+        )
+    }
+}
+
+/// Consumes scale-out layer records as they resolve, in layer order.
+pub trait ScaleoutSink {
+    /// Accepts the next resolved layer.
+    fn layer(&mut self, record: ScaleoutLayerRecord);
+}
+
+/// Collects every record (tests and small tools).
+#[derive(Debug, Clone, Default)]
+pub struct CollectScaleoutSink {
+    /// The records, in layer order.
+    pub records: Vec<ScaleoutLayerRecord>,
+}
+
+impl ScaleoutSink for CollectScaleoutSink {
+    fn layer(&mut self, record: ScaleoutLayerRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Streams `SCALEOUT_REPORT.csv` to a directory row by row (the
+/// scale-out twin of [`crate::sink::CsvReportSink`]): header on
+/// creation, O(1) buffering, I/O errors latched and surfaced by
+/// [`finish`](Self::finish).
+pub struct ScaleoutCsvSink {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    error: Option<String>,
+}
+
+impl ScaleoutCsvSink {
+    /// Creates `SCALEOUT_REPORT.csv` in `out_dir` (which must exist)
+    /// and writes the header.
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        let path = out_dir.into().join("SCALEOUT_REPORT.csv");
+        let (writer, error) = match File::create(&path) {
+            Ok(f) => {
+                let mut w = BufWriter::new(f);
+                match w.write_all(scaleout_rows::SCALEOUT_HEADER.as_bytes()) {
+                    Ok(()) => (Some(w), None),
+                    Err(e) => (None, Some(format!("write {}: {e}", path.display()))),
+                }
+            }
+            Err(e) => (None, Some(format!("create {}: {e}", path.display()))),
+        };
+        Self {
+            path,
+            writer,
+            error,
+        }
+    }
+
+    /// Flushes, returning the written path or the first I/O error.
+    pub fn finish(mut self) -> Result<PathBuf, String> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()
+                .map_err(|e| format!("flush {}: {e}", self.path.display()))?;
+        }
+        Ok(self.path)
+    }
+}
+
+impl ScaleoutSink for ScaleoutCsvSink {
+    fn layer(&mut self, record: ScaleoutLayerRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write_all(scaleout_rows::scaleout(&record).as_bytes()) {
+                self.error = Some(format!("write {}: {e}", self.path.display()));
+            }
+        }
+    }
+}
+
+/// Collects `SCALEOUT_REPORT.csv` into a string — what the
+/// request/response facade embeds in a
+/// [`SimResponse`](scalesim_api::SimResponse). Byte-identical to the
+/// file [`ScaleoutCsvSink`] writes for the same run.
+#[derive(Debug, Clone)]
+pub struct MemoryScaleoutSink {
+    content: String,
+}
+
+impl Default for MemoryScaleoutSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryScaleoutSink {
+    /// An empty report (header only until rows arrive).
+    pub fn new() -> Self {
+        Self {
+            content: scaleout_rows::SCALEOUT_HEADER.to_string(),
+        }
+    }
+
+    /// The collected report bytes.
+    pub fn finish(self) -> String {
+        self.content
+    }
+}
+
+impl ScaleoutSink for MemoryScaleoutSink {
+    fn layer(&mut self, record: ScaleoutLayerRecord) {
+        self.content.push_str(&scaleout_rows::scaleout(&record));
+    }
+}
+
+/// Discards records (the sweep executor only needs the summary).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiscardScaleoutSink;
+
+impl ScaleoutSink for DiscardScaleoutSink {
+    fn layer(&mut self, _record: ScaleoutLayerRecord) {}
+}
+
+/// Run-level aggregates of a scale-out execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleoutSummary {
+    /// Chips in the system.
+    pub chips: usize,
+    /// The strategy that ran.
+    pub strategy: Strategy,
+    /// Human-readable fabric description.
+    pub fabric: String,
+    /// Layers executed.
+    pub layers: usize,
+    /// Pipeline stages used (1 for data/tensor parallelism).
+    pub stages: usize,
+    /// MACs of the simulated shards (one shard per layer): per-chip
+    /// work under data/tensor parallelism (every chip runs the same
+    /// shard), the **whole pass** under pipeline parallelism (each
+    /// chip runs only its stage's layers).
+    pub simulated_macs: u64,
+    /// Per-chip compute cycles (sum of shard totals).
+    pub compute_cycles: u64,
+    /// Collective cycles obligated across all layers.
+    pub comm_cycles: u64,
+    /// Communication hidden under compute.
+    pub overlapped_cycles: u64,
+    /// Communication on the critical path.
+    pub exposed_cycles: u64,
+    /// Pipeline fill/drain overhead versus perfect parallelism
+    /// (0 for data/tensor parallelism).
+    pub bubble_cycles: u64,
+    /// End-to-end critical-path cycles.
+    pub total_cycles: u64,
+    /// Energy of the simulated shards in mJ (0.0 when energy
+    /// estimation is off): per-chip under data/tensor parallelism,
+    /// whole-pass under pipeline parallelism (see
+    /// [`fleet_energy_mj`](Self::fleet_energy_mj)).
+    pub simulated_energy_mj: f64,
+    /// L2→L1 NoC words of the per-chip runs (multi-core chips only).
+    pub noc_words: u64,
+    util_weighted: f64,
+    util_cycles: u64,
+}
+
+impl ScaleoutSummary {
+    /// Compute-cycle-weighted mean PE utilization of the shards.
+    pub fn utilization(&self) -> f64 {
+        if self.util_cycles == 0 {
+            0.0
+        } else {
+            self.util_weighted / self.util_cycles as f64
+        }
+    }
+
+    /// Total energy the fleet burns for one pass, in mJ: under
+    /// data/tensor parallelism every chip executes the simulated
+    /// shard, so the per-chip energy scales by the chip count; under
+    /// pipeline parallelism the simulated layers *are* the whole
+    /// fleet's work (each chip runs only its stage).
+    pub fn fleet_energy_mj(&self) -> f64 {
+        match self.strategy {
+            Strategy::PipelineParallel => self.simulated_energy_mj,
+            _ => self.simulated_energy_mj * self.chips as f64,
+        }
+    }
+
+    /// Fraction of the critical path spent in exposed communication
+    /// (plus the pipeline bubble), in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            (self.exposed_cycles + self.bubble_cycles) as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// One layer's static plan: the shard, its stage, and the collective it
+/// obligates.
+struct PlannedScaleoutLayer {
+    stage: usize,
+    shard: GemmShape,
+    comm: CollectiveCost,
+    comm_kind: &'static str,
+}
+
+fn plan_layers(
+    topology: &Topology,
+    spec: &ScaleoutSpec,
+    fabric: &Fabric,
+    bytes_per_word: usize,
+) -> Vec<PlannedScaleoutLayer> {
+    match spec.strategy {
+        Strategy::DataParallel | Strategy::TensorParallel => topology
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let plan = shard_layer(spec.strategy, fabric, i, layer.gemm(), bytes_per_word);
+                PlannedScaleoutLayer {
+                    stage: 0,
+                    shard: plan.shard,
+                    comm: plan.comm,
+                    comm_kind: plan.comm_kind,
+                }
+            })
+            .collect(),
+        Strategy::PipelineParallel => {
+            let weights: Vec<u64> = topology.layers().iter().map(|l| l.gemm().macs()).collect();
+            let stages = partition_stages(&weights, fabric.chips());
+            topology
+                .layers()
+                .iter()
+                .enumerate()
+                .map(|(i, layer)| {
+                    let gemm = layer.gemm();
+                    // A stage's last layer ships its activations to the
+                    // next chip (the final stage keeps its outputs).
+                    let boundary = stages.get(i + 1).is_some_and(|&next| next != stages[i]);
+                    let (comm, comm_kind) = if boundary && fabric.chips() > 1 {
+                        (
+                            collectives::point_to_point(
+                                fabric,
+                                (gemm.m * gemm.n) as u64 * bytes_per_word as u64,
+                            ),
+                            "p2p",
+                        )
+                    } else {
+                        (CollectiveCost::FREE, "none")
+                    };
+                    PlannedScaleoutLayer {
+                        stage: stages[i],
+                        shard: gemm,
+                        comm,
+                        comm_kind,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Joins streamed per-shard compute results with the planned collective
+/// costs on the overlap timeline, emitting resolved records downstream.
+struct JoinSink<'a> {
+    plans: &'a [PlannedScaleoutLayer],
+    timeline: OverlapTimeline,
+    pending: Option<ScaleoutLayerRecord>,
+    next: usize,
+    out: &'a mut dyn ScaleoutSink,
+    stage_cycles: Vec<u64>,
+    macs: u64,
+    energy_mj: f64,
+    noc_words: u64,
+    util_weighted: f64,
+    util_cycles: u64,
+}
+
+impl JoinSink<'_> {
+    fn resolve(&mut self, split: scalesim_collective::OverlapSplit) {
+        let mut record = self.pending.take().expect("a pending layer to resolve");
+        record.overlapped_cycles = split.overlapped;
+        record.exposed_cycles = split.exposed;
+        if let Some(slot) = self.stage_cycles.get_mut(record.stage) {
+            *slot += record.total_cycles();
+        }
+        self.out.layer(record);
+    }
+}
+
+impl ResultSink for JoinSink<'_> {
+    fn layer(&mut self, result: LayerResult) {
+        let plan = &self.plans[self.next];
+        self.next += 1;
+        let compute = result.total_cycles();
+        self.macs += result.report.compute.macs;
+        self.noc_words += result.noc_words;
+        if let Some(e) = &result.energy {
+            self.energy_mj += e.total_mj();
+        }
+        let weight = result.report.compute.total_compute_cycles;
+        self.util_weighted += result.report.compute.utilization * weight as f64;
+        self.util_cycles += weight;
+        if let Some(split) = self.timeline.push(compute, plan.comm.cycles) {
+            self.resolve(split);
+        }
+        self.pending = Some(ScaleoutLayerRecord {
+            name: result.name,
+            stage: plan.stage,
+            shard: plan.shard,
+            comm_kind: plan.comm_kind,
+            compute_cycles: compute,
+            comm_cycles: plan.comm.cycles,
+            overlapped_cycles: 0,
+            exposed_cycles: 0,
+            utilization: result.report.compute.utilization,
+        });
+    }
+}
+
+/// Executes `topology` across the multi-chip system `spec` describes,
+/// streaming per-layer records into `sink` and returning the run-level
+/// summary.
+///
+/// Per-shard compute runs through `sim` — and therefore through its
+/// (possibly shared) plan cache — with the usual determinism guarantee:
+/// records and report bytes are identical for any `SCALESIM_THREADS`.
+///
+/// # Errors
+///
+/// Returns a message naming the problem when the spec's fabric is
+/// inconsistent (see [`ScaleoutSpec::fabric`]).
+pub fn run_scaleout(
+    sim: &ScaleSim,
+    topology: &Topology,
+    spec: &ScaleoutSpec,
+    sink: &mut dyn ScaleoutSink,
+) -> Result<ScaleoutSummary, String> {
+    let fabric = spec.fabric()?;
+    let bytes_per_word = sim.config().core.memory.bytes_per_word;
+    let plans = plan_layers(topology, spec, &fabric, bytes_per_word);
+    let stages = plans.last().map_or(1, |p| p.stage + 1);
+
+    let shard_topology = Topology::from_layers(
+        topology.name(),
+        topology
+            .layers()
+            .iter()
+            .zip(&plans)
+            .map(|(layer, plan)| {
+                Layer::gemm_layer(layer.name(), plan.shard.m, plan.shard.n, plan.shard.k)
+            })
+            .collect(),
+    );
+
+    let mut join = JoinSink {
+        plans: &plans,
+        timeline: OverlapTimeline::new(),
+        pending: None,
+        next: 0,
+        out: sink,
+        stage_cycles: vec![0; stages],
+        macs: 0,
+        energy_mj: 0.0,
+        noc_words: 0,
+        util_weighted: 0.0,
+        util_cycles: 0,
+    };
+    sim.run_topology_with(&shard_topology, &mut join);
+    if let Some(split) = join.timeline.finish() {
+        join.resolve(split);
+    }
+
+    let (total_cycles, bubble_cycles) = match spec.strategy {
+        Strategy::PipelineParallel => {
+            let total = pipeline_total_cycles(&join.stage_cycles, spec.microbatches);
+            let work: u64 = join.stage_cycles.iter().sum();
+            let ideal = work.div_ceil(fabric.chips() as u64);
+            (total, total.saturating_sub(ideal))
+        }
+        _ => (join.timeline.total_cycles(), 0),
+    };
+
+    Ok(ScaleoutSummary {
+        chips: fabric.chips(),
+        strategy: spec.strategy,
+        fabric: fabric.to_string(),
+        layers: topology.len(),
+        stages,
+        simulated_macs: join.macs,
+        compute_cycles: join.timeline.compute_total(),
+        comm_cycles: join.timeline.comm_total(),
+        overlapped_cycles: join.timeline.overlapped_total(),
+        exposed_cycles: join.timeline.exposed_total(),
+        bubble_cycles,
+        total_cycles,
+        simulated_energy_mj: join.energy_mj,
+        noc_words: join.noc_words,
+        util_weighted: join.util_weighted,
+        util_cycles: join.util_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScaleSimConfig;
+    use scalesim_collective::FabricTag;
+    use scalesim_systolic::{ArrayShape, MemoryConfig};
+
+    fn sim() -> ScaleSim {
+        let mut config = ScaleSimConfig::default();
+        config.core.array = ArrayShape::new(8, 8);
+        config.core.memory = MemoryConfig::from_kilobytes(16, 16, 8, 2);
+        ScaleSim::new(config)
+    }
+
+    fn topo() -> Topology {
+        Topology::from_layers(
+            "t",
+            vec![
+                Layer::gemm_layer("a", 64, 48, 32),
+                Layer::gemm_layer("b", 64, 64, 48),
+                Layer::gemm_layer("c", 32, 96, 64),
+                Layer::gemm_layer("d", 96, 32, 32),
+            ],
+        )
+    }
+
+    fn spec(strategy: Strategy, chips: usize) -> ScaleoutSpec {
+        ScaleoutSpec {
+            chips,
+            strategy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn data_parallel_shards_m_and_exposes_the_last_allreduce() {
+        let mut sink = CollectScaleoutSink::default();
+        let summary =
+            run_scaleout(&sim(), &topo(), &spec(Strategy::DataParallel, 8), &mut sink).unwrap();
+        assert_eq!(summary.chips, 8);
+        assert_eq!(summary.layers, 4);
+        assert_eq!(sink.records.len(), 4);
+        for r in &sink.records {
+            assert_eq!(r.comm_kind, "allreduce");
+            assert!(r.comm_cycles > 0);
+        }
+        // M shards to ceil(M / 8); N and K stay whole.
+        assert_eq!(sink.records[0].shard, GemmShape::new(8, 48, 32));
+        // The final layer has no window to hide its all-reduce.
+        let last = sink.records.last().unwrap();
+        assert_eq!(last.overlapped_cycles, 0);
+        assert_eq!(last.exposed_cycles, last.comm_cycles);
+        assert_eq!(
+            summary.total_cycles,
+            summary.compute_cycles + summary.exposed_cycles
+        );
+        assert_eq!(
+            summary.overlapped_cycles + summary.exposed_cycles,
+            summary.comm_cycles
+        );
+    }
+
+    #[test]
+    fn tensor_parallel_alternates_collectives() {
+        let mut sink = CollectScaleoutSink::default();
+        run_scaleout(
+            &sim(),
+            &topo(),
+            &spec(Strategy::TensorParallel, 4),
+            &mut sink,
+        )
+        .unwrap();
+        let kinds: Vec<_> = sink.records.iter().map(|r| r.comm_kind).collect();
+        assert_eq!(
+            kinds,
+            ["allgather", "reducescatter", "allgather", "reducescatter"]
+        );
+        assert_eq!(sink.records[0].shard, GemmShape::new(64, 12, 32));
+        assert_eq!(sink.records[1].shard, GemmShape::new(64, 64, 12));
+    }
+
+    #[test]
+    fn pipeline_parallel_partitions_stages_and_adds_a_bubble() {
+        let mut sink = CollectScaleoutSink::default();
+        let summary = run_scaleout(
+            &sim(),
+            &topo(),
+            &spec(Strategy::PipelineParallel, 4),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(summary.stages, 4);
+        let stages: Vec<_> = sink.records.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, [0, 1, 2, 3]);
+        // Every boundary layer ships activations; the final stage keeps
+        // its outputs.
+        let kinds: Vec<_> = sink.records.iter().map(|r| r.comm_kind).collect();
+        assert_eq!(kinds, ["p2p", "p2p", "p2p", "none"]);
+        assert!(summary.bubble_cycles > 0);
+        // Full layers run unsharded.
+        assert_eq!(sink.records[0].shard, GemmShape::new(64, 48, 32));
+    }
+
+    #[test]
+    fn single_chip_degenerates_to_a_plain_run() {
+        let s = sim();
+        let mut sink = CollectScaleoutSink::default();
+        let summary =
+            run_scaleout(&s, &topo(), &spec(Strategy::DataParallel, 1), &mut sink).unwrap();
+        assert_eq!(summary.comm_cycles, 0);
+        assert_eq!(summary.exposed_cycles, 0);
+        let plain = s.run_topology(&topo());
+        assert_eq!(summary.total_cycles, plain.total_cycles());
+        assert_eq!(summary.simulated_macs, plain.total_macs());
+    }
+
+    #[test]
+    fn more_chips_shrink_compute_but_grow_comm() {
+        let s = sim();
+        let mut a = DiscardScaleoutSink;
+        let two = run_scaleout(&s, &topo(), &spec(Strategy::DataParallel, 2), &mut a).unwrap();
+        let sixteen = run_scaleout(&s, &topo(), &spec(Strategy::DataParallel, 16), &mut a).unwrap();
+        assert!(sixteen.compute_cycles < two.compute_cycles);
+        assert!(sixteen.comm_cycles > two.comm_cycles);
+    }
+
+    #[test]
+    fn mesh_fabric_runs_and_labels_itself() {
+        let mut sink = CollectScaleoutSink::default();
+        let mut sp = spec(Strategy::TensorParallel, 8);
+        sp.fabric = FabricTag::Mesh;
+        let summary = run_scaleout(&sim(), &topo(), &sp, &mut sink).unwrap();
+        assert!(summary.fabric.starts_with("mesh2x4"), "{}", summary.fabric);
+    }
+
+    #[test]
+    fn bad_fabric_is_a_named_error() {
+        let mut sp = spec(Strategy::DataParallel, 6);
+        sp.fabric = FabricTag::Switch;
+        let err = run_scaleout(&sim(), &topo(), &sp, &mut DiscardScaleoutSink).unwrap_err();
+        assert!(err.contains("power-of-two"), "{err}");
+    }
+
+    #[test]
+    fn memory_sink_matches_csv_sink_bytes() {
+        let dir = std::env::temp_dir().join(format!("scalesim-so-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = sim();
+        let mut file_sink = ScaleoutCsvSink::new(&dir);
+        run_scaleout(
+            &s,
+            &topo(),
+            &spec(Strategy::DataParallel, 8),
+            &mut file_sink,
+        )
+        .unwrap();
+        let path = file_sink.finish().unwrap();
+        let mut mem_sink = MemoryScaleoutSink::new();
+        run_scaleout(&s, &topo(), &spec(Strategy::DataParallel, 8), &mut mem_sink).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), mem_sink.finish());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -36,13 +36,15 @@
 use crate::cfg::parse_cfg;
 use crate::config::{MultiCoreIntegration, ScaleSimConfig};
 use crate::engine::{ScaleSim, StreamStats};
+use crate::scaleout::{run_scaleout, MemoryScaleoutSink, ScaleoutSink, ScaleoutSummary};
 use crate::sink::{MemoryReportSink, ReportSections, ResultSink, RunSummary};
 use crate::sweep_run::run_sweep_cached;
 use scalesim_api::{
-    AreaBody, AreaSpec, ConfigSource, Features, Report, RunBody, RunSpec, RunSummaryBody, SimError,
-    SimRequest, SimResponse, SweepBody, SweepRequest, TopologyFormat, TopologySource, VersionBody,
-    API_VERSION,
+    AreaBody, AreaSpec, ConfigSource, Features, Report, RunBody, RunSpec, RunSummaryBody,
+    ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, SweepBody, SweepRequest,
+    TopologyFormat, TopologySource, VersionBody, API_VERSION,
 };
+use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_energy::AreaBreakdown;
 use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
 use scalesim_sweep::{SweepReport, SweepSpec};
@@ -103,6 +105,10 @@ impl SimService {
                 let prepared = self.prepare_sweep(spec)?;
                 let (report, _) = prepared.run_with(|_| {})?;
                 Ok(SimResponse::Sweep(sweep_body(&prepared, &report)))
+            }
+            SimRequest::Scaleout(spec) => {
+                let prepared = self.prepare_scaleout(spec)?;
+                Ok(SimResponse::Scaleout(prepared.into_body()?))
             }
             SimRequest::AreaReport(spec) => Ok(SimResponse::Area(self.area(spec)?)),
             SimRequest::Version => Ok(SimResponse::Version(version_body())),
@@ -199,6 +205,54 @@ impl SimService {
         })
     }
 
+    /// Loads and validates everything a scale-out request needs: the
+    /// per-chip architecture (whose `[scaleout]` section seeds the
+    /// scale-out parameters), the workload, and the request's
+    /// overrides. The CLI drives the prepared run itself so it can
+    /// stream `SCALEOUT_REPORT.csv` rows to disk.
+    ///
+    /// # Errors
+    ///
+    /// `Io` for unreadable inputs, `Config` for bad configurations or
+    /// inconsistent scale-out parameters, `Topology` for bad workloads.
+    pub fn prepare_scaleout(
+        &self,
+        request: &ScaleoutRequest,
+    ) -> Result<PreparedScaleout, SimError> {
+        let config = load_config(&request.config, &request.features)?;
+        let topology = load_topology(&request.topology)?;
+        let mut spec = config.scaleout.clone().unwrap_or_default();
+        if let Some(chips) = request.chips {
+            spec.chips = chips;
+            // An explicit chip count invalidates cfg-pinned mesh dims;
+            // fall back to the near-square factorization.
+            spec.mesh = None;
+        }
+        if let Some(fabric) = &request.fabric {
+            spec.fabric = FabricTag::parse(fabric).map_err(SimError::Config)?;
+        }
+        if let Some(gbps) = request.link_gbps {
+            spec.link_gbps = gbps;
+        }
+        if let Some(latency) = request.link_latency {
+            spec.link_latency = latency;
+        }
+        if let Some(strategy) = &request.strategy {
+            spec.strategy = Strategy::parse(strategy).map_err(SimError::Config)?;
+        }
+        if let Some(microbatches) = request.microbatches {
+            spec.microbatches = microbatches;
+        }
+        // Fail on inconsistent fabrics before any simulation.
+        spec.fabric().map_err(SimError::Config)?;
+        let sim = ScaleSim::try_new_with_cache(config, Arc::clone(&self.cache))?;
+        Ok(PreparedScaleout {
+            sim,
+            topology,
+            spec,
+        })
+    }
+
     /// Estimates the configured accelerator's silicon area.
     ///
     /// # Errors
@@ -259,6 +313,67 @@ impl PreparedRun {
                 })
                 .collect(),
         }
+    }
+}
+
+/// A validated scale-out run, ready to execute: the per-chip engine
+/// (sharing the service's plan cache), the workload, and the resolved
+/// scale-out parameters.
+#[derive(Debug, Clone)]
+pub struct PreparedScaleout {
+    /// The configured per-chip engine.
+    pub sim: ScaleSim,
+    /// The parsed workload.
+    pub topology: Topology,
+    /// The resolved scale-out parameters (cfg section plus request
+    /// overrides).
+    pub spec: ScaleoutSpec,
+}
+
+impl PreparedScaleout {
+    /// Streams the run's per-layer records into `sink`, returning the
+    /// run-level summary.
+    ///
+    /// # Errors
+    ///
+    /// `Config` when the scale-out parameters are inconsistent
+    /// (normally caught at prepare time).
+    pub fn run_into(&self, sink: &mut dyn ScaleoutSink) -> Result<ScaleoutSummary, SimError> {
+        run_scaleout(&self.sim, &self.topology, &self.spec, sink).map_err(SimError::Config)
+    }
+
+    /// Executes the run, collecting the response body: the summary plus
+    /// a `SCALEOUT_REPORT.csv` byte-identical to the file the CLI
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// `Config` when the scale-out parameters are inconsistent.
+    pub fn into_body(self) -> Result<ScaleoutBody, SimError> {
+        let mut csv = MemoryScaleoutSink::new();
+        let summary = self.run_into(&mut csv)?;
+        Ok(scaleout_body(&summary, csv.finish()))
+    }
+}
+
+/// Packages a finished scale-out run as the response body.
+pub fn scaleout_body(summary: &ScaleoutSummary, report_csv: String) -> ScaleoutBody {
+    ScaleoutBody {
+        chips: summary.chips as u64,
+        strategy: summary.strategy.tag().to_string(),
+        fabric: summary.fabric.clone(),
+        layers: summary.layers,
+        total_cycles: summary.total_cycles,
+        compute_cycles: summary.compute_cycles,
+        comm_cycles: summary.comm_cycles,
+        overlapped_cycles: summary.overlapped_cycles,
+        exposed_cycles: summary.exposed_cycles,
+        bubble_cycles: summary.bubble_cycles,
+        utilization: summary.utilization(),
+        reports: vec![Report {
+            name: "SCALEOUT_REPORT.csv".into(),
+            content: report_csv,
+        }],
     }
 }
 
@@ -588,6 +703,71 @@ mod tests {
         assert!(!body.pareto_frontier.is_empty());
         assert_eq!(body.reports[0].name, "SWEEP_REPORT.csv");
         assert_eq!(body.reports[1].name, "SWEEP_REPORT.json");
+    }
+
+    #[test]
+    fn scaleout_request_round_trips_and_shares_the_cache() {
+        let service = SimService::new();
+        let mut req = ScaleoutRequest::for_topology(gemm_topology());
+        req.chips = Some(8);
+        req.strategy = Some("data".into());
+        let SimResponse::Scaleout(body) =
+            service.handle(&SimRequest::Scaleout(req.clone())).unwrap()
+        else {
+            panic!("expected scaleout body")
+        };
+        assert_eq!(body.chips, 8);
+        assert_eq!(body.strategy, "dp");
+        assert_eq!(body.layers, 2);
+        assert!(body.total_cycles >= body.compute_cycles);
+        assert_eq!(body.reports[0].name, "SCALEOUT_REPORT.csv");
+        assert!(body.reports[0].content.starts_with("LayerName, Stage,"));
+        // The second identical request plans nothing: shards hit the
+        // service's shared cache.
+        let before = service.plan_cache().stats();
+        service.handle(&SimRequest::Scaleout(req)).unwrap();
+        let after = service.plan_cache().stats();
+        assert_eq!(after.misses, before.misses);
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn scaleout_overrides_and_cfg_section_compose() {
+        let service = SimService::new();
+        let mut req = ScaleoutRequest::for_topology(gemm_topology());
+        req.config = ConfigSource::Inline(
+            "[scaleout]\nChips : 4\nStrategy : tensor\nLinkGbps : 25\n".into(),
+        );
+        let prepared = service.prepare_scaleout(&req).unwrap();
+        assert_eq!(prepared.spec.chips, 4);
+        assert_eq!(prepared.spec.strategy, Strategy::TensorParallel);
+        // The request override wins over the cfg section.
+        req.chips = Some(16);
+        req.strategy = Some("pipeline".into());
+        let prepared = service.prepare_scaleout(&req).unwrap();
+        assert_eq!(prepared.spec.chips, 16);
+        assert_eq!(prepared.spec.strategy, Strategy::PipelineParallel);
+        assert_eq!(prepared.spec.link_gbps, 25.0, "untouched knobs survive");
+    }
+
+    #[test]
+    fn scaleout_bad_parameters_are_config_errors() {
+        let service = SimService::new();
+        let mut req = ScaleoutRequest::for_topology(gemm_topology());
+        req.fabric = Some("torus".into());
+        assert_eq!(
+            service
+                .handle(&SimRequest::Scaleout(req))
+                .unwrap_err()
+                .kind(),
+            "config"
+        );
+        let mut req = ScaleoutRequest::for_topology(gemm_topology());
+        req.chips = Some(6);
+        req.fabric = Some("switch".into());
+        let err = service.handle(&SimRequest::Scaleout(req)).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("power-of-two"), "{err}");
     }
 
     #[test]

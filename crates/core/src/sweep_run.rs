@@ -15,6 +15,7 @@
 
 use crate::config::{MultiCoreIntegration, ScaleSimConfig};
 use crate::engine::ScaleSim;
+use crate::scaleout::{run_scaleout, DiscardScaleoutSink, ScaleoutSummary};
 use crate::sink::RunSummary;
 use scalesim_multicore::{L2Config, PartitionScheme};
 use scalesim_sweep::{run_sharded_with, RunRecord, SweepPoint, SweepReport, SweepSpec};
@@ -65,6 +66,24 @@ pub fn apply_point(base: &ScaleSimConfig, point: &SweepPoint) -> ScaleSimConfig 
     if let Some(layout) = point.layout {
         cfg.enable_layout = layout;
     }
+    // Scale-out axes: any of them materializes the [scaleout] section
+    // (seeded from the base config or the defaults) and overrides the
+    // named knob; a resolved chip count of 1 stays a plain
+    // single-chip run — the natural weak-scaling baseline.
+    if point.chips.is_some() || point.link_gbps.is_some() || point.strategy.is_some() {
+        let mut so = base.scaleout.clone().unwrap_or_default();
+        if let Some(chips) = point.chips {
+            so.chips = chips;
+            so.mesh = None;
+        }
+        if let Some(gbps) = point.link_gbps {
+            so.link_gbps = gbps;
+        }
+        if let Some(strategy) = point.strategy {
+            so.strategy = strategy;
+        }
+        cfg.scaleout = if so.chips <= 1 { None } else { Some(so) };
+    }
     cfg
 }
 
@@ -76,17 +95,15 @@ fn dataflow_tag(d: Dataflow) -> &'static str {
     }
 }
 
-/// Reduces one topology run's streamed [`RunSummary`] into a sweep
-/// record. The summary accumulates the same reductions (in the same
-/// layer order) the collected `RunResult` path used to compute, so
-/// records — and therefore report bytes — are unchanged; the layer
-/// results themselves are never materialized.
-fn record_for(
+/// The cfg-derived columns shared by every record kind (the run's
+/// dynamic metrics are zeroed; the caller fills them). One source of
+/// truth, so single-chip and scale-out rows can never disagree on
+/// static configuration columns.
+fn base_record(
     run: usize,
     point: &SweepPoint,
     cfg: &ScaleSimConfig,
     topology: &Topology,
-    summary: &RunSummary,
 ) -> RunRecord {
     let mem = &cfg.core.memory;
     let kb = |words: usize| words * mem.bytes_per_word / 1024;
@@ -108,6 +125,31 @@ fn record_for(
         dram_enabled: cfg.enable_dram,
         energy_enabled: cfg.enable_energy,
         layout_enabled: cfg.enable_layout,
+        layers: 0,
+        total_cycles: 0,
+        compute_cycles: 0,
+        stall_cycles: 0,
+        utilization: 0.0,
+        macs: 0,
+        energy_mj: 0.0,
+        edp_cycles_mj: 0.0,
+        noc_words: 0,
+    }
+}
+
+/// Reduces one topology run's streamed [`RunSummary`] into a sweep
+/// record. The summary accumulates the same reductions (in the same
+/// layer order) the collected `RunResult` path used to compute, so
+/// records — and therefore report bytes — are unchanged; the layer
+/// results themselves are never materialized.
+fn record_for(
+    run: usize,
+    point: &SweepPoint,
+    cfg: &ScaleSimConfig,
+    topology: &Topology,
+    summary: &RunSummary,
+) -> RunRecord {
+    RunRecord {
         layers: summary.layers,
         total_cycles: summary.total_cycles,
         compute_cycles: summary.compute_cycles,
@@ -117,6 +159,38 @@ fn record_for(
         energy_mj: summary.energy_mj(),
         edp_cycles_mj: summary.edp_cycles_mj(),
         noc_words: summary.noc_words,
+        ..base_record(run, point, cfg, topology)
+    }
+}
+
+/// Reduces a scale-out run's summary into a sweep record. The standard
+/// columns keep their meaning where one exists at system scale:
+/// `TotalCycles` is the multi-chip critical path, `StallCycles` carries
+/// the exposed communication plus the pipeline bubble (the scale-out
+/// analogue of waiting on memory), `MACs` are the simulated shards'
+/// (per-chip under data/tensor, whole-pass under pipeline), and
+/// `EnergyMj` is the fleet total
+/// ([`ScaleoutSummary::fleet_energy_mj`]). The scale-out axes
+/// themselves are encoded in `PointLabel` (`p8-g100-dp`).
+fn record_for_scaleout(
+    run: usize,
+    point: &SweepPoint,
+    cfg: &ScaleSimConfig,
+    topology: &Topology,
+    summary: &ScaleoutSummary,
+) -> RunRecord {
+    let fleet_energy = summary.fleet_energy_mj();
+    RunRecord {
+        layers: summary.layers,
+        total_cycles: summary.total_cycles,
+        compute_cycles: summary.compute_cycles,
+        stall_cycles: summary.exposed_cycles + summary.bubble_cycles,
+        utilization: summary.utilization(),
+        macs: summary.simulated_macs,
+        energy_mj: fleet_energy,
+        edp_cycles_mj: summary.total_cycles as f64 * fleet_energy,
+        noc_words: summary.noc_words,
+        ..base_record(run, point, cfg, topology)
     }
 }
 
@@ -197,6 +271,10 @@ pub fn run_sweep_cached(
         cfg.core
             .validate()
             .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
+        if let Some(so) = &cfg.scaleout {
+            so.fabric()
+                .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
+        }
     }
     let mut records = Vec::with_capacity(grid.len() * topologies.len());
     run_sharded_with(
@@ -206,9 +284,15 @@ pub fn run_sweep_cached(
         |run, point, topology| {
             let cfg = apply_point(base, point);
             let sim = ScaleSim::new_with_cache(cfg.clone(), Arc::clone(cache));
-            let mut summary = RunSummary::new();
-            sim.run_topology_with(topology, &mut summary);
-            record_for(run, point, &cfg, topology, &summary)
+            if let Some(so) = &cfg.scaleout {
+                let summary = run_scaleout(&sim, topology, so, &mut DiscardScaleoutSink)
+                    .expect("scale-out points are validated before the grid runs");
+                record_for_scaleout(run, point, &cfg, topology, &summary)
+            } else {
+                let mut summary = RunSummary::new();
+                sim.run_topology_with(topology, &mut summary);
+                record_for(run, point, &cfg, topology, &summary)
+            }
         },
         |_, record| {
             on_record(&record);
@@ -308,6 +392,48 @@ mod tests {
         let (r3, _) = run_sweep(&s, &base, &topos, 3).unwrap();
         assert_eq!(r1.to_csv(), r3.to_csv());
         assert_eq!(r1.to_json(), r3.to_json());
+    }
+
+    #[test]
+    fn scaleout_axes_run_through_the_collective_path() {
+        let base = ScaleSimConfig::default();
+        let s = spec("chips = 1, 8\nstrategy = data\nlink_gbps = 100\n");
+        // Batch (M) large enough that an 8-way shard visibly shrinks
+        // per-chip compute on the default 32x32 array.
+        let topos = vec![Topology::from_layers(
+            "big",
+            vec![
+                Layer::gemm_layer("a", 512, 64, 64),
+                Layer::gemm_layer("b", 512, 96, 64),
+            ],
+        )];
+        let (report, _) = run_sweep(&s, &base, &topos, 1).unwrap();
+        assert_eq!(report.records().len(), 2);
+        let records = report.records();
+        // chips = 1 is the plain single-chip baseline (no comm), so for
+        // the same topology the 8-chip run computes less per chip.
+        let single = &records[0];
+        let eight = &records[1];
+        assert_eq!(single.point_label, "p1-g100-dp");
+        assert_eq!(eight.point_label, "p8-g100-dp");
+        assert_eq!(single.topology, eight.topology);
+        assert!(eight.compute_cycles < single.compute_cycles);
+        assert!(eight.stall_cycles > 0, "exposed comm lands in StallCycles");
+    }
+
+    #[test]
+    fn scaleout_points_validate_before_running() {
+        let base = ScaleSimConfig::default();
+        // 6 chips on a switch fabric is invalid (power of two required).
+        let mut cfg = base.clone();
+        cfg.scaleout = Some(scalesim_collective::ScaleoutSpec {
+            fabric: scalesim_collective::FabricTag::Switch,
+            ..Default::default()
+        });
+        let s = spec("chips = 6\n");
+        let err = run_sweep(&s, &cfg, &small_topos(), 1).unwrap_err();
+        assert!(err.contains("p6"), "{err}");
+        assert!(err.contains("power-of-two"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! topology = topologies/vit_small_gemm.csv, topologies/alexnet.csv
 //! ```
 
+use scalesim_collective::Strategy;
 use scalesim_multicore::PartitionGrid;
 use scalesim_systolic::{ArrayShape, Dataflow};
 
@@ -65,6 +66,14 @@ pub struct SweepSpec {
     pub energy: Vec<bool>,
     /// Layout bank-conflict analysis on/off (`layout = false`).
     pub layout: Vec<bool>,
+    /// Scale-out chip counts (`chips = 1, 8, 64`); `1` is a plain
+    /// single-chip run.
+    pub chips: Vec<usize>,
+    /// Scale-out per-link bandwidths in GB/s (`link_gbps = 25, 100`).
+    pub link_gbps: Vec<f64>,
+    /// Scale-out parallelization strategies
+    /// (`strategy = data, tensor, pipeline`).
+    pub strategies: Vec<Strategy>,
     /// Workload topology CSV paths (`topology = a.csv, b.csv`;
     /// repeatable). The CLI may append more with `-t`.
     pub topologies: Vec<String>,
@@ -229,6 +238,30 @@ impl SweepSpec {
                         spec.layout.push(parse_bool(v)?);
                     }
                 }
+                "chips" => {
+                    for v in values() {
+                        let n = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            SpecError(format!("bad chips '{v}' (positive integer)"))
+                        })?;
+                        spec.chips.push(n);
+                    }
+                }
+                "link_gbps" | "linkgbps" => {
+                    for v in values() {
+                        let gbps: f64 = v
+                            .parse()
+                            .map_err(|_| SpecError(format!("bad link_gbps '{v}'")))?;
+                        if !gbps.is_finite() || gbps <= 0.0 {
+                            return Err(SpecError(format!("link_gbps must be positive: '{v}'")));
+                        }
+                        spec.link_gbps.push(gbps);
+                    }
+                }
+                "strategy" | "strategies" => {
+                    for v in values() {
+                        spec.strategies.push(Strategy::parse(v).map_err(SpecError)?);
+                    }
+                }
                 "topology" | "topologies" => {
                     spec.topologies.extend(values().map(String::from));
                 }
@@ -252,6 +285,9 @@ impl SweepSpec {
             self.dram.len(),
             self.energy.len(),
             self.layout.len(),
+            self.chips.len(),
+            self.link_gbps.len(),
+            self.strategies.len(),
         ]
         .iter()
         .map(|&n| n.max(1))
@@ -293,17 +329,26 @@ impl SweepSpec {
                             for &dram in &axis(&self.dram) {
                                 for &energy in &axis(&self.energy) {
                                     for &layout in &axis(&self.layout) {
-                                        grid.push(SweepPoint {
-                                            index: grid.len(),
-                                            array,
-                                            dataflow,
-                                            sram_kb,
-                                            bandwidth,
-                                            cores,
-                                            dram,
-                                            energy,
-                                            layout,
-                                        });
+                                        for &chips in &axis(&self.chips) {
+                                            for &link_gbps in &axis(&self.link_gbps) {
+                                                for &strategy in &axis(&self.strategies) {
+                                                    grid.push(SweepPoint {
+                                                        index: grid.len(),
+                                                        array,
+                                                        dataflow,
+                                                        sram_kb,
+                                                        bandwidth,
+                                                        cores,
+                                                        dram,
+                                                        energy,
+                                                        layout,
+                                                        chips,
+                                                        link_gbps,
+                                                        strategy,
+                                                    });
+                                                }
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -338,6 +383,12 @@ pub struct SweepPoint {
     pub energy: Option<bool>,
     /// Layout analysis toggle override.
     pub layout: Option<bool>,
+    /// Scale-out chip-count override (`1` forces a single-chip run).
+    pub chips: Option<usize>,
+    /// Scale-out per-link bandwidth override, GB/s.
+    pub link_gbps: Option<f64>,
+    /// Scale-out strategy override.
+    pub strategy: Option<Strategy>,
 }
 
 impl SweepPoint {
@@ -379,6 +430,19 @@ impl SweepPoint {
             if let Some(on) = flag {
                 parts.push(format!("{tag}{}", u8::from(on)));
             }
+        }
+        if let Some(p) = self.chips {
+            parts.push(format!("p{p}"));
+        }
+        if let Some(g) = self.link_gbps {
+            if g.fract() == 0.0 {
+                parts.push(format!("g{}", g as u64));
+            } else {
+                parts.push(format!("g{g}"));
+            }
+        }
+        if let Some(s) = self.strategy {
+            parts.push(s.tag().into());
         }
         if parts.is_empty() {
             "base".into()
@@ -447,6 +511,28 @@ mod tests {
     }
 
     #[test]
+    fn scaleout_axes_parse_and_label() {
+        let spec = SweepSpec::parse(
+            "chips = 1, 8, 64\nlink_gbps = 25, 100\nstrategy = data, tensor, pipeline\n",
+        )
+        .unwrap();
+        assert_eq!(spec.chips, [1, 8, 64]);
+        assert_eq!(spec.link_gbps, [25.0, 100.0]);
+        assert_eq!(
+            spec.strategies,
+            [
+                Strategy::DataParallel,
+                Strategy::TensorParallel,
+                Strategy::PipelineParallel
+            ]
+        );
+        assert_eq!(spec.grid_size(), 3 * 2 * 3);
+        let grid = spec.expand();
+        assert_eq!(grid[0].label(), "p1-g25-dp");
+        assert_eq!(grid.last().unwrap().label(), "p64-g100-pp");
+    }
+
+    #[test]
     fn errors_name_the_problem() {
         for (text, needle) in [
             ("array = 8\n", "bad array"),
@@ -457,6 +543,9 @@ mod tests {
             ("bandwidth = -1\n", "positive"),
             ("cores = 0x2\n", "bad cores"),
             ("dram = maybe\n", "bad boolean"),
+            ("chips = 0\n", "bad chips"),
+            ("link_gbps = -4\n", "positive"),
+            ("strategy = zz\n", "unknown strategy"),
             ("wat = 1\n", "unknown key"),
         ] {
             let err = SweepSpec::parse(text).unwrap_err().to_string();

@@ -309,8 +309,10 @@ impl PlanCache {
     /// must not wedge every later request on a poisoned lock.
     fn lock_map(
         &self,
-    ) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>>
-    {
+    ) -> std::sync::MutexGuard<
+        '_,
+        HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>,
+    > {
         self.map.lock().unwrap_or_else(|e| e.into_inner())
     }
 

@@ -75,6 +75,10 @@ fn describe(response: &SimResponse) -> String {
             s.runs,
             s.pareto_frontier.join(", ")
         ),
+        SimResponse::Scaleout(s) => format!(
+            "{} chips ({}), {} cycles ({} exposed comm)",
+            s.chips, s.strategy, s.total_cycles, s.exposed_cycles
+        ),
         SimResponse::Area(a) => format!("{:.2} mm2", a.total_mm2),
     }
 }
