@@ -1,7 +1,7 @@
 //! The stable [`SimError`] taxonomy every public entry point reports
 //! through.
 //!
-//! Four categories cover everything the simulator can reject, each with
+//! Six categories cover everything the simulator can reject, each with
 //! a fixed wire tag and a fixed process exit code (used by the
 //! `scalesim` binary):
 //!
@@ -11,9 +11,12 @@
 //! | [`SimError::Topology`] | `topology` | 3 | CSV parse error, duplicate layer name, empty topology |
 //! | [`SimError::Io`] | `io` | 4 | unreadable input file, unwritable output directory |
 //! | [`SimError::Internal`] | `internal` | 70 | a caught panic — always a bug, please report |
+//! | [`SimError::Busy`] | `busy` | 75 | server at capacity (admission queue or session cap); retry later |
+//! | [`SimError::Deadline`] | `deadline` | 124 | the request's `deadline_ms` expired before it finished |
 //!
-//! Exit code 70 is BSD's `EX_SOFTWARE`; 2–4 avoid 1 (generic CLI usage
-//! failure) and anything shells reserve (126+).
+//! Exit code 70 is BSD's `EX_SOFTWARE` and 75 its `EX_TEMPFAIL` (the
+//! retryable one); 124 matches GNU `timeout(1)`. 2–4 avoid 1 (generic
+//! CLI usage failure) and anything shells reserve (126+).
 
 use std::error::Error;
 use std::fmt;
@@ -31,16 +34,24 @@ pub enum SimError {
     Io(String),
     /// An internal invariant failed (caught panic); always a bug.
     Internal(String),
+    /// The server is at capacity (admission queue full or session cap
+    /// reached); the request was shed, not queued. Retry later.
+    Busy(String),
+    /// The request's `deadline_ms` budget expired before it finished.
+    Deadline(String),
 }
 
 impl SimError {
-    /// The stable wire tag (`config` / `topology` / `io` / `internal`).
+    /// The stable wire tag (`config` / `topology` / `io` / `internal` /
+    /// `busy` / `deadline`).
     pub fn kind(&self) -> &'static str {
         match self {
             SimError::Config(_) => "config",
             SimError::Topology(_) => "topology",
             SimError::Io(_) => "io",
             SimError::Internal(_) => "internal",
+            SimError::Busy(_) => "busy",
+            SimError::Deadline(_) => "deadline",
         }
     }
 
@@ -51,6 +62,8 @@ impl SimError {
             SimError::Topology(_) => 3,
             SimError::Io(_) => 4,
             SimError::Internal(_) => 70,
+            SimError::Busy(_) => 75,
+            SimError::Deadline(_) => 124,
         }
     }
 
@@ -60,7 +73,9 @@ impl SimError {
             SimError::Config(m)
             | SimError::Topology(m)
             | SimError::Io(m)
-            | SimError::Internal(m) => m,
+            | SimError::Internal(m)
+            | SimError::Busy(m)
+            | SimError::Deadline(m) => m,
         }
     }
 
@@ -71,6 +86,8 @@ impl SimError {
             "config" => SimError::Config(message),
             "topology" => SimError::Topology(message),
             "io" => SimError::Io(message),
+            "busy" => SimError::Busy(message),
+            "deadline" => SimError::Deadline(message),
             _ => SimError::Internal(message),
         }
     }
@@ -94,6 +111,8 @@ impl fmt::Display for SimError {
             SimError::Topology(m) => write!(f, "topology error: {m}"),
             SimError::Io(m) => write!(f, "io error: {m}"),
             SimError::Internal(m) => write!(f, "internal error: {m}"),
+            SimError::Busy(m) => write!(f, "busy: {m}"),
+            SimError::Deadline(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }
@@ -124,6 +143,8 @@ mod tests {
         assert_eq!(SimError::Topology("x".into()).exit_code(), 3);
         assert_eq!(SimError::Io("x".into()).exit_code(), 4);
         assert_eq!(SimError::Internal("x".into()).exit_code(), 70);
+        assert_eq!(SimError::Busy("x".into()).exit_code(), 75);
+        assert_eq!(SimError::Deadline("x".into()).exit_code(), 124);
     }
 
     #[test]
@@ -133,6 +154,8 @@ mod tests {
             SimError::Topology("b".into()),
             SimError::Io("c".into()),
             SimError::Internal("d".into()),
+            SimError::Busy("e".into()),
+            SimError::Deadline("f".into()),
         ] {
             assert_eq!(SimError::from_kind(e.kind(), e.message().to_string()), e);
         }

@@ -24,7 +24,8 @@
 //!   Removing or renaming a field, changing a type, or changing the
 //!   meaning of an exit code bumps `API_VERSION`.
 //! * The [`SimError`] categories and their exit codes (config=2,
-//!   topology=3, io=4, internal=70) are frozen for all versions.
+//!   topology=3, io=4, internal=70, busy=75, deadline=124) are frozen
+//!   for all versions.
 //!
 //! The full JSON schema with worked examples is `docs/API.md`.
 //!
@@ -62,5 +63,6 @@ pub use request::{
     TopologyFormat, TopologySource,
 };
 pub use response::{
-    AreaBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, SweepBody, VersionBody,
+    AreaBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, StatsBody, SweepBody,
+    VersionBody,
 };

@@ -331,11 +331,15 @@ pub enum SimRequest {
     AreaReport(AreaSpec),
     /// Report the server's version and API level.
     Version,
+    /// Report the server's runtime metrics: plan-cache stats, requests
+    /// in flight/shed, and handle-latency percentiles. Answered inline
+    /// (never queued), so it stays observable under saturation.
+    Stats,
 }
 
 impl SimRequest {
     /// The wire tag this request is keyed by in the envelope
-    /// (`run` / `sweep` / `scaleout` / `area` / `version`).
+    /// (`run` / `sweep` / `scaleout` / `area` / `version` / `stats`).
     pub fn tag(&self) -> &'static str {
         match self {
             SimRequest::Run(_) => "run",
@@ -343,6 +347,7 @@ impl SimRequest {
             SimRequest::Scaleout(_) => "scaleout",
             SimRequest::AreaReport(_) => "area",
             SimRequest::Version => "version",
+            SimRequest::Stats => "stats",
         }
     }
 
@@ -417,6 +422,7 @@ impl SimRequest {
                 Json::Obj(fields)
             }
             SimRequest::Version => Json::Obj(Vec::new()),
+            SimRequest::Stats => Json::Obj(Vec::new()),
         }
     }
 
@@ -526,8 +532,9 @@ impl SimRequest {
                 features: opt_features(body)?,
             })),
             "version" => Ok(SimRequest::Version),
+            "stats" => Ok(SimRequest::Stats),
             other => Err(bad(format!(
-                "unknown request '{other}' (supported: run, sweep, scaleout, area, version)"
+                "unknown request '{other}' (supported: run, sweep, scaleout, area, version, stats)"
             ))),
         }
     }
@@ -627,6 +634,7 @@ mod tests {
         }));
         round_trip(SimRequest::AreaReport(AreaSpec::default()));
         round_trip(SimRequest::Version);
+        round_trip(SimRequest::Stats);
     }
 
     #[test]

@@ -123,6 +123,49 @@ pub struct VersionBody {
     pub api: u32,
 }
 
+/// Response body of a `stats` request: a snapshot of the serving
+/// process's runtime metrics.
+///
+/// All counters are cumulative since process start except `in_flight`
+/// and the cache residency gauges. Latency percentiles come from a
+/// power-of-two-bucket histogram, so `p50`/`p99` are upper bounds of
+/// the bucket the percentile falls in (exact to within 2×).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsBody {
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (each one planned a layer).
+    pub cache_misses: u64,
+    /// Plans currently resident.
+    pub cache_plans: u64,
+    /// Entries evicted by the cost-aware policy.
+    pub cache_evictions: u64,
+    /// Estimated bytes currently held by cached plans.
+    pub cache_resident_bytes: u64,
+    /// Configured byte budget (0 = count-capped only).
+    pub cache_budget_bytes: u64,
+    /// hits / (hits + misses), 0.0 when no lookups happened.
+    pub cache_hit_rate: f64,
+    /// Requests received (queued + inline; includes shed ones).
+    pub requests_total: u64,
+    /// Requests fully handled (ok or typed error).
+    pub completed: u64,
+    /// Requests shed with `busy` (queue full or session cap).
+    pub shed: u64,
+    /// Requests that died with `deadline`.
+    pub deadline_expired: u64,
+    /// Requests currently executing or queued.
+    pub in_flight: u64,
+    /// Handle latencies recorded.
+    pub latency_count: u64,
+    /// Median handle latency, µs (bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile handle latency, µs (bucket upper bound).
+    pub latency_p99_us: u64,
+    /// Maximum handle latency observed, µs.
+    pub latency_max_us: u64,
+}
+
 /// A successful response to a [`crate::SimRequest`]; failures travel as
 /// [`SimError`] (see [`crate::wire::encode_response`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +180,8 @@ pub enum SimResponse {
     Area(AreaBody),
     /// Result of a `version` request.
     Version(VersionBody),
+    /// Result of a `stats` request.
+    Stats(StatsBody),
 }
 
 fn reports_json(out: &mut String, reports: &[Report]) {
@@ -163,6 +208,7 @@ impl SimResponse {
             SimResponse::Scaleout(_) => "scaleout",
             SimResponse::Area(_) => "area",
             SimResponse::Version(_) => "version",
+            SimResponse::Stats(_) => "stats",
         }
     }
 
@@ -244,6 +290,32 @@ impl SimResponse {
                 out.push_str("{\"version\":\"");
                 escape_into(&v.version, &mut out);
                 out.push_str(&format!("\",\"api\":{}}}", v.api));
+            }
+            SimResponse::Stats(s) => {
+                out.push_str(&format!(
+                    "{{\"cache\":{{\"hits\":{},\"misses\":{},\"plans\":{},\
+                     \"evictions\":{},\"resident_bytes\":{},\"budget_bytes\":{},\
+                     \"hit_rate\":{:.4}}},\
+                     \"serve\":{{\"requests_total\":{},\"completed\":{},\"shed\":{},\
+                     \"deadline_expired\":{},\"in_flight\":{}}},\
+                     \"latency_us\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}}}",
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_plans,
+                    s.cache_evictions,
+                    s.cache_resident_bytes,
+                    s.cache_budget_bytes,
+                    s.cache_hit_rate,
+                    s.requests_total,
+                    s.completed,
+                    s.shed,
+                    s.deadline_expired,
+                    s.in_flight,
+                    s.latency_count,
+                    s.latency_p50_us,
+                    s.latency_p99_us,
+                    s.latency_max_us,
+                ));
             }
         }
         out
@@ -333,6 +405,35 @@ impl SimResponse {
                     .to_string(),
                 api: u(body, "api")? as u32,
             })),
+            "stats" => {
+                let cache = body
+                    .get("cache")
+                    .ok_or_else(|| bad("stats response: missing \"cache\""))?;
+                let serve = body
+                    .get("serve")
+                    .ok_or_else(|| bad("stats response: missing \"serve\""))?;
+                let latency = body
+                    .get("latency_us")
+                    .ok_or_else(|| bad("stats response: missing \"latency_us\""))?;
+                Ok(SimResponse::Stats(StatsBody {
+                    cache_hits: u(cache, "hits")?,
+                    cache_misses: u(cache, "misses")?,
+                    cache_plans: u(cache, "plans")?,
+                    cache_evictions: u(cache, "evictions")?,
+                    cache_resident_bytes: u(cache, "resident_bytes")?,
+                    cache_budget_bytes: u(cache, "budget_bytes")?,
+                    cache_hit_rate: f(cache, "hit_rate")?,
+                    requests_total: u(serve, "requests_total")?,
+                    completed: u(serve, "completed")?,
+                    shed: u(serve, "shed")?,
+                    deadline_expired: u(serve, "deadline_expired")?,
+                    in_flight: u(serve, "in_flight")?,
+                    latency_count: u(latency, "count")?,
+                    latency_p50_us: u(latency, "p50")?,
+                    latency_p99_us: u(latency, "p99")?,
+                    latency_max_us: u(latency, "max")?,
+                }))
+            }
             other => Err(bad(format!("unknown response '{other}'"))),
         }
     }
@@ -453,6 +554,24 @@ mod tests {
         round_trip(SimResponse::Version(VersionBody {
             version: "scalesim 0.3.0 (git abc)".into(),
             api: 1,
+        }));
+        round_trip(SimResponse::Stats(StatsBody {
+            cache_hits: 10,
+            cache_misses: 4,
+            cache_plans: 4,
+            cache_evictions: 1,
+            cache_resident_bytes: 123_456,
+            cache_budget_bytes: 1 << 20,
+            cache_hit_rate: 0.7143,
+            requests_total: 20,
+            completed: 17,
+            shed: 2,
+            deadline_expired: 1,
+            in_flight: 0,
+            latency_count: 17,
+            latency_p50_us: 1024,
+            latency_p99_us: 16384,
+            latency_max_us: 15000,
         }));
     }
 

@@ -5,9 +5,12 @@
 //!
 //! * `"api"` — required integer; must equal [`crate::API_VERSION`].
 //! * `"id"` — optional string, echoed verbatim in the response.
+//! * `"deadline_ms"` — optional non-negative integer; the server
+//!   abandons the request with a `deadline` error once this much wall
+//!   time has elapsed (checked at stage boundaries, not preemptively).
 //! * exactly one command key — `"run"`, `"sweep"`, `"scaleout"`,
-//!   `"area"` or `"version"` — whose value is the command body
-//!   (see [`crate::request`]).
+//!   `"area"`, `"version"` or `"stats"` — whose value is the command
+//!   body (see [`crate::request`]).
 //!
 //! A response envelope carries `"api"`, the echoed `"id"` (when the
 //! request had one), and either `"ok"` (an object keyed by the command
@@ -30,11 +33,25 @@ use crate::response::SimResponse;
 use crate::API_VERSION;
 
 /// The command keys an envelope may carry.
-const COMMANDS: [&str; 5] = ["run", "sweep", "scaleout", "area", "version"];
+const COMMANDS: [&str; 6] = ["run", "sweep", "scaleout", "area", "version", "stats"];
 
 /// The supported command set, rendered for error messages.
 fn supported_commands() -> String {
     COMMANDS.join(", ")
+}
+
+/// A fully decoded request envelope: the id and deadline recovered
+/// (even from envelopes whose command failed to decode, so servers can
+/// correlate and bound every reply) plus the decoded request or the
+/// failure describing what was wrong.
+#[derive(Debug)]
+pub struct DecodedRequest {
+    /// The `"id"` field, echoed in the response when present.
+    pub id: Option<String>,
+    /// The `"deadline_ms"` field, when present and valid.
+    pub deadline_ms: Option<u64>,
+    /// The decoded command, or the first decode failure.
+    pub request: Result<SimRequest, SimError>,
 }
 
 /// Decodes one request line.
@@ -43,20 +60,49 @@ fn supported_commands() -> String {
 /// even on malformed requests so clients can correlate failures) and
 /// the decoded request or the failure describing what was wrong. All
 /// decode failures are [`SimError::Config`]; nothing here panics on any
-/// input.
+/// input. Ignores `deadline_ms` — servers use
+/// [`decode_request_full`].
 pub fn decode_request(line: &str) -> (Option<String>, Result<SimRequest, SimError>) {
+    let decoded = decode_request_full(line);
+    (decoded.id, decoded.request)
+}
+
+/// Decodes one request line including the `deadline_ms` envelope field
+/// (the server half; clients without deadlines can keep using
+/// [`decode_request`]).
+pub fn decode_request_full(line: &str) -> DecodedRequest {
     let value = match Json::parse(line) {
         Ok(v) => v,
         Err(e) => {
-            return (
-                None,
-                Err(SimError::Config(format!("request is not valid JSON: {e}"))),
-            )
+            return DecodedRequest {
+                id: None,
+                deadline_ms: None,
+                request: Err(SimError::Config(format!("request is not valid JSON: {e}"))),
+            }
         }
     };
     let id = value.get("id").and_then(Json::as_str).map(str::to_string);
-    let result = decode_envelope(&value);
-    (id, result)
+    let (deadline_ms, deadline_err) = match value.get("deadline_ms") {
+        None => (None, None),
+        Some(v) => match v.as_u64() {
+            Some(ms) => (Some(ms), None),
+            None => (
+                None,
+                Some(SimError::Config(format!(
+                    "request: \"deadline_ms\" must be a non-negative integer, got {v}"
+                ))),
+            ),
+        },
+    };
+    let request = match deadline_err {
+        Some(e) => Err(e),
+        None => decode_envelope(&value),
+    };
+    DecodedRequest {
+        id,
+        deadline_ms,
+        request,
+    }
 }
 
 fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
@@ -88,7 +134,7 @@ fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
     let mut command = None;
     for (key, body) in fields {
         match key.as_str() {
-            "api" | "id" => {}
+            "api" | "id" | "deadline_ms" => {}
             k if COMMANDS.contains(&k) => {
                 if command.is_some() {
                     return Err(SimError::Config(
@@ -116,9 +162,21 @@ fn decode_envelope(value: &Json) -> Result<SimRequest, SimError> {
 
 /// Encodes one request line (the client half).
 pub fn encode_request(id: Option<&str>, request: &SimRequest) -> String {
+    encode_request_with_deadline(id, None, request)
+}
+
+/// Encodes one request line carrying an optional `deadline_ms` budget.
+pub fn encode_request_with_deadline(
+    id: Option<&str>,
+    deadline_ms: Option<u64>,
+    request: &SimRequest,
+) -> String {
     let mut fields = vec![("api".to_string(), Json::Num(f64::from(API_VERSION)))];
     if let Some(id) = id {
         fields.push(("id".into(), Json::Str(id.to_string())));
+    }
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".into(), Json::Num(ms as f64)));
     }
     fields.push((request.tag().to_string(), request.to_json()));
     Json::Obj(fields).to_string()
@@ -245,7 +303,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f1", "teleport": {}}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, area, version)"}}"#
+            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, area, version, stats)"}}"#
         );
         let (id, r) = decode_request(r#"{"api": 2, "id": "f2", "version": {}}"#);
         assert_eq!(
@@ -255,7 +313,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f3"}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, area, version)"}}"#
+            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, area, version, stats)"}}"#
         );
     }
 
@@ -288,6 +346,39 @@ mod tests {
     fn two_command_keys_are_rejected() {
         let (_, r) = decode_request(r#"{"api": 1, "version": {}, "area": {}}"#);
         assert!(r.unwrap_err().message().contains("more than one"));
+    }
+
+    #[test]
+    fn deadline_ms_round_trips_and_rejects_bad_values() {
+        let line = encode_request_with_deadline(Some("d1"), Some(250), &SimRequest::Version);
+        let decoded = decode_request_full(&line);
+        assert_eq!(decoded.id.as_deref(), Some("d1"));
+        assert_eq!(decoded.deadline_ms, Some(250));
+        assert_eq!(decoded.request.unwrap(), SimRequest::Version);
+
+        // Absent deadline decodes as None; the envelope is unchanged.
+        let plain = encode_request(Some("d2"), &SimRequest::Version);
+        assert!(!plain.contains("deadline_ms"));
+        assert_eq!(decode_request_full(&plain).deadline_ms, None);
+
+        // Mistyped deadlines error (never silently dropped), and the id
+        // is still recovered for the error reply.
+        for line in [
+            r#"{"api": 1, "id": "d3", "deadline_ms": "fast", "version": {}}"#,
+            r#"{"api": 1, "id": "d3", "deadline_ms": -5, "version": {}}"#,
+            r#"{"api": 1, "id": "d3", "deadline_ms": 1.5, "version": {}}"#,
+        ] {
+            let decoded = decode_request_full(line);
+            assert_eq!(decoded.id.as_deref(), Some("d3"), "{line}");
+            let e = decoded.request.unwrap_err();
+            assert!(e.message().contains("deadline_ms"), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn stats_command_is_accepted_on_the_wire() {
+        let (_, r) = decode_request(r#"{"api": 1, "stats": {}}"#);
+        assert_eq!(r.unwrap(), SimRequest::Stats);
     }
 
     #[test]

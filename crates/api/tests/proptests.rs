@@ -1,0 +1,109 @@
+//! Property-based tests of the JSON codec and wire protocol, powered
+//! by `proptest` for deeper shrinking than the seeded suite in
+//! `tests/codec_props.rs` (which covers the same invariants and always
+//! runs).
+
+// The `proptest` crate is not vendored (offline build); this suite only
+// compiles with `--features proptests` where the registry is reachable
+// and `proptest` has been added as a dev-dependency.
+#![cfg(feature = "proptests")]
+
+use proptest::prelude::*;
+use scalesim_api::json::Json;
+use scalesim_api::{
+    wire, ConfigSource, Features, RunSpec, SimRequest, TopologyFormat, TopologySource,
+};
+
+fn json_strategy() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Integers are exact in f64 up to 2^53; the emitter guarantees
+        // round-trips only inside that range.
+        (-(1i64 << 53)..(1i64 << 53)).prop_map(|n| Json::Num(n as f64)),
+        ".{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::vec((".{0,8}", inner), 0..6)
+                .prop_map(|kvs| Json::Obj(kvs.into_iter().collect())),
+        ]
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = SimRequest> {
+    prop_oneof![
+        Just(SimRequest::Version),
+        Just(SimRequest::Stats),
+        (".{0,32}", ".{0,64}", any::<bool>(), any::<bool>()).prop_map(
+            |(name, csv, dram, energy)| {
+                SimRequest::Run(RunSpec {
+                    config: ConfigSource::Default,
+                    topology: {
+                        let mut t = TopologySource::inline(name, csv);
+                        t.format = TopologyFormat::Gemm;
+                        t
+                    },
+                    features: Features {
+                        dram,
+                        energy,
+                        ..Default::default()
+                    },
+                })
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(emit(v)) is the identity on JSON values (within the
+    /// documented 2^53 integer range).
+    #[test]
+    fn json_round_trips(v in json_strategy()) {
+        let text = v.to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    /// Object key order is insertion order, preserved through a
+    /// round-trip.
+    #[test]
+    fn key_order_is_preserved(keys in prop::collection::vec("[a-z]{1,8}", 1..8)) {
+        let obj = Json::Obj(
+            keys.iter().cloned().map(|k| (k, Json::Null)).collect(),
+        );
+        let parsed = Json::parse(&obj.to_string()).unwrap();
+        let parsed_keys: Vec<String> = parsed
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        prop_assert_eq!(parsed_keys, keys);
+    }
+
+    /// decode(encode(request)) is the identity, with the envelope id
+    /// and deadline carried through.
+    #[test]
+    fn requests_round_trip(
+        request in request_strategy(),
+        id in prop::option::of(".{0,16}"),
+        deadline in prop::option::of(0u64..(1 << 53)),
+    ) {
+        let line = wire::encode_request_with_deadline(id.as_deref(), deadline, &request);
+        let decoded = wire::decode_request_full(&line);
+        prop_assert_eq!(decoded.id, id);
+        prop_assert_eq!(decoded.deadline_ms, deadline);
+        prop_assert_eq!(decoded.request.unwrap(), request);
+    }
+
+    /// No input string can panic the parser or escape the depth cap.
+    #[test]
+    fn arbitrary_input_never_panics(text in ".{0,256}") {
+        let _ = Json::parse(&text);
+        let decoded = wire::decode_request_full(&text);
+        let _ = (decoded.id, decoded.deadline_ms, decoded.request.is_ok());
+    }
+}

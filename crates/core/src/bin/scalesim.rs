@@ -28,9 +28,8 @@ use scalesim::cli::{
     parse_cli, version_string, Command, RunArgs, ScaleoutArgs, ServeArgs, SweepArgs,
 };
 use scalesim::scaleout::{scaleout_rows, ScaleoutCsvSink, ScaleoutLayerRecord};
-use scalesim::serve::{serve_listener, serve_session};
+use scalesim::serve::{ServeOptions, Server};
 use scalesim::service::{area_body, SimService};
-use scalesim::systolic::num_threads;
 use scalesim::{CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary, ScaleoutSink};
 use std::path::Path;
 use std::process::ExitCode;
@@ -304,12 +303,15 @@ fn scaleout(service: &SimService, args: ScaleoutArgs) -> Result<(), SimError> {
 }
 
 fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
+    let options = ServeOptions::from_env();
+    let server = Server::new(service.clone(), options);
     match args.listen {
         None => {
             eprintln!("scalesim serve: reading JSON-lines requests from stdin");
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_session(service, stdin.lock(), stdout.lock())
+            server
+                .serve_session(stdin.lock(), stdout.lock())
                 .map_err(|e| SimError::Io(format!("stdio session: {e}")))
         }
         Some(addr) => {
@@ -318,9 +320,12 @@ fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
             let bound = listener
                 .local_addr()
                 .map_err(|e| SimError::Io(format!("local_addr: {e}")))?;
-            let threads = num_threads();
-            eprintln!("scalesim serve: listening on {bound} ({threads} concurrent connections)");
-            serve_listener(service, listener, threads)
+            eprintln!(
+                "scalesim serve: listening on {bound} ({} sessions, {} workers, queue depth {})",
+                options.max_sessions, options.workers, options.queue_depth
+            );
+            server
+                .serve_listener(listener)
                 .map_err(|e| SimError::Io(format!("accept: {e}")))
         }
     }

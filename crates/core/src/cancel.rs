@@ -1,0 +1,116 @@
+//! Per-request cancellation: a deadline token checked at stage
+//! boundaries.
+//!
+//! A [`CancelToken`] carries the wall-clock instant a request must be
+//! abandoned at, derived from the wire envelope's `deadline_ms` field.
+//! Cancellation is **cooperative**: the pipeline and the service check
+//! [`CancelToken::expired`] between stages (and between layers), never
+//! preempting a stage mid-flight — so a cancelled request costs at most
+//! one stage of overshoot and all shared state (plan cache, metrics)
+//! stays coherent.
+//!
+//! Expiry latches: once a token observes its deadline passed, every
+//! later check reports expired, and [`CancelToken::to_error`] renders
+//! the deterministic [`SimError::Deadline`] message — the budget, not
+//! the (nondeterministic) elapsed time, so serve responses stay
+//! byte-reproducible.
+
+use scalesim_api::SimError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct TokenInner {
+    deadline: Instant,
+    budget_ms: u64,
+    expired: AtomicBool,
+}
+
+/// A cheaply clonable deadline token (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token that expires `budget_ms` milliseconds from now.
+    pub fn after_ms(budget_ms: u64) -> Self {
+        let deadline = Instant::now()
+            .checked_add(Duration::from_millis(budget_ms))
+            // Absurd budgets saturate to effectively-never rather than
+            // panicking; the request then simply cannot expire.
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(u32::MAX as u64));
+        Self {
+            inner: Arc::new(TokenInner {
+                deadline,
+                budget_ms,
+                expired: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Whether the deadline has passed. Latches: once true, always true
+    /// (even if the clock were to misbehave), so every stage after the
+    /// first expired check agrees the request is dead.
+    pub fn expired(&self) -> bool {
+        if self.inner.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if Instant::now() >= self.inner.deadline {
+            self.inner.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// The budget this token was created with, in milliseconds.
+    pub fn budget_ms(&self) -> u64 {
+        self.inner.budget_ms
+    }
+
+    /// The typed error a request abandoned on this token reports. The
+    /// message names the budget (deterministic), never the elapsed time.
+    pub fn to_error(&self) -> SimError {
+        SimError::Deadline(format!("deadline of {} ms exceeded", self.inner.budget_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_expires_immediately_and_latches() {
+        let t = CancelToken::after_ms(0);
+        assert!(t.expired());
+        assert!(t.expired(), "expiry must latch");
+        assert_eq!(t.budget_ms(), 0);
+        let e = t.to_error();
+        assert_eq!(e.kind(), "deadline");
+        assert_eq!(e.exit_code(), 124);
+        assert_eq!(e.message(), "deadline of 0 ms exceeded");
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        let t = CancelToken::after_ms(600_000);
+        assert!(!t.expired());
+        let clone = t.clone();
+        assert!(!clone.expired());
+    }
+
+    #[test]
+    fn absurd_budget_saturates_instead_of_panicking() {
+        let t = CancelToken::after_ms(u64::MAX);
+        assert!(!t.expired());
+    }
+
+    #[test]
+    fn clones_share_the_latch() {
+        let t = CancelToken::after_ms(0);
+        let clone = t.clone();
+        assert!(clone.expired());
+        assert!(t.expired());
+    }
+}

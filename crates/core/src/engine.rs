@@ -183,6 +183,46 @@ impl ScaleSim {
         self.pipeline.run_layer(name, dense_gemm)
     }
 
+    /// Streams a whole topology through `sink` like
+    /// [`run_topology_with`](Self::run_topology_with), but abandons the
+    /// run with the token's typed [`SimError`](scalesim_api::SimError)
+    /// once `cancel` expires. Cancellation is checked before every
+    /// pipeline stage of every layer; layers already finished when the
+    /// deadline passes may still reach the sink (the caller discards
+    /// partial output on error), and in-flight workers complete their
+    /// current stage before stopping.
+    ///
+    /// # Errors
+    ///
+    /// Returns `cancel.to_error()` when the deadline expired mid-run.
+    pub fn run_topology_cancellable(
+        &self,
+        topology: &Topology,
+        sink: &mut dyn ResultSink,
+        cancel: &crate::cancel::CancelToken,
+    ) -> Result<StreamStats, scalesim_api::SimError> {
+        let peak = parallel_map_streamed(
+            topology.layers(),
+            STREAM_BLOCK,
+            |_, layer| {
+                self.pipeline
+                    .run_layer_cancellable(layer.name(), layer.gemm(), Some(cancel))
+            },
+            |_, result| {
+                if let Some(result) = result {
+                    sink.layer(result);
+                }
+            },
+        );
+        if cancel.expired() {
+            return Err(cancel.to_error());
+        }
+        Ok(StreamStats {
+            layers: topology.len(),
+            peak_buffered: peak,
+        })
+    }
+
     /// Streams a whole topology through `sink` with **bounded result
     /// memory**: layers execute concurrently on a scoped worker pool
     /// (control the size with `SCALESIM_THREADS`) in blocks of
@@ -354,6 +394,50 @@ mod tests {
         );
         assert_eq!(summary.total_cycles, collected.total_cycles());
         assert_eq!(summary.macs, collected.total_macs());
+    }
+
+    #[test]
+    fn cancelled_topology_run_reports_deadline_and_a_live_token_matches_plain() {
+        let mut config = ScaleSimConfig::default();
+        config.core = small_core();
+        let topo = Topology::from_layers(
+            "t",
+            vec![
+                scalesim_systolic::Layer::gemm_layer("a", 16, 16, 16),
+                scalesim_systolic::Layer::gemm_layer("b", 24, 24, 24),
+            ],
+        );
+        let sim = ScaleSim::new(config);
+
+        // An already-expired token abandons the run before any stage.
+        let mut sink = CollectSink::new();
+        let err = sim
+            .run_topology_cancellable(&topo, &mut sink, &crate::cancel::CancelToken::after_ms(0))
+            .unwrap_err();
+        assert_eq!((err.kind(), err.exit_code()), ("deadline", 124));
+        assert!(sink.into_run().layers.is_empty(), "no layer completes");
+
+        // A generous token changes nothing: identical results to the
+        // plain runner (the byte-determinism invariant for deadline'd
+        // requests that finish in time).
+        let mut sink = CollectSink::new();
+        let stats = sim
+            .run_topology_cancellable(
+                &topo,
+                &mut sink,
+                &crate::cancel::CancelToken::after_ms(600_000),
+            )
+            .unwrap();
+        assert_eq!(stats.layers, 2);
+        let cancellable = sink.into_run();
+        let plain = sim.run_topology(&topo);
+        let digest = |run: &crate::result::RunResult| {
+            run.layers
+                .iter()
+                .map(|l| (l.name.clone(), l.total_cycles()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(digest(&cancellable), digest(&plain));
     }
 
     #[test]

@@ -46,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod cfg;
 pub mod cli;
 pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod layout_analysis;
+pub mod metrics;
 pub mod pipeline;
 pub mod result;
 pub mod scaleout;
@@ -60,6 +62,7 @@ pub mod service;
 pub mod sink;
 pub mod sweep_run;
 
+pub use cancel::CancelToken;
 pub use cfg::parse_cfg;
 pub use cli::{parse_cli, version_string, Command, RunArgs, ServeArgs, SweepArgs};
 pub use config::{
@@ -70,12 +73,14 @@ pub use dram::{
 };
 pub use engine::{ScaleSim, StreamStats, STREAM_BLOCK};
 pub use layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
+pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pipeline::{LayerCtx, LayerPipeline, LayerStage, PipelineBuilder, StageEnv, StageTiming};
 pub use result::{LayerResult, RunResult};
 pub use scaleout::{
     run_scaleout, CollectScaleoutSink, DiscardScaleoutSink, MemoryScaleoutSink, ScaleoutCsvSink,
     ScaleoutLayerRecord, ScaleoutSink, ScaleoutSummary,
 };
+pub use serve::{ServeOptions, Server, MAX_REQUEST_BYTES};
 pub use service::{
     PreparedRun, PreparedScaleout, PreparedSweep, SimService, SERVICE_CACHE_CAPACITY,
 };

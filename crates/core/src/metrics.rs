@@ -1,0 +1,172 @@
+//! Lock-free serving metrics: request counters and a handle-latency
+//! histogram, snapshotted by the `stats` request.
+//!
+//! Everything here is plain atomics — recording a latency or bumping a
+//! counter never takes a lock, so metrics stay truthful under the exact
+//! saturation conditions they exist to diagnose. The histogram uses 64
+//! power-of-two-microsecond buckets: bucket *i* counts latencies in
+//! `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so percentile reads are
+//! upper bounds exact to within 2× — plenty for capacity planning, and
+//! immune to the unbounded-reservoir pathologies of exact quantiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets (covers up to 2^63 µs — effectively ∞).
+const BUCKETS: usize = 64;
+
+/// A lock-free latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros()) as usize; // 0 for us == 0
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Maximum latency observed, µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound of the bucket the given percentile falls in
+    /// (`p` in `[0, 100]`); 0 when the histogram is empty.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the observation that covers percentile p (1-based).
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i holds [2^(i-1), 2^i) µs; report the upper bound.
+                return if i >= 63 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// Cumulative request counters for one serving process.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests received (decoded lines, queued or answered inline —
+    /// including shed ones).
+    pub requests_total: AtomicU64,
+    /// Requests fully handled (ok or typed error written).
+    pub completed: AtomicU64,
+    /// Requests shed with `busy` (queue full or session cap).
+    pub shed: AtomicU64,
+    /// Requests that returned a `deadline` error.
+    pub deadline_expired: AtomicU64,
+    /// Requests currently queued or executing.
+    pub in_flight: AtomicU64,
+    /// Handle-latency histogram (decode→encode wall time).
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements `in_flight` (saturating — a stray double-decrement
+    /// must not wrap the gauge to u64::MAX).
+    pub fn dec_in_flight(&self) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.percentile_us(50.0), 0);
+        assert_eq!(h.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        // 99 fast observations and one slow outlier.
+        for _ in 0..99 {
+            h.record_us(100); // bucket [64, 128) → upper bound 128
+        }
+        h.record_us(1_000_000); // ~2^20 µs
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert_eq!(h.percentile_us(50.0), 128);
+        assert_eq!(h.percentile_us(99.0), 128);
+        assert!(h.percentile_us(100.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile_us(50.0), 1, "0 µs lands in the < 1 µs bucket");
+    }
+
+    #[test]
+    fn in_flight_never_wraps() {
+        let m = ServeMetrics::new();
+        m.dec_in_flight();
+        assert_eq!(m.get(&m.in_flight), 0);
+        m.inc(&m.in_flight);
+        m.dec_in_flight();
+        m.dec_in_flight();
+        assert_eq!(m.get(&m.in_flight), 0);
+    }
+}

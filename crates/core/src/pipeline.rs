@@ -454,15 +454,36 @@ impl LayerPipeline {
 
     /// Runs one layer through every stage, in order.
     pub fn run_layer(&self, name: &str, dense_gemm: GemmShape) -> LayerResult {
+        self.run_layer_cancellable(name, dense_gemm, None)
+            .expect("no cancel token, so the layer always completes")
+    }
+
+    /// Runs one layer through every stage, checking `cancel` **before**
+    /// each stage. Returns `None` if the token expired — the layer is
+    /// abandoned whole (a partially-staged context is never surfaced,
+    /// because downstream stages and [`LayerCtx::into_result`] assume
+    /// the compute product exists).
+    pub fn run_layer_cancellable(
+        &self,
+        name: &str,
+        dense_gemm: GemmShape,
+        cancel: Option<&crate::cancel::CancelToken>,
+    ) -> Option<LayerResult> {
         let mut ctx = LayerCtx::new(name, dense_gemm);
         match &self.profiler {
             None => {
                 for stage in &self.stages {
+                    if cancel.is_some_and(|c| c.expired()) {
+                        return None;
+                    }
                     stage.run(&self.env, &mut ctx);
                 }
             }
             Some(counters) => {
                 for (stage, counter) in self.stages.iter().zip(counters) {
+                    if cancel.is_some_and(|c| c.expired()) {
+                        return None;
+                    }
                     let t0 = Instant::now();
                     stage.run(&self.env, &mut ctx);
                     counter.calls.fetch_add(1, Ordering::Relaxed);
@@ -472,7 +493,7 @@ impl LayerPipeline {
                 }
             }
         }
-        ctx.into_result()
+        Some(ctx.into_result())
     }
 
     /// The per-stage timings accumulated so far (None unless built with

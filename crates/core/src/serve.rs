@@ -6,22 +6,48 @@
 //! * **stdio** — one request per stdin line, one response per stdout
 //!   line, flushed per response; EOF ends the session. Ideal for
 //!   driving the simulator as a subprocess.
-//! * **TCP** (`--listen`) — thread-per-connection, each connection an
-//!   independent JSON-lines session. Concurrent *sessions* are capped
-//!   at `SCALESIM_THREADS` (defaulting to the machine's parallelism)
-//!   so a burst of clients queues in the accept backlog. Note the cap
-//!   bounds sessions, not simulation workers: each in-flight request
-//!   runs its own `SCALESIM_THREADS`-wide worker pool, so worst-case
-//!   busy threads are cap × pool. Set `SCALESIM_THREADS=1` to bound
-//!   the process at ~one worker per connection.
+//! * **TCP** (`--listen`) — each connection is an independent
+//!   JSON-lines session on its own thread.
 //!
-//! All connections share one [`SimService`] — and therefore one
-//! [`PlanCache`](scalesim_systolic::PlanCache) — so repeated workloads
-//! hit warm plans across requests *and* across connections. Requests
-//! are otherwise isolated: each builds its own engine, and responses
-//! are byte-identical to one-shot CLI runs regardless of what else the
-//! server has executed (pinned by `tests/serve.rs` and the CI serve
-//! smoke job).
+//! ## Serving model
+//!
+//! A [`Server`] owns a **bounded worker pool** fed by a **bounded
+//! admission queue**. Session threads do only O(1) work: they frame
+//! lines, decode requests, and answer decode errors, `version` and
+//! `stats` inline; simulation requests (`run`, `sweep`, `scaleout`,
+//! `area`) are handed to the pool. When the queue is full the request
+//! is **shed immediately** with a typed `busy` error (exit code 75)
+//! instead of stalling the session — and when the session cap is
+//! reached, a new connection is answered with one `busy` line and
+//! closed rather than left hanging in the accept backlog. A loaded
+//! server therefore always answers *something*, quickly.
+//!
+//! Each session keeps at most one request in flight, so responses are
+//! written in request order regardless of pool size — and because each
+//! request builds its own engine, responses are byte-identical to
+//! one-shot CLI runs for **any** worker count (pinned by
+//! `tests/serve_stress.rs`).
+//!
+//! Requests may carry a `deadline_ms` envelope field: a
+//! [`CancelToken`] starts at decode time (so queue wait counts against
+//! the budget) and is checked at stage boundaries; an expired request
+//! answers a typed `deadline` error (exit code 124), never a partial
+//! body.
+//!
+//! Knobs (all environment variables, all positive integers):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `SCALESIM_SERVE_WORKERS` | simulation worker threads | machine parallelism |
+//! | `SCALESIM_SERVE_QUEUE` | admission-queue depth | 2 × workers |
+//! | `SCALESIM_SERVE_SESSIONS` | concurrent TCP sessions | machine parallelism |
+//! | `SCALESIM_CACHE_BUDGET_MB` | plan-cache byte budget | count-capped |
+//!
+//! All sessions share one [`SimService`] — and therefore one
+//! [`PlanCache`](scalesim_systolic::PlanCache) and one set of
+//! [`ServeMetrics`](crate::metrics::ServeMetrics) — so repeated
+//! workloads hit warm plans across connections and a `stats` request
+//! sees the whole process.
 //!
 //! **No request can kill the process.** Malformed JSON, bad
 //! configurations and bad topologies surface as typed error responses;
@@ -29,23 +55,64 @@
 //! and reported as an `internal` error, leaving the server able to
 //! answer the next line.
 
+use crate::cancel::CancelToken;
 use crate::service::SimService;
-use scalesim_api::{wire, SimError};
+use scalesim_api::{wire, SimError, SimRequest};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// Handles one request line, producing exactly one response line
-/// (without the trailing newline). Never panics.
+/// Handles one request line inline (no worker pool), producing exactly
+/// one response line (without the trailing newline). Honors the
+/// envelope's `deadline_ms` and records metrics. Never panics.
 pub fn handle_line(service: &SimService, line: &str) -> String {
-    let (id, decoded) = wire::decode_request(line);
-    let result = match decoded {
-        Ok(request) => catch_unwind(AssertUnwindSafe(|| service.handle(&request)))
-            .unwrap_or_else(|payload| Err(SimError::from_panic(payload))),
+    let started = Instant::now();
+    let m = service.metrics();
+    m.inc(&m.requests_total);
+    m.inc(&m.in_flight);
+    let decoded = wire::decode_request_full(line);
+    let cancel = decoded.deadline_ms.map(CancelToken::after_ms);
+    execute(
+        service,
+        decoded.id.as_deref(),
+        decoded.request,
+        cancel.as_ref(),
+        started,
+    )
+}
+
+/// Runs one decoded request to a response line, with panic isolation
+/// and metrics accounting (deadline count, completion, latency,
+/// in-flight decrement). The single execution path for workers, the
+/// inline fast path and [`handle_line`], so every route counts alike.
+fn execute(
+    service: &SimService,
+    id: Option<&str>,
+    request: Result<SimRequest, SimError>,
+    cancel: Option<&CancelToken>,
+    started: Instant,
+) -> String {
+    let result = match request {
+        Ok(request) => catch_unwind(AssertUnwindSafe(|| {
+            service.handle_cancellable(&request, cancel)
+        }))
+        .unwrap_or_else(|payload| Err(SimError::from_panic(payload))),
         Err(e) => Err(e),
     };
-    wire::encode_response(id.as_deref(), &result)
+    let m = service.metrics();
+    if matches!(&result, Err(e) if e.kind() == "deadline") {
+        m.inc(&m.deadline_expired);
+    }
+    let line = wire::encode_response(id, &result);
+    m.inc(&m.completed);
+    m.latency
+        .record_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    m.dec_in_flight();
+    line
 }
 
 /// Maximum bytes a single request line may occupy (newline excluded).
@@ -57,76 +124,468 @@ pub fn handle_line(service: &SimService, line: &str) -> String {
 /// inline config + topology the simulator itself could handle.
 pub const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 
-/// Serves one JSON-lines session: reads request lines from `input`
-/// until EOF, writing one response line per request to `output`
-/// (flushed per response, so a pipelined client sees answers as they
-/// complete). Blank lines are ignored; a line that is not valid UTF-8,
-/// or longer than [`MAX_REQUEST_BYTES`], answers a typed `config` error
-/// like any other malformed request — it does not end the session.
-///
-/// # Errors
-///
-/// Returns the first transport-level I/O failure; request-level
-/// failures are answered in-band and do not end the session.
-pub fn serve_session(
-    service: &SimService,
-    input: impl BufRead,
-    mut output: impl Write,
-) -> std::io::Result<()> {
-    // `take` caps how much one line may buffer; two extra bytes leave
-    // room for a `\r\n` terminator, so the cap applies to the *content*
-    // (a CRLF client gets the same budget as a bare-LF one). The limit
-    // is restored before each line.
-    let limit = MAX_REQUEST_BYTES as u64 + 2;
-    let mut input = input.take(limit);
-    let mut buf = Vec::new();
-    loop {
-        buf.clear();
-        input.set_limit(limit);
-        if input.read_until(b'\n', &mut buf)? == 0 {
-            return Ok(());
+/// Sizing for a [`Server`]: worker pool, admission queue and session
+/// cap. Every field is clamped to at least 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Simulation worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission-queue depth; a simulation request arriving with the
+    /// queue full is shed with a typed `busy` error.
+    pub queue_depth: usize,
+    /// Concurrent TCP sessions; a connection beyond the cap is
+    /// answered with one `busy` line and closed.
+    pub max_sessions: usize,
+}
+
+impl ServeOptions {
+    /// Sizing from the environment: `SCALESIM_SERVE_WORKERS`,
+    /// `SCALESIM_SERVE_QUEUE` (default 2 × workers) and
+    /// `SCALESIM_SERVE_SESSIONS`, falling back to the machine
+    /// parallelism [`scalesim_systolic::num_threads`] honors.
+    pub fn from_env() -> Self {
+        let workers = env_usize("SCALESIM_SERVE_WORKERS")
+            .unwrap_or_else(scalesim_systolic::num_threads)
+            .max(1);
+        let queue_depth = env_usize("SCALESIM_SERVE_QUEUE")
+            .unwrap_or(2 * workers)
+            .max(1);
+        let max_sessions = env_usize("SCALESIM_SERVE_SESSIONS")
+            .unwrap_or_else(scalesim_systolic::num_threads)
+            .max(1);
+        Self {
+            workers,
+            queue_depth,
+            max_sessions,
         }
-        let newline_terminated = buf.last() == Some(&b'\n');
-        if newline_terminated {
-            buf.pop();
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
+    }
+}
+
+/// Parses a positive integer environment variable (unset, empty,
+/// unparsable or zero all read as "not configured").
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// One admitted simulation request, parked in the queue until a worker
+/// picks it up. The session thread blocks on `reply` — one job in
+/// flight per session keeps responses in request order.
+struct Job {
+    id: Option<String>,
+    request: SimRequest,
+    cancel: Option<CancelToken>,
+    started: Instant,
+    reply: mpsc::SyncSender<String>,
+}
+
+/// The bounded admission queue: `try_push` sheds instead of blocking,
+/// `pop` blocks workers until a job or shutdown. After shutdown the
+/// queue drains fully — every admitted job still gets a reply.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Box<Job>>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job, or hands it back when the queue is full (or the
+    /// server is shutting down) — the caller sheds it with `busy`.
+    fn try_push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutdown || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; `None` once shut down *and*
+    /// drained.
+    fn pop(&self) -> Option<Box<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
             }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
         }
-        if buf.len() > MAX_REQUEST_BYTES {
-            // The line was never buffered whole, so its "id" (if any)
-            // cannot be echoed; pipelined clients fall back to response
-            // order (documented in docs/API.md). Drain the rest of the
-            // line through the unlimited inner reader.
-            let newline_found = newline_terminated || skip_to_newline(input.get_mut())?;
-            let response = wire::encode_response(
-                None,
-                &Err(SimError::Config(format!(
-                    "request line exceeds {MAX_REQUEST_BYTES} bytes"
-                ))),
-            );
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.shutdown = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// A counting semaphore bounding concurrent session threads.
+/// Non-blocking: a session that cannot get a slot is shed, never
+/// queued.
+struct Gate {
+    available: Mutex<usize>,
+}
+
+impl Gate {
+    fn new(slots: usize) -> Self {
+        Self {
+            available: Mutex::new(slots.max(1)),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        if *available == 0 {
+            return false;
+        }
+        *available -= 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        *available += 1;
+    }
+}
+
+/// The production serve loop: a bounded worker pool over a bounded
+/// admission queue (see the module docs for the full model). Dropping
+/// the server shuts the queue down and joins the workers; admitted
+/// jobs finish first.
+#[derive(Debug)]
+pub struct Server {
+    service: SimService,
+    queue: Arc<JobQueue>,
+    workers: Vec<JoinHandle<()>>,
+    options: ServeOptions,
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Builds the server and starts its worker pool. Workers share the
+    /// service's plan cache and metrics (the service clone is two `Arc`
+    /// bumps).
+    pub fn new(service: SimService, options: ServeOptions) -> Self {
+        let options = ServeOptions {
+            workers: options.workers.max(1),
+            queue_depth: options.queue_depth.max(1),
+            max_sessions: options.max_sessions.max(1),
+        };
+        let queue = Arc::new(JobQueue::new(options.queue_depth));
+        let workers = (0..options.workers)
+            .map(|_| {
+                let service = service.clone();
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        let line = execute(
+                            &service,
+                            job.id.as_deref(),
+                            Ok(job.request),
+                            job.cancel.as_ref(),
+                            job.started,
+                        );
+                        // A send only fails if the session vanished;
+                        // the work is already accounted.
+                        let _ = job.reply.send(line);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            service,
+            queue,
+            workers,
+            options,
+        }
+    }
+
+    /// The server's resolved sizing.
+    pub fn options(&self) -> ServeOptions {
+        self.options
+    }
+
+    /// The shared service (cache + metrics) behind this server.
+    pub fn service(&self) -> &SimService {
+        &self.service
+    }
+
+    /// Serves one JSON-lines session: reads request lines from `input`
+    /// until EOF, writing one response line per request to `output`
+    /// (flushed per response). Blank lines are ignored; a line that is
+    /// not valid UTF-8, or longer than [`MAX_REQUEST_BYTES`], answers a
+    /// typed `config` error like any other malformed request — it does
+    /// not end the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transport-level I/O failure; request-level
+    /// failures are answered in-band and do not end the session.
+    pub fn serve_session(
+        &self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<()> {
+        let m = self.service.metrics();
+        // `take` caps how much one line may buffer; two extra bytes
+        // leave room for a `\r\n` terminator, so the cap applies to the
+        // *content* (a CRLF client gets the same budget as a bare-LF
+        // one). The limit is restored before each line.
+        let limit = MAX_REQUEST_BYTES as u64 + 2;
+        let mut input = input.take(limit);
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            input.set_limit(limit);
+            if input.read_until(b'\n', &mut buf)? == 0 {
+                return Ok(());
+            }
+            let newline_terminated = buf.last() == Some(&b'\n');
+            if newline_terminated {
+                buf.pop();
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+            }
+            if buf.len() > MAX_REQUEST_BYTES {
+                // The line was never buffered whole, so its "id" (if
+                // any) cannot be echoed; pipelined clients fall back to
+                // response order (documented in docs/API.md). Drain the
+                // rest of the line through the unlimited inner reader.
+                let newline_found = newline_terminated || skip_to_newline(input.get_mut())?;
+                m.inc(&m.requests_total);
+                m.inc(&m.completed);
+                let response = wire::encode_response(
+                    None,
+                    &Err(SimError::Config(format!(
+                        "request line exceeds {MAX_REQUEST_BYTES} bytes"
+                    ))),
+                );
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                if newline_found {
+                    continue;
+                }
+                return Ok(()); // EOF mid-line: nothing left to serve
+            }
+            let response = match std::str::from_utf8(&buf) {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => self.dispatch_line(line),
+                Err(e) => {
+                    m.inc(&m.requests_total);
+                    m.inc(&m.completed);
+                    wire::encode_response(
+                        None,
+                        &Err(SimError::Config(format!(
+                            "request line is not valid UTF-8: {e}"
+                        ))),
+                    )
+                }
+            };
             output.write_all(response.as_bytes())?;
             output.write_all(b"\n")?;
             output.flush()?;
-            if newline_found {
-                continue;
-            }
-            return Ok(()); // EOF mid-line: nothing left to serve
         }
-        let response = match std::str::from_utf8(&buf) {
-            Ok(line) if line.trim().is_empty() => continue,
-            Ok(line) => handle_line(service, line),
-            Err(e) => wire::encode_response(
-                None,
-                &Err(SimError::Config(format!(
-                    "request line is not valid UTF-8: {e}"
-                ))),
-            ),
-        };
-        output.write_all(response.as_bytes())?;
-        output.write_all(b"\n")?;
-        output.flush()?;
     }
+
+    /// Routes one decoded line: decode errors, `version` and `stats`
+    /// answer inline on the session thread (they never need a worker
+    /// slot); simulation requests go through the admission queue and
+    /// are shed with `busy` when it is full. The deadline clock starts
+    /// here, so queue wait counts against `deadline_ms`.
+    fn dispatch_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let decoded = wire::decode_request_full(line);
+        let m = self.service.metrics();
+        m.inc(&m.requests_total);
+        let cancel = decoded.deadline_ms.map(CancelToken::after_ms);
+        match decoded.request {
+            Err(_) | Ok(SimRequest::Version) | Ok(SimRequest::Stats) => {
+                m.inc(&m.in_flight);
+                execute(
+                    &self.service,
+                    decoded.id.as_deref(),
+                    decoded.request,
+                    cancel.as_ref(),
+                    started,
+                )
+            }
+            Ok(request) => {
+                m.inc(&m.in_flight);
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let id = decoded.id.clone();
+                let job = Box::new(Job {
+                    id: decoded.id,
+                    request,
+                    cancel,
+                    started,
+                    reply: reply_tx,
+                });
+                match self.queue.try_push(job) {
+                    Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+                        wire::encode_response(
+                            id.as_deref(),
+                            &Err(SimError::Internal(
+                                "worker pool shut down mid-request".into(),
+                            )),
+                        )
+                    }),
+                    Err(job) => {
+                        m.dec_in_flight();
+                        m.inc(&m.shed);
+                        wire::encode_response(
+                            job.id.as_deref(),
+                            &Err(SimError::Busy("admission queue full; retry later".into())),
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accepts connections forever, serving each as a JSON-lines
+    /// session on its own thread, at most
+    /// [`ServeOptions::max_sessions`] at once. A connection beyond the
+    /// cap is answered with one typed `busy` line and closed — it is
+    /// never left hanging in the accept backlog.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first *fatal* `accept` failure. Transient ones — a
+    /// connection aborted before we accepted it, an interrupted
+    /// syscall, or file-descriptor exhaustion under load (EMFILE/
+    /// ENFILE, retried after a short backoff) — are survived, since a
+    /// server meant to run forever must not be shut down by a blip.
+    /// Per-connection I/O failures (e.g. a client disconnecting
+    /// mid-request) end that session only.
+    pub fn serve_listener(&self, listener: TcpListener) -> std::io::Result<()> {
+        let gate = Gate::new(self.options.max_sessions);
+        // The loop only exits by returning a fatal accept error; the
+        // scope then joins any sessions still draining.
+        std::thread::scope(|scope| loop {
+            let (mut stream, _peer) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                // ENFILE (23) / EMFILE (24) on Unix: out of descriptors
+                // — sessions finishing will free some. WouldBlock only
+                // happens on a listener the caller made nonblocking;
+                // the sleep turns that into a slow poll rather than a
+                // hot spin.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || (cfg!(unix) && matches!(e.raw_os_error(), Some(23 | 24))) =>
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if !gate.try_acquire() {
+                let m = self.service.metrics();
+                m.inc(&m.requests_total);
+                m.inc(&m.shed);
+                let line = wire::encode_response(
+                    None,
+                    &Err(SimError::Busy("session limit reached; retry later".into())),
+                );
+                let _ = stream
+                    .write_all(line.as_bytes())
+                    .and_then(|_| stream.write_all(b"\n"));
+                continue; // dropping the stream closes the connection
+            }
+            let gate = &gate;
+            scope.spawn(move || {
+                let _ = self.serve_connection(stream);
+                gate.release();
+            });
+        })
+    }
+
+    fn serve_connection(&self, stream: TcpStream) -> std::io::Result<()> {
+        let reader = BufReader::new(stream.try_clone()?);
+        self.serve_session(reader, stream)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves one JSON-lines session with a pool sized from the
+/// environment (see [`Server::serve_session`] for semantics).
+///
+/// # Errors
+///
+/// Returns the first transport-level I/O failure.
+pub fn serve_session(
+    service: &SimService,
+    input: impl BufRead,
+    output: impl Write,
+) -> std::io::Result<()> {
+    Server::new(service.clone(), ServeOptions::from_env()).serve_session(input, output)
+}
+
+/// Accepts connections forever with a pool sized from the environment
+/// and the given session cap (see [`Server::serve_listener`] for
+/// semantics).
+///
+/// # Errors
+///
+/// Returns the first fatal `accept` failure.
+pub fn serve_listener(
+    service: &SimService,
+    listener: TcpListener,
+    max_connections: usize,
+) -> std::io::Result<()> {
+    let mut options = ServeOptions::from_env();
+    options.max_sessions = max_connections.max(1);
+    Server::new(service.clone(), options).serve_listener(listener)
 }
 
 /// Discards input up to and including the next `\n`, in buffer-sized
@@ -151,99 +610,6 @@ fn skip_to_newline(input: &mut impl BufRead) -> std::io::Result<bool> {
     }
 }
 
-/// A counting semaphore bounding concurrent connection threads.
-struct Gate {
-    available: Mutex<usize>,
-    freed: Condvar,
-}
-
-impl Gate {
-    fn new(slots: usize) -> Self {
-        Self {
-            available: Mutex::new(slots.max(1)),
-            freed: Condvar::new(),
-        }
-    }
-
-    fn acquire(&self) {
-        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
-        while *available == 0 {
-            available = self
-                .freed
-                .wait(available)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        *available -= 1;
-    }
-
-    fn release(&self) {
-        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
-        *available += 1;
-        self.freed.notify_one();
-    }
-}
-
-/// Accepts connections forever, serving each as a JSON-lines session on
-/// its own thread. At most `max_connections` sessions run at once
-/// (pass [`scalesim_systolic::num_threads()`] to honor
-/// `SCALESIM_THREADS`); excess connections queue in the accept backlog.
-///
-/// # Errors
-///
-/// Returns the first *fatal* `accept` failure. Transient ones — a
-/// connection aborted before we accepted it, an interrupted syscall, or
-/// file-descriptor exhaustion under load (EMFILE/ENFILE, retried after
-/// a short backoff) — are survived, since a server meant to run forever
-/// must not be shut down by a blip. Per-connection I/O failures (e.g. a
-/// client disconnecting mid-request) end that session only.
-pub fn serve_listener(
-    service: &SimService,
-    listener: TcpListener,
-    max_connections: usize,
-) -> std::io::Result<()> {
-    let gate = Gate::new(max_connections);
-    // The loop only exits by returning a fatal accept error; the scope
-    // then joins any sessions still draining.
-    std::thread::scope(|scope| loop {
-        let (stream, _peer) = match listener.accept() {
-            Ok(accepted) => accepted,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::ConnectionAborted
-                        | std::io::ErrorKind::ConnectionReset
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue
-            }
-            // ENFILE (23) / EMFILE (24) on Unix: out of descriptors —
-            // sessions finishing will free some. WouldBlock only
-            // happens on a listener the caller made nonblocking; the
-            // sleep turns that into a slow poll rather than a hot spin.
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || (cfg!(unix) && matches!(e.raw_os_error(), Some(23 | 24))) =>
-            {
-                std::thread::sleep(std::time::Duration::from_millis(100));
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        gate.acquire();
-        let gate = &gate;
-        scope.spawn(move || {
-            let _ = serve_connection(service, stream);
-            gate.release();
-        });
-    })
-}
-
-fn serve_connection(service: &SimService, stream: TcpStream) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    serve_session(service, reader, stream)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,16 +623,27 @@ mod tests {
         )
     }
 
+    fn small_server() -> Server {
+        Server::new(
+            SimService::new(),
+            ServeOptions {
+                workers: 2,
+                queue_depth: 4,
+                max_sessions: 2,
+            },
+        )
+    }
+
     #[test]
     fn session_answers_one_line_per_request_and_skips_blanks() {
-        let service = SimService::new();
+        let server = small_server();
         let input = format!(
             "{}\n\n{}\n",
             run_line("r1"),
             "{\"api\": 1, \"version\": {}}"
         );
         let mut out = Vec::new();
-        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "{text}");
@@ -279,13 +656,13 @@ mod tests {
 
     #[test]
     fn malformed_requests_answer_in_band_and_do_not_end_the_session() {
-        let service = SimService::new();
+        let server = small_server();
         let input = format!(
             "this is not json\n{{\"api\": 1, \"id\": \"x\", \"frob\": {{}}}}\n{}\n",
             run_line("r2")
         );
         let mut out = Vec::new();
-        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -298,12 +675,12 @@ mod tests {
 
     #[test]
     fn non_utf8_lines_answer_a_typed_error_and_keep_the_session_alive() {
-        let service = SimService::new();
+        let server = small_server();
         let mut input = Vec::new();
         input.extend_from_slice(&[0xFF, 0xFE, b'\n']); // invalid UTF-8
         input.extend_from_slice(b"{\"api\": 1, \"id\": \"after\", \"version\": {}}\n");
         let mut out = Vec::new();
-        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "both lines answered: {text}");
@@ -318,12 +695,12 @@ mod tests {
 
     #[test]
     fn oversized_lines_answer_a_typed_error_and_keep_the_session_alive() {
-        let service = SimService::new();
+        let server = small_server();
         let mut input = vec![b'['; MAX_REQUEST_BYTES + 1];
         input.push(b'\n');
         input.extend_from_slice(b"{\"api\": 1, \"id\": \"after\", \"version\": {}}\n");
         let mut out = Vec::new();
-        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "{text}");
@@ -341,7 +718,7 @@ mod tests {
         // Exactly MAX_REQUEST_BYTES of content must be accepted
         // whether the line ends in \n or \r\n (a CRLF client gets the
         // same budget); one byte more is rejected as oversized.
-        let service = SimService::new();
+        let server = small_server();
         for (content_len, terminator, expect_oversized) in [
             (MAX_REQUEST_BYTES, "\n", false),
             (MAX_REQUEST_BYTES, "\r\n", false),
@@ -350,7 +727,7 @@ mod tests {
             let mut input = vec![b'z'; content_len];
             input.extend_from_slice(terminator.as_bytes());
             let mut out = Vec::new();
-            serve_session(&service, Cursor::new(input), &mut out).unwrap();
+            server.serve_session(Cursor::new(input), &mut out).unwrap();
             let text = String::from_utf8(out).unwrap();
             let (_, result) = wire::decode_response(text.trim_end());
             let err = result.unwrap_err();
@@ -369,10 +746,10 @@ mod tests {
 
     #[test]
     fn oversized_line_ending_in_eof_still_gets_an_answer() {
-        let service = SimService::new();
+        let server = small_server();
         let input = vec![b'x'; MAX_REQUEST_BYTES + 7]; // no newline at all
         let mut out = Vec::new();
-        serve_session(&service, Cursor::new(input), &mut out).unwrap();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let (_, result) = wire::decode_response(text.trim_end());
         assert_eq!(result.unwrap_err().kind(), "config");
@@ -415,20 +792,157 @@ mod tests {
     }
 
     #[test]
-    fn gate_caps_concurrency() {
+    fn gate_sheds_instead_of_blocking_past_the_cap() {
         let gate = Gate::new(2);
-        gate.acquire();
-        gate.acquire();
-        // A third acquire would block; release then reacquire instead.
+        assert!(gate.try_acquire());
+        assert!(gate.try_acquire());
+        assert!(!gate.try_acquire(), "third session must be shed");
         gate.release();
-        gate.acquire();
+        assert!(gate.try_acquire());
         gate.release();
         gate.release();
     }
 
     #[test]
+    fn job_queue_sheds_when_full_and_drains_after_shutdown() {
+        let queue = JobQueue::new(2);
+        let make_job = || {
+            let (tx, rx) = mpsc::sync_channel(1);
+            (
+                Box::new(Job {
+                    id: None,
+                    request: SimRequest::Version,
+                    cancel: None,
+                    started: Instant::now(),
+                    reply: tx,
+                }),
+                rx,
+            )
+        };
+        let (a, _ra) = make_job();
+        let (b, _rb) = make_job();
+        let (c, _rc) = make_job();
+        assert!(queue.try_push(a).is_ok());
+        assert!(queue.try_push(b).is_ok());
+        assert!(queue.try_push(c).is_err(), "queue at capacity sheds");
+        queue.shutdown();
+        let (d, _rd) = make_job();
+        assert!(queue.try_push(d).is_err(), "a closed queue admits nothing");
+        // Admitted jobs still drain after shutdown...
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        // ...and only then do workers see the end.
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn deadline_zero_answers_a_typed_deadline_and_counts_it() {
+        let server = small_server();
+        let input = "{\"api\": 1, \"id\": \"late\", \"deadline_ms\": 0, \"run\": {\"topology\": \
+             {\"name\": \"t\", \"inline\": \"a, 16, 16, 16,\\n\"}}}\n\
+             {\"api\": 1, \"id\": \"s\", \"stats\": {}}\n"
+            .to_string();
+        let mut out = Vec::new();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        let (id, first) = wire::decode_response(lines[0]);
+        assert_eq!(id.as_deref(), Some("late"));
+        let err = first.unwrap_err();
+        assert_eq!(err.kind(), "deadline");
+        assert_eq!(err.exit_code(), 124);
+        assert_eq!(err.message(), "deadline of 0 ms exceeded");
+        let (_, second) = wire::decode_response(lines[1]);
+        let SimResponse::Stats(stats) = second.unwrap() else {
+            panic!("expected stats body")
+        };
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.requests_total, 2);
+        assert_eq!(stats.completed, 1, "the stats request itself is mid-flight");
+        assert_eq!(stats.in_flight, 1, "the stats request counts itself");
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.latency_count, 1);
+    }
+
+    #[test]
+    fn a_generous_deadline_changes_no_bytes() {
+        let server = small_server();
+        let with_deadline =
+            "{\"api\": 1, \"id\": \"x\", \"deadline_ms\": 600000, \"run\": {\"topology\": \
+             {\"name\": \"t\", \"inline\": \"a, 16, 16, 16,\\n\"}}}";
+        let input = format!("{}\n{}\n", with_deadline, run_line("x"));
+        let mut out = Vec::new();
+        server.serve_session(Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(
+            lines[0], lines[1],
+            "a live deadline costs checks, not bytes"
+        );
+    }
+
+    #[test]
+    fn sessions_past_the_cap_get_one_busy_line_and_a_close() {
+        let server = Arc::new(Server::new(
+            SimService::new(),
+            ServeOptions {
+                workers: 1,
+                queue_depth: 1,
+                max_sessions: 1,
+            },
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            // The accept loop runs forever, so it lives on a *detached*
+            // thread parked in accept() when the test ends (a scoped
+            // thread would deadlock the scope join).
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let _ = server.serve_listener(listener);
+            });
+        }
+        // First client occupies the only session slot (and proves the
+        // session is established by completing a request).
+        let mut first = TcpStream::connect(addr).unwrap();
+        first
+            .write_all(b"{\"api\": 1, \"id\": \"v\", \"version\": {}}\n")
+            .unwrap();
+        let mut reader = BufReader::new(first.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(wire::decode_response(response.trim_end()).1.is_ok());
+        // Second client is over the cap: one busy line, then EOF.
+        let second = TcpStream::connect(addr).unwrap();
+        let mut busy_reader = BufReader::new(second);
+        let mut busy = String::new();
+        busy_reader.read_line(&mut busy).unwrap();
+        let (_, result) = wire::decode_response(busy.trim_end());
+        let err = result.unwrap_err();
+        assert_eq!(err.kind(), "busy");
+        assert_eq!(err.exit_code(), 75);
+        assert_eq!(err.message(), "session limit reached; retry later");
+        let mut rest = String::new();
+        assert_eq!(busy_reader.read_line(&mut rest).unwrap(), 0, "closed");
+        // The shed connection shows up in stats, asked over the
+        // still-open first session.
+        first
+            .write_all(b"{\"api\": 1, \"id\": \"s\", \"stats\": {}}\n")
+            .unwrap();
+        let mut stats_line = String::new();
+        reader.read_line(&mut stats_line).unwrap();
+        let (_, result) = wire::decode_response(stats_line.trim_end());
+        let SimResponse::Stats(stats) = result.unwrap() else {
+            panic!("expected stats body")
+        };
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
     fn tcp_sessions_share_the_plan_cache() {
-        let service = SimService::new();
+        let server = small_server();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::scope(|scope| {
@@ -436,7 +950,7 @@ mod tests {
                 // Serve exactly two connections, then stop.
                 for _ in 0..2 {
                     let (stream, _) = listener.accept().unwrap();
-                    let _ = serve_connection(&service, stream);
+                    let _ = server.serve_connection(stream);
                 }
             });
             let request = SimRequest::from_json(
@@ -466,7 +980,7 @@ mod tests {
             }
             assert_eq!(bodies[0], bodies[1], "identical requests, identical bytes");
         });
-        let stats = service.plan_cache().stats();
+        let stats = server.service().plan_cache().stats();
         assert!(stats.hits > 0, "second connection reused warm plans");
     }
 }

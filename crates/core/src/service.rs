@@ -33,16 +33,18 @@
 //! assert!(body.reports.iter().any(|r| r.name == "ENERGY_REPORT.csv"));
 //! ```
 
+use crate::cancel::CancelToken;
 use crate::cfg::parse_cfg;
 use crate::config::{MultiCoreIntegration, ScaleSimConfig};
 use crate::engine::{ScaleSim, StreamStats};
+use crate::metrics::ServeMetrics;
 use crate::scaleout::{run_scaleout, MemoryScaleoutSink, ScaleoutSink, ScaleoutSummary};
 use crate::sink::{MemoryReportSink, ReportSections, ResultSink, RunSummary};
 use crate::sweep_run::run_sweep_cached;
 use scalesim_api::{
     AreaBody, AreaSpec, ConfigSource, Features, Report, RunBody, RunSpec, RunSummaryBody,
-    ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, SweepBody, SweepRequest,
-    TopologyFormat, TopologySource, VersionBody, API_VERSION,
+    ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, StatsBody, SweepBody,
+    SweepRequest, TopologyFormat, TopologySource, VersionBody, API_VERSION,
 };
 use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_energy::AreaBreakdown;
@@ -57,10 +59,30 @@ use std::sync::Arc;
 /// (plans are small; capacity bounds memory, never results).
 pub const SERVICE_CACHE_CAPACITY: usize = 4096;
 
-/// Executes [`SimRequest`]s against a persistent shared [`PlanCache`].
+/// Builds the shared plan cache a fresh service uses. With
+/// `SCALESIM_CACHE_BUDGET_MB` set to a positive integer, the cache is
+/// bounded by resident plan *bytes* with cost-aware eviction
+/// ([`PlanCache::with_budget`]); otherwise it is count-capped at
+/// [`SERVICE_CACHE_CAPACITY`]. Cache shape never changes results —
+/// only planning time.
+fn cache_from_env() -> Arc<PlanCache> {
+    match std::env::var("SCALESIM_CACHE_BUDGET_MB")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&mb| mb > 0)
+    {
+        Some(mb) => Arc::new(PlanCache::with_budget(mb.saturating_mul(1024 * 1024))),
+        None => Arc::new(PlanCache::with_capacity(SERVICE_CACHE_CAPACITY)),
+    }
+}
+
+/// Executes [`SimRequest`]s against a persistent shared [`PlanCache`],
+/// answering `stats` requests from shared [`ServeMetrics`] (recorded by
+/// the serve loop; a one-shot CLI service reports all-zero counters).
 #[derive(Debug, Clone)]
 pub struct SimService {
     cache: Arc<PlanCache>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl Default for SimService {
@@ -70,22 +92,33 @@ impl Default for SimService {
 }
 
 impl SimService {
-    /// A service with a fresh plan cache of
+    /// A service with a fresh plan cache: byte-budgeted when
+    /// `SCALESIM_CACHE_BUDGET_MB` is set, else count-capped at
     /// [`SERVICE_CACHE_CAPACITY`].
     pub fn new() -> Self {
         Self {
-            cache: Arc::new(PlanCache::with_capacity(SERVICE_CACHE_CAPACITY)),
+            cache: cache_from_env(),
+            metrics: Arc::new(ServeMetrics::new()),
         }
     }
 
-    /// A service sharing an existing plan cache.
+    /// A service sharing an existing plan cache (metrics start fresh).
     pub fn with_plan_cache(cache: Arc<PlanCache>) -> Self {
-        Self { cache }
+        Self {
+            cache,
+            metrics: Arc::new(ServeMetrics::new()),
+        }
     }
 
     /// The plan cache every request handled by this service shares.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
         &self.cache
+    }
+
+    /// The serving metrics `stats` requests report. Clones of this
+    /// service (e.g. one per worker thread) share the same counters.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
     }
 
     /// Executes one request, producing the matching response variant.
@@ -96,22 +129,82 @@ impl SimService {
     /// this path (the serve loop additionally catches panics as a last
     /// line of defense and reports them as `internal`).
     pub fn handle(&self, request: &SimRequest) -> Result<SimResponse, SimError> {
+        self.handle_cancellable(request, None)
+    }
+
+    /// Executes one request under an optional deadline token.
+    ///
+    /// Cancellation is cooperative and checked at stage boundaries:
+    /// a `run` checks between every pipeline stage of every layer; a
+    /// `sweep` or `scaleout` checks between its phases (load/validate,
+    /// execute, package) but not inside the grid or collective
+    /// execution, so those overshoot by at most one phase. An expired
+    /// token never yields a partial body — the request answers the
+    /// typed `deadline` error and nothing else.
+    ///
+    /// # Errors
+    ///
+    /// As [`handle`](Self::handle), plus `Deadline` when `cancel`
+    /// expires before the response is assembled.
+    pub fn handle_cancellable(
+        &self,
+        request: &SimRequest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SimResponse, SimError> {
+        check_cancel(cancel)?;
         match request {
             SimRequest::Run(spec) => {
                 let prepared = self.prepare_run(spec)?;
-                Ok(SimResponse::Run(prepared.into_body()))
+                Ok(SimResponse::Run(prepared.into_body_cancellable(cancel)?))
             }
             SimRequest::Sweep(spec) => {
                 let prepared = self.prepare_sweep(spec)?;
+                check_cancel(cancel)?;
                 let (report, _) = prepared.run_with(|_| {})?;
+                check_cancel(cancel)?;
                 Ok(SimResponse::Sweep(sweep_body(&prepared, &report)))
             }
             SimRequest::Scaleout(spec) => {
                 let prepared = self.prepare_scaleout(spec)?;
-                Ok(SimResponse::Scaleout(prepared.into_body()?))
+                check_cancel(cancel)?;
+                let body = prepared.into_body()?;
+                check_cancel(cancel)?;
+                Ok(SimResponse::Scaleout(body))
             }
             SimRequest::AreaReport(spec) => Ok(SimResponse::Area(self.area(spec)?)),
             SimRequest::Version => Ok(SimResponse::Version(version_body())),
+            SimRequest::Stats => Ok(SimResponse::Stats(self.stats_body())),
+        }
+    }
+
+    /// Snapshots the service's cache and serving counters as a `stats`
+    /// response body. Counter reads are relaxed atomics — a snapshot
+    /// taken mid-burst is approximate, never torn.
+    pub fn stats_body(&self) -> StatsBody {
+        let cache = self.cache.stats();
+        let lookups = cache.hits + cache.misses;
+        let m = &*self.metrics;
+        StatsBody {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_plans: cache.plans as u64,
+            cache_evictions: cache.evictions,
+            cache_resident_bytes: cache.resident_bytes as u64,
+            cache_budget_bytes: self.cache.budget_bytes().unwrap_or(0) as u64,
+            cache_hit_rate: if lookups > 0 {
+                cache.hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            requests_total: m.get(&m.requests_total),
+            completed: m.get(&m.completed),
+            shed: m.get(&m.shed),
+            deadline_expired: m.get(&m.deadline_expired),
+            in_flight: m.get(&m.in_flight),
+            latency_count: m.latency.count(),
+            latency_p50_us: m.latency.percentile_us(50.0),
+            latency_p99_us: m.latency.percentile_us(99.0),
+            latency_max_us: m.latency.max_us(),
         }
     }
 
@@ -265,6 +358,14 @@ impl SimService {
     }
 }
 
+/// Errors with the token's typed `deadline` error if it has expired.
+fn check_cancel(cancel: Option<&CancelToken>) -> Result<(), SimError> {
+    match cancel {
+        Some(token) if token.expired() => Err(token.to_error()),
+        _ => Ok(()),
+    }
+}
+
 /// A validated run, ready to execute: the engine (sharing the service's
 /// plan cache) and the parsed workload.
 #[derive(Debug, Clone)]
@@ -286,6 +387,20 @@ impl PreparedRun {
     /// plus every report the configuration produces, byte-identical to
     /// the files the CLI writes.
     pub fn into_body(self) -> RunBody {
+        self.into_body_cancellable(None)
+            .expect("no cancel token, so the run always completes")
+    }
+
+    /// As [`into_body`](Self::into_body), but abandons the run at the
+    /// next pipeline-stage boundary once `cancel` expires. The body is
+    /// identical to the uncancelled one whenever the token survives —
+    /// the token costs checks, never results.
+    ///
+    /// # Errors
+    ///
+    /// `Deadline` when the token expires mid-run; partial results are
+    /// discarded (a deadline response never carries a body).
+    pub fn into_body_cancellable(self, cancel: Option<&CancelToken>) -> Result<RunBody, SimError> {
         let mut csv = MemoryReportSink::new(ReportSections::for_config(self.sim.config()));
         let mut summary = RunSummary::new();
         struct Tee<'a> {
@@ -298,11 +413,20 @@ impl PreparedRun {
                 self.csv.layer(result);
             }
         }
-        self.run_into(&mut Tee {
+        let mut tee = Tee {
             csv: &mut csv,
             summary: &mut summary,
-        });
-        RunBody {
+        };
+        match cancel {
+            Some(token) => {
+                self.sim
+                    .run_topology_cancellable(&self.topology, &mut tee, token)?;
+            }
+            None => {
+                self.sim.run_topology_with(&self.topology, &mut tee);
+            }
+        }
+        Ok(RunBody {
             summary: summary_body(&summary),
             reports: csv
                 .finish()
@@ -312,7 +436,7 @@ impl PreparedRun {
                     content,
                 })
                 .collect(),
-        }
+        })
     }
 }
 
@@ -786,6 +910,65 @@ mod tests {
         };
         assert_eq!(v.api, API_VERSION);
         assert!(v.version.starts_with("scalesim "));
+    }
+
+    #[test]
+    fn stats_request_snapshots_the_cache_and_reports_zero_serve_counters() {
+        let service = SimService::new();
+        let req = SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: gemm_topology(),
+            features: Features::default(),
+        });
+        service.handle(&req).unwrap();
+        service.handle(&req).unwrap();
+        let SimResponse::Stats(stats) = service.handle(&SimRequest::Stats).unwrap() else {
+            panic!("expected stats body")
+        };
+        assert_eq!(stats.cache_misses, 2, "two layers planned once");
+        assert_eq!(stats.cache_hits, 2, "second request reused both plans");
+        assert_eq!(stats.cache_plans, 2);
+        assert!((stats.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert!(stats.cache_resident_bytes > 0);
+        assert_eq!(stats.cache_budget_bytes, 0, "count-capped by default");
+        // A one-shot service records no serve-loop counters: those are
+        // bumped by the serve transport, not by handle().
+        assert_eq!(stats.requests_total, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.latency_count, 0);
+    }
+
+    #[test]
+    fn expired_token_yields_deadline_and_a_live_token_changes_nothing() {
+        let service = SimService::new();
+        for req in [
+            SimRequest::Run(RunSpec {
+                config: ConfigSource::Default,
+                topology: gemm_topology(),
+                features: Features::default(),
+            }),
+            SimRequest::Sweep(SweepRequest {
+                spec: ConfigSource::Inline("array = 8x8\n".into()),
+                base_config: ConfigSource::Default,
+                topologies: vec![gemm_topology()],
+                shards: 1,
+            }),
+            SimRequest::Scaleout(ScaleoutRequest::for_topology(gemm_topology())),
+        ] {
+            let dead = CancelToken::after_ms(0);
+            let err = service.handle_cancellable(&req, Some(&dead)).unwrap_err();
+            assert_eq!(err.kind(), "deadline");
+            assert_eq!(err.exit_code(), 124);
+            assert_eq!(err.message(), "deadline of 0 ms exceeded");
+            // A token that never fires must not perturb the response.
+            let live = CancelToken::after_ms(600_000);
+            let with_token = service.handle_cancellable(&req, Some(&live)).unwrap();
+            let without = service.handle(&req).unwrap();
+            assert_eq!(
+                with_token, without,
+                "cancel tokens cost checks, not results"
+            );
+        }
     }
 
     #[test]

@@ -204,8 +204,11 @@ fn serve_listen_answers_concurrent_connections() {
     let dir = tmp_dir("tcp");
     let (cfg, topo) = write_inputs(&dir);
 
+    // The session cap defaults to machine parallelism, which can be 1
+    // on a small runner; this test needs two concurrent sessions.
     let mut child = bin()
         .args(["serve", "--listen", "127.0.0.1:0"])
+        .env("SCALESIM_SERVE_SESSIONS", "4")
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()

@@ -196,6 +196,30 @@ pub struct PlannedLayer {
     pub sram: SramSummary,
 }
 
+impl PlannedLayer {
+    /// Estimated bytes this plan keeps resident while cached: the
+    /// struct itself plus every heap-allocated event/address vector.
+    /// The fetch sequences dominate (they scale with unique words), so
+    /// this tracks the true footprint closely enough to budget by.
+    pub fn resident_bytes(&self) -> usize {
+        let read = |p: &crate::buffer::ReadPlan| {
+            std::mem::size_of_val(p.fetch_seq.as_slice())
+                + std::mem::size_of_val(p.needs.as_slice())
+        };
+        let write = |p: &crate::buffer::WritePlan| {
+            std::mem::size_of_val(p.drain_events.as_slice())
+                + std::mem::size_of_val(p.drain_addrs.as_slice())
+                + std::mem::size_of_val(p.miss_events.as_slice())
+                + std::mem::size_of_val(p.miss_addrs.as_slice())
+                + std::mem::size_of_val(p.flush_addrs.as_slice())
+        };
+        std::mem::size_of::<Self>()
+            + read(&self.inputs.ifmap)
+            + read(&self.inputs.filter)
+            + write(&self.inputs.ofmap)
+    }
+}
+
 /// Cache key: everything the fetch plans depend on. Deliberately excludes
 /// the backing-store bandwidth — plans describe *what* to fetch and
 /// *when it is needed*; timing against a store happens per replay.
@@ -228,6 +252,31 @@ impl PlanKey {
     }
 }
 
+/// One cached plan plus the bookkeeping the eviction policy needs.
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<PlannedLayer>,
+    /// Estimated resident footprint ([`PlannedLayer::resident_bytes`]).
+    bytes: usize,
+    /// Rebuild-cost density: planning nanoseconds per resident byte.
+    value: f64,
+    /// GreedyDual priority: `clock + value` at the last touch. The
+    /// entry with the smallest priority is the cheapest to lose —
+    /// coldest, cheapest to rebuild, and/or largest.
+    priority: f64,
+}
+
+/// The lock-guarded half of a [`PlanCache`].
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<PlanKey, CacheEntry, BuildHasherDefault<FastHasher>>,
+    /// Sum of `bytes` over all entries.
+    resident_bytes: usize,
+    /// GreedyDual clock: rises to each victim's priority on eviction, so
+    /// recency and retained value stay comparable without timestamps.
+    clock: f64,
+}
+
 /// Thread-safe memoization of [`PlannedLayer`]s by [`PlanKey`].
 ///
 /// CNN and transformer topologies repeat layer shapes heavily (ResNet-18
@@ -237,18 +286,25 @@ impl PlanKey {
 /// [`Arc`]s — replaying one against a [`BackingStore`] never mutates it.
 ///
 /// Plans can be large (fetch sequences scale with unique words), so the
-/// cache is bounded: once it holds `capacity` distinct plans, the next
-/// insert drops the whole generation and starts fresh. Any topology with
-/// fewer distinct shapes than the capacity — all realistic networks —
-/// never evicts; long-lived simulators sweeping many shapes stay within a
-/// predictable footprint. Eviction only ever costs re-planning, never
-/// correctness.
+/// cache is bounded two ways: a count capacity (distinct plans) and an
+/// optional byte budget ([`PlanCache::with_budget`]). When either bound
+/// is exceeded the cache evicts cost-aware — GreedyDual-Size: each
+/// entry carries a priority of `clock + rebuild_nanos / bytes`,
+/// refreshed on every hit; eviction removes the minimum-priority entry
+/// (coldest, cheapest to re-plan, largest) and raises the clock to its
+/// priority, aging the survivors. Any topology with fewer distinct
+/// shapes than the bounds — all realistic networks — never evicts;
+/// long-lived servers sweeping many shapes keep the hottest, most
+/// expensive plans within a predictable footprint. Eviction only ever
+/// costs re-planning, never correctness.
 #[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>>,
+    inner: Mutex<CacheInner>,
     capacity: usize,
+    budget_bytes: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -267,14 +323,37 @@ impl PlanCache {
     }
 
     /// Creates an empty cache holding at most `capacity` distinct plans
-    /// (minimum 1).
+    /// (minimum 1), with no byte budget.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            map: Mutex::new(HashMap::default()),
+            inner: Mutex::new(CacheInner::default()),
             capacity: capacity.max(1),
+            budget_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Creates an empty cache bounded by resident bytes instead of a
+    /// plan count: after every insert, minimum-priority entries are
+    /// evicted until the estimated footprint is back within
+    /// `budget_bytes`. A single plan larger than the whole budget is
+    /// still returned to the caller but not retained.
+    pub fn with_budget(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: usize::MAX,
+            budget_bytes: Some(budget_bytes.max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget, if this cache is byte-bounded.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget_bytes
     }
 
     /// Returns the cached plan for `key`, or plans it with `plan` and
@@ -288,32 +367,78 @@ impl PlanCache {
         key: PlanKey,
         plan: impl FnOnce() -> PlannedLayer,
     ) -> Arc<PlannedLayer> {
-        if let Some(hit) = self.lock_map().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        {
+            let mut inner = self.lock_inner();
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                entry.priority = clock + entry.value;
+                return Arc::clone(&entry.plan);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let planned = Arc::new(plan());
-        let mut map = self.lock_map();
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            map.clear();
-        }
-        Arc::clone(map.entry(key).or_insert(planned))
+        let cost_nanos = started.elapsed().as_nanos() as f64;
+        let bytes = planned.resident_bytes();
+        // Cost per byte, floored so a degenerate zero-cost or zero-byte
+        // plan still gets a finite, positive priority increment.
+        let value = (cost_nanos / bytes.max(1) as f64).max(f64::MIN_POSITIVE);
+
+        let mut inner = self.lock_inner();
+        let clock = inner.clock;
+        let result = match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(&e.get().plan),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let plan = Arc::clone(&planned);
+                e.insert(CacheEntry {
+                    plan: planned,
+                    bytes,
+                    value,
+                    priority: clock + value,
+                });
+                inner.resident_bytes += bytes;
+                plan
+            }
+        };
+        self.evict_to_bounds(&mut inner);
+        result
     }
 
-    /// Locks the plan map, recovering from poisoning. The map only ever
-    /// holds fully-planned `Arc<PlannedLayer>` values and is mutated by
-    /// whole-entry insert/clear, so a panic while the lock was held
+    /// Evicts minimum-priority entries until both bounds hold. May
+    /// evict an entry inserted in the same call (callers already hold
+    /// their `Arc`), which is what keeps the byte budget a hard
+    /// invariant even for plans bigger than the whole budget.
+    fn evict_to_bounds(&self, inner: &mut CacheInner) {
+        let over = |inner: &CacheInner| {
+            inner.map.len() > self.capacity
+                || self.budget_bytes.is_some_and(|b| inner.resident_bytes > b)
+        };
+        while over(inner) {
+            let Some(victim_key) = inner
+                .map
+                .iter()
+                .min_by(|a, b| a.1.priority.total_cmp(&b.1.priority))
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            let victim = inner.map.remove(&victim_key).expect("key from iteration");
+            inner.resident_bytes -= victim.bytes;
+            inner.clock = inner.clock.max(victim.priority);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Locks the cache state, recovering from poisoning. Entries only
+    /// ever hold fully-planned `Arc<PlannedLayer>` values and are
+    /// mutated by whole-entry insert/remove (with `resident_bytes`
+    /// adjusted under the same lock), so a panic while the lock was held
     /// cannot leave it logically inconsistent — and the cache is shared
     /// across requests in serve mode, where a caught per-request panic
     /// must not wedge every later request on a poisoned lock.
-    fn lock_map(
-        &self,
-    ) -> std::sync::MutexGuard<
-        '_,
-        HashMap<PlanKey, Arc<PlannedLayer>, BuildHasherDefault<FastHasher>>,
-    > {
-        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Cache hits so far.
@@ -326,9 +451,19 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by the cost-aware policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes currently held by cached plans.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock_inner().resident_bytes
+    }
+
     /// Number of distinct plans held.
     pub fn len(&self) -> usize {
-        self.lock_map().len()
+        self.lock_inner().map.len()
     }
 
     /// Whether the cache holds no plans.
@@ -338,7 +473,9 @@ impl PlanCache {
 
     /// Drops all cached plans (counters are kept).
     pub fn clear(&self) {
-        self.lock_map().clear();
+        let mut inner = self.lock_inner();
+        inner.map.clear();
+        inner.resident_bytes = 0;
     }
 
     /// The cache counters bundled up for end-of-run summaries (e.g. how
@@ -348,10 +485,16 @@ impl PlanCache {
     /// (hits + misses need not equal lookups observed elsewhere); read it
     /// after the runs complete.
     pub fn stats(&self) -> PlanCacheStats {
+        let (plans, resident_bytes) = {
+            let inner = self.lock_inner();
+            (inner.map.len(), inner.resident_bytes)
+        };
         PlanCacheStats {
             hits: self.hits(),
             misses: self.misses(),
-            plans: self.len(),
+            plans,
+            evictions: self.evictions(),
+            resident_bytes,
         }
     }
 }
@@ -365,14 +508,18 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Distinct plans currently held.
     pub plans: usize,
+    /// Entries evicted by the cost-aware policy.
+    pub evictions: u64,
+    /// Estimated bytes currently held by cached plans.
+    pub resident_bytes: usize,
 }
 
 impl std::fmt::Display for PlanCacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({} plans held)",
-            self.hits, self.misses, self.plans
+            "{} hits / {} misses ({} plans held, {} evicted)",
+            self.hits, self.misses, self.plans, self.evictions
         )
     }
 }
@@ -671,18 +818,29 @@ mod tests {
         // operation recovers the lock instead of panicking forever.
         let cache = PlanCache::new();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = cache.map.lock().unwrap();
+            let _guard = cache.inner.lock().unwrap();
             panic!("injected while holding the plan cache lock");
         }));
-        assert!(cache.map.is_poisoned(), "panic above must poison the lock");
+        assert!(
+            cache.inner.is_poisoned(),
+            "panic above must poison the lock"
+        );
         assert_eq!(cache.len(), 0);
         let s = sim(Dataflow::OutputStationary);
         let key = PlanKey::new(&s.config, GemmShape::new(8, 8, 8));
         let planned = s.plan_gemm(GemmShape::new(8, 8, 8));
+        let bytes = planned.resident_bytes();
         cache.get_or_insert_with(key, || planned);
         assert_eq!(cache.len(), 1, "cache keeps working after poisoning");
+        // The stats stay coherent through recovery: the resident-bytes
+        // gauge tracks the surviving entry exactly and the counters
+        // reflect the one miss.
+        let stats = cache.stats();
+        assert_eq!(stats.resident_bytes, bytes);
+        assert_eq!((stats.hits, stats.misses, stats.plans), (0, 1, 1));
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]
@@ -795,7 +953,10 @@ mod tests {
             (stats.hits, stats.misses, stats.plans),
             (cache.hits(), cache.misses(), cache.len())
         );
-        assert_eq!(stats.to_string(), "1 hits / 2 misses (2 plans held)");
+        assert_eq!(
+            stats.to_string(),
+            "1 hits / 2 misses (2 plans held, 0 evicted)"
+        );
     }
 
     #[test]
@@ -806,9 +967,130 @@ mod tests {
             let _ = sim.plan_gemm_shared(GemmShape::new(8, 8 * n, 8));
         }
         assert!(cache.len() <= 2, "capacity must bound distinct plans");
+        assert_eq!(cache.evictions(), 3, "5 inserts into capacity 2 evict 3");
         // Evicted shapes still re-plan correctly.
         let r = sim.simulate_gemm(GemmShape::new(8, 8, 8));
         assert_eq!(r, sim.simulate_gemm(GemmShape::new(8, 8, 8)));
+    }
+
+    /// Deterministic SplitMix64 for the property-style sweeps below (the
+    /// build is offline, so no external PRNG crate).
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Property: after *any* operation sequence, the byte budget holds
+    /// and the resident-bytes gauge equals the sum over held entries.
+    #[test]
+    fn plan_cache_budget_is_never_exceeded() {
+        let s = sim(Dataflow::WeightStationary);
+        // A budget that fits a handful of small plans but not all of the
+        // distinct shapes the sweep touches, forcing steady eviction.
+        let probe = s.plan_gemm(GemmShape::new(8, 8, 8)).resident_bytes();
+        let cache = PlanCache::with_budget(probe * 4);
+        let mut rng = SplitMix64(0xB0D6E7);
+        for _ in 0..200 {
+            let m = 8 * (1 + rng.below(4)) as usize;
+            let k = 8 * (1 + rng.below(4)) as usize;
+            let n = 8 * (1 + rng.below(4)) as usize;
+            let gemm = GemmShape::new(m, k, n);
+            let key = PlanKey::new(&s.config, gemm);
+            let _ = cache.get_or_insert_with(key, || s.plan_gemm(gemm));
+            let stats = cache.stats();
+            assert!(
+                stats.resident_bytes <= probe * 4,
+                "budget exceeded: {} > {}",
+                stats.resident_bytes,
+                probe * 4
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            200,
+            "every lookup is a hit or a miss"
+        );
+        assert!(stats.evictions > 0, "this sweep must evict");
+        assert_eq!(
+            stats.plans as u64 + stats.evictions,
+            stats.misses,
+            "every planned entry is either held or was evicted: {stats}"
+        );
+    }
+
+    /// GreedyDual-Size retention: an entry that is expensive to rebuild
+    /// and hit on every round survives a stream of cheap one-touch
+    /// entries that forces continuous eviction. (A *cheap* hot entry may
+    /// legitimately be evicted early — priority is rebuild cost per
+    /// byte — so the test pins the expensive-and-hot case, which is the
+    /// one the policy exists to protect.)
+    #[test]
+    fn plan_cache_keeps_the_hot_expensive_entry_under_pressure() {
+        let s = sim(Dataflow::OutputStationary);
+        let hot_gemm = GemmShape::new(16, 16, 16);
+        let hot_key = PlanKey::new(&s.config, hot_gemm);
+        let cache = PlanCache::with_capacity(3);
+        // Make the hot entry's measured rebuild cost dominate every cold
+        // entry's by orders of magnitude, so the cost-density comparison
+        // is deterministic regardless of planner timing noise.
+        let _ = cache.get_or_insert_with(hot_key, || {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            s.plan_gemm(hot_gemm)
+        });
+        for n in 1..=20 {
+            let cold = GemmShape::new(8, 8 * n, 8);
+            let _ = cache.get_or_insert_with(PlanKey::new(&s.config, cold), || s.plan_gemm(cold));
+            // Touch the hot entry every round: its priority is refreshed
+            // to clock + value, so eviction always prefers a cold entry.
+            let before = cache.misses();
+            let _ = cache.get_or_insert_with(hot_key, || s.plan_gemm(hot_gemm));
+            assert_eq!(
+                cache.misses(),
+                before,
+                "round {n}: the hot expensive entry must never be evicted"
+            );
+        }
+        assert!(cache.evictions() > 0, "the cold stream must evict");
+        assert!(cache.len() <= 3);
+    }
+
+    /// Eviction-stats consistency under a randomized mixed workload on a
+    /// count-capped cache: plans held + evictions == misses, and the
+    /// resident gauge returns to zero on clear.
+    #[test]
+    fn plan_cache_eviction_stats_stay_consistent() {
+        let s = sim(Dataflow::WeightStationary);
+        let cache = PlanCache::with_capacity(4);
+        let mut rng = SplitMix64(0x5EED);
+        for _ in 0..300 {
+            let n = 8 * (1 + rng.below(10)) as usize;
+            let gemm = GemmShape::new(8, 8, n);
+            let key = PlanKey::new(&s.config, gemm);
+            let _ = cache.get_or_insert_with(key, || s.plan_gemm(gemm));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 300);
+        assert_eq!(
+            stats.plans as u64 + stats.evictions,
+            stats.misses,
+            "every miss either stays resident or was evicted: {stats}"
+        );
+        assert!(stats.plans <= 4);
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(cache.evictions(), stats.evictions, "clear is not eviction");
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn requests() -> Vec<(String, SimRequest)> {
         ("vit-cold".into(), run.clone()),
         ("vit-warm".into(), run),
         ("sweep".into(), sweep),
+        ("stats".into(), SimRequest::Stats),
     ]
 }
 
@@ -80,6 +81,14 @@ fn describe(response: &SimResponse) -> String {
             s.chips, s.strategy, s.total_cycles, s.exposed_cycles
         ),
         SimResponse::Area(a) => format!("{:.2} mm2", a.total_mm2),
+        SimResponse::Stats(s) => format!(
+            "cache {:.0}% hit ({} plans, {} evicted), {} served, p99 {} us",
+            s.cache_hit_rate * 100.0,
+            s.cache_plans,
+            s.cache_evictions,
+            s.completed,
+            s.latency_p99_us
+        ),
     }
 }
 
