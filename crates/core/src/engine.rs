@@ -12,7 +12,9 @@ use crate::pipeline::{LayerPipeline, PipelineBuilder, StageTiming};
 use crate::result::{LayerResult, RunResult};
 use crate::sink::{CollectSink, ResultSink};
 use scalesim_energy::{ArchSpec, AreaBreakdown, AreaConfig, AreaTable};
-use scalesim_systolic::{parallel_map_streamed, GemmShape, PlanCache, Topology};
+use scalesim_systolic::{
+    parallel_map_streamed, parallel_map_streamed_cancellable, GemmShape, PlanCache, Topology,
+};
 use std::sync::Arc;
 
 /// Block size of the streaming topology runner: at most this many layer
@@ -186,8 +188,11 @@ impl ScaleSim {
     /// Streams a whole topology through `sink` like
     /// [`run_topology_with`](Self::run_topology_with), but abandons the
     /// run with the token's typed [`SimError`](scalesim_api::SimError)
-    /// once `cancel` expires. Cancellation is checked before every
-    /// pipeline stage of every layer; layers already finished when the
+    /// once `cancel` expires. Cancellation is checked at two levels:
+    /// the scheduler polls the token before *claiming* each layer (an
+    /// expired request stops taking work off the shared pool
+    /// immediately), and the pipeline checks it before every stage of
+    /// a layer already in flight. Layers already finished when the
     /// deadline passes may still reach the sink (the caller discards
     /// partial output on error), and in-flight workers complete their
     /// current stage before stopping.
@@ -201,9 +206,11 @@ impl ScaleSim {
         sink: &mut dyn ResultSink,
         cancel: &crate::cancel::CancelToken,
     ) -> Result<StreamStats, scalesim_api::SimError> {
-        let peak = parallel_map_streamed(
+        let expired = || cancel.expired();
+        let peak = parallel_map_streamed_cancellable(
             topology.layers(),
             STREAM_BLOCK,
+            &expired,
             |_, layer| {
                 self.pipeline
                     .run_layer_cancellable(layer.name(), layer.gemm(), Some(cancel))
@@ -224,7 +231,7 @@ impl ScaleSim {
     }
 
     /// Streams a whole topology through `sink` with **bounded result
-    /// memory**: layers execute concurrently on a scoped worker pool
+    /// memory**: layers execute concurrently on the shared scheduler
     /// (control the size with `SCALESIM_THREADS`) in blocks of
     /// [`STREAM_BLOCK`], and each block is pushed into the sink in layer
     /// order before the next begins. The sink observes exactly the
@@ -244,7 +251,7 @@ impl ScaleSim {
 
     /// Runs a whole topology, collecting every layer.
     ///
-    /// Layers execute concurrently on a scoped worker pool (control the
+    /// Layers execute concurrently on the shared scheduler (control the
     /// size with `SCALESIM_THREADS`) sharing this simulator's plan cache;
     /// results come back in layer order, identical to serial execution.
     pub fn run_topology(&self, topology: &Topology) -> RunResult {

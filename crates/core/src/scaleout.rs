@@ -12,9 +12,10 @@
 //! scale-out requests too). Pipeline parallelism runs every full layer
 //! once and schedules the stages analytically.
 //!
-//! Execution streams: shards run through
-//! [`ScaleSim::run_topology_with`] (deterministic for any
-//! `SCALESIM_THREADS`), each finished layer is joined with its
+//! Execution streams: shard compute runs through
+//! [`ScaleSim::run_topology_with`] — nested layer tasks of the shared
+//! work-stealing scheduler, not a second pool (deterministic for any
+//! `SCALESIM_THREADS`) — each finished layer is joined with its
 //! collective cost in the [`OverlapTimeline`] (one-layer lookahead, so
 //! O(1) buffered state), and every resolved row is pushed into a
 //! [`ScaleoutSink`] — the CSV file writer, the in-memory twin the serve

@@ -11,22 +11,35 @@
 //!
 //! ## Serving model
 //!
-//! A [`Server`] owns a **bounded worker pool** fed by a **bounded
-//! admission queue**. Session threads do only O(1) work: they frame
+//! A [`Server`] owns a **bounded admission queue** drained by **runner
+//! tasks on the process-wide scheduler**
+//! ([`scalesim_sched::Scheduler::global`]) — there are no dedicated
+//! worker threads. Session threads do only O(1) work: they frame
 //! lines, decode requests, and answer decode errors, `version` and
 //! `stats` inline; simulation requests (`run`, `sweep`, `scaleout`,
-//! `area`) are handed to the pool. When the queue is full the request
-//! is **shed immediately** with a typed `busy` error (exit code 75)
-//! instead of stalling the session — and when the session cap is
-//! reached, a new connection is answered with one `busy` line and
-//! closed rather than left hanging in the accept backlog. A loaded
-//! server therefore always answers *something*, quickly.
+//! `area`) are queued, and at most [`ServeOptions::workers`] runner
+//! tasks execute them concurrently. Because a runner executes its
+//! request *on* the scheduler, the request's per-layer tasks fan out
+//! to every idle worker — one in-flight request with a long topology
+//! uses the whole machine instead of a single pool thread. The queue
+//! is two-class: `run`/`scaleout`/`area` requests are interactive and
+//! pop before queued `sweep`s, and a sweep's own layer tasks carry
+//! [`scalesim_sched::Priority::Batch`] so interactive layers outrank
+//! them inside the scheduler too.
+//!
+//! When the queue is full the request is **shed immediately** with a
+//! typed `busy` error (exit code 75) instead of stalling the session —
+//! and when the session cap is reached, a new connection is answered
+//! with one `busy` line and closed rather than left hanging in the
+//! accept backlog. A loaded server therefore always answers
+//! *something*, quickly.
 //!
 //! Each session keeps at most one request in flight, so responses are
 //! written in request order regardless of pool size — and because each
-//! request builds its own engine, responses are byte-identical to
-//! one-shot CLI runs for **any** worker count (pinned by
-//! `tests/serve_stress.rs`).
+//! request builds its own engine and results are written back by
+//! index, responses are byte-identical to one-shot CLI runs for
+//! **any** worker count and any `SCALESIM_THREADS` value (pinned by
+//! `tests/serve_stress.rs` and `tests/sched_determinism.rs`).
 //!
 //! Requests may carry a `deadline_ms` envelope field: a
 //! [`CancelToken`] starts at decode time (so queue wait counts against
@@ -38,10 +51,13 @@
 //!
 //! | variable | meaning | default |
 //! |---|---|---|
-//! | `SCALESIM_SERVE_WORKERS` | simulation worker threads | machine parallelism |
+//! | `SCALESIM_SERVE_WORKERS` | concurrent in-flight simulation requests | machine parallelism |
 //! | `SCALESIM_SERVE_QUEUE` | admission-queue depth | 2 × workers |
 //! | `SCALESIM_SERVE_SESSIONS` | concurrent TCP sessions | machine parallelism |
 //! | `SCALESIM_CACHE_BUDGET_MB` | plan-cache byte budget | count-capped |
+//!
+//! (`SCALESIM_THREADS` separately sizes the scheduler the runners and
+//! their layer tasks execute on; see `docs/CLI.md`.)
 //!
 //! All sessions share one [`SimService`] — and therefore one
 //! [`PlanCache`](scalesim_systolic::PlanCache) and one set of
@@ -58,12 +74,12 @@
 use crate::cancel::CancelToken;
 use crate::service::SimService;
 use scalesim_api::{wire, SimError, SimRequest};
+use scalesim_sched::{Priority, Scheduler};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Handles one request line inline (no worker pool), producing exactly
@@ -124,11 +140,15 @@ fn execute(
 /// inline config + topology the simulator itself could handle.
 pub const MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
 
-/// Sizing for a [`Server`]: worker pool, admission queue and session
-/// cap. Every field is clamped to at least 1.
+/// Sizing for a [`Server`]: in-flight request cap, admission queue and
+/// session cap. Every field is clamped to at least 1.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
-    /// Simulation worker threads draining the admission queue.
+    /// Maximum simulation requests executing concurrently (the number
+    /// of runner tasks draining the admission queue on the shared
+    /// scheduler). Actual thread parallelism comes from the scheduler
+    /// itself (`SCALESIM_THREADS`): fewer in-flight requests than
+    /// scheduler workers means each request fans its layers wider.
     pub workers: usize,
     /// Admission-queue depth; a simulation request arriving with the
     /// queue full is shed with a typed `busy` error.
@@ -170,76 +190,122 @@ fn env_usize(name: &str) -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
-/// One admitted simulation request, parked in the queue until a worker
+/// One admitted simulation request, parked in the queue until a runner
 /// picks it up. The session thread blocks on `reply` — one job in
 /// flight per session keeps responses in request order.
 struct Job {
     id: Option<String>,
     request: SimRequest,
+    priority: Priority,
     cancel: Option<CancelToken>,
     started: Instant,
     reply: mpsc::SyncSender<String>,
 }
 
-/// The bounded admission queue: `try_push` sheds instead of blocking,
-/// `pop` blocks workers until a job or shutdown. After shutdown the
-/// queue drains fully — every admitted job still gets a reply.
+/// The task class a request executes under: queued `sweep`s are batch
+/// work, everything else is interactive.
+fn priority_of(request: &SimRequest) -> Priority {
+    match request {
+        SimRequest::Sweep(_) => Priority::Batch,
+        _ => Priority::Interactive,
+    }
+}
+
+/// The bounded two-class admission queue, drained by **runner tasks**
+/// on the shared scheduler instead of dedicated threads. `try_push`
+/// sheds instead of blocking and reports (under the same lock that
+/// admitted the job) whether the caller must launch a new runner, so
+/// at most `max_runners` jobs execute concurrently and a runner always
+/// exists while jobs are queued. Interactive jobs pop before batch
+/// jobs. After shutdown the queue drains fully — every admitted job
+/// still gets a reply.
 struct JobQueue {
     state: Mutex<QueueState>,
-    ready: Condvar,
+    /// Signalled when the last runner retires (`runners == 0`).
+    drained: Condvar,
     capacity: usize,
+    max_runners: usize,
 }
 
 struct QueueState {
-    jobs: std::collections::VecDeque<Box<Job>>,
+    interactive: std::collections::VecDeque<Box<Job>>,
+    batch: std::collections::VecDeque<Box<Job>>,
+    runners: usize,
     shutdown: bool,
 }
 
+impl QueueState {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
 impl JobQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, max_runners: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
-                jobs: std::collections::VecDeque::new(),
+                interactive: std::collections::VecDeque::new(),
+                batch: std::collections::VecDeque::new(),
+                runners: 0,
                 shutdown: false,
             }),
-            ready: Condvar::new(),
+            drained: Condvar::new(),
             capacity: capacity.max(1),
+            max_runners: max_runners.max(1),
         }
     }
 
     /// Admits a job, or hands it back when the queue is full (or the
-    /// server is shutting down) — the caller sheds it with `busy`.
-    fn try_push(&self, job: Box<Job>) -> Result<(), Box<Job>> {
+    /// server is shutting down) — the caller sheds it with `busy`. On
+    /// admission, `Ok(true)` tells the caller to launch a new runner
+    /// task (the runner count was reserved under this lock).
+    fn try_push(&self, job: Box<Job>) -> Result<bool, Box<Job>> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if state.shutdown || state.jobs.len() >= self.capacity {
+        if state.shutdown || state.len() >= self.capacity {
             return Err(job);
         }
-        state.jobs.push_back(job);
-        drop(state);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocks until a job is available; `None` once shut down *and*
-    /// drained.
-    fn pop(&self) -> Option<Box<Job>> {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if let Some(job) = state.jobs.pop_front() {
-                return Some(job);
-            }
-            if state.shutdown {
-                return None;
-            }
-            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        match job.priority {
+            Priority::Interactive => state.interactive.push_back(job),
+            Priority::Batch => state.batch.push_back(job),
+        }
+        if state.runners < self.max_runners {
+            state.runners += 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
     }
 
-    fn shutdown(&self) {
+    /// The runner loop step: the next job (interactive first), or
+    /// `None` when the queue is empty — which *retires the calling
+    /// runner* (its slot is released under the lock, so a later
+    /// `try_push` will launch a replacement).
+    fn next_job_or_retire(&self) -> Option<Box<Job>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(job) = state
+            .interactive
+            .pop_front()
+            .or_else(|| state.batch.pop_front())
+        {
+            return Some(job);
+        }
+        state.runners -= 1;
+        if state.runners == 0 {
+            drop(state);
+            self.drained.notify_all();
+        }
+        None
+    }
+
+    /// Stops admission and blocks until every runner has retired —
+    /// runners only retire on an empty queue, so all admitted jobs
+    /// have been answered when this returns.
+    fn shutdown_and_drain(&self) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.shutdown = true;
-        drop(state);
-        self.ready.notify_all();
+        while state.runners > 0 {
+            state = self.drained.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
     }
 }
 
@@ -272,15 +338,14 @@ impl Gate {
     }
 }
 
-/// The production serve loop: a bounded worker pool over a bounded
-/// admission queue (see the module docs for the full model). Dropping
-/// the server shuts the queue down and joins the workers; admitted
-/// jobs finish first.
+/// The production serve loop: a bounded admission queue drained by
+/// runner tasks on the process-wide scheduler (see the module docs for
+/// the full model). Dropping the server stops admission and waits for
+/// every runner to retire; admitted jobs finish first.
 #[derive(Debug)]
 pub struct Server {
     service: SimService,
     queue: Arc<JobQueue>,
-    workers: Vec<JoinHandle<()>>,
     options: ServeOptions,
 }
 
@@ -293,42 +358,62 @@ impl std::fmt::Debug for JobQueue {
 }
 
 impl Server {
-    /// Builds the server and starts its worker pool. Workers share the
-    /// service's plan cache and metrics (the service clone is two `Arc`
-    /// bumps).
+    /// Builds the server. No threads are spawned here: simulation
+    /// requests execute as runner tasks of the process-wide scheduler,
+    /// launched on demand as jobs are admitted (and retired when the
+    /// queue runs dry). All runners share the service's plan cache and
+    /// metrics (the service clone is two `Arc` bumps).
     pub fn new(service: SimService, options: ServeOptions) -> Self {
         let options = ServeOptions {
             workers: options.workers.max(1),
             queue_depth: options.queue_depth.max(1),
             max_sessions: options.max_sessions.max(1),
         };
-        let queue = Arc::new(JobQueue::new(options.queue_depth));
-        let workers = (0..options.workers)
-            .map(|_| {
-                let service = service.clone();
-                let queue = Arc::clone(&queue);
-                std::thread::spawn(move || {
-                    while let Some(job) = queue.pop() {
-                        let line = execute(
-                            &service,
-                            job.id.as_deref(),
-                            Ok(job.request),
-                            job.cancel.as_ref(),
-                            job.started,
-                        );
-                        // A send only fails if the session vanished;
-                        // the work is already accounted.
-                        let _ = job.reply.send(line);
-                    }
-                })
-            })
-            .collect();
+        let queue = Arc::new(JobQueue::new(options.queue_depth, options.workers));
         Self {
             service,
             queue,
-            workers,
             options,
         }
+    }
+
+    /// Launches one runner task on the shared scheduler. The runner
+    /// drains jobs until the queue is empty, then retires; `try_push`
+    /// launches a replacement the moment new work is admitted, keeping
+    /// the invariant "jobs queued ⇒ a runner exists" without any
+    /// always-on thread.
+    fn launch_runner(&self, priority: Priority) {
+        let service = self.service.clone();
+        let queue = Arc::clone(&self.queue);
+        Scheduler::global().spawn_detached(
+            priority,
+            Box::new(move || {
+                while let Some(job) = queue.next_job_or_retire() {
+                    let Job {
+                        id,
+                        request,
+                        priority,
+                        cancel,
+                        started,
+                        reply,
+                    } = *job;
+                    // The request's nested layer/sweep tasks inherit
+                    // its class via the ambient priority.
+                    let line = scalesim_sched::with_priority(priority, || {
+                        execute(
+                            &service,
+                            id.as_deref(),
+                            Ok(request),
+                            cancel.as_ref(),
+                            started,
+                        )
+                    });
+                    // A send only fails if the session vanished; the
+                    // work is already accounted.
+                    let _ = reply.send(line);
+                }
+            }),
+        );
     }
 
     /// The server's resolved sizing.
@@ -446,22 +531,29 @@ impl Server {
                 m.inc(&m.in_flight);
                 let (reply_tx, reply_rx) = mpsc::sync_channel(1);
                 let id = decoded.id.clone();
+                let priority = priority_of(&request);
                 let job = Box::new(Job {
                     id: decoded.id,
                     request,
+                    priority,
                     cancel,
                     started,
                     reply: reply_tx,
                 });
                 match self.queue.try_push(job) {
-                    Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
-                        wire::encode_response(
-                            id.as_deref(),
-                            &Err(SimError::Internal(
-                                "worker pool shut down mid-request".into(),
-                            )),
-                        )
-                    }),
+                    Ok(launch) => {
+                        if launch {
+                            self.launch_runner(priority);
+                        }
+                        reply_rx.recv().unwrap_or_else(|_| {
+                            wire::encode_response(
+                                id.as_deref(),
+                                &Err(SimError::Internal(
+                                    "worker pool shut down mid-request".into(),
+                                )),
+                            )
+                        })
+                    }
                     Err(job) => {
                         m.dec_in_flight();
                         m.inc(&m.shed);
@@ -550,10 +642,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.queue.shutdown();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.queue.shutdown_and_drain();
     }
 }
 
@@ -803,36 +892,75 @@ mod tests {
         gate.release();
     }
 
+    fn make_job(priority: Priority) -> (Box<Job>, mpsc::Receiver<String>) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        (
+            Box::new(Job {
+                id: None,
+                request: SimRequest::Version,
+                priority,
+                cancel: None,
+                started: Instant::now(),
+                reply: tx,
+            }),
+            rx,
+        )
+    }
+
     #[test]
     fn job_queue_sheds_when_full_and_drains_after_shutdown() {
-        let queue = JobQueue::new(2);
-        let make_job = || {
-            let (tx, rx) = mpsc::sync_channel(1);
-            (
-                Box::new(Job {
-                    id: None,
-                    request: SimRequest::Version,
-                    cancel: None,
-                    started: Instant::now(),
-                    reply: tx,
-                }),
-                rx,
-            )
-        };
-        let (a, _ra) = make_job();
-        let (b, _rb) = make_job();
-        let (c, _rc) = make_job();
-        assert!(queue.try_push(a).is_ok());
-        assert!(queue.try_push(b).is_ok());
+        let queue = JobQueue::new(2, 1);
+        let (a, _ra) = make_job(Priority::Interactive);
+        let (b, _rb) = make_job(Priority::Interactive);
+        let (c, _rc) = make_job(Priority::Interactive);
+        assert_eq!(
+            queue.try_push(a).ok(),
+            Some(true),
+            "the first admission reserves the one runner slot"
+        );
+        assert_eq!(
+            queue.try_push(b).ok(),
+            Some(false),
+            "the runner cap is reached, no second runner"
+        );
         assert!(queue.try_push(c).is_err(), "queue at capacity sheds");
-        queue.shutdown();
-        let (d, _rd) = make_job();
+        let mut state = queue.state.lock().unwrap();
+        state.shutdown = true;
+        drop(state);
+        let (d, _rd) = make_job(Priority::Interactive);
         assert!(queue.try_push(d).is_err(), "a closed queue admits nothing");
         // Admitted jobs still drain after shutdown...
-        assert!(queue.pop().is_some());
-        assert!(queue.pop().is_some());
-        // ...and only then do workers see the end.
-        assert!(queue.pop().is_none());
+        assert!(queue.next_job_or_retire().is_some());
+        assert!(queue.next_job_or_retire().is_some());
+        // ...and only an empty queue retires the runner.
+        assert!(queue.next_job_or_retire().is_none());
+        // With the runner retired, a drain-wait returns immediately.
+        queue.shutdown_and_drain();
+    }
+
+    #[test]
+    fn job_queue_pops_interactive_before_batch_and_relaunches_runners() {
+        let queue = JobQueue::new(8, 1);
+        let (sweep, _rs) = make_job(Priority::Batch);
+        let (run, _rr) = make_job(Priority::Interactive);
+        assert_eq!(queue.try_push(sweep).ok(), Some(true));
+        assert_eq!(queue.try_push(run).ok(), Some(false));
+        let first = queue.next_job_or_retire().expect("two jobs queued");
+        assert_eq!(
+            first.priority,
+            Priority::Interactive,
+            "the later interactive job overtakes the queued sweep"
+        );
+        let second = queue.next_job_or_retire().expect("the sweep is next");
+        assert_eq!(second.priority, Priority::Batch);
+        assert!(queue.next_job_or_retire().is_none(), "runner retires");
+        // After retirement the next admission reserves a fresh runner.
+        let (late, _rl) = make_job(Priority::Interactive);
+        assert_eq!(
+            queue.try_push(late).ok(),
+            Some(true),
+            "a retired runner's slot is reusable"
+        );
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Stress, determinism and soak tests for the production serve mode:
 //!
-//! * byte-identical responses for worker pools of 1, 4 and 16 under
-//!   concurrent mixed load (run / sweep / scaleout / version /
+//! * byte-identical responses for in-flight request caps of 1, 4 and 16
+//!   crossed with scheduler sizes (`SCALESIM_THREADS`) of 16, 4 and 1
+//!   under concurrent mixed load (run / sweep / scaleout / version /
 //!   deadline), and byte-identical to the one-shot CLI's report files;
 //! * a saturating burst answered with typed `busy` errors whose count
 //!   matches the `stats` shed counter;
@@ -174,11 +175,15 @@ fn responses_are_byte_identical_across_pool_sizes_and_to_the_cli() {
     );
 
     let mut per_pool: Vec<Vec<Vec<String>>> = Vec::new();
-    for pool in ["1", "4", "16"] {
+    // Cross in-flight request caps with scheduler sizes (the scheduler
+    // reads SCALESIM_THREADS once at startup): bytes must not depend on
+    // either knob.
+    for (pool, threads) in [("1", "16"), ("4", "4"), ("16", "1")] {
         // Queue deeper than the client count: determinism is a promise
         // about admitted requests, so nothing may shed here.
         let (_guard, addr) = spawn_serve(&[
             ("SCALESIM_SERVE_WORKERS", pool),
+            ("SCALESIM_THREADS", threads),
             ("SCALESIM_SERVE_QUEUE", "32"),
             ("SCALESIM_SERVE_SESSIONS", "8"),
         ]);

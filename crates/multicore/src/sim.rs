@@ -186,9 +186,9 @@ impl MultiCoreSim {
 
     /// Simulates every layer of a topology across the grid.
     ///
-    /// Layers run concurrently on a scoped worker pool sharing the plan
-    /// cache (control the size with `SCALESIM_THREADS`); reports come back
-    /// in layer order, identical to serial execution.
+    /// Layers run concurrently on the shared work-stealing scheduler,
+    /// sharing the plan cache (control the size with `SCALESIM_THREADS`);
+    /// reports come back in layer order, identical to serial execution.
     pub fn simulate_topology(&self, topology: &Topology) -> Vec<MultiCoreReport> {
         parallel_map(topology.layers(), |_, layer| {
             self.simulate_gemm(layer.name(), layer.gemm())

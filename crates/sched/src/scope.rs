@@ -1,0 +1,173 @@
+//! The shared core of one scoped batch: an atomic claim cursor over
+//! `0..len` indices of a borrowed task closure, a completion latch,
+//! first-panic capture and a cancellation hook.
+//!
+//! This module contains the workspace's **only** `unsafe` code: the
+//! lifetime erasure that lets persistent worker threads call a closure
+//! borrowed from the submitting thread's stack. Soundness rests on one
+//! invariant, enforced by [`crate::Scheduler::scope`]:
+//!
+//! > The submitting thread blocks until every one of the scope's `len`
+//! > items has completed (`wait_done`), and the erased closures are
+//! > only dereferenced under a successfully claimed index `< len`.
+//!
+//! Claiming an index and completing it bracket every dereference, and
+//! the completion count is published under a mutex — so the submitter
+//! observes all `len` completions *after* the last dereference
+//! happens-before the latch opens. Stale queue entries that outlive
+//! the scope (workers pop them later) only ever read the cursor, find
+//! it exhausted, and bail without touching the closure pointers —
+//! which is why they are stored as raw pointers, not references.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Type-erased pointer to the scope's borrowed task closure.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+/// Type-erased pointer to the scope's borrowed cancellation hook.
+struct CancelPtr(*const (dyn Fn() -> bool + Sync));
+
+// SAFETY: the pointees are `Sync` (the trait objects carry the bound),
+// so shared calls from many workers are fine; the pointers are only
+// dereferenced while the submitting thread is parked in `scope`,
+// which keeps the borrows alive (module-level invariant).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+unsafe impl Send for CancelPtr {}
+unsafe impl Sync for CancelPtr {}
+
+/// State shared between the submitter and every worker helping on one
+/// scoped batch.
+pub(crate) struct ScopeCore {
+    task: TaskPtr,
+    cancelled: Option<CancelPtr>,
+    len: usize,
+    /// Next unclaimed index; claims past `len` mean "nothing left".
+    cursor: AtomicUsize,
+    /// Set on the first panic or cancellation: remaining claims skip
+    /// their item (but still count toward the completion latch).
+    abandoned: AtomicBool,
+    done: Mutex<Done>,
+    latch: Condvar,
+}
+
+struct Done {
+    completed: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeCore {
+    /// Erases the lifetimes of `task` and `cancelled`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep both borrows alive and unmoved until
+    /// [`wait_done`](Self::wait_done) has returned on the submitting
+    /// thread, and must call `wait_done` before the borrows end.
+    pub(crate) unsafe fn new(
+        task: &(dyn Fn(usize) + Sync),
+        cancelled: Option<&(dyn Fn() -> bool + Sync)>,
+        len: usize,
+    ) -> Self {
+        // SAFETY: the transmute only widens the trait object's
+        // lifetime bound to 'static, and the widened reference is
+        // immediately demoted to a raw pointer (so no reference
+        // outlives the borrow); the module invariant guarantees no
+        // dereference does either.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        let task = TaskPtr(task as *const _);
+        let cancelled =
+            cancelled.map(|c| {
+                // SAFETY: as above.
+                let c: &'static (dyn Fn() -> bool + Sync) = unsafe {
+                    std::mem::transmute::<
+                        &(dyn Fn() -> bool + Sync),
+                        &'static (dyn Fn() -> bool + Sync),
+                    >(c)
+                };
+                CancelPtr(c as *const _)
+            });
+        Self {
+            task,
+            cancelled,
+            len,
+            cursor: AtomicUsize::new(0),
+            abandoned: AtomicBool::new(false),
+            done: Mutex::new(Done {
+                completed: 0,
+                panic: None,
+            }),
+            latch: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs items until the cursor is exhausted. Called by
+    /// the submitter (caller-help) and by any worker that popped a
+    /// copy of this scope; a copy popped after the scope finished
+    /// finds the cursor exhausted and returns immediately.
+    pub(crate) fn work(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                // Park the cursor so stale pops cannot creep toward
+                // overflow one fetch_add at a time.
+                self.cursor.store(self.len, Ordering::Relaxed);
+                return;
+            }
+            let skip = self.abandoned.load(Ordering::Relaxed) || self.check_cancelled();
+            if !skip {
+                // SAFETY: `i < len` means the completion latch cannot
+                // have opened yet, so the submitter is still parked in
+                // `scope` and the borrow behind `task` is alive.
+                let task = unsafe { &*self.task.0 };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                    self.abandoned.store(true, Ordering::Relaxed);
+                    let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+                    if done.panic.is_none() {
+                        done.panic = Some(payload);
+                    }
+                }
+            }
+            self.complete_one();
+        }
+    }
+
+    fn check_cancelled(&self) -> bool {
+        let Some(hook) = &self.cancelled else {
+            return false;
+        };
+        // SAFETY: only reached under a claimed index < len; same
+        // liveness argument as for `task`.
+        let hook = unsafe { &*hook.0 };
+        if hook() {
+            self.abandoned.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        done.completed += 1;
+        if done.completed == self.len {
+            drop(done);
+            self.latch.notify_all();
+        }
+    }
+
+    /// Blocks the submitter until every item has completed, returning
+    /// the first captured panic payload (to be resumed by the caller).
+    pub(crate) fn wait_done(&self) -> Option<Box<dyn Any + Send>> {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while done.completed < self.len {
+            done = self.latch.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        done.panic.take()
+    }
+}

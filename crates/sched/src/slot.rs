@@ -1,0 +1,167 @@
+//! A lock-free write-once result slot.
+//!
+//! `parallel_map`-style batches write one result per index from
+//! whichever worker claimed that index, then the submitter drains the
+//! slots in order. `std::sync::OnceLock` would demand `T: Sync` for
+//! sharing; this slot only needs `T: Send` (like the `Mutex<Option<T>>`
+//! it replaces) because the value is never read while shared — it is
+//! written exactly once and only taken after the scope's completion
+//! latch has synchronized writer and reader.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const EMPTY: u8 = 0;
+const WRITING: u8 = 1;
+const WRITTEN: u8 = 2;
+
+/// A slot that is written at most once (from any thread) and then
+/// consumed by value. An unwritten slot reads back as `None`, so a
+/// cancelled or poisoned batch leaves detectable holes instead of
+/// hanging a reader.
+pub struct OnceSlot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: the slot hands the value across threads exactly once
+// (write-side CAS gives the writer exclusivity; the Release store /
+// Acquire load pair orders the value for the consumer), so `T: Send`
+// suffices — no `&T` is ever produced from a shared slot.
+unsafe impl<T: Send> Send for OnceSlot<T> {}
+unsafe impl<T: Send> Sync for OnceSlot<T> {}
+
+impl<T> OnceSlot<T> {
+    /// An empty slot.
+    pub const fn empty() -> Self {
+        Self {
+            state: AtomicU8::new(EMPTY),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Stores `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already set — every scope index is
+    /// claimed exactly once, so a second write is a scheduler bug.
+    pub fn set(&self, value: T) {
+        if self
+            .state
+            .compare_exchange(EMPTY, WRITING, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            panic!("OnceSlot::set called twice");
+        }
+        // SAFETY: the CAS above gives this thread exclusive write
+        // access; readers wait for the WRITTEN state.
+        unsafe { (*self.value.get()).write(value) };
+        self.state.store(WRITTEN, Ordering::Release);
+    }
+
+    /// Takes the value out, or `None` if the slot was never written.
+    pub fn into_inner(self) -> Option<T> {
+        let mut this = std::mem::ManuallyDrop::new(self);
+        if *this.state.get_mut() == WRITTEN {
+            // SAFETY: WRITTEN means a fully initialised value that is
+            // read exactly once (Drop is suppressed by ManuallyDrop).
+            Some(unsafe { this.value.get_mut().assume_init_read() })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Drop for OnceSlot<T> {
+    fn drop(&mut self) {
+        if *self.state.get_mut() == WRITTEN {
+            // SAFETY: written and never taken (into_inner suppresses
+            // this Drop), so the value must be freed here.
+            unsafe { self.value.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+impl<T> Default for OnceSlot<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> std::fmt::Debug for OnceSlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.state.load(Ordering::Acquire) {
+            WRITTEN => "written",
+            WRITING => "writing",
+            _ => "empty",
+        };
+        f.debug_struct("OnceSlot").field("state", &state).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_then_take() {
+        let slot = OnceSlot::empty();
+        slot.set(41u32);
+        assert_eq!(slot.into_inner(), Some(41));
+    }
+
+    #[test]
+    fn unwritten_reads_back_as_none() {
+        let slot: OnceSlot<String> = OnceSlot::empty();
+        assert_eq!(slot.into_inner(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "called twice")]
+    fn double_set_panics() {
+        let slot = OnceSlot::empty();
+        slot.set(1u8);
+        slot.set(2u8);
+    }
+
+    #[test]
+    fn dropping_a_written_slot_frees_the_value() {
+        let token = Arc::new(());
+        let slot = OnceSlot::empty();
+        slot.set(Arc::clone(&token));
+        assert_eq!(Arc::strong_count(&token), 2);
+        drop(slot);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn taking_a_written_slot_transfers_ownership_once() {
+        let token = Arc::new(());
+        let slot = OnceSlot::empty();
+        slot.set(Arc::clone(&token));
+        let taken = slot.into_inner().unwrap();
+        assert_eq!(Arc::strong_count(&token), 2);
+        drop(taken);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn slots_move_values_across_threads() {
+        let slots: Vec<OnceSlot<usize>> = (0..64).map(|_| OnceSlot::empty()).collect();
+        std::thread::scope(|s| {
+            for chunk in slots.chunks(16).enumerate() {
+                let (c, chunk) = chunk;
+                s.spawn(move || {
+                    for (i, slot) in chunk.iter().enumerate() {
+                        slot.set(c * 16 + i);
+                    }
+                });
+            }
+        });
+        let values: Vec<usize> = slots.into_iter().map(|s| s.into_inner().unwrap()).collect();
+        assert_eq!(values, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -4,15 +4,20 @@
 //! pair simulates independently. The executor flattens the grid
 //! point-major (`run_index = point * topologies + topology`), partitions
 //! the run list round-robin into shards, and drives each shard through
-//! [`parallel_map`] — the same scoped worker pool (and
-//! `SCALESIM_THREADS` override) single runs use for per-layer
-//! parallelism. Results are reassembled in `run_index` order, so the
-//! output is identical for any shard count, shard order and thread
-//! count.
+//! [`parallel_map`] — tasks of the same persistent work-stealing
+//! scheduler (and `SCALESIM_THREADS` override) single runs use for
+//! per-layer parallelism, submitted at [`Priority::Batch`] so an
+//! interactive serve request's layers always outrank sweep points on a
+//! shared pool. A run's own nested layer tasks ride the same pool (a
+//! worker simulating a point fans its layers to idle siblings), so
+//! shards never stack a second pool on top of the first. Results are
+//! reassembled in `run_index` order, so the output is identical for any
+//! shard count, shard order, thread count and priority mix.
 //!
 //! Sharding exists to bound per-batch memory and to give large grids a
 //! natural unit of distribution; for small grids `shards = 1` is fine.
 
+use scalesim_sched::{with_priority, Priority};
 use scalesim_systolic::parallel_map;
 
 /// Streams `run(run_index, point, topology)` over the full cross
@@ -48,9 +53,13 @@ pub fn run_sharded_with<P, T, R, F, E>(
     let shards = shards.clamp(1, total.max(1));
     for shard in 0..shards {
         let work: Vec<usize> = (0..total).filter(|i| i % shards == shard).collect();
-        let results = parallel_map(&work, |_, &run_index| {
-            let (p, t) = (run_index / topologies.len(), run_index % topologies.len());
-            run(run_index, &points[p], &topologies[t])
+        // Batch class: sweep points (and the layer tasks they spawn)
+        // yield the injector to interactive serve traffic.
+        let results = with_priority(Priority::Batch, || {
+            parallel_map(&work, |_, &run_index| {
+                let (p, t) = (run_index / topologies.len(), run_index % topologies.len());
+                run(run_index, &points[p], &topologies[t])
+            })
         });
         for (&run_index, r) in work.iter().zip(results) {
             emit(run_index, r);

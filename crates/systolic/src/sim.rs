@@ -16,9 +16,10 @@
 //!    `(array, dataflow, GEMM, scratchpad geometry)`, so topologies that
 //!    repeat a layer shape (every CNN/ViT) plan it once and re-time it
 //!    cheaply against any backing store.
-//! 3. **Parallel topology execution** — independent layers simulate on a
-//!    scoped worker pool (see [`crate::parallel`]) with results returned
-//!    in layer order, identical to serial execution.
+//! 3. **Parallel topology execution** — independent layers simulate as
+//!    tasks of the persistent work-stealing scheduler (see
+//!    [`crate::parallel`]) with results returned in layer order,
+//!    identical to serial execution.
 
 use crate::buffer::{
     timing, BackingStore, IdealBandwidthStore, ReadPlanner, TimingInputs, WritePlanner,
@@ -743,7 +744,7 @@ impl CoreSim {
 
     /// Simulates every layer of a topology with ideal memory.
     ///
-    /// Layers execute concurrently on a scoped worker pool (control the
+    /// Layers execute concurrently on the shared scheduler (control the
     /// size with `SCALESIM_THREADS`, see [`crate::parallel`]); reports come
     /// back in layer order with values identical to serial execution. A
     /// temporary plan cache dedupes repeated shapes for the duration of the
