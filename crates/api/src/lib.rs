@@ -59,10 +59,10 @@ pub const API_VERSION: u32 = 1;
 
 pub use error::SimError;
 pub use request::{
-    AreaSpec, ConfigSource, Features, RunSpec, ScaleoutRequest, SimRequest, SweepRequest,
-    TopologyFormat, TopologySource,
+    AreaSpec, ConfigSource, Features, LlmRequest, RunSpec, ScaleoutRequest, SimRequest,
+    SweepRequest, TopologyFormat, TopologySource,
 };
 pub use response::{
-    AreaBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, StatsBody, SweepBody,
-    VersionBody,
+    AreaBody, LlmBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, StatsBody,
+    SweepBody, VersionBody,
 };

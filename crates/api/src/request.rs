@@ -88,7 +88,8 @@ impl TopologyFormat {
     }
 }
 
-/// A workload topology: CSV rows plus how to parse and name them.
+/// A workload topology: CSV rows plus how to parse and name them, or a
+/// named workload from the built-in registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologySource {
     /// Name used in reports (defaults to the path's file stem, or
@@ -96,9 +97,13 @@ pub struct TopologySource {
     pub name: Option<String>,
     /// CSV from a path (resolved by the serving process)…
     pub path: Option<String>,
-    /// …or carried inline. Exactly one of `path`/`inline` is set.
+    /// …or carried inline…
     pub inline: Option<String>,
-    /// Row interpretation.
+    /// …or a built-in registry workload (`resnet18`, `vit-base`, an
+    /// llm preset like `llama-7b[:decode]`, …). Exactly one of
+    /// `path`/`inline`/`workload` is set.
+    pub workload: Option<String>,
+    /// Row interpretation (ignored for registry workloads).
     pub format: TopologyFormat,
 }
 
@@ -109,6 +114,7 @@ impl TopologySource {
             name: None,
             path: Some(path.into()),
             inline: None,
+            workload: None,
             format: TopologyFormat::Auto,
         }
     }
@@ -119,6 +125,18 @@ impl TopologySource {
             name: Some(name.into()),
             path: None,
             inline: Some(csv.into()),
+            workload: None,
+            format: TopologyFormat::Auto,
+        }
+    }
+
+    /// A named workload resolved from the serving process's registry.
+    pub fn from_workload(workload: impl Into<String>) -> Self {
+        Self {
+            name: None,
+            path: None,
+            inline: None,
+            workload: Some(workload.into()),
             format: TopologyFormat::Auto,
         }
     }
@@ -140,6 +158,9 @@ impl TopologySource {
         if let Some(t) = &self.inline {
             fields.push(("inline".into(), Json::Str(t.clone())));
         }
+        if let Some(w) = &self.workload {
+            fields.push(("workload".into(), Json::Str(w.clone())));
+        }
         if self.format != TopologyFormat::Auto {
             fields.push(("format".into(), Json::Str(self.format.tag().into())));
         }
@@ -153,9 +174,11 @@ impl TopologySource {
         let name = v.get("name").and_then(Json::as_str).map(str::to_string);
         let path = v.get("path").and_then(Json::as_str).map(str::to_string);
         let inline = v.get("inline").and_then(Json::as_str).map(str::to_string);
-        if path.is_some() == inline.is_some() {
+        let workload = v.get("workload").and_then(Json::as_str).map(str::to_string);
+        let sources = path.iter().count() + inline.iter().count() + workload.iter().count();
+        if sources != 1 {
             return Err(bad(
-                "topology: exactly one of \"path\" and \"inline\" is required",
+                "topology: exactly one of \"path\", \"inline\" and \"workload\" is required",
             ));
         }
         let format = match v.get("format") {
@@ -169,6 +192,7 @@ impl TopologySource {
             name,
             path,
             inline,
+            workload,
             format,
         })
     }
@@ -308,6 +332,45 @@ impl ScaleoutRequest {
     }
 }
 
+/// An LLM workload simulation (the CLI's `llm` subcommand).
+///
+/// The model comes from the configuration's `[llm]` section and/or the
+/// `workload` preset name; every other field is an **override** applied
+/// on top. At least one of the two must name a model — a request with
+/// neither is rejected by the serving process with a typed `config`
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LlmRequest {
+    /// Architecture configuration (its `[llm]` section seeds the model
+    /// spec).
+    pub config: ConfigSource,
+    /// Preset name override (`gpt2-xl`, `llama-7b`, `llama-70b`,
+    /// `mixtral-8x7b`).
+    pub workload: Option<String>,
+    /// Phase override (`prefill` / `decode`), validated by the serving
+    /// process.
+    pub phase: Option<String>,
+    /// Prompt sequence-length override.
+    pub seq: Option<usize>,
+    /// Batch-size override.
+    pub batch: Option<usize>,
+    /// KV-cache context-length override (defaults to the sequence
+    /// length).
+    pub context: Option<usize>,
+    /// Feature toggles.
+    pub features: Features,
+}
+
+impl LlmRequest {
+    /// A request for a named preset with no other overrides.
+    pub fn for_workload(workload: impl Into<String>) -> Self {
+        Self {
+            workload: Some(workload.into()),
+            ..Self::default()
+        }
+    }
+}
+
 /// A silicon-area estimate for a configured core.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AreaSpec {
@@ -327,6 +390,8 @@ pub enum SimRequest {
     Sweep(SweepRequest),
     /// Simulate a multi-chip scale-out execution.
     Scaleout(ScaleoutRequest),
+    /// Generate and simulate an LLM workload (prefill or decode).
+    Llm(LlmRequest),
     /// Report the configured accelerator's silicon area.
     AreaReport(AreaSpec),
     /// Report the server's version and API level.
@@ -339,12 +404,14 @@ pub enum SimRequest {
 
 impl SimRequest {
     /// The wire tag this request is keyed by in the envelope
-    /// (`run` / `sweep` / `scaleout` / `area` / `version` / `stats`).
+    /// (`run` / `sweep` / `scaleout` / `llm` / `area` / `version` /
+    /// `stats`).
     pub fn tag(&self) -> &'static str {
         match self {
             SimRequest::Run(_) => "run",
             SimRequest::Sweep(_) => "sweep",
             SimRequest::Scaleout(_) => "scaleout",
+            SimRequest::Llm(_) => "llm",
             SimRequest::AreaReport(_) => "area",
             SimRequest::Version => "version",
             SimRequest::Stats => "stats",
@@ -408,6 +475,31 @@ impl SimRequest {
                 }
                 if let Some(m) = s.microbatches {
                     fields.push(("microbatches".into(), Json::Num(m as f64)));
+                }
+                Json::Obj(fields)
+            }
+            SimRequest::Llm(l) => {
+                let mut fields = Vec::new();
+                if l.config != ConfigSource::Default {
+                    fields.push(("config".into(), l.config.to_json()));
+                }
+                if let Some(w) = &l.workload {
+                    fields.push(("workload".into(), Json::Str(w.clone())));
+                }
+                if let Some(p) = &l.phase {
+                    fields.push(("phase".into(), Json::Str(p.clone())));
+                }
+                if let Some(s) = l.seq {
+                    fields.push(("seq".into(), Json::Num(s as f64)));
+                }
+                if let Some(b) = l.batch {
+                    fields.push(("batch".into(), Json::Num(b as f64)));
+                }
+                if let Some(c) = l.context {
+                    fields.push(("context".into(), Json::Num(c as f64)));
+                }
+                if !l.features.is_default() {
+                    fields.push(("features".into(), l.features.to_json()));
                 }
                 Json::Obj(fields)
             }
@@ -527,6 +619,40 @@ impl SimRequest {
                     microbatches: positive_int("microbatches")?.map(|n| n as usize),
                 }))
             }
+            "llm" => {
+                // Like scaleout overrides: present-but-mistyped fields
+                // must error, never be silently dropped.
+                let string = |key: &str| -> Result<Option<String>, SimError> {
+                    match body.get(key) {
+                        None => Ok(None),
+                        Some(v) => v
+                            .as_str()
+                            .map(|s| Some(s.to_string()))
+                            .ok_or_else(|| bad(format!("llm: \"{key}\" must be a string"))),
+                    }
+                };
+                let positive_int = |key: &str| -> Result<Option<usize>, SimError> {
+                    match body.get(key) {
+                        None => Ok(None),
+                        Some(v) => v
+                            .as_u64()
+                            .filter(|&n| n >= 1)
+                            .map(|n| Some(n as usize))
+                            .ok_or_else(|| {
+                                bad(format!("llm: \"{key}\" must be a positive integer"))
+                            }),
+                    }
+                };
+                Ok(SimRequest::Llm(LlmRequest {
+                    config: opt_config(body, "config")?,
+                    workload: string("workload")?,
+                    phase: string("phase")?,
+                    seq: positive_int("seq")?,
+                    batch: positive_int("batch")?,
+                    context: positive_int("context")?,
+                    features: opt_features(body)?,
+                }))
+            }
             "area" => Ok(SimRequest::AreaReport(AreaSpec {
                 config: opt_config(body, "config")?,
                 features: opt_features(body)?,
@@ -534,7 +660,8 @@ impl SimRequest {
             "version" => Ok(SimRequest::Version),
             "stats" => Ok(SimRequest::Stats),
             other => Err(bad(format!(
-                "unknown request '{other}' (supported: run, sweep, scaleout, area, version, stats)"
+                "unknown request '{other}' (supported: run, sweep, scaleout, llm, area, \
+                 version, stats)"
             ))),
         }
     }
@@ -625,6 +752,39 @@ mod tests {
     }
 
     #[test]
+    fn llm_request_round_trips() {
+        round_trip(SimRequest::Llm(LlmRequest {
+            config: ConfigSource::Inline("[llm]\nPreset : llama-7b\n".into()),
+            workload: Some("llama-7b".into()),
+            phase: Some("decode".into()),
+            seq: Some(1024),
+            batch: Some(4),
+            context: Some(2048),
+            features: Features {
+                dram: true,
+                ..Features::default()
+            },
+        }));
+        // Everything optional on the wire: the cfg's [llm] section
+        // (or the preset alone) rules.
+        round_trip(SimRequest::Llm(LlmRequest::for_workload("mixtral-8x7b")));
+    }
+
+    #[test]
+    fn llm_rejects_mistyped_overrides() {
+        for body in [
+            r#"{"workload": 7}"#,
+            r#"{"workload": "llama-7b", "phase": 0}"#,
+            r#"{"workload": "llama-7b", "seq": 0}"#,
+            r#"{"workload": "llama-7b", "batch": -1}"#,
+            r#"{"workload": "llama-7b", "context": "long"}"#,
+        ] {
+            let v = Json::parse(body).unwrap();
+            assert!(SimRequest::from_json("llm", &v).is_err(), "{body}");
+        }
+    }
+
+    #[test]
     fn sweep_and_area_round_trip() {
         round_trip(SimRequest::Sweep(SweepRequest {
             spec: ConfigSource::Inline("array = 8x8\n".into()),
@@ -650,6 +810,20 @@ mod tests {
         assert!(SimRequest::from_json("run", &both).is_err());
         let neither = Json::parse(r#"{"topology": {"name": "x"}}"#).unwrap();
         assert!(SimRequest::from_json("run", &neither).is_err());
+        let mixed = Json::parse(r#"{"topology": {"path": "a", "workload": "resnet18"}}"#).unwrap();
+        assert!(SimRequest::from_json("run", &mixed).is_err());
+    }
+
+    #[test]
+    fn workload_topology_round_trips() {
+        round_trip(SimRequest::Run(RunSpec {
+            config: ConfigSource::Default,
+            topology: TopologySource::from_workload("llama-7b:decode"),
+            features: Features::default(),
+        }));
+        round_trip(SimRequest::Scaleout(ScaleoutRequest::for_topology(
+            TopologySource::from_workload("resnet18"),
+        )));
     }
 
     #[test]

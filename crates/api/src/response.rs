@@ -96,6 +96,27 @@ pub struct ScaleoutBody {
     pub reports: Vec<Report>,
 }
 
+/// Response body of an `llm` request: the generated workload's
+/// identity plus the same aggregates and reports a `run` produces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LlmBody {
+    /// Model name (preset or custom `[llm]` spec name).
+    pub workload: String,
+    /// Phase simulated (`prefill` / `decode`).
+    pub phase: String,
+    /// Context length attended over (KV-cache depth for decode).
+    pub context: u64,
+    /// Closed-form parameter count of the model.
+    pub params: u64,
+    /// KV-cache footprint in bytes at this context length.
+    pub kv_cache_bytes: u64,
+    /// Run-level aggregates.
+    pub summary: RunSummaryBody,
+    /// Every report the configuration produces, in the CLI's emission
+    /// order.
+    pub reports: Vec<Report>,
+}
+
 /// Response body of an `area` request (Accelergy-style silicon area).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AreaBody {
@@ -176,6 +197,8 @@ pub enum SimResponse {
     Sweep(SweepBody),
     /// Result of a `scaleout` request.
     Scaleout(ScaleoutBody),
+    /// Result of an `llm` request.
+    Llm(LlmBody),
     /// Result of an `area` request.
     Area(AreaBody),
     /// Result of a `version` request.
@@ -206,6 +229,7 @@ impl SimResponse {
             SimResponse::Run(_) => "run",
             SimResponse::Sweep(_) => "sweep",
             SimResponse::Scaleout(_) => "scaleout",
+            SimResponse::Llm(_) => "llm",
             SimResponse::Area(_) => "area",
             SimResponse::Version(_) => "version",
             SimResponse::Stats(_) => "stats",
@@ -275,6 +299,32 @@ impl SimResponse {
                     s.utilization,
                 ));
                 reports_json(&mut out, &s.reports);
+                out.push('}');
+            }
+            SimResponse::Llm(l) => {
+                out.push_str("{\"workload\":\"");
+                escape_into(&l.workload, &mut out);
+                out.push_str("\",\"phase\":\"");
+                escape_into(&l.phase, &mut out);
+                let s = &l.summary;
+                out.push_str(&format!(
+                    "\",\"context\":{},\"params\":{},\"kv_cache_bytes\":{},\
+                     \"summary\":{{\"layers\":{},\"total_cycles\":{},\
+                     \"compute_cycles\":{},\"stall_cycles\":{},\"macs\":{},\
+                     \"utilization\":{:.4},\"energy_mj\":{:.6},\"noc_words\":{}}},",
+                    l.context,
+                    l.params,
+                    l.kv_cache_bytes,
+                    s.layers,
+                    s.total_cycles,
+                    s.compute_cycles,
+                    s.stall_cycles,
+                    s.macs,
+                    s.utilization,
+                    s.energy_mj,
+                    s.noc_words,
+                ));
+                reports_json(&mut out, &l.reports);
                 out.push('}');
             }
             SimResponse::Area(a) => {
@@ -386,6 +436,35 @@ impl SimResponse {
                     exposed_cycles: u(s, "exposed_cycles")?,
                     bubble_cycles: u(s, "bubble_cycles")?,
                     utilization: f(s, "utilization")?,
+                    reports: reports(body)?,
+                }))
+            }
+            "llm" => {
+                let s = body
+                    .get("summary")
+                    .ok_or_else(|| bad("llm response: missing \"summary\""))?;
+                let string = |key: &str| -> Result<String, SimError> {
+                    body.get(key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| bad(format!("missing or non-string \"{key}\"")))
+                };
+                Ok(SimResponse::Llm(LlmBody {
+                    workload: string("workload")?,
+                    phase: string("phase")?,
+                    context: u(body, "context")?,
+                    params: u(body, "params")?,
+                    kv_cache_bytes: u(body, "kv_cache_bytes")?,
+                    summary: RunSummaryBody {
+                        layers: u(s, "layers")? as usize,
+                        total_cycles: u(s, "total_cycles")?,
+                        compute_cycles: u(s, "compute_cycles")?,
+                        stall_cycles: u(s, "stall_cycles")?,
+                        macs: u(s, "macs")?,
+                        utilization: f(s, "utilization")?,
+                        energy_mj: f(s, "energy_mj")?,
+                        noc_words: u(s, "noc_words")?,
+                    },
                     reports: reports(body)?,
                 }))
             }
@@ -528,6 +607,31 @@ mod tests {
             reports: vec![Report {
                 name: "SCALEOUT_REPORT.csv".into(),
                 content: "LayerName, X\nl0, 1\n".into(),
+            }],
+        }));
+    }
+
+    #[test]
+    fn llm_response_round_trips() {
+        round_trip(SimResponse::Llm(LlmBody {
+            workload: "llama-7b".into(),
+            phase: "decode".into(),
+            context: 2048,
+            params: 6_738_149_376,
+            kv_cache_bytes: 1_073_741_824,
+            summary: RunSummaryBody {
+                layers: 225,
+                total_cycles: 9_876_543,
+                compute_cycles: 9_000_000,
+                stall_cycles: 876_543,
+                macs: 13_000_000_000,
+                utilization: 0.0312,
+                energy_mj: 0.0,
+                noc_words: 0,
+            },
+            reports: vec![Report {
+                name: "COMPUTE_REPORT.csv".into(),
+                content: "LayerName, X\nblk0_qkv, 1\n".into(),
             }],
         }));
     }

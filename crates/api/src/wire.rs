@@ -9,8 +9,8 @@
 //!   abandons the request with a `deadline` error once this much wall
 //!   time has elapsed (checked at stage boundaries, not preemptively).
 //! * exactly one command key — `"run"`, `"sweep"`, `"scaleout"`,
-//!   `"area"`, `"version"` or `"stats"` — whose value is the command
-//!   body (see [`crate::request`]).
+//!   `"llm"`, `"area"`, `"version"` or `"stats"` — whose value is the
+//!   command body (see [`crate::request`]).
 //!
 //! A response envelope carries `"api"`, the echoed `"id"` (when the
 //! request had one), and either `"ok"` (an object keyed by the command
@@ -33,7 +33,9 @@ use crate::response::SimResponse;
 use crate::API_VERSION;
 
 /// The command keys an envelope may carry.
-const COMMANDS: [&str; 6] = ["run", "sweep", "scaleout", "area", "version", "stats"];
+const COMMANDS: [&str; 7] = [
+    "run", "sweep", "scaleout", "llm", "area", "version", "stats",
+];
 
 /// The supported command set, rendered for error messages.
 fn supported_commands() -> String {
@@ -303,7 +305,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f1", "teleport": {}}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, area, version, stats)"}}"#
+            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, llm, area, version, stats)"}}"#
         );
         let (id, r) = decode_request(r#"{"api": 2, "id": "f2", "version": {}}"#);
         assert_eq!(
@@ -313,7 +315,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f3"}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, area, version, stats)"}}"#
+            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, llm, area, version, stats)"}}"#
         );
     }
 

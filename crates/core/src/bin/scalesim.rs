@@ -21,11 +21,11 @@
 //! request protocol is `docs/API.md`.
 
 use scalesim::api::{
-    ConfigSource, Features, RunSpec, ScaleoutRequest, SimError, SweepRequest, TopologyFormat,
-    TopologySource,
+    ConfigSource, Features, LlmRequest, RunSpec, ScaleoutRequest, SimError, SweepRequest,
+    TopologyFormat, TopologySource,
 };
 use scalesim::cli::{
-    parse_cli, version_string, Command, RunArgs, ScaleoutArgs, ServeArgs, SweepArgs,
+    parse_cli, version_string, Command, LlmArgs, RunArgs, ScaleoutArgs, ServeArgs, SweepArgs,
 };
 use scalesim::scaleout::{scaleout_rows, ScaleoutCsvSink, ScaleoutLayerRecord};
 use scalesim::serve::{ServeOptions, Server};
@@ -43,6 +43,20 @@ fn config_source(path: Option<&Path>) -> ConfigSource {
 
 fn topology_source(path: &Path, format: TopologyFormat) -> TopologySource {
     TopologySource::from_path(path.display().to_string()).with_format(format)
+}
+
+/// Builds the topology source from the parsed `-t`/`-w` pair (the CLI
+/// layer guarantees exactly one is set).
+fn workload_source(
+    path: Option<&Path>,
+    workload: Option<&str>,
+    format: TopologyFormat,
+) -> TopologySource {
+    match (path, workload) {
+        (Some(p), _) => topology_source(p, format),
+        (None, Some(w)) => TopologySource::from_workload(w),
+        (None, None) => unreachable!("cli enforces one of -t/-w"),
+    }
 }
 
 /// The run command's streaming sink: tees every finished layer into the
@@ -74,8 +88,9 @@ impl ResultSink for RunCliSink {
 fn run(service: &SimService, args: RunArgs) -> Result<(), SimError> {
     let spec = RunSpec {
         config: config_source(args.config.as_deref()),
-        topology: topology_source(
-            &args.topology,
+        topology: workload_source(
+            args.topology.as_deref(),
+            args.workload.as_deref(),
             if args.gemm {
                 TopologyFormat::Gemm
             } else {
@@ -170,6 +185,70 @@ fn run(service: &SimService, args: RunArgs) -> Result<(), SimError> {
     Ok(())
 }
 
+fn llm(service: &SimService, args: LlmArgs) -> Result<(), SimError> {
+    let request = LlmRequest {
+        config: config_source(args.config.as_deref()),
+        workload: args.workload.clone(),
+        phase: args.phase.clone(),
+        seq: args.seq,
+        batch: args.batch,
+        context: args.context,
+        features: Features {
+            dram: args.dram,
+            energy: args.energy,
+            layout: args.layout,
+            cores: None,
+        },
+    };
+    let prepared = service.prepare_llm(&request)?;
+    let sim = &prepared.run.sim;
+    let topo = &prepared.run.topology;
+    let config = sim.config();
+    let spec = &prepared.llm.spec;
+    let context = prepared.llm.effective_context();
+
+    eprintln!(
+        "scalesim llm: {} {} ({} GEMMs, {:.2}B params, {:.1} MiB KV cache @ ctx {}) \
+         on a {} {} core",
+        spec.name,
+        prepared.llm.phase,
+        topo.len(),
+        spec.param_count() as f64 / 1e9,
+        spec.kv_cache_bytes(context) as f64 / (1024.0 * 1024.0),
+        context,
+        config.core.array,
+        config.core.dataflow,
+    );
+
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| SimError::Io(format!("cannot create {}: {e}", args.out_dir.display())))?;
+    let mut sink = RunCliSink {
+        csv: CsvReportSink::new(&args.out_dir, ReportSections::for_config(sim.config())),
+        summary: RunSummary::new(),
+        verbose: args.verbose,
+    };
+    prepared.run.run_into(&mut sink);
+    let RunCliSink { csv, summary, .. } = sink;
+    let written = csv.finish().map_err(SimError::Io)?;
+
+    eprintln!(
+        "total: {} cycles ({} compute + {} stalls), utilization {:.1}%{}",
+        summary.total_cycles,
+        summary.compute_cycles,
+        summary.stall_cycles,
+        summary.utilization() * 100.0,
+        if args.energy {
+            format!(", {:.3} mJ", summary.energy_mj())
+        } else {
+            String::new()
+        }
+    );
+    for p in written {
+        eprintln!("wrote {}", p.display());
+    }
+    Ok(())
+}
+
 fn sweep(service: &SimService, args: SweepArgs) -> Result<(), SimError> {
     let request = SweepRequest {
         spec: ConfigSource::Path(args.spec.display().to_string()),
@@ -249,8 +328,9 @@ impl ScaleoutSink for ScaleoutCliSink {
 }
 
 fn scaleout(service: &SimService, args: ScaleoutArgs) -> Result<(), SimError> {
-    let mut request = ScaleoutRequest::for_topology(topology_source(
-        &args.topology,
+    let mut request = ScaleoutRequest::for_topology(workload_source(
+        args.topology.as_deref(),
+        args.workload.as_deref(),
         if args.gemm {
             TopologyFormat::Gemm
         } else {
@@ -339,6 +419,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
         Ok(Command::Run(args)) => run(&service, args),
+        Ok(Command::Llm(args)) => llm(&service, args),
         Ok(Command::Sweep(args)) => sweep(&service, args),
         Ok(Command::Scaleout(args)) => scaleout(&service, args),
         Ok(Command::Serve(args)) => serve(&service, args),

@@ -40,6 +40,7 @@
 
 use crate::config::{ScaleSimConfig, SparsityMode};
 use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
+use scalesim_llm::{LlmRunSpec, LlmSpec, MoeSpec, Phase};
 use scalesim_sparse::{NmRatio, SparseFormat};
 use scalesim_systolic::{ArrayShape, Dataflow, MemoryConfig, SimError};
 
@@ -82,6 +83,10 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
     // Scale-out knobs: any [scaleout] key materializes the section with
     // its defaults, then overrides the named field.
     let mut scaleout: Option<ScaleoutSpec> = None;
+    // LLM workload knobs: any [llm] key materializes the section (the
+    // llama-7b prefill defaults), then overrides the named field.
+    // `Preset` replaces the whole model spec, so it should come first.
+    let mut llm: Option<LlmRunSpec> = None;
 
     for raw in text.lines() {
         let line = raw.trim();
@@ -216,6 +221,73 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                     })?;
                 scaleout.get_or_insert_with(ScaleoutSpec::default).clock_ghz = ghz;
             }
+            ("llm", "preset") => {
+                let spec = LlmSpec::preset(&val).ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "unknown llm Preset '{val}' (supported: {})",
+                        LlmSpec::preset_names().join(", ")
+                    ))
+                })?;
+                llm.get_or_insert_with(LlmRunSpec::default).spec = spec;
+            }
+            ("llm", "phase") => {
+                llm.get_or_insert_with(LlmRunSpec::default).phase =
+                    Phase::parse(&val).map_err(SimError::InvalidConfig)?;
+            }
+            ("llm", "context") => {
+                llm.get_or_insert_with(LlmRunSpec::default).context = Some(num(&val)?);
+            }
+            ("llm", "layers") => {
+                llm.get_or_insert_with(LlmRunSpec::default).spec.layers = num(&val)?
+            }
+            ("llm", "dmodel") => {
+                llm.get_or_insert_with(LlmRunSpec::default).spec.d_model = num(&val)?
+            }
+            ("llm", "heads") => llm.get_or_insert_with(LlmRunSpec::default).spec.heads = num(&val)?,
+            ("llm", "kvheads") => {
+                llm.get_or_insert_with(LlmRunSpec::default).spec.kv_heads = num(&val)?
+            }
+            ("llm", "dff") => llm.get_or_insert_with(LlmRunSpec::default).spec.d_ff = num(&val)?,
+            ("llm", "vocab") => llm.get_or_insert_with(LlmRunSpec::default).spec.vocab = num(&val)?,
+            ("llm", "seq") => llm.get_or_insert_with(LlmRunSpec::default).spec.seq = num(&val)?,
+            ("llm", "batch") => llm.get_or_insert_with(LlmRunSpec::default).spec.batch = num(&val)?,
+            ("llm", "dtypebytes") => {
+                llm.get_or_insert_with(LlmRunSpec::default).spec.dtype_bytes = num(&val)?
+            }
+            ("llm", "gatedffn") => {
+                llm.get_or_insert_with(LlmRunSpec::default).spec.gated_ffn = boolean(&val)
+            }
+            ("llm", "tiedembeddings") => {
+                llm.get_or_insert_with(LlmRunSpec::default)
+                    .spec
+                    .tied_embeddings = boolean(&val)
+            }
+            ("llm", "experts") => {
+                let spec = &mut llm.get_or_insert_with(LlmRunSpec::default).spec;
+                let n = num(&val)?;
+                match (&mut spec.moe, n) {
+                    (moe, 0) => *moe = None,
+                    (Some(moe), n) => moe.num_experts = n,
+                    (moe @ None, n) => {
+                        *moe = Some(MoeSpec {
+                            num_experts: n,
+                            top_k: 2.min(n),
+                        })
+                    }
+                }
+            }
+            ("llm", "topk") => {
+                let spec = &mut llm.get_or_insert_with(LlmRunSpec::default).spec;
+                let n = num(&val)?;
+                match &mut spec.moe {
+                    Some(moe) => moe.top_k = n,
+                    None => {
+                        return Err(SimError::InvalidConfig(
+                            "TopK requires Experts to be set first".into(),
+                        ))
+                    }
+                }
+            }
             ("sparsity", "sparserep") => {
                 config.sparse_format = match val.to_ascii_lowercase().as_str() {
                     "csr" => SparseFormat::Csr,
@@ -246,7 +318,9 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                      [sparsity]: SparsitySupport, SparseRep, OptimizedMapping, \
                      BlockSize, SparseRatio; \
                      [scaleout]: Chips, Fabric, Mesh, LinkGbps, LinkLatency, Strategy, \
-                     Microbatches, ClockGhz)"
+                     Microbatches, ClockGhz; \
+                     [llm]: Preset, Phase, Context, Layers, DModel, Heads, KvHeads, DFf, \
+                     Vocab, Seq, Batch, DtypeBytes, GatedFfn, TiedEmbeddings, Experts, TopK)"
                 )));
             }
         }
@@ -282,6 +356,12 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
         spec.fabric().map_err(SimError::InvalidConfig)?;
     }
     config.scaleout = scaleout;
+    if let Some(run) = &llm {
+        // Dimensional consistency (divisibility, MoE bounds) fails at
+        // parse time too, mirroring the [scaleout] policy.
+        run.spec.validate().map_err(SimError::InvalidConfig)?;
+    }
+    config.llm = llm;
     Ok(config)
 }
 
@@ -482,6 +562,67 @@ SparseRatio : 2:4
         assert!(err.contains("unknown key 'chips'"), "{err}");
         // The unknown-key error now lists the [scaleout] vocabulary.
         assert!(err.contains("[scaleout]"), "{err}");
+    }
+
+    #[test]
+    fn llm_section_parses_presets_and_overrides() {
+        let c = parse_cfg(
+            "[llm]\nPreset : llama-7b\nPhase : decode\nContext : 512\n\
+             Seq : 1024\nBatch : 4\nKvHeads : 8\n",
+        )
+        .unwrap();
+        let llm = c.llm.unwrap();
+        assert_eq!(llm.spec.name, "llama-7b");
+        assert_eq!(llm.phase, Phase::Decode);
+        assert_eq!(llm.context, Some(512));
+        assert_eq!(llm.spec.seq, 1024);
+        assert_eq!(llm.spec.batch, 4);
+        assert_eq!(llm.spec.kv_heads, 8);
+        // No [llm] section leaves the config topology-driven.
+        assert!(parse_cfg("ArrayHeight : 8\n").unwrap().llm.is_none());
+    }
+
+    #[test]
+    fn llm_section_builds_custom_moe_models() {
+        let c = parse_cfg(
+            "[llm]\nLayers : 4\nDModel : 256\nHeads : 8\nKvHeads : 8\nDFf : 512\n\
+             Vocab : 1000\nSeq : 64\nExperts : 4\nTopK : 2\nGatedFfn : true\n",
+        )
+        .unwrap();
+        let llm = c.llm.unwrap();
+        assert_eq!(llm.spec.layers, 4);
+        assert_eq!(
+            llm.spec.moe,
+            Some(MoeSpec {
+                num_experts: 4,
+                top_k: 2
+            })
+        );
+        assert_eq!(llm.phase, Phase::Prefill);
+    }
+
+    #[test]
+    fn llm_errors_name_the_problem() {
+        for (text, needle) in [
+            ("[llm]\nPreset : gpt5\n", "unknown llm Preset 'gpt5'"),
+            ("[llm]\nPhase : training\n", "unknown phase 'training'"),
+            ("[llm]\nTopK : 2\n", "Experts"),
+            // Validation runs at parse time: 4096 % 33 != 0.
+            ("[llm]\nPreset : llama-7b\nHeads : 33\n", "divisible"),
+            ("[llm]\nPreset : mixtral-8x7b\nTopK : 16\n", "top_k"),
+        ] {
+            let err = parse_cfg(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "'{text}' -> {err}");
+        }
+    }
+
+    #[test]
+    fn llm_keys_outside_their_section_are_rejected() {
+        let err = parse_cfg("DModel : 4096\n").unwrap_err().to_string();
+        assert!(err.contains("unknown key 'dmodel'"), "{err}");
+        // The unknown-key error lists the [llm] vocabulary too.
+        assert!(err.contains("[llm]"), "{err}");
+        assert!(err.contains("KvHeads"), "{err}");
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! produce an error (never be silently ignored), which the binary turns
 //! into the usage string and a non-zero exit. See [`parse_cli`].
 //!
-//! Four commands:
+//! Five commands:
 //!
 //! * `scalesim …` — one simulation of one topology ([`RunArgs`]).
+//! * `scalesim llm …` — simulate an LLM preset or `[llm]` model spec,
+//!   expanded to its per-block GEMMs ([`LlmArgs`]); model reference in
+//!   `docs/LLM.md`.
 //! * `scalesim sweep …` — a design-space sweep over a spec-file grid
 //!   ([`SweepArgs`]); full formats in `docs/CLI.md`.
 //! * `scalesim scaleout …` — a multi-chip scale-out simulation
@@ -18,17 +21,22 @@
 use std::path::PathBuf;
 
 /// Usage string for the single-run command (also the `-h` output).
-pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p <outdir>]
-                [--gemm] [--dram] [--energy] [--layout] [--area]
-                [--profile-stages] [-v]
+pub const USAGE: &str = "usage: scalesim {-t <topology.csv> | -w <workload>} [-c <config.cfg>]
+                [-p <outdir>] [--gemm] [--dram] [--energy] [--layout]
+                [--area] [--profile-stages] [-v]
+       scalesim llm [-w <preset>] [-c <config.cfg>] [options]
        scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
                 [-p <outdir>] [--shards <n>] [-v]
-       scalesim scaleout -t <topology.csv> [-c <config.cfg>] [options]
+       scalesim scaleout {-t <topology.csv> | -w <workload>}
+                [-c <config.cfg>] [options]
        scalesim serve [--stdio | --listen <addr>]
        scalesim --version
 
   -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
               with --gemm: name,M,K,N)
+  -w <name>   built-in workload instead of -t: a CNN/ViT registry name
+              or an llm preset, optionally ':prefill'/':decode'-suffixed
+              (e.g. llama-7b:decode); unknown names list the vocabulary
   -c <file>   SCALE-Sim .cfg architecture file (default: 32x32 OS core)
   -p <dir>    output directory for report CSVs (default: .)
   --gemm      parse the topology as GEMM rows
@@ -40,6 +48,9 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
   -v          print per-layer results while running
   --version   print the scalesim version and build hash
 
+  llm         simulate an LLM model spec expanded to its per-block GEMMs
+              (prefill/decode phases, KV-cache, MoE); see
+              'scalesim llm -h' and docs/LLM.md
   sweep       run a design-space-exploration grid; see 'scalesim sweep -h'
               and docs/CLI.md for the spec format
   scaleout    simulate multi-chip parallel execution (data/tensor/pipeline
@@ -48,14 +59,40 @@ pub const USAGE: &str = "usage: scalesim -t <topology.csv> [-c <config.cfg>] [-p
   serve       answer JSON-lines simulation requests forever; see
               'scalesim serve -h' and docs/API.md for the protocol";
 
+/// Usage string for the `llm` subcommand.
+pub const LLM_USAGE: &str = "usage: scalesim llm [-w <preset>] [-c <config.cfg>] [-p <outdir>]
+                [--phase prefill|decode] [--seq <n>] [--batch <n>]
+                [--context <n>] [--dram] [--energy] [--layout] [-v]
+
+  -w <preset>      model preset: gpt2-xl | llama-7b | llama-70b |
+                   mixtral-8x7b (overrides the cfg's [llm] model; one of
+                   -w or an [llm] cfg section is required)
+  -c <file>        architecture .cfg; its [llm] section sets the model
+                   defaults the flags below override (docs/LLM.md)
+  -p <dir>         output directory for report CSVs (default: .)
+  --phase <p>      prefill (M = batch x seq, compute-bound) or decode
+                   (M = batch skinny GEMMs against the KV cache)
+  --seq <n>        prompt/sequence length override
+  --batch <n>      batch size override
+  --context <n>    decode context length (default: seq)
+  --dram / --energy / --layout   feature flags, as for a plain run
+  -v               print per-layer results while running
+
+The generated topology is deterministic: reports are byte-identical
+for any SCALESIM_THREADS and identical to an 'llm' request over
+'scalesim serve'.";
+
 /// Usage string for the `scaleout` subcommand.
-pub const SCALEOUT_USAGE: &str = "usage: scalesim scaleout -t <topology.csv> [-c <config.cfg>]
-                [-p <outdir>] [--gemm] [--chips <n>]
+pub const SCALEOUT_USAGE: &str = "usage: scalesim scaleout {-t <topology.csv> | -w <workload>}
+                [-c <config.cfg>] [-p <outdir>] [--gemm] [--chips <n>]
                 [--strategy data|tensor|pipeline]
                 [--fabric ring|mesh|switch] [--link-gbps <GB/s>] [-v]
 
   -t <file>        topology CSV (format auto-detected, conv or GEMM;
                    --gemm forces GEMM rows)
+  -w <name>        built-in workload instead of -t: a CNN/ViT registry
+                   name or an llm preset with optional ':prefill'/
+                   ':decode' suffix (e.g. llama-7b:decode)
   -c <file>        architecture .cfg; its [scaleout] section sets the
                    defaults the flags below override (docs/SCALEOUT.md)
   -p <dir>         output directory for SCALEOUT_REPORT.csv (default: .)
@@ -108,8 +145,10 @@ one-shot CLI's report files. Protocol reference: docs/API.md.";
 pub struct RunArgs {
     /// Architecture `.cfg` path (None = built-in default core).
     pub config: Option<PathBuf>,
-    /// Topology CSV path.
-    pub topology: PathBuf,
+    /// Topology CSV path (exactly one of this and `workload`).
+    pub topology: Option<PathBuf>,
+    /// Built-in workload name (exactly one of this and `topology`).
+    pub workload: Option<String>,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Parse the topology as GEMM rows.
@@ -150,8 +189,10 @@ pub struct SweepArgs {
 pub struct ScaleoutArgs {
     /// Architecture `.cfg` path (None = built-in default core).
     pub config: Option<PathBuf>,
-    /// Topology CSV path.
-    pub topology: PathBuf,
+    /// Topology CSV path (exactly one of this and `workload`).
+    pub topology: Option<PathBuf>,
+    /// Built-in workload name (exactly one of this and `topology`).
+    pub workload: Option<String>,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Parse the topology as GEMM rows.
@@ -168,6 +209,35 @@ pub struct ScaleoutArgs {
     pub verbose: bool,
 }
 
+/// Arguments of the `llm` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LlmArgs {
+    /// Architecture `.cfg` path (None = built-in default core).
+    pub config: Option<PathBuf>,
+    /// Model preset name (overrides the cfg's `[llm]` model; one of
+    /// this or an `[llm]` section is required, enforced at prepare
+    /// time).
+    pub workload: Option<String>,
+    /// Phase override (validated by the service).
+    pub phase: Option<String>,
+    /// Sequence-length override.
+    pub seq: Option<usize>,
+    /// Batch-size override.
+    pub batch: Option<usize>,
+    /// Decode context-length override.
+    pub context: Option<usize>,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Enable the cycle-accurate DRAM flow.
+    pub dram: bool,
+    /// Enable energy estimation.
+    pub energy: bool,
+    /// Enable layout analysis.
+    pub layout: bool,
+    /// Per-layer progress on stderr.
+    pub verbose: bool,
+}
+
 /// Arguments of the `serve` subcommand.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServeArgs {
@@ -180,6 +250,8 @@ pub struct ServeArgs {
 pub enum Command {
     /// Simulate one topology.
     Run(RunArgs),
+    /// Simulate an LLM model spec.
+    Llm(LlmArgs),
     /// Run a design-space sweep.
     Sweep(SweepArgs),
     /// Simulate a multi-chip scale-out execution.
@@ -242,6 +314,9 @@ where
     if args.iter().any(|a| a == "--version" || a == "-V") {
         return Ok(Command::Version);
     }
+    if args.first().map(String::as_str) == Some("llm") {
+        return parse_llm(args.into_iter().skip(1)).map(Command::Llm);
+    }
     if args.first().map(String::as_str) == Some("sweep") {
         return parse_sweep(args.into_iter().skip(1)).map(Command::Sweep);
     }
@@ -287,12 +362,92 @@ where
     Ok(ServeArgs { listen })
 }
 
+/// Enforces that exactly one of `-t` and `-w` was given.
+fn require_one_source(
+    topology: Option<PathBuf>,
+    workload: Option<String>,
+    usage: &'static str,
+) -> Result<(Option<PathBuf>, Option<String>), CliError> {
+    match (&topology, &workload) {
+        (None, None) => Err(CliError::new(
+            "missing required -t <topology.csv> or -w <workload>",
+            usage,
+        )),
+        (Some(_), Some(_)) => Err(CliError::new(
+            "-t and -w are mutually exclusive (one workload per run)",
+            usage,
+        )),
+        _ => Ok((topology, workload)),
+    }
+}
+
+fn parse_llm<I>(mut argv: I) -> Result<LlmArgs, CliError>
+where
+    I: Iterator<Item = String>,
+{
+    let mut args = LlmArgs {
+        out_dir: PathBuf::from("."),
+        ..LlmArgs::default()
+    };
+    let positive = |flag: &str, v: Option<String>| -> Result<usize, CliError> {
+        let v = v.ok_or_else(|| CliError::new(format!("{flag} requires a count"), LLM_USAGE))?;
+        v.parse()
+            .ok()
+            .filter(|&n: &usize| n >= 1)
+            .ok_or_else(|| CliError::new(format!("bad {flag} '{v}' (positive integer)"), LLM_USAGE))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "-c" | "--config" => {
+                args.config =
+                    Some(PathBuf::from(argv.next().ok_or_else(|| {
+                        CliError::new("-c requires a file argument", LLM_USAGE)
+                    })?))
+            }
+            "-w" | "--workload" => {
+                args.workload = Some(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-w requires a preset name", LLM_USAGE))?,
+                )
+            }
+            "--phase" => {
+                args.phase = Some(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("--phase requires a value", LLM_USAGE))?,
+                )
+            }
+            "--seq" => args.seq = Some(positive("--seq", argv.next())?),
+            "--batch" => args.batch = Some(positive("--batch", argv.next())?),
+            "--context" => args.context = Some(positive("--context", argv.next())?),
+            "-p" | "--path" => {
+                args.out_dir = PathBuf::from(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-p requires a directory", LLM_USAGE))?,
+                )
+            }
+            "--dram" => args.dram = true,
+            "--energy" => args.energy = true,
+            "--layout" => args.layout = true,
+            "-v" | "--verbose" => args.verbose = true,
+            "-h" | "--help" => return Err(CliError::new("", LLM_USAGE)),
+            other => {
+                return Err(CliError::new(
+                    format!("unknown argument '{other}'"),
+                    LLM_USAGE,
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
 fn parse_scaleout<I>(mut argv: I) -> Result<ScaleoutArgs, CliError>
 where
     I: Iterator<Item = String>,
 {
     let mut config = None;
     let mut topology = None;
+    let mut workload = None;
     let mut out_dir = PathBuf::from(".");
     let mut gemm = false;
     let mut chips = None;
@@ -311,6 +466,12 @@ where
                 topology = Some(PathBuf::from(argv.next().ok_or_else(|| {
                     CliError::new("-t requires a file argument", SCALEOUT_USAGE)
                 })?))
+            }
+            "-w" | "--workload" => {
+                workload =
+                    Some(argv.next().ok_or_else(|| {
+                        CliError::new("-w requires a workload name", SCALEOUT_USAGE)
+                    })?)
             }
             "-p" | "--path" => {
                 out_dir = PathBuf::from(
@@ -368,10 +529,11 @@ where
             }
         }
     }
+    let (topology, workload) = require_one_source(topology, workload, SCALEOUT_USAGE)?;
     Ok(ScaleoutArgs {
         config,
-        topology: topology
-            .ok_or_else(|| CliError::new("missing required -t <topology.csv>", SCALEOUT_USAGE))?,
+        topology,
+        workload,
         out_dir,
         gemm,
         chips,
@@ -388,6 +550,7 @@ where
 {
     let mut config = None;
     let mut topology = None;
+    let mut workload = None;
     let mut out_dir = PathBuf::from(".");
     let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
         (false, false, false, false, false, false);
@@ -406,6 +569,12 @@ where
                         CliError::new("-t requires a file argument", USAGE)
                     })?))
             }
+            "-w" | "--workload" => {
+                workload = Some(
+                    argv.next()
+                        .ok_or_else(|| CliError::new("-w requires a workload name", USAGE))?,
+                )
+            }
             "-p" | "--path" => {
                 out_dir = PathBuf::from(
                     argv.next()
@@ -423,10 +592,11 @@ where
             other => return Err(CliError::new(format!("unknown argument '{other}'"), USAGE)),
         }
     }
+    let (topology, workload) = require_one_source(topology, workload, USAGE)?;
     Ok(RunArgs {
         config,
-        topology: topology
-            .ok_or_else(|| CliError::new("missing required -t <topology.csv>", USAGE))?,
+        topology,
+        workload,
         out_dir,
         gemm,
         dram,
@@ -517,9 +687,83 @@ mod tests {
         let Command::Run(args) = cmd else {
             panic!("expected run command")
         };
-        assert_eq!(args.topology, PathBuf::from("net.csv"));
+        assert_eq!(args.topology, Some(PathBuf::from("net.csv")));
         assert_eq!(args.out_dir, PathBuf::from("out"));
         assert!(args.gemm && args.energy && !args.dram && !args.verbose);
+    }
+
+    #[test]
+    fn workload_flag_round_trips_and_excludes_topology() {
+        let cmd = parse_cli(argv(&["-w", "llama-7b:decode"])).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run command")
+        };
+        assert_eq!(args.workload.as_deref(), Some("llama-7b:decode"));
+        assert_eq!(args.topology, None);
+        let err = parse_cli(argv(&["-t", "net.csv", "-w", "resnet18"])).unwrap_err();
+        assert!(
+            err.message.contains("mutually exclusive"),
+            "{}",
+            err.message
+        );
+        let cmd = parse_cli(argv(&["scaleout", "-w", "llama-7b:decode"])).unwrap();
+        let Command::Scaleout(args) = cmd else {
+            panic!("expected scaleout command")
+        };
+        assert_eq!(args.workload.as_deref(), Some("llama-7b:decode"));
+    }
+
+    #[test]
+    fn llm_command_round_trips() {
+        let cmd = parse_cli(argv(&[
+            "llm",
+            "-w",
+            "llama-7b",
+            "--phase",
+            "decode",
+            "--seq",
+            "128",
+            "--batch",
+            "4",
+            "--context",
+            "2048",
+            "-p",
+            "out",
+            "--energy",
+            "-v",
+        ]))
+        .unwrap();
+        let Command::Llm(args) = cmd else {
+            panic!("expected llm command")
+        };
+        assert_eq!(args.workload.as_deref(), Some("llama-7b"));
+        assert_eq!(args.phase.as_deref(), Some("decode"));
+        assert_eq!(args.seq, Some(128));
+        assert_eq!(args.batch, Some(4));
+        assert_eq!(args.context, Some(2048));
+        assert_eq!(args.out_dir, PathBuf::from("out"));
+        assert!(args.energy && args.verbose && !args.dram);
+        // Minimal form: model resolution is deferred to the service so a
+        // cfg [llm] section alone also works.
+        let cmd = parse_cli(argv(&["llm"])).unwrap();
+        let Command::Llm(args) = cmd else {
+            panic!("expected llm command")
+        };
+        assert!(args.workload.is_none() && args.phase.is_none());
+    }
+
+    #[test]
+    fn llm_rejects_bad_flags_with_its_usage() {
+        let err = parse_cli(argv(&["llm", "--wat"])).unwrap_err();
+        assert!(err.message.contains("unknown argument '--wat'"));
+        assert_eq!(err.usage, LLM_USAGE);
+        for bad in [["--seq", "0"], ["--batch", "none"], ["--context", "-1"]] {
+            let err = parse_cli(argv(&["llm", bad[0], bad[1]])).unwrap_err();
+            assert!(err.message.contains(bad[0]), "{}", err.message);
+        }
+        let err = parse_cli(argv(&["llm", "-h"])).unwrap_err();
+        assert!(err.message.is_empty());
+        assert_eq!(err.usage, LLM_USAGE);
     }
 
     #[test]
@@ -649,7 +893,7 @@ mod tests {
         let Command::Scaleout(args) = cmd else {
             panic!("expected scaleout command")
         };
-        assert_eq!(args.topology, PathBuf::from("net.csv"));
+        assert_eq!(args.topology, Some(PathBuf::from("net.csv")));
         assert_eq!(args.out_dir, PathBuf::from("out"));
         assert_eq!(args.chips, Some(64));
         assert_eq!(args.strategy.as_deref(), Some("tensor"));

@@ -2,6 +2,7 @@
 
 use scalesim_collective::ScaleoutSpec;
 use scalesim_layout::LayoutSpec;
+use scalesim_llm::LlmRunSpec;
 use scalesim_mem::{AddressMapping, DramSpec};
 use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
 use scalesim_sparse::{NmRatio, SparseFormat};
@@ -173,6 +174,10 @@ pub struct ScaleSimConfig {
     /// None = single chip. Only the `scalesim scaleout` flow and
     /// scale-out sweep points consult it.
     pub scaleout: Option<ScaleoutSpec>,
+    /// LLM workload generation (`[llm]` cfg section); None = the
+    /// topology comes from a CSV/registry. Consulted by the
+    /// `scalesim llm` flow and the llm sweep axes.
+    pub llm: Option<LlmRunSpec>,
 }
 
 impl Default for ScaleSimConfig {
@@ -189,6 +194,7 @@ impl Default for ScaleSimConfig {
             enable_layout: false,
             enable_energy: false,
             scaleout: None,
+            llm: None,
         }
     }
 }

@@ -42,12 +42,13 @@ use crate::scaleout::{run_scaleout, MemoryScaleoutSink, ScaleoutSink, ScaleoutSu
 use crate::sink::{MemoryReportSink, ReportSections, ResultSink, RunSummary};
 use crate::sweep_run::run_sweep_cached;
 use scalesim_api::{
-    AreaBody, AreaSpec, ConfigSource, Features, Report, RunBody, RunSpec, RunSummaryBody,
-    ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, StatsBody, SweepBody,
-    SweepRequest, TopologyFormat, TopologySource, VersionBody, API_VERSION,
+    AreaBody, AreaSpec, ConfigSource, Features, LlmBody, LlmRequest, Report, RunBody, RunSpec,
+    RunSummaryBody, ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, StatsBody,
+    SweepBody, SweepRequest, TopologyFormat, TopologySource, VersionBody, API_VERSION,
 };
 use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_energy::AreaBreakdown;
+use scalesim_llm::{LlmRunSpec, LlmSpec, Phase};
 use scalesim_multicore::{L2Config, PartitionGrid, PartitionScheme};
 use scalesim_sweep::{SweepReport, SweepSpec};
 use scalesim_systolic::{PlanCache, PlanCacheStats, Topology};
@@ -171,6 +172,10 @@ impl SimService {
                 check_cancel(cancel)?;
                 Ok(SimResponse::Scaleout(body))
             }
+            SimRequest::Llm(spec) => {
+                let prepared = self.prepare_llm(spec)?;
+                Ok(SimResponse::Llm(prepared.into_body_cancellable(cancel)?))
+            }
             SimRequest::AreaReport(spec) => Ok(SimResponse::Area(self.area(spec)?)),
             SimRequest::Version => Ok(SimResponse::Version(version_body())),
             SimRequest::Stats => Ok(SimResponse::Stats(self.stats_body())),
@@ -225,6 +230,61 @@ impl SimService {
         Ok(PreparedRun { sim, topology })
     }
 
+    /// Resolves an llm request into a ready-to-execute run: the model
+    /// spec comes from the configuration's `[llm]` section and/or the
+    /// `workload` preset name, with the request's phase/seq/batch/
+    /// context overrides applied on top, then expands into its GEMM
+    /// topology. The CLI drives the prepared run itself for progress
+    /// streaming; [`handle`](Self::handle) collects an
+    /// [`scalesim_api::LlmBody`].
+    ///
+    /// # Errors
+    ///
+    /// `Config` for unknown presets/phases, inconsistent model
+    /// dimensions, or a request that names no model at all.
+    pub fn prepare_llm(&self, request: &LlmRequest) -> Result<PreparedLlm, SimError> {
+        let config = load_config(&request.config, &request.features)?;
+        let mut llm = match (config.llm.clone(), &request.workload) {
+            (Some(run), None) => run,
+            (base, Some(name)) => {
+                let spec = LlmSpec::preset(name).ok_or_else(|| {
+                    SimError::Config(format!(
+                        "unknown llm workload '{name}' (presets: {})",
+                        LlmSpec::preset_names().join(", ")
+                    ))
+                })?;
+                let mut run = base.unwrap_or_default();
+                run.spec = spec;
+                run
+            }
+            (None, None) => {
+                return Err(SimError::Config(
+                    "llm: no model named — pass a preset (--workload / \"workload\") \
+                     or an [llm] cfg section"
+                        .into(),
+                ))
+            }
+        };
+        if let Some(phase) = &request.phase {
+            llm.phase = Phase::parse(phase).map_err(SimError::Config)?;
+        }
+        if let Some(seq) = request.seq {
+            llm.spec.seq = seq;
+        }
+        if let Some(batch) = request.batch {
+            llm.spec.batch = batch;
+        }
+        if let Some(context) = request.context {
+            llm.context = Some(context);
+        }
+        let topology = llm.topology().map_err(SimError::Config)?;
+        let sim = ScaleSim::try_new_with_cache(config, Arc::clone(&self.cache))?;
+        Ok(PreparedLlm {
+            run: PreparedRun { sim, topology },
+            llm,
+        })
+    }
+
     /// Loads and validates everything a sweep request needs. As with
     /// [`prepare_run`](Self::prepare_run), the CLI drives the prepared
     /// sweep itself for progress streaming.
@@ -269,6 +329,19 @@ impl SimService {
         }
         for source in &request.topologies {
             topologies.push(load_topology(source)?);
+        }
+        // An [llm] model in the base config IS the sweep's workload: the
+        // seq/batch/phase axes reshape its GEMMs per point, so a fixed
+        // topology list cannot coexist with it.
+        if let Some(llm) = &base.llm {
+            if !topologies.is_empty() {
+                return Err(SimError::Config(
+                    "sweep: an [llm] model and explicit topologies are mutually \
+                     exclusive (the llm model is the workload)"
+                        .into(),
+                ));
+            }
+            topologies.push(llm.topology().map_err(SimError::Config)?);
         }
         if topologies.is_empty() {
             return Err(SimError::Config(
@@ -436,6 +509,48 @@ impl PreparedRun {
                     content,
                 })
                 .collect(),
+        })
+    }
+}
+
+/// A validated llm run, ready to execute: the engine plus the
+/// generated per-block GEMM topology, alongside the resolved model
+/// spec (cfg section and/or preset, with request overrides applied).
+#[derive(Debug, Clone)]
+pub struct PreparedLlm {
+    /// The underlying run (engine + generated topology).
+    pub run: PreparedRun,
+    /// The resolved model spec, phase, and context.
+    pub llm: LlmRunSpec,
+}
+
+impl PreparedLlm {
+    /// Executes the run, collecting the response body: model identity
+    /// and analytical figures (parameter count, KV-cache footprint at
+    /// the effective context) wrapped around the same summary and
+    /// reports a plain run yields, byte-identical to the CLI's files.
+    pub fn into_body(self) -> LlmBody {
+        self.into_body_cancellable(None)
+            .expect("no cancel token, so the run always completes")
+    }
+
+    /// As [`into_body`](Self::into_body), but abandons the run at the
+    /// next pipeline-stage boundary once `cancel` expires.
+    ///
+    /// # Errors
+    ///
+    /// `Deadline` when the token expires mid-run.
+    pub fn into_body_cancellable(self, cancel: Option<&CancelToken>) -> Result<LlmBody, SimError> {
+        let context = self.llm.effective_context();
+        let body = self.run.into_body_cancellable(cancel)?;
+        Ok(LlmBody {
+            workload: self.llm.spec.name.clone(),
+            phase: self.llm.phase.tag().to_string(),
+            context: context as u64,
+            params: self.llm.spec.param_count(),
+            kv_cache_bytes: self.llm.spec.kv_cache_bytes(context),
+            summary: body.summary,
+            reports: body.reports,
         })
     }
 }
@@ -634,8 +749,14 @@ pub fn load_config(source: &ConfigSource, features: &Features) -> Result<ScaleSi
     Ok(config)
 }
 
-/// Loads and parses a topology source.
+/// Loads and parses a topology source. Registry workloads (CNN/ViT
+/// names and llm presets, optionally `:prefill`/`:decode`-suffixed)
+/// resolve through [`scalesim_workloads::by_name_or_err`], whose error
+/// spells out the full supported vocabulary.
 pub fn load_topology(source: &TopologySource) -> Result<Topology, SimError> {
+    if let Some(workload) = &source.workload {
+        return scalesim_workloads::by_name_or_err(workload).map_err(SimError::Topology);
+    }
     let (csv, default_name) = match (&source.inline, &source.path) {
         (Some(text), _) => (text.clone(), "workload".to_string()),
         (None, Some(path)) => {
@@ -827,6 +948,90 @@ mod tests {
         assert!(!body.pareto_frontier.is_empty());
         assert_eq!(body.reports[0].name, "SWEEP_REPORT.csv");
         assert_eq!(body.reports[1].name, "SWEEP_REPORT.json");
+    }
+
+    /// A deliberately tiny transformer so unit tests stay fast in debug
+    /// builds; the real presets are exercised by the integration tests
+    /// and CI smoke job against the release binary.
+    const TINY_LLM_CFG: &str = "[llm]\nPreset : gpt2-xl\nLayers : 2\nDModel : 64\n\
+         Heads : 4\nKvHeads : 4\nDFf : 128\nVocab : 256\nSeq : 16\nBatch : 1\n";
+
+    #[test]
+    fn llm_request_resolves_cfg_model_with_overrides() {
+        let service = SimService::new();
+        let req = LlmRequest {
+            config: ConfigSource::Inline(TINY_LLM_CFG.into()),
+            phase: Some("decode".into()),
+            context: Some(64),
+            ..Default::default()
+        };
+        let SimResponse::Llm(body) = service.handle(&SimRequest::Llm(req)).unwrap() else {
+            panic!("expected llm body")
+        };
+        assert_eq!(body.workload, "gpt2-xl");
+        assert_eq!(body.phase, "decode");
+        assert_eq!(body.context, 64);
+        assert!(body.params > 0 && body.kv_cache_bytes > 0);
+        assert!(body.summary.total_cycles > 0);
+        assert_eq!(body.reports[0].name, "COMPUTE_REPORT.csv");
+    }
+
+    #[test]
+    fn llm_workload_preset_keeps_cfg_phase_and_context() {
+        let service = SimService::new();
+        // The cfg names one model, the request swaps in a preset: the
+        // section's phase/context survive the swap.
+        let req = LlmRequest {
+            config: ConfigSource::Inline(format!("{TINY_LLM_CFG}Phase : decode\nContext : 32\n")),
+            workload: Some("gpt2-xl".into()),
+            seq: Some(16),
+            batch: Some(2),
+            ..Default::default()
+        };
+        let prepared = service.prepare_llm(&req).unwrap();
+        assert_eq!(
+            prepared.llm.spec.layers, 48,
+            "preset replaced the tiny model"
+        );
+        assert_eq!(prepared.llm.phase, Phase::Decode);
+        assert_eq!(prepared.llm.effective_context(), 32);
+        assert_eq!(prepared.llm.spec.seq, 16);
+        assert_eq!(prepared.llm.spec.batch, 2);
+        // Decode topologies put batch rows through every block GEMM.
+        assert!(prepared.run.topology.name().ends_with("decode"));
+    }
+
+    #[test]
+    fn llm_bad_inputs_are_config_errors() {
+        let service = SimService::new();
+        // No model named anywhere.
+        let err = service.prepare_llm(&LlmRequest::default()).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("[llm]"), "{err}");
+        // Unknown preset names the vocabulary.
+        let err = service
+            .prepare_llm(&LlmRequest::for_workload("llama-13b"))
+            .unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("llama-7b"), "{err}");
+        // Bad phase.
+        let req = LlmRequest {
+            phase: Some("training".into()),
+            ..LlmRequest::for_workload("gpt2-xl")
+        };
+        let err = service.prepare_llm(&req).unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(err.message().contains("unknown phase"), "{err}");
+    }
+
+    #[test]
+    fn workload_topology_source_resolves_the_registry() {
+        let topo = load_topology(&TopologySource::from_workload("gpt2-xl:decode")).unwrap();
+        assert!(topo.name().ends_with("decode"));
+        assert!(topo.len() > 1);
+        let err = load_topology(&TopologySource::from_workload("nonesuch")).unwrap_err();
+        assert_eq!(err.kind(), "topology");
+        assert!(err.message().contains("known workloads"), "{err}");
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub fn apply_point(base: &ScaleSimConfig, point: &SweepPoint) -> ScaleSimConfig 
         }
         cfg.scaleout = if so.chips <= 1 { None } else { Some(so) };
     }
+    // LLM axes: reshape the base [llm] model (the runner regenerates
+    // the topology per point). Points sweeping these without an [llm]
+    // model are rejected up front in `run_sweep_cached`.
+    if let Some(llm) = cfg.llm.as_mut() {
+        if let Some(seq) = point.seq {
+            llm.spec.seq = seq;
+        }
+        if let Some(batch) = point.batch {
+            llm.spec.batch = batch;
+        }
+        if let Some(phase) = point.phase {
+            llm.phase = phase;
+        }
+    }
     cfg
 }
 
@@ -267,12 +281,26 @@ pub fn run_sweep_cached(
 ) -> Result<(SweepReport, PlanCacheStats), String> {
     let grid = spec.expand();
     for point in &grid {
+        if (point.seq.is_some() || point.batch.is_some() || point.phase.is_some())
+            && base.llm.is_none()
+        {
+            return Err(format!(
+                "grid point '{}': the seq/batch/phase axes need an [llm] model in the \
+                 base config",
+                point.label()
+            ));
+        }
         let cfg = apply_point(base, point);
         cfg.core
             .validate()
             .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
         if let Some(so) = &cfg.scaleout {
             so.fabric()
+                .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
+        }
+        if let Some(llm) = &cfg.llm {
+            llm.spec
+                .validate()
                 .map_err(|e| format!("grid point '{}': {e}", point.label()))?;
         }
     }
@@ -283,6 +311,14 @@ pub fn run_sweep_cached(
         shards,
         |run, point, topology| {
             let cfg = apply_point(base, point);
+            // An [llm] model is the workload itself: its GEMM shapes
+            // depend on the point's seq/batch/phase, so the topology is
+            // regenerated here rather than taken from the fixed list.
+            let llm_topology = cfg.llm.as_ref().map(|llm| {
+                llm.topology()
+                    .expect("llm points are validated before the grid runs")
+            });
+            let topology = llm_topology.as_ref().unwrap_or(topology);
             let sim = ScaleSim::new_with_cache(cfg.clone(), Arc::clone(cache));
             if let Some(so) = &cfg.scaleout {
                 let summary = run_scaleout(&sim, topology, so, &mut DiscardScaleoutSink)
@@ -434,6 +470,51 @@ mod tests {
         let err = run_sweep(&s, &cfg, &small_topos(), 1).unwrap_err();
         assert!(err.contains("p6"), "{err}");
         assert!(err.contains("power-of-two"), "{err}");
+    }
+
+    #[test]
+    fn llm_axes_regenerate_the_topology_per_point() {
+        use scalesim_llm::{LlmRunSpec, LlmSpec, Phase};
+        let mut model = LlmSpec::preset("gpt2-xl").unwrap();
+        model.layers = 2;
+        model.d_model = 64;
+        model.heads = 4;
+        model.kv_heads = 4;
+        model.d_ff = 128;
+        model.vocab = 256;
+        model.seq = 16;
+        model.batch = 1;
+        let mut base = ScaleSimConfig::default();
+        base.llm = Some(LlmRunSpec {
+            spec: model,
+            phase: Phase::Prefill,
+            context: None,
+        });
+        let workload = vec![base.llm.as_ref().unwrap().topology().unwrap()];
+        let s = spec("phase = prefill, decode\nseq = 8, 16\n");
+        let (report, _) = run_sweep(&s, &base, &workload, 1).unwrap();
+        let records = report.records();
+        assert_eq!(records.len(), 4);
+        // Odometer order: seq varies slower than phase (seq listed first
+        // in the point, phase fastest) — labels pin both.
+        assert_eq!(records[0].point_label, "s8-pf");
+        assert_eq!(records[1].point_label, "s8-dec");
+        // The topology is regenerated per point: phase shows up in the
+        // workload name and decode does far less work than prefill.
+        assert!(records[0].topology.ends_with("prefill"));
+        assert!(records[1].topology.ends_with("decode"));
+        assert!(records[1].macs < records[0].macs);
+        // Longer prefill sequences do more MACs.
+        assert!(records[2].macs > records[0].macs);
+    }
+
+    #[test]
+    fn llm_axes_without_a_model_are_rejected() {
+        let base = ScaleSimConfig::default();
+        let s = spec("seq = 8, 16\n");
+        let err = run_sweep(&s, &base, &small_topos(), 1).unwrap_err();
+        assert!(err.contains("[llm]"), "{err}");
+        assert!(err.contains("s8"), "{err}");
     }
 
     #[test]

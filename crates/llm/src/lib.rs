@@ -1,0 +1,674 @@
+//! LLM workload generation: decoder-transformer model specs expanded
+//! into exact GEMM topologies.
+//!
+//! An [`LlmSpec`] describes a GPT/Llama-class decoder (layers, model
+//! width, attention heads with optional grouped-query KV heads, FFN
+//! width, vocabulary, sequence/batch, optional mixture-of-experts
+//! block). [`LlmSpec::topology`] expands it into the per-block GEMM
+//! sequence the systolic engine simulates, in one of two phases:
+//!
+//! * **Prefill** — the whole prompt is processed at once, so every
+//!   projection GEMM has `M = batch × seq`. These are large,
+//!   compute-bound GEMMs.
+//! * **Decode** — one token per sequence per step, so projection GEMMs
+//!   shrink to `M = batch` (skinny, bandwidth-bound), while the
+//!   attention score/value GEMMs read the **KV cache**: their `N`
+//!   (score) and `K` (attn·V) dimensions equal the context length, so
+//!   KV-cache reads flow through the engine as regular layer operand
+//!   traffic and the DRAM/bandwidth paths see them.
+//!
+//! Attention heads are batched along `M` (block-diagonal equivalence,
+//! same convention as the ViT workloads): MAC counts are exact; the
+//! per-layer B-operand footprint of the attention GEMMs understates the
+//! true per-sequence KV cache by the `batch × kv_heads` multiplicity
+//! (see `docs/LLM.md` for the accounting).
+//!
+//! Mixture-of-experts FFNs fan out into per-expert GEMMs: each token
+//! is routed to `top_k` experts, and the `tokens × top_k` routed token
+//! count is split across experts in a balanced, deterministic way
+//! (experts that receive zero tokens emit no GEMM).
+
+use scalesim_systolic::{Layer, Topology};
+use std::fmt;
+
+/// Mixture-of-experts configuration for the FFN sub-block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeSpec {
+    /// Number of experts per layer.
+    pub num_experts: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+}
+
+/// Which serving phase a topology models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// Prompt processing: `M = batch × seq` compute-bound GEMMs.
+    #[default]
+    Prefill,
+    /// Token generation: `M = batch` skinny GEMMs, attention reads the
+    /// KV cache of `context` previous tokens.
+    Decode,
+}
+
+impl Phase {
+    /// Parses a phase name (`prefill` or `decode`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "prefill" => Ok(Phase::Prefill),
+            "decode" => Ok(Phase::Decode),
+            other => Err(format!(
+                "unknown phase '{other}' (supported: prefill, decode)"
+            )),
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Phase::Prefill => "prefill",
+            Phase::Decode => "decode",
+        }
+    }
+
+    /// A compact tag for sweep-point labels (`pf` / `dec`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Prefill => "pf",
+            Phase::Decode => "dec",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A decoder-transformer model specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlmSpec {
+    /// Model name (used in topology names and reports).
+    pub name: String,
+    /// Decoder blocks.
+    pub layers: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Query attention heads.
+    pub heads: usize,
+    /// Key/value heads (grouped-query attention when `< heads`;
+    /// multi-head attention when equal).
+    pub kv_heads: usize,
+    /// Feed-forward inner dimension.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Prompt sequence length.
+    pub seq: usize,
+    /// Batch size (concurrent sequences).
+    pub batch: usize,
+    /// Bytes per parameter/activation element (2 = fp16/bf16).
+    pub dtype_bytes: usize,
+    /// Gated FFN (SwiGLU: gate+up+down, three matrices) vs the GPT-2
+    /// style two-matrix FFN.
+    pub gated_ffn: bool,
+    /// Whether the LM head shares the embedding matrix.
+    pub tied_embeddings: bool,
+    /// Mixture-of-experts FFN fan-out (dense FFN when `None`).
+    pub moe: Option<MoeSpec>,
+}
+
+impl Default for LlmSpec {
+    fn default() -> Self {
+        Self::llama_7b()
+    }
+}
+
+impl LlmSpec {
+    /// GPT-2 XL: 48 layers, d=1600, 25 heads, tied embeddings,
+    /// two-matrix FFN. ~1.56 B parameters.
+    pub fn gpt2_xl() -> Self {
+        LlmSpec {
+            name: "gpt2-xl".into(),
+            layers: 48,
+            d_model: 1600,
+            heads: 25,
+            kv_heads: 25,
+            d_ff: 6400,
+            vocab: 50257,
+            seq: 1024,
+            batch: 1,
+            dtype_bytes: 2,
+            gated_ffn: false,
+            tied_embeddings: true,
+            moe: None,
+        }
+    }
+
+    /// Llama-2 7B: 32 layers, d=4096, 32 heads, SwiGLU FFN, untied
+    /// LM head. ~6.7 B parameters.
+    pub fn llama_7b() -> Self {
+        LlmSpec {
+            name: "llama-7b".into(),
+            layers: 32,
+            d_model: 4096,
+            heads: 32,
+            kv_heads: 32,
+            d_ff: 11008,
+            vocab: 32000,
+            seq: 2048,
+            batch: 1,
+            dtype_bytes: 2,
+            gated_ffn: true,
+            tied_embeddings: false,
+            moe: None,
+        }
+    }
+
+    /// Llama-2 70B: 80 layers, d=8192, 64 query heads over 8 KV heads
+    /// (grouped-query attention). ~69 B parameters.
+    pub fn llama_70b() -> Self {
+        LlmSpec {
+            name: "llama-70b".into(),
+            layers: 80,
+            d_model: 8192,
+            heads: 64,
+            kv_heads: 8,
+            d_ff: 28672,
+            vocab: 32000,
+            seq: 4096,
+            batch: 1,
+            dtype_bytes: 2,
+            gated_ffn: true,
+            tied_embeddings: false,
+            moe: None,
+        }
+    }
+
+    /// Mixtral 8x7B: 32 layers, d=4096, 8 experts with top-2 routing,
+    /// grouped-query attention. ~46.7 B total parameters.
+    pub fn mixtral_8x7b() -> Self {
+        LlmSpec {
+            name: "mixtral-8x7b".into(),
+            layers: 32,
+            d_model: 4096,
+            heads: 32,
+            kv_heads: 8,
+            d_ff: 14336,
+            vocab: 32000,
+            seq: 4096,
+            batch: 1,
+            dtype_bytes: 2,
+            gated_ffn: true,
+            tied_embeddings: false,
+            moe: Some(MoeSpec {
+                num_experts: 8,
+                top_k: 2,
+            }),
+        }
+    }
+
+    /// The named presets, in documentation order.
+    pub fn preset_names() -> [&'static str; 4] {
+        ["gpt2-xl", "llama-7b", "llama-70b", "mixtral-8x7b"]
+    }
+
+    /// Looks up a preset by name.
+    pub fn preset(name: &str) -> Option<LlmSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "gpt2-xl" | "gpt2xl" => Some(Self::gpt2_xl()),
+            "llama-7b" | "llama7b" => Some(Self::llama_7b()),
+            "llama-70b" | "llama70b" => Some(Self::llama_70b()),
+            "mixtral-8x7b" | "mixtral" => Some(Self::mixtral_8x7b()),
+            _ => None,
+        }
+    }
+
+    /// Per-head dimension (`d_model / heads`).
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.heads
+    }
+
+    /// Total key/value projection width (`kv_heads × head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// FFN weight matrices per expert (3 gated, 2 otherwise).
+    fn ffn_mats(&self) -> u64 {
+        if self.gated_ffn {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Closed-form parameter count (weights only, biases and norm
+    /// scales excluded — they are < 0.1 % of any preset).
+    ///
+    /// `embed + layers · (attention + ffn [+ router])` where attention
+    /// is `2·d² + 2·d·kv_dim` (Q/O full-width, K/V at KV width) and
+    /// the FFN term is multiplied by the expert count under MoE.
+    pub fn param_count(&self) -> u64 {
+        let d = self.d_model as u64;
+        let embed_mats = if self.tied_embeddings { 1 } else { 2 };
+        let embed = embed_mats * self.vocab as u64 * d;
+        let attn = 2 * d * d + 2 * d * self.kv_dim() as u64;
+        let experts = self.moe.map_or(1, |m| m.num_experts as u64);
+        let router = self.moe.map_or(0, |m| d * m.num_experts as u64);
+        let ffn = self.ffn_mats() * d * self.d_ff as u64 * experts + router;
+        embed + self.layers as u64 * (attn + ffn)
+    }
+
+    /// KV-cache footprint in bytes for `context` cached tokens across
+    /// the whole batch: `layers · 2 (K and V) · kv_dim · context ·
+    /// batch · dtype_bytes`.
+    pub fn kv_cache_bytes(&self, context: usize) -> u64 {
+        2 * (self.layers * self.kv_dim() * context * self.batch * self.dtype_bytes) as u64
+    }
+
+    /// Validates the dimensional constraints the generator relies on.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("layers", self.layers),
+            ("d_model", self.d_model),
+            ("heads", self.heads),
+            ("kv_heads", self.kv_heads),
+            ("d_ff", self.d_ff),
+            ("vocab", self.vocab),
+            ("seq", self.seq),
+            ("batch", self.batch),
+            ("dtype_bytes", self.dtype_bytes),
+        ];
+        for (field, value) in positive {
+            if value == 0 {
+                return Err(format!("llm: {field} must be positive"));
+            }
+        }
+        if !self.d_model.is_multiple_of(self.heads) {
+            return Err(format!(
+                "llm: d_model ({}) must be divisible by heads ({})",
+                self.d_model, self.heads
+            ));
+        }
+        if self.kv_heads > self.heads {
+            return Err(format!(
+                "llm: kv_heads ({}) must not exceed heads ({})",
+                self.kv_heads, self.heads
+            ));
+        }
+        if !self.heads.is_multiple_of(self.kv_heads) {
+            return Err(format!(
+                "llm: heads ({}) must be divisible by kv_heads ({})",
+                self.heads, self.kv_heads
+            ));
+        }
+        if let Some(moe) = &self.moe {
+            if moe.num_experts == 0 || moe.top_k == 0 {
+                return Err("llm: moe experts and top_k must be positive".into());
+            }
+            if moe.top_k > moe.num_experts {
+                return Err(format!(
+                    "llm: moe top_k ({}) must not exceed num_experts ({})",
+                    moe.top_k, moe.num_experts
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into the GEMM topology of one forward step in
+    /// `phase`, attending over `context` cached tokens.
+    ///
+    /// For prefill, `context` is the prompt length being processed
+    /// (normally `seq`, causal attention modeled at full width). For
+    /// decode, `context` is the number of tokens already in the KV
+    /// cache.
+    pub fn topology(&self, phase: Phase, context: usize) -> Topology {
+        let tokens = match phase {
+            Phase::Prefill => self.batch * self.seq,
+            Phase::Decode => self.batch,
+        };
+        let ctx = context.max(1);
+        let head_dim = self.head_dim();
+        let mut topo = Topology::new(format!("{}-{}", self.name, phase.tag()));
+        for l in 0..self.layers {
+            // Fused Q/K/V projection: Q at full width, K/V at KV width.
+            topo.push(Layer::gemm_layer(
+                format!("blk{l}_qkv"),
+                tokens,
+                self.d_model + 2 * self.kv_dim(),
+                self.d_model,
+            ));
+            // Attention score (Q·Kᵀ): heads batched along M; the
+            // B operand is the K cache, so K-dim = head_dim and
+            // N = context (grows with cache length under decode).
+            topo.push(Layer::gemm_layer(
+                format!("blk{l}_score"),
+                tokens * self.heads,
+                ctx,
+                head_dim,
+            ));
+            // Attention-weighted value (softmax(S)·V): the B operand
+            // is the V cache, so K-dim = context.
+            topo.push(Layer::gemm_layer(
+                format!("blk{l}_attnv"),
+                tokens * self.heads,
+                head_dim,
+                ctx,
+            ));
+            // Output projection.
+            topo.push(Layer::gemm_layer(
+                format!("blk{l}_out"),
+                tokens,
+                self.d_model,
+                self.d_model,
+            ));
+            self.push_ffn(&mut topo, l, tokens);
+        }
+        // LM head: only the newest position per sequence needs logits.
+        topo.push(Layer::gemm_layer(
+            "lm_head",
+            self.batch,
+            self.vocab,
+            self.d_model,
+        ));
+        topo
+    }
+
+    /// The FFN sub-block: dense (2 or 3 projections) or MoE fan-out.
+    fn push_ffn(&self, topo: &mut Topology, l: usize, tokens: usize) {
+        match &self.moe {
+            None => self.push_expert(topo, &format!("blk{l}"), tokens),
+            Some(moe) => {
+                // Router: score every token against every expert.
+                topo.push(Layer::gemm_layer(
+                    format!("blk{l}_router"),
+                    tokens,
+                    moe.num_experts,
+                    self.d_model,
+                ));
+                // Balanced deterministic split of the routed tokens
+                // (tokens × top_k) across experts; zero-token experts
+                // emit no GEMM.
+                let routed = tokens * moe.top_k;
+                let base = routed / moe.num_experts;
+                let rem = routed % moe.num_experts;
+                for e in 0..moe.num_experts {
+                    let t = base + usize::from(e < rem);
+                    if t > 0 {
+                        self.push_expert(topo, &format!("blk{l}_e{e}"), t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One expert's FFN projections over `tokens` tokens.
+    fn push_expert(&self, topo: &mut Topology, prefix: &str, tokens: usize) {
+        if self.gated_ffn {
+            topo.push(Layer::gemm_layer(
+                format!("{prefix}_gate"),
+                tokens,
+                self.d_ff,
+                self.d_model,
+            ));
+        }
+        topo.push(Layer::gemm_layer(
+            format!("{prefix}_up"),
+            tokens,
+            self.d_ff,
+            self.d_model,
+        ));
+        topo.push(Layer::gemm_layer(
+            format!("{prefix}_down"),
+            tokens,
+            self.d_model,
+            self.d_ff,
+        ));
+    }
+}
+
+/// An [`LlmSpec`] plus the run-time phase selection: what one
+/// `scalesim llm` invocation (or `[llm]` cfg section) simulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlmRunSpec {
+    /// The model.
+    pub spec: LlmSpec,
+    /// Prefill or decode.
+    pub phase: Phase,
+    /// Cached context length for decode / processed prompt length for
+    /// prefill. Defaults to `spec.seq` when `None`.
+    pub context: Option<usize>,
+}
+
+impl Default for LlmRunSpec {
+    fn default() -> Self {
+        LlmRunSpec {
+            spec: LlmSpec::llama_7b(),
+            phase: Phase::Prefill,
+            context: None,
+        }
+    }
+}
+
+impl LlmRunSpec {
+    /// The effective context length (`context` or `spec.seq`).
+    pub fn effective_context(&self) -> usize {
+        self.context.unwrap_or(self.spec.seq)
+    }
+
+    /// Validates the spec and generates its topology.
+    pub fn topology(&self) -> Result<Topology, String> {
+        self.spec.validate()?;
+        Ok(self.spec.topology(self.phase, self.effective_context()))
+    }
+}
+
+/// Resolves a workload name of the form `preset[:phase]` — e.g.
+/// `llama-7b`, `mixtral-8x7b:decode` — into its GEMM topology at the
+/// preset's default sequence length. Bare preset names mean prefill.
+pub fn preset_topology(name: &str) -> Option<Topology> {
+    let (model, phase) = match name.split_once(':') {
+        Some((model, phase)) => (model, Phase::parse(phase).ok()?),
+        None => (name, Phase::Prefill),
+    };
+    let spec = LlmSpec::preset(model)?;
+    Some(spec.topology(phase, spec.seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published parameter counts the closed form must reproduce
+    /// within 1 %.
+    const PUBLISHED: [(&str, u64); 4] = [
+        ("gpt2-xl", 1_557_000_000),
+        ("llama-7b", 6_738_000_000),
+        ("llama-70b", 68_976_000_000),
+        ("mixtral-8x7b", 46_700_000_000),
+    ];
+
+    #[test]
+    fn preset_parameter_counts_match_published_within_1_percent() {
+        for (name, published) in PUBLISHED {
+            let spec = LlmSpec::preset(name).expect("preset exists");
+            let got = spec.param_count() as f64;
+            let want = published as f64;
+            let rel = (got - want).abs() / want;
+            assert!(
+                rel < 0.01,
+                "{name}: param_count {got} vs published {want} ({:.2} % off)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn every_preset_validates_and_generates_both_phases() {
+        for name in LlmSpec::preset_names() {
+            let spec = LlmSpec::preset(name).expect("preset exists");
+            spec.validate().expect("preset is valid");
+            for phase in [Phase::Prefill, Phase::Decode] {
+                let topo = spec.topology(phase, spec.seq);
+                assert!(topo.total_macs() > 0, "{name} {phase} has work");
+                assert_eq!(topo.name(), format!("{name}-{}", phase.tag()));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_projection_gemms_are_skinny_m_equals_batch() {
+        let mut spec = LlmSpec::llama_7b();
+        spec.batch = 4;
+        let topo = spec.topology(Phase::Decode, 512);
+        for layer in topo.layers() {
+            let g = layer.gemm();
+            let name = layer.name();
+            if name.ends_with("_score") || name.ends_with("_attnv") {
+                // Attention batches heads along M.
+                assert_eq!(g.m, spec.batch * spec.heads, "{name}");
+            } else {
+                // qkv / out / ffn / lm_head rows: one token per
+                // sequence.
+                assert_eq!(g.m, spec.batch, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_projection_gemms_cover_the_whole_prompt() {
+        let mut spec = LlmSpec::gpt2_xl();
+        spec.batch = 2;
+        spec.seq = 256;
+        let topo = spec.topology(Phase::Prefill, spec.seq);
+        let tokens = spec.batch * spec.seq;
+        for layer in topo.layers() {
+            let g = layer.gemm();
+            let name = layer.name();
+            if name.ends_with("_score") || name.ends_with("_attnv") {
+                assert_eq!(g.m, tokens * spec.heads, "{name}");
+            } else if name == "lm_head" {
+                assert_eq!(g.m, spec.batch, "{name}: only new logits");
+            } else {
+                assert_eq!(g.m, tokens, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_k_grows_with_context_under_decode() {
+        let spec = LlmSpec::llama_7b();
+        let short = spec.topology(Phase::Decode, 128);
+        let long = spec.topology(Phase::Decode, 1024);
+        let dims = |topo: &Topology| {
+            let mut score_n = 0;
+            let mut attnv_k = 0;
+            for layer in topo.layers() {
+                let g = layer.gemm();
+                if layer.name() == "blk0_score" {
+                    score_n = g.n;
+                }
+                if layer.name() == "blk0_attnv" {
+                    attnv_k = g.k;
+                }
+            }
+            (score_n, attnv_k)
+        };
+        let (sn, ak) = dims(&short);
+        let (ln, lk) = dims(&long);
+        assert_eq!((sn, ak), (128, 128));
+        assert_eq!((ln, lk), (1024, 1024));
+        assert!(
+            long.total_macs() > short.total_macs(),
+            "longer context reads a bigger KV cache"
+        );
+    }
+
+    #[test]
+    fn moe_fan_out_conserves_routed_tokens() {
+        let mut spec = LlmSpec::mixtral_8x7b();
+        spec.batch = 3;
+        spec.seq = 100;
+        let moe = spec.moe.unwrap();
+        let tokens = spec.batch * spec.seq;
+        let topo = spec.topology(Phase::Prefill, spec.seq);
+        // Sum expert-GEMM M over one block: must equal tokens × top_k.
+        let routed: usize = topo
+            .layers()
+            .iter()
+            .filter(|l| l.name().starts_with("blk0_e") && l.name().ends_with("_up"))
+            .map(|l| l.gemm().m)
+            .sum();
+        assert_eq!(routed, tokens * moe.top_k);
+        // And no expert GEMM has zero tokens (zero-dim GEMMs panic).
+        for layer in topo.layers() {
+            let g = layer.gemm();
+            assert!(g.m > 0 && g.n > 0 && g.k > 0, "{}", layer.name());
+        }
+    }
+
+    #[test]
+    fn attention_gemms_preserve_per_head_mac_counts() {
+        let spec = LlmSpec::llama_70b();
+        let ctx = 512;
+        let topo = spec.topology(Phase::Decode, ctx);
+        let score = topo
+            .layers()
+            .iter()
+            .find(|l| l.name() == "blk0_score")
+            .unwrap()
+            .gemm();
+        // Per-head score GEMM is (batch × ctx × head_dim); batching
+        // heads along M multiplies by heads exactly.
+        assert_eq!(
+            score.macs(),
+            (spec.batch * spec.heads) as u64 * ctx as u64 * spec.head_dim() as u64
+        );
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_projection_and_cache() {
+        let mha = LlmSpec::llama_7b(); // kv_heads == heads
+        let mut gqa = LlmSpec::llama_7b();
+        gqa.kv_heads = 8;
+        assert_eq!(gqa.kv_dim(), gqa.d_model / 4);
+        assert!(gqa.param_count() < mha.param_count());
+        assert_eq!(gqa.kv_cache_bytes(100), mha.kv_cache_bytes(100) / 4);
+    }
+
+    #[test]
+    fn phase_parsing_round_trips_and_rejects_junk() {
+        assert_eq!(Phase::parse("prefill").unwrap(), Phase::Prefill);
+        assert_eq!(Phase::parse("Decode").unwrap(), Phase::Decode);
+        let err = Phase::parse("training").unwrap_err();
+        assert!(err.contains("training") && err.contains("prefill"));
+    }
+
+    #[test]
+    fn preset_topology_resolves_names_with_phase_suffix() {
+        assert!(preset_topology("llama-7b").is_some());
+        let dec = preset_topology("llama-7b:decode").expect("suffix parses");
+        assert_eq!(dec.name(), "llama-7b-decode");
+        assert!(preset_topology("llama-7b:training").is_none());
+        assert!(preset_topology("not-a-model").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_specs() {
+        let mut spec = LlmSpec::llama_7b();
+        spec.heads = 33; // 4096 % 33 != 0
+        assert!(spec.validate().is_err());
+        let mut spec = LlmSpec::llama_70b();
+        spec.kv_heads = 128;
+        assert!(spec.validate().is_err());
+        let mut spec = LlmSpec::mixtral_8x7b();
+        spec.moe = Some(MoeSpec {
+            num_experts: 4,
+            top_k: 8,
+        });
+        assert!(spec.validate().is_err());
+    }
+}

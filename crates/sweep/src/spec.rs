@@ -26,6 +26,7 @@
 //! ```
 
 use scalesim_collective::Strategy;
+use scalesim_llm::Phase;
 use scalesim_multicore::PartitionGrid;
 use scalesim_systolic::{ArrayShape, Dataflow};
 
@@ -74,6 +75,14 @@ pub struct SweepSpec {
     /// Scale-out parallelization strategies
     /// (`strategy = data, tensor, pipeline`).
     pub strategies: Vec<Strategy>,
+    /// LLM sequence lengths (`seq = 128, 1024`); requires an `[llm]`
+    /// model in the base config (enforced by the runner).
+    pub seqs: Vec<usize>,
+    /// LLM batch sizes (`batch = 1, 8`); requires an `[llm]` model.
+    pub batches: Vec<usize>,
+    /// LLM phases (`phase = prefill, decode`); requires an `[llm]`
+    /// model.
+    pub phases: Vec<Phase>,
     /// Workload topology CSV paths (`topology = a.csv, b.csv`;
     /// repeatable). The CLI may append more with `-t`.
     pub topologies: Vec<String>,
@@ -262,6 +271,27 @@ impl SweepSpec {
                         spec.strategies.push(Strategy::parse(v).map_err(SpecError)?);
                     }
                 }
+                "seq" | "seqs" => {
+                    for v in values() {
+                        let n = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            SpecError(format!("bad seq '{v}' (positive integer)"))
+                        })?;
+                        spec.seqs.push(n);
+                    }
+                }
+                "batch" | "batches" => {
+                    for v in values() {
+                        let n = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            SpecError(format!("bad batch '{v}' (positive integer)"))
+                        })?;
+                        spec.batches.push(n);
+                    }
+                }
+                "phase" | "phases" => {
+                    for v in values() {
+                        spec.phases.push(Phase::parse(v).map_err(SpecError)?);
+                    }
+                }
                 "topology" | "topologies" => {
                     spec.topologies.extend(values().map(String::from));
                 }
@@ -288,6 +318,9 @@ impl SweepSpec {
             self.chips.len(),
             self.link_gbps.len(),
             self.strategies.len(),
+            self.seqs.len(),
+            self.batches.len(),
+            self.phases.len(),
         ]
         .iter()
         .map(|&n| n.max(1))
@@ -332,20 +365,29 @@ impl SweepSpec {
                                         for &chips in &axis(&self.chips) {
                                             for &link_gbps in &axis(&self.link_gbps) {
                                                 for &strategy in &axis(&self.strategies) {
-                                                    grid.push(SweepPoint {
-                                                        index: grid.len(),
-                                                        array,
-                                                        dataflow,
-                                                        sram_kb,
-                                                        bandwidth,
-                                                        cores,
-                                                        dram,
-                                                        energy,
-                                                        layout,
-                                                        chips,
-                                                        link_gbps,
-                                                        strategy,
-                                                    });
+                                                    for &seq in &axis(&self.seqs) {
+                                                        for &batch in &axis(&self.batches) {
+                                                            for &phase in &axis(&self.phases) {
+                                                                grid.push(SweepPoint {
+                                                                    index: grid.len(),
+                                                                    array,
+                                                                    dataflow,
+                                                                    sram_kb,
+                                                                    bandwidth,
+                                                                    cores,
+                                                                    dram,
+                                                                    energy,
+                                                                    layout,
+                                                                    chips,
+                                                                    link_gbps,
+                                                                    strategy,
+                                                                    seq,
+                                                                    batch,
+                                                                    phase,
+                                                                });
+                                                            }
+                                                        }
+                                                    }
                                                 }
                                             }
                                         }
@@ -389,6 +431,12 @@ pub struct SweepPoint {
     pub link_gbps: Option<f64>,
     /// Scale-out strategy override.
     pub strategy: Option<Strategy>,
+    /// LLM sequence-length override.
+    pub seq: Option<usize>,
+    /// LLM batch-size override.
+    pub batch: Option<usize>,
+    /// LLM phase override.
+    pub phase: Option<Phase>,
 }
 
 impl SweepPoint {
@@ -443,6 +491,15 @@ impl SweepPoint {
         }
         if let Some(s) = self.strategy {
             parts.push(s.tag().into());
+        }
+        if let Some(n) = self.seq {
+            parts.push(format!("s{n}"));
+        }
+        if let Some(n) = self.batch {
+            parts.push(format!("b{n}"));
+        }
+        if let Some(p) = self.phase {
+            parts.push(p.label().into());
         }
         if parts.is_empty() {
             "base".into()
@@ -533,6 +590,19 @@ mod tests {
     }
 
     #[test]
+    fn llm_axes_parse_and_label() {
+        let spec =
+            SweepSpec::parse("seq = 128, 1024\nbatch = 1, 8\nphase = prefill, decode\n").unwrap();
+        assert_eq!(spec.seqs, [128, 1024]);
+        assert_eq!(spec.batches, [1, 8]);
+        assert_eq!(spec.phases, [Phase::Prefill, Phase::Decode]);
+        assert_eq!(spec.grid_size(), 2 * 2 * 2);
+        let grid = spec.expand();
+        assert_eq!(grid[0].label(), "s128-b1-pf");
+        assert_eq!(grid.last().unwrap().label(), "s1024-b8-dec");
+    }
+
+    #[test]
     fn errors_name_the_problem() {
         for (text, needle) in [
             ("array = 8\n", "bad array"),
@@ -546,6 +616,9 @@ mod tests {
             ("chips = 0\n", "bad chips"),
             ("link_gbps = -4\n", "positive"),
             ("strategy = zz\n", "unknown strategy"),
+            ("seq = 0\n", "bad seq"),
+            ("batch = none\n", "bad batch"),
+            ("phase = zz\n", "unknown phase"),
             ("wat = 1\n", "unknown key"),
         ] {
             let err = SweepSpec::parse(text).unwrap_err().to_string();

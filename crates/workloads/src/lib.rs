@@ -29,11 +29,26 @@ pub use cnn::{alexnet, cifar_cnn, rcnn, resnet18, resnet50};
 pub use gemm::{fig3_gemm_workloads, gemm_sweep};
 pub use vit::{vit_base, vit_feed_forward_layers, vit_large, vit_small, ViTConfig};
 
+use scalesim_llm::LlmSpec;
 use scalesim_systolic::Topology;
+
+/// The canonical CNN/ViT workload names, in documentation order.
+pub const WORKLOAD_NAMES: [&str; 8] = [
+    "resnet18",
+    "resnet50",
+    "alexnet",
+    "cifar-cnn",
+    "rcnn",
+    "vit-small",
+    "vit-base",
+    "vit-large",
+];
 
 /// Looks a workload up by its canonical name
 /// (`resnet18`, `resnet50`, `alexnet`, `cifar-cnn`, `rcnn`, `vit-small`,
-/// `vit-base`, `vit-large`).
+/// `vit-base`, `vit-large`), or an LLM preset name (`gpt2-xl`,
+/// `llama-7b`, `llama-70b`, `mixtral-8x7b`), optionally suffixed with
+/// `:prefill` or `:decode` (bare preset names mean prefill).
 pub fn by_name(name: &str) -> Option<Topology> {
     match name.to_ascii_lowercase().as_str() {
         "resnet18" | "resnet-18" => Some(resnet18()),
@@ -44,8 +59,22 @@ pub fn by_name(name: &str) -> Option<Topology> {
         "vit-small" | "vit_s" | "vit-s" => Some(vit_small()),
         "vit-base" | "vit_b" | "vit-b" => Some(vit_base()),
         "vit-large" | "vit_l" | "vit-l" => Some(vit_large()),
-        _ => None,
+        other => scalesim_llm::preset_topology(other),
     }
+}
+
+/// Like [`by_name`], but an unknown name is an error that spells out
+/// the full supported vocabulary (the same style as the `[scaleout]`
+/// unknown-key diagnostics).
+pub fn by_name_or_err(name: &str) -> Result<Topology, String> {
+    by_name(name).ok_or_else(|| {
+        format!(
+            "unknown workload '{name}' (known workloads: {}; llm presets: {}, \
+             each accepting a ':prefill' or ':decode' suffix)",
+            WORKLOAD_NAMES.join(", "),
+            LlmSpec::preset_names().join(", "),
+        )
+    })
 }
 
 /// All named workloads with their canonical names.
@@ -72,6 +101,30 @@ mod tests {
             assert!(by_name(t.name()).is_some(), "{} not resolvable", t.name());
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn registry_resolves_llm_presets_with_optional_phase() {
+        for preset in LlmSpec::preset_names() {
+            assert!(by_name(preset).is_some(), "{preset} not resolvable");
+            let name = format!("{preset}:decode");
+            let topo = by_name(&name).expect("decode suffix resolves");
+            assert_eq!(topo.name(), format!("{preset}-decode"));
+        }
+    }
+
+    #[test]
+    fn unknown_workload_error_names_the_full_vocabulary() {
+        let err = by_name_or_err("resnet1800").unwrap_err();
+        assert!(err.contains("resnet1800"), "{err}");
+        for known in WORKLOAD_NAMES {
+            assert!(err.contains(known), "{err} missing {known}");
+        }
+        for preset in LlmSpec::preset_names() {
+            assert!(err.contains(preset), "{err} missing {preset}");
+        }
+        assert!(by_name_or_err("vit-base").is_ok());
+        assert!(by_name_or_err("mixtral-8x7b:decode").is_ok());
     }
 
     #[test]

@@ -80,6 +80,14 @@ fn describe(response: &SimResponse) -> String {
             "{} chips ({}), {} cycles ({} exposed comm)",
             s.chips, s.strategy, s.total_cycles, s.exposed_cycles
         ),
+        SimResponse::Llm(l) => format!(
+            "{} {} @ ctx {}: {} cycles, {:.1}% util",
+            l.workload,
+            l.phase,
+            l.context,
+            l.summary.total_cycles,
+            l.summary.utilization * 100.0
+        ),
         SimResponse::Area(a) => format!("{:.2} mm2", a.total_mm2),
         SimResponse::Stats(s) => format!(
             "cache {:.0}% hit ({} plans, {} evicted), {} served, p99 {} us",
