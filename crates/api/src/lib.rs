@@ -64,5 +64,5 @@ pub use request::{
 };
 pub use response::{
     AreaBody, LlmBody, Report, RunBody, RunSummaryBody, ScaleoutBody, SimResponse, StatsBody,
-    SweepBody, VersionBody,
+    SweepBody, TraceBody, VersionBody, SPAN_CATEGORIES,
 };

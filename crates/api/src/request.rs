@@ -400,12 +400,16 @@ pub enum SimRequest {
     /// in flight/shed, and handle-latency percentiles. Answered inline
     /// (never queued), so it stays observable under saturation.
     Stats,
+    /// Export the process's recorded span rings as Chrome trace-event
+    /// JSON. Answered inline (never queued); the body is empty when
+    /// tracing was never enabled.
+    Trace,
 }
 
 impl SimRequest {
     /// The wire tag this request is keyed by in the envelope
     /// (`run` / `sweep` / `scaleout` / `llm` / `area` / `version` /
-    /// `stats`).
+    /// `stats` / `trace`).
     pub fn tag(&self) -> &'static str {
         match self {
             SimRequest::Run(_) => "run",
@@ -415,6 +419,7 @@ impl SimRequest {
             SimRequest::AreaReport(_) => "area",
             SimRequest::Version => "version",
             SimRequest::Stats => "stats",
+            SimRequest::Trace => "trace",
         }
     }
 
@@ -515,6 +520,7 @@ impl SimRequest {
             }
             SimRequest::Version => Json::Obj(Vec::new()),
             SimRequest::Stats => Json::Obj(Vec::new()),
+            SimRequest::Trace => Json::Obj(Vec::new()),
         }
     }
 
@@ -659,9 +665,10 @@ impl SimRequest {
             })),
             "version" => Ok(SimRequest::Version),
             "stats" => Ok(SimRequest::Stats),
+            "trace" => Ok(SimRequest::Trace),
             other => Err(bad(format!(
                 "unknown request '{other}' (supported: run, sweep, scaleout, llm, area, \
-                 version, stats)"
+                 version, stats, trace)"
             ))),
         }
     }
@@ -795,6 +802,7 @@ mod tests {
         round_trip(SimRequest::AreaReport(AreaSpec::default()));
         round_trip(SimRequest::Version);
         round_trip(SimRequest::Stats);
+        round_trip(SimRequest::Trace);
     }
 
     #[test]

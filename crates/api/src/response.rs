@@ -149,8 +149,9 @@ pub struct VersionBody {
 ///
 /// All counters are cumulative since process start except `in_flight`
 /// and the cache residency gauges. Latency percentiles come from a
-/// power-of-two-bucket histogram, so `p50`/`p99` are upper bounds of
-/// the bucket the percentile falls in (exact to within 2×).
+/// power-of-two-bucket histogram with linear interpolation *within*
+/// the winning bucket, clamped to the observed maximum — a value inside
+/// the bucket, not its upper bound.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsBody {
     /// Plan-cache hits.
@@ -179,12 +180,50 @@ pub struct StatsBody {
     pub in_flight: u64,
     /// Handle latencies recorded.
     pub latency_count: u64,
-    /// Median handle latency, µs (bucket upper bound).
+    /// Median handle latency, µs (bucket-interpolated).
     pub latency_p50_us: u64,
-    /// 99th-percentile handle latency, µs (bucket upper bound).
+    /// 99th-percentile handle latency, µs (bucket-interpolated).
     pub latency_p99_us: u64,
     /// Maximum handle latency observed, µs.
     pub latency_max_us: u64,
+    /// Scheduler worker threads in the shared pool.
+    pub sched_workers: u64,
+    /// Successful work steals between scheduler workers.
+    pub sched_steals: u64,
+    /// Detached tasks submitted to the scheduler.
+    pub sched_spawns: u64,
+    /// Times a parked scheduler worker was woken.
+    pub sched_park_wakeups: u64,
+    /// Trace events recorded per span category, in
+    /// `sched, pipeline, cache, dram, collective, serve, sweep` order
+    /// (all zero unless tracing was enabled at some point).
+    pub span_totals: [u64; 7],
+}
+
+/// The span-category names `StatsBody::span_totals` is indexed by, in
+/// wire order (mirrors `scalesim-obs`'s `Category::ALL`).
+pub const SPAN_CATEGORIES: [&str; 7] = [
+    "sched",
+    "pipeline",
+    "cache",
+    "dram",
+    "collective",
+    "serve",
+    "sweep",
+];
+
+/// Response body of a `trace` request: the process's recorded span
+/// rings exported as Chrome trace-event JSON (Perfetto-loadable),
+/// carried as a string like report contents are.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceBody {
+    /// Whether span recording is currently on.
+    pub enabled: bool,
+    /// Total events recorded so far (monotonic; overwritten ring
+    /// entries stay counted).
+    pub events: u64,
+    /// The Chrome trace JSON (`{"displayTimeUnit":…,"traceEvents":[…]}`).
+    pub trace: String,
 }
 
 /// A successful response to a [`crate::SimRequest`]; failures travel as
@@ -205,6 +244,8 @@ pub enum SimResponse {
     Version(VersionBody),
     /// Result of a `stats` request.
     Stats(StatsBody),
+    /// Result of a `trace` request.
+    Trace(TraceBody),
 }
 
 fn reports_json(out: &mut String, reports: &[Report]) {
@@ -233,6 +274,7 @@ impl SimResponse {
             SimResponse::Area(_) => "area",
             SimResponse::Version(_) => "version",
             SimResponse::Stats(_) => "stats",
+            SimResponse::Trace(_) => "trace",
         }
     }
 
@@ -348,7 +390,7 @@ impl SimResponse {
                      \"hit_rate\":{:.4}}},\
                      \"serve\":{{\"requests_total\":{},\"completed\":{},\"shed\":{},\
                      \"deadline_expired\":{},\"in_flight\":{}}},\
-                     \"latency_us\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}}}",
+                     \"latency_us\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
                     s.cache_hits,
                     s.cache_misses,
                     s.cache_plans,
@@ -366,6 +408,26 @@ impl SimResponse {
                     s.latency_p99_us,
                     s.latency_max_us,
                 ));
+                out.push_str(&format!(
+                    "\"sched\":{{\"workers\":{},\"steals\":{},\"spawns\":{},\
+                     \"park_wakeups\":{}}},\"spans\":{{",
+                    s.sched_workers, s.sched_steals, s.sched_spawns, s.sched_park_wakeups,
+                ));
+                for (i, (name, total)) in SPAN_CATEGORIES.iter().zip(s.span_totals).enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{name}\":{total}"));
+                }
+                out.push_str("}}");
+            }
+            SimResponse::Trace(t) => {
+                out.push_str(&format!(
+                    "{{\"enabled\":{},\"events\":{},\"trace\":\"",
+                    t.enabled, t.events
+                ));
+                escape_into(&t.trace, &mut out);
+                out.push_str("\"}");
             }
         }
         out
@@ -494,6 +556,16 @@ impl SimResponse {
                 let latency = body
                     .get("latency_us")
                     .ok_or_else(|| bad("stats response: missing \"latency_us\""))?;
+                let sched = body
+                    .get("sched")
+                    .ok_or_else(|| bad("stats response: missing \"sched\""))?;
+                let spans = body
+                    .get("spans")
+                    .ok_or_else(|| bad("stats response: missing \"spans\""))?;
+                let mut span_totals = [0u64; 7];
+                for (slot, name) in span_totals.iter_mut().zip(SPAN_CATEGORIES) {
+                    *slot = u(spans, name)?;
+                }
                 Ok(SimResponse::Stats(StatsBody {
                     cache_hits: u(cache, "hits")?,
                     cache_misses: u(cache, "misses")?,
@@ -511,8 +583,25 @@ impl SimResponse {
                     latency_p50_us: u(latency, "p50")?,
                     latency_p99_us: u(latency, "p99")?,
                     latency_max_us: u(latency, "max")?,
+                    sched_workers: u(sched, "workers")?,
+                    sched_steals: u(sched, "steals")?,
+                    sched_spawns: u(sched, "spawns")?,
+                    sched_park_wakeups: u(sched, "park_wakeups")?,
+                    span_totals,
                 }))
             }
+            "trace" => Ok(SimResponse::Trace(TraceBody {
+                enabled: body
+                    .get("enabled")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("trace response: missing \"enabled\""))?,
+                events: u(body, "events")?,
+                trace: body
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("trace response: missing \"trace\""))?
+                    .to_string(),
+            })),
             other => Err(bad(format!("unknown response '{other}'"))),
         }
     }
@@ -676,7 +765,22 @@ mod tests {
             latency_p50_us: 1024,
             latency_p99_us: 16384,
             latency_max_us: 15000,
+            sched_workers: 8,
+            sched_steals: 42,
+            sched_spawns: 19,
+            sched_park_wakeups: 131,
+            span_totals: [1, 2, 3, 4, 5, 6, 7],
         }));
+    }
+
+    #[test]
+    fn trace_response_round_trips_with_embedded_json() {
+        round_trip(SimResponse::Trace(TraceBody {
+            enabled: true,
+            events: 12,
+            trace: "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}".into(),
+        }));
+        round_trip(SimResponse::Trace(TraceBody::default()));
     }
 
     #[test]

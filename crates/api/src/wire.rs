@@ -9,8 +9,8 @@
 //!   abandons the request with a `deadline` error once this much wall
 //!   time has elapsed (checked at stage boundaries, not preemptively).
 //! * exactly one command key — `"run"`, `"sweep"`, `"scaleout"`,
-//!   `"llm"`, `"area"`, `"version"` or `"stats"` — whose value is the
-//!   command body (see [`crate::request`]).
+//!   `"llm"`, `"area"`, `"version"`, `"stats"` or `"trace"` — whose
+//!   value is the command body (see [`crate::request`]).
 //!
 //! A response envelope carries `"api"`, the echoed `"id"` (when the
 //! request had one), and either `"ok"` (an object keyed by the command
@@ -33,8 +33,8 @@ use crate::response::SimResponse;
 use crate::API_VERSION;
 
 /// The command keys an envelope may carry.
-const COMMANDS: [&str; 7] = [
-    "run", "sweep", "scaleout", "llm", "area", "version", "stats",
+const COMMANDS: [&str; 8] = [
+    "run", "sweep", "scaleout", "llm", "area", "version", "stats", "trace",
 ];
 
 /// The supported command set, rendered for error messages.
@@ -305,7 +305,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f1", "teleport": {}}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, llm, area, version, stats)"}}"#
+            r#"{"api":1,"id":"f1","error":{"kind":"config","exit_code":2,"message":"request: unknown key \"teleport\" (supported commands: run, sweep, scaleout, llm, area, version, stats, trace)"}}"#
         );
         let (id, r) = decode_request(r#"{"api": 2, "id": "f2", "version": {}}"#);
         assert_eq!(
@@ -315,7 +315,7 @@ mod tests {
         let (id, r) = decode_request(r#"{"api": 1, "id": "f3"}"#);
         assert_eq!(
             wire_line(id, r),
-            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, llm, area, version, stats)"}}"#
+            r#"{"api":1,"id":"f3","error":{"kind":"config","exit_code":2,"message":"request: missing command key (one of run, sweep, scaleout, llm, area, version, stats, trace)"}}"#
         );
     }
 
@@ -381,6 +381,12 @@ mod tests {
     fn stats_command_is_accepted_on_the_wire() {
         let (_, r) = decode_request(r#"{"api": 1, "stats": {}}"#);
         assert_eq!(r.unwrap(), SimRequest::Stats);
+    }
+
+    #[test]
+    fn trace_command_is_accepted_on_the_wire() {
+        let (_, r) = decode_request(r#"{"api": 1, "id": "t1", "trace": {}}"#);
+        assert_eq!(r.unwrap(), SimRequest::Trace);
     }
 
     #[test]

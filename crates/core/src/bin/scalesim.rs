@@ -31,8 +31,37 @@ use scalesim::scaleout::{scaleout_rows, ScaleoutCsvSink, ScaleoutLayerRecord};
 use scalesim::serve::{ServeOptions, Server};
 use scalesim::service::{area_body, SimService};
 use scalesim::{CsvReportSink, LayerResult, ReportSections, ResultSink, RunSummary, ScaleoutSink};
-use std::path::Path;
+use scalesim_obs as obs;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// The `--trace` output path of whichever subcommand was parsed.
+fn trace_path(command: &Command) -> Option<PathBuf> {
+    match command {
+        Command::Run(a) => a.trace.clone(),
+        Command::Llm(a) => a.trace.clone(),
+        Command::Sweep(a) => a.trace.clone(),
+        Command::Scaleout(a) => a.trace.clone(),
+        Command::Serve(a) => a.trace.clone(),
+        Command::Version => None,
+    }
+}
+
+/// Writes the recorded span rings as Chrome trace-event JSON. Runs
+/// after the command finishes (even a failed run's partial timeline is
+/// worth keeping); tracing itself never changes report bytes.
+fn write_trace(path: &Path) {
+    let write = || -> std::io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        obs::write_chrome_trace(&mut file)?;
+        use std::io::Write;
+        file.flush()
+    };
+    match write() {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("error: cannot write trace {}: {e}", path.display()),
+    }
+}
 
 fn config_source(path: Option<&Path>) -> ConfigSource {
     match path {
@@ -165,7 +194,7 @@ fn run(service: &SimService, args: RunArgs) -> Result<(), SimError> {
     if let Some(profile) = sim.stage_profile() {
         let total_ms: f64 = profile.iter().map(|t| t.millis()).sum();
         eprintln!("stage profile ({total_ms:.1} ms total):");
-        for t in profile {
+        for t in &profile {
             eprintln!(
                 "  {:<10} {:>6} calls {:>10.3} ms ({:>5.1}%)",
                 t.stage,
@@ -178,6 +207,23 @@ fn run(service: &SimService, args: RunArgs) -> Result<(), SimError> {
                 },
             );
         }
+        // Machine-readable twin of the table above, from the same span
+        // measurements.
+        let mut json = String::from("{\"stages\":[");
+        for (i, t) in profile.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"stage\":\"{}\",\"calls\":{},\"nanos\":{}}}",
+                t.stage, t.calls, t.nanos
+            ));
+        }
+        json.push_str("]}\n");
+        let path = args.out_dir.join("STAGE_PROFILE.json");
+        std::fs::write(&path, json)
+            .map_err(|e| SimError::Io(format!("write {}: {e}", path.display())))?;
+        written.push(path);
     }
     for p in written {
         eprintln!("wrote {}", p.display());
@@ -382,9 +428,48 @@ fn scaleout(service: &SimService, args: ScaleoutArgs) -> Result<(), SimError> {
     Ok(())
 }
 
+/// Serves Prometheus text exposition over minimal HTTP: every request
+/// (any method, any path) gets a 200 with the current metrics body.
+/// Scrape failures never disturb serving — the thread just moves to the
+/// next connection.
+fn serve_metrics(service: SimService, listener: std::net::TcpListener) {
+    use std::io::{BufRead, Write};
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let mut reader = std::io::BufReader::new(stream);
+        // Drain the request head (request line + headers) so the peer
+        // sees a well-formed exchange.
+        let mut line = String::new();
+        while reader.read_line(&mut line).is_ok() && line.trim_end() != "" {
+            line.clear();
+        }
+        let body = service.render_prometheus();
+        let mut stream = reader.into_inner();
+        let _ = write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+    }
+}
+
 fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
     let options = ServeOptions::from_env();
     let server = Server::new(service.clone(), options);
+    if let Some(addr) = &args.metrics_addr {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| SimError::Io(format!("cannot listen on {addr} for metrics: {e}")))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| SimError::Io(format!("metrics local_addr: {e}")))?;
+        eprintln!("scalesim serve: metrics on http://{bound}/metrics");
+        let metrics_service = service.clone();
+        std::thread::Builder::new()
+            .name("metrics".into())
+            .spawn(move || serve_metrics(metrics_service, listener))
+            .map_err(|e| SimError::Internal(format!("metrics thread: {e}")))?;
+    }
     match args.listen {
         None => {
             eprintln!("scalesim serve: reading JSON-lines requests from stdin");
@@ -412,17 +497,10 @@ fn serve(service: &SimService, args: ServeArgs) -> Result<(), SimError> {
 }
 
 fn main() -> ExitCode {
+    obs::label_thread("main");
     let service = SimService::new();
-    let result = match parse_cli(std::env::args()) {
-        Ok(Command::Version) => {
-            println!("{}", version_string());
-            return ExitCode::SUCCESS;
-        }
-        Ok(Command::Run(args)) => run(&service, args),
-        Ok(Command::Llm(args)) => llm(&service, args),
-        Ok(Command::Sweep(args)) => sweep(&service, args),
-        Ok(Command::Scaleout(args)) => scaleout(&service, args),
-        Ok(Command::Serve(args)) => serve(&service, args),
+    let command = match parse_cli(std::env::args()) {
+        Ok(command) => command,
         Err(e) => {
             if !e.message.is_empty() {
                 eprintln!("error: {}\n", e.message);
@@ -431,6 +509,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace = trace_path(&command);
+    if trace.is_some() {
+        obs::set_tracing(true);
+    }
+    let result = match command {
+        Command::Version => {
+            println!("{}", version_string());
+            return ExitCode::SUCCESS;
+        }
+        Command::Run(args) => run(&service, args),
+        Command::Llm(args) => llm(&service, args),
+        Command::Sweep(args) => sweep(&service, args),
+        Command::Scaleout(args) => scaleout(&service, args),
+        Command::Serve(args) => serve(&service, args),
+    };
+    if let Some(path) = &trace {
+        write_trace(path);
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

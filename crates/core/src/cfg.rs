@@ -41,6 +41,7 @@
 use crate::config::{ScaleSimConfig, SparsityMode};
 use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_llm::{LlmRunSpec, LlmSpec, MoeSpec, Phase};
+use scalesim_mem::DramSpec;
 use scalesim_sparse::{NmRatio, SparseFormat};
 use scalesim_systolic::{ArrayShape, Dataflow, MemoryConfig, SimError};
 
@@ -288,6 +289,19 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                     }
                 }
             }
+            ("dram", "model") => {
+                let name = val.to_ascii_lowercase();
+                let spec = DramSpec::by_name(&name).ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "unknown dram Model '{val}' (supported: {})",
+                        DramSpec::preset_names().join(", ")
+                    ))
+                })?;
+                // Keep the default channel count and the paper's 1 GHz
+                // core clock; the preset only swaps the device timing.
+                config.dram =
+                    crate::config::DramIntegration::for_spec(spec, config.dram.channels, 1.0e9);
+            }
             ("sparsity", "sparserep") => {
                 config.sparse_format = match val.to_ascii_lowercase().as_str() {
                     "csr" => SparseFormat::Csr,
@@ -319,6 +333,7 @@ pub fn parse_cfg(text: &str) -> Result<ScaleSimConfig, SimError> {
                      BlockSize, SparseRatio; \
                      [scaleout]: Chips, Fabric, Mesh, LinkGbps, LinkLatency, Strategy, \
                      Microbatches, ClockGhz; \
+                     [dram]: Model; \
                      [llm]: Preset, Phase, Context, Layers, DModel, Heads, KvHeads, DFf, \
                      Vocab, Seq, Batch, DtypeBytes, GatedFfn, TiedEmbeddings, Experts, TopK)"
                 )));
@@ -459,6 +474,28 @@ SparseRatio : 2:4
         let err = parse_cfg("SomeFutureKnob : 42\n").unwrap_err().to_string();
         assert!(err.contains("unknown key 'somefutureknob'"), "{err}");
         assert!(err.contains("at top level"), "{err}");
+        assert!(err.contains("[dram]: Model"), "{err}");
+    }
+
+    #[test]
+    fn dram_model_selects_the_named_preset() {
+        let c = parse_cfg("[dram]\nModel : hbm2\n").unwrap();
+        assert_eq!(c.dram.spec.name, DramSpec::hbm2().name);
+        // The HBM2 command clock retimes the core:memory clock ratio.
+        let mem_clock_hz = 1.0e12 / c.dram.spec.timing.tCK_ps as f64;
+        assert!((c.dram.mem_cycles_per_core_cycle - mem_clock_hz / 1.0e9).abs() < 1e-9);
+        // Case-insensitive like every other cfg value.
+        let c = parse_cfg("[dram]\nModel : HBM2\n").unwrap();
+        assert_eq!(c.dram.spec.name, DramSpec::hbm2().name);
+    }
+
+    #[test]
+    fn unknown_dram_model_error_names_the_full_vocabulary() {
+        let err = parse_cfg("[dram]\nModel : ddr9\n").unwrap_err().to_string();
+        assert!(err.contains("unknown dram Model 'ddr9'"), "{err}");
+        for name in DramSpec::preset_names() {
+            assert!(err.contains(name), "vocabulary misses {name}: {err}");
+        }
     }
 
     #[test]

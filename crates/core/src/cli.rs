@@ -23,13 +23,13 @@ use std::path::PathBuf;
 /// Usage string for the single-run command (also the `-h` output).
 pub const USAGE: &str = "usage: scalesim {-t <topology.csv> | -w <workload>} [-c <config.cfg>]
                 [-p <outdir>] [--gemm] [--dram] [--energy] [--layout]
-                [--area] [--profile-stages] [-v]
+                [--area] [--profile-stages] [--trace <file>] [-v]
        scalesim llm [-w <preset>] [-c <config.cfg>] [options]
        scalesim sweep -s <spec> [-c <config.cfg>] [-t <topology.csv>]...
                 [-p <outdir>] [--shards <n>] [-v]
        scalesim scaleout {-t <topology.csv> | -w <workload>}
                 [-c <config.cfg>] [options]
-       scalesim serve [--stdio | --listen <addr>]
+       scalesim serve [--stdio | --listen <addr>] [--metrics-addr <addr>]
        scalesim --version
 
   -t <file>   topology CSV (conv rows: name,ifh,ifw,fh,fw,c,n,stride;
@@ -45,6 +45,10 @@ pub const USAGE: &str = "usage: scalesim {-t <topology.csv> | -w <workload>} [-c
   --layout    enable bank-conflict layout analysis (paper SecVI)
   --area      emit the silicon-area report for the configured core
   --profile-stages  print per-stage cycle/time accounting after the run
+              and write STAGE_PROFILE.json to the output directory
+  --trace <file>  record a Chrome trace-event timeline of the run and
+              write it to <file> (open in Perfetto / chrome://tracing;
+              docs/OBSERVABILITY.md); accepted by every subcommand
   -v          print per-layer results while running
   --version   print the scalesim version and build hash
 
@@ -76,6 +80,7 @@ pub const LLM_USAGE: &str = "usage: scalesim llm [-w <preset>] [-c <config.cfg>]
   --batch <n>      batch size override
   --context <n>    decode context length (default: seq)
   --dram / --energy / --layout   feature flags, as for a plain run
+  --trace <file>   write a Chrome trace-event timeline to <file>
   -v               print per-layer results while running
 
 The generated topology is deterministic: reports are byte-identical
@@ -100,6 +105,7 @@ pub const SCALEOUT_USAGE: &str = "usage: scalesim scaleout {-t <topology.csv> | 
   --strategy <s>   data | tensor | pipeline parallelism
   --fabric <f>     ring | mesh | switch interconnect
   --link-gbps <g>  per-link bandwidth in GB/s
+  --trace <file>   write a Chrome trace-event timeline to <file>
   -v               print per-layer results while running
 
 The report is deterministic: byte-identical for any SCALESIM_THREADS,
@@ -121,6 +127,7 @@ pub const SWEEP_USAGE: &str = "usage: scalesim sweep -s <spec> [-c <config.cfg>]
   -p <dir>       output directory for SWEEP_REPORT.{csv,json} (default: .)
   --shards <n>   split the grid into n round-robin shards (default 1);
                  output is byte-identical for any shard count
+  --trace <file> write a Chrome trace-event timeline to <file>
   -v             print per-run results while sweeping
 
 Reports are deterministic: byte-identical for any SCALESIM_THREADS and
@@ -128,6 +135,7 @@ any --shards value.";
 
 /// Usage string for the `serve` subcommand.
 pub const SERVE_USAGE: &str = "usage: scalesim serve [--stdio | --listen <addr>]
+                [--metrics-addr <addr>] [--trace <file>]
 
   --stdio          answer one JSON request per stdin line with one JSON
                    response per stdout line until EOF (the default)
@@ -135,6 +143,11 @@ pub const SERVE_USAGE: &str = "usage: scalesim serve [--stdio | --listen <addr>]
                    or 127.0.0.1:0 for an ephemeral port), each speaking
                    the same JSON-lines protocol; concurrent connections
                    are capped at SCALESIM_THREADS
+  --metrics-addr <addr>  expose Prometheus text metrics over HTTP at
+                   <addr> (GET any path; docs/OBSERVABILITY.md)
+  --trace <file>   enable span recording and write a Chrome trace-event
+                   timeline to <file> on shutdown; a 'trace' request
+                   returns the same timeline live (docs/API.md)
 
 One process keeps one plan cache: repeated workloads across requests
 and connections skip re-planning. Responses are byte-identical to the
@@ -163,6 +176,8 @@ pub struct RunArgs {
     pub area: bool,
     /// Print per-stage call/time accounting after the run.
     pub profile_stages: bool,
+    /// Chrome trace-event output path (`None` = tracing disabled).
+    pub trace: Option<PathBuf>,
     /// Per-layer progress on stderr.
     pub verbose: bool,
 }
@@ -180,6 +195,8 @@ pub struct SweepArgs {
     pub out_dir: PathBuf,
     /// Shard count for the executor.
     pub shards: usize,
+    /// Chrome trace-event output path (`None` = tracing disabled).
+    pub trace: Option<PathBuf>,
     /// Per-run progress on stderr.
     pub verbose: bool,
 }
@@ -205,6 +222,8 @@ pub struct ScaleoutArgs {
     pub fabric: Option<String>,
     /// Per-link bandwidth override, GB/s.
     pub link_gbps: Option<f64>,
+    /// Chrome trace-event output path (`None` = tracing disabled).
+    pub trace: Option<PathBuf>,
     /// Per-layer progress on stderr.
     pub verbose: bool,
 }
@@ -234,6 +253,8 @@ pub struct LlmArgs {
     pub energy: bool,
     /// Enable layout analysis.
     pub layout: bool,
+    /// Chrome trace-event output path (`None` = tracing disabled).
+    pub trace: Option<PathBuf>,
     /// Per-layer progress on stderr.
     pub verbose: bool,
 }
@@ -243,6 +264,11 @@ pub struct LlmArgs {
 pub struct ServeArgs {
     /// TCP listen address (`None` = stdio mode).
     pub listen: Option<String>,
+    /// Prometheus metrics HTTP address (`None` = no exposition).
+    pub metrics_addr: Option<String>,
+    /// Chrome trace-event output path written on shutdown (`None` =
+    /// tracing disabled; a `trace` request can still read empty rings).
+    pub trace: Option<PathBuf>,
 }
 
 /// A parsed command line.
@@ -335,6 +361,8 @@ where
 {
     let mut stdio = false;
     let mut listen = None;
+    let mut metrics_addr = None;
+    let mut trace = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--stdio" => stdio = true,
@@ -343,6 +371,16 @@ where
                     Some(argv.next().ok_or_else(|| {
                         CliError::new("--listen requires an address", SERVE_USAGE)
                     })?)
+            }
+            "--metrics-addr" => {
+                metrics_addr = Some(argv.next().ok_or_else(|| {
+                    CliError::new("--metrics-addr requires an address", SERVE_USAGE)
+                })?)
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("--trace requires a file argument", SERVE_USAGE)
+                })?))
             }
             "-h" | "--help" => return Err(CliError::new("", SERVE_USAGE)),
             other => {
@@ -359,7 +397,11 @@ where
             SERVE_USAGE,
         ));
     }
-    Ok(ServeArgs { listen })
+    Ok(ServeArgs {
+        listen,
+        metrics_addr,
+        trace,
+    })
 }
 
 /// Enforces that exactly one of `-t` and `-w` was given.
@@ -428,6 +470,11 @@ where
             "--dram" => args.dram = true,
             "--energy" => args.energy = true,
             "--layout" => args.layout = true,
+            "--trace" => {
+                args.trace = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("--trace requires a file argument", LLM_USAGE)
+                })?))
+            }
             "-v" | "--verbose" => args.verbose = true,
             "-h" | "--help" => return Err(CliError::new("", LLM_USAGE)),
             other => {
@@ -454,6 +501,7 @@ where
     let mut strategy = None;
     let mut fabric = None;
     let mut link_gbps = None;
+    let mut trace = None;
     let mut verbose = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -519,6 +567,11 @@ where
                         })?,
                 );
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("--trace requires a file argument", SCALEOUT_USAGE)
+                })?))
+            }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => return Err(CliError::new("", SCALEOUT_USAGE)),
             other => {
@@ -540,6 +593,7 @@ where
         strategy,
         fabric,
         link_gbps,
+        trace,
         verbose,
     })
 }
@@ -555,6 +609,7 @@ where
     let (mut gemm, mut dram, mut energy, mut layout, mut area, mut verbose) =
         (false, false, false, false, false, false);
     let mut profile_stages = false;
+    let mut trace = None;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "-c" | "--config" => {
@@ -587,6 +642,11 @@ where
             "--layout" => layout = true,
             "--area" => area = true,
             "--profile-stages" => profile_stages = true,
+            "--trace" => {
+                trace = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("--trace requires a file argument", USAGE)
+                })?))
+            }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => return Err(CliError::new("", USAGE)),
             other => return Err(CliError::new(format!("unknown argument '{other}'"), USAGE)),
@@ -604,6 +664,7 @@ where
         layout,
         area,
         profile_stages,
+        trace,
         verbose,
     })
 }
@@ -617,6 +678,7 @@ where
     let mut topologies = Vec::new();
     let mut out_dir = PathBuf::from(".");
     let mut shards = 1usize;
+    let mut trace = None;
     let mut verbose = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -651,6 +713,11 @@ where
                     )
                 })?;
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(argv.next().ok_or_else(|| {
+                    CliError::new("--trace requires a file argument", SWEEP_USAGE)
+                })?))
+            }
             "-v" | "--verbose" => verbose = true,
             "-h" | "--help" => return Err(CliError::new("", SWEEP_USAGE)),
             other => {
@@ -667,6 +734,7 @@ where
         topologies,
         out_dir,
         shards,
+        trace,
         verbose,
     })
 }
@@ -932,18 +1000,69 @@ mod tests {
     fn serve_command_parses_modes() {
         assert_eq!(
             parse_cli(argv(&["serve"])).unwrap(),
-            Command::Serve(ServeArgs { listen: None })
+            Command::Serve(ServeArgs::default())
         );
         assert_eq!(
             parse_cli(argv(&["serve", "--stdio"])).unwrap(),
-            Command::Serve(ServeArgs { listen: None })
+            Command::Serve(ServeArgs::default())
         );
         assert_eq!(
             parse_cli(argv(&["serve", "--listen", "127.0.0.1:7878"])).unwrap(),
             Command::Serve(ServeArgs {
-                listen: Some("127.0.0.1:7878".into())
+                listen: Some("127.0.0.1:7878".into()),
+                ..ServeArgs::default()
             })
         );
+        assert_eq!(
+            parse_cli(argv(&[
+                "serve",
+                "--metrics-addr",
+                "127.0.0.1:9090",
+                "--trace",
+                "t.json"
+            ]))
+            .unwrap(),
+            Command::Serve(ServeArgs {
+                listen: None,
+                metrics_addr: Some("127.0.0.1:9090".into()),
+                trace: Some(PathBuf::from("t.json")),
+            })
+        );
+    }
+
+    #[test]
+    fn trace_flag_round_trips_on_every_subcommand() {
+        let cmd = parse_cli(argv(&["-t", "net.csv", "--trace", "run.json"])).unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("expected run command")
+        };
+        assert_eq!(args.trace, Some(PathBuf::from("run.json")));
+        let cmd = parse_cli(argv(&["llm", "-w", "llama-7b", "--trace", "l.json"])).unwrap();
+        let Command::Llm(args) = cmd else {
+            panic!("expected llm command")
+        };
+        assert_eq!(args.trace, Some(PathBuf::from("l.json")));
+        let cmd = parse_cli(argv(&["sweep", "-s", "g.cfg", "--trace", "s.json"])).unwrap();
+        let Command::Sweep(args) = cmd else {
+            panic!("expected sweep command")
+        };
+        assert_eq!(args.trace, Some(PathBuf::from("s.json")));
+        let cmd = parse_cli(argv(&["scaleout", "-t", "n.csv", "--trace", "o.json"])).unwrap();
+        let Command::Scaleout(args) = cmd else {
+            panic!("expected scaleout command")
+        };
+        assert_eq!(args.trace, Some(PathBuf::from("o.json")));
+        // A dangling --trace is an error on every parser.
+        for cmdline in [
+            vec!["-t", "n.csv", "--trace"],
+            vec!["llm", "--trace"],
+            vec!["sweep", "-s", "g", "--trace"],
+            vec!["scaleout", "-t", "n.csv", "--trace"],
+            vec!["serve", "--trace"],
+        ] {
+            let err = parse_cli(argv(&cmdline)).unwrap_err();
+            assert!(err.message.contains("--trace requires"), "{}", err.message);
+        }
     }
 
     #[test]

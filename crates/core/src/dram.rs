@@ -187,6 +187,8 @@ pub fn dram_analysis(
     let n_entries = trace.entries().len();
 
     // Step 2: replay through the DRAM simulator.
+    let _span = scalesim_obs::span(scalesim_obs::Category::Dram, "re-time")
+        .arg("entries", n_entries as u64);
     let (requests, entry_of) = linearize(&trace, cfg, bytes_per_word);
     let dram_cfg = DramConfig {
         spec: cfg.spec,

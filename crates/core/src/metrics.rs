@@ -3,79 +3,20 @@
 //!
 //! Everything here is plain atomics — recording a latency or bumping a
 //! counter never takes a lock, so metrics stay truthful under the exact
-//! saturation conditions they exist to diagnose. The histogram uses 64
-//! power-of-two-microsecond buckets: bucket *i* counts latencies in
-//! `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so percentile reads are
-//! upper bounds exact to within 2× — plenty for capacity planning, and
-//! immune to the unbounded-reservoir pathologies of exact quantiles.
+//! saturation conditions they exist to diagnose. The histogram is the
+//! observability crate's [`scalesim_obs::Histogram`] (re-exported here
+//! as [`LatencyHistogram`]): 64 power-of-two-microsecond buckets where
+//! bucket *i* counts latencies in `[2^(i-1), 2^i)` µs, with percentile
+//! reads linearly interpolated *within* the winning bucket and clamped
+//! to the observed maximum — so a `stats` p50/p99 is a value inside
+//! the distribution, not a bucket upper bound.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of histogram buckets (covers up to 2^63 µs — effectively ∞).
-const BUCKETS: usize = 64;
-
-/// A lock-free latency histogram over power-of-two microsecond buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one latency observation.
-    pub fn record_us(&self, us: u64) {
-        let bucket = (64 - us.leading_zeros()) as usize; // 0 for us == 0
-        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Maximum latency observed, µs (0 when empty).
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// The upper bound of the bucket the given percentile falls in
-    /// (`p` in `[0, 100]`); 0 when the histogram is empty.
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        // Rank of the observation that covers percentile p (1-based).
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket i holds [2^(i-1), 2^i) µs; report the upper bound.
-                return if i >= 63 { u64::MAX } else { 1u64 << i };
-            }
-        }
-        self.max_us()
-    }
-}
+/// The handle-latency histogram type: power-of-two-µs buckets with
+/// bucket-interpolated percentiles, shared with the process metric
+/// registry so `stats` and Prometheus exposition read the same data.
+pub use scalesim_obs::Histogram as LatencyHistogram;
 
 /// Cumulative request counters for one serving process.
 #[derive(Debug, Default)]
@@ -136,18 +77,21 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_bucket_upper_bounds() {
+    fn percentiles_interpolate_within_the_bucket() {
         let h = LatencyHistogram::new();
         // 99 fast observations and one slow outlier.
         for _ in 0..99 {
-            h.record_us(100); // bucket [64, 128) → upper bound 128
+            h.record_us(100); // bucket [64, 128)
         }
         h.record_us(1_000_000); // ~2^20 µs
         assert_eq!(h.count(), 100);
         assert_eq!(h.max_us(), 1_000_000);
-        assert_eq!(h.percentile_us(50.0), 128);
-        assert_eq!(h.percentile_us(99.0), 128);
-        assert!(h.percentile_us(100.0) >= 1_000_000);
+        // Rank 50 of 99 in [64, 128) interpolates inside the bucket,
+        // not to the 128 upper bound.
+        assert_eq!(h.percentile_us(50.0), 96);
+        assert_eq!(h.percentile_us(99.0), 127);
+        // The top rank is the observed maximum itself.
+        assert_eq!(h.percentile_us(100.0), 1_000_000);
     }
 
     #[test]
@@ -156,7 +100,11 @@ mod tests {
         h.record_us(0);
         h.record_us(u64::MAX);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.percentile_us(50.0), 1, "0 µs lands in the < 1 µs bucket");
+        assert_eq!(
+            h.percentile_us(50.0),
+            0,
+            "0 µs interpolates inside the < 1 µs bucket"
+        );
     }
 
     #[test]

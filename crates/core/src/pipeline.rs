@@ -42,13 +42,12 @@ use crate::layout_analysis::{layout_slowdown_for_gemm, LayoutAnalysis};
 use crate::result::LayerResult;
 use scalesim_energy::{ActionCounts, ArchSpec, EnergyModel, EnergyReport, LayerActivity};
 use scalesim_multicore::{partition_layer, L2Report};
+use scalesim_obs as obs;
 use scalesim_sparse::{SparseReport, SparseReportRow, SparsityPattern};
 use scalesim_systolic::{
     timing, CoreSim, Dataflow, GemmShape, IdealBandwidthStore, LayerReport, PlanCache, PlannedLayer,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Everything the stages of one layer's execution share.
 ///
@@ -397,14 +396,6 @@ impl LayerStage for EnergyStage {
     }
 }
 
-/// Per-stage cumulative wall-clock accounting (atomic; shared across
-/// the parallel topology workers).
-#[derive(Debug, Default)]
-struct StageCounter {
-    calls: AtomicU64,
-    nanos: AtomicU64,
-}
-
 /// One stage's aggregated timing, as reported by
 /// [`LayerPipeline::profile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,7 +420,9 @@ impl StageTiming {
 pub struct LayerPipeline {
     env: StageEnv,
     stages: Vec<Box<dyn LayerStage>>,
-    profiler: Option<Vec<StageCounter>>,
+    /// Per-stage call/time totals, fed by the same spans that emit
+    /// trace events — one timing path for profiling and tracing.
+    profiler: Option<obs::Totals>,
 }
 
 impl std::fmt::Debug for LayerPipeline {
@@ -476,20 +469,17 @@ impl LayerPipeline {
                     if cancel.is_some_and(|c| c.expired()) {
                         return None;
                     }
+                    let _span = obs::span(obs::Category::Pipeline, stage.name());
                     stage.run(&self.env, &mut ctx);
                 }
             }
-            Some(counters) => {
-                for (stage, counter) in self.stages.iter().zip(counters) {
+            Some(totals) => {
+                for (index, stage) in self.stages.iter().enumerate() {
                     if cancel.is_some_and(|c| c.expired()) {
                         return None;
                     }
-                    let t0 = Instant::now();
+                    let _span = obs::span_for(obs::Category::Pipeline, stage.name(), totals, index);
                     stage.run(&self.env, &mut ctx);
-                    counter.calls.fetch_add(1, Ordering::Relaxed);
-                    counter
-                        .nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 }
             }
         }
@@ -499,15 +489,15 @@ impl LayerPipeline {
     /// The per-stage timings accumulated so far (None unless built with
     /// [`PipelineBuilder::profile_stages`]).
     pub fn profile(&self) -> Option<Vec<StageTiming>> {
-        let counters = self.profiler.as_ref()?;
+        let totals = self.profiler.as_ref()?;
         Some(
-            self.stages
-                .iter()
-                .zip(counters)
-                .map(|(stage, c)| StageTiming {
-                    stage: stage.name(),
-                    calls: c.calls.load(Ordering::Relaxed),
-                    nanos: c.nanos.load(Ordering::Relaxed),
+            totals
+                .snapshot()
+                .into_iter()
+                .map(|(stage, calls, nanos)| StageTiming {
+                    stage,
+                    calls,
+                    nanos,
                 })
                 .collect(),
         )
@@ -574,9 +564,10 @@ impl PipelineBuilder {
             stages.push(Box::new(EnergyStage));
         }
         stages.extend(self.extra);
-        let profiler = self
-            .profile
-            .then(|| stages.iter().map(|_| StageCounter::default()).collect());
+        let profiler = self.profile.then(|| {
+            let names: Vec<&'static str> = stages.iter().map(|s| s.name()).collect();
+            obs::Totals::new(&names)
+        });
         LayerPipeline {
             env: StageEnv {
                 config: self.config,

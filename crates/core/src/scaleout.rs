@@ -380,6 +380,14 @@ impl JoinSink<'_> {
         let mut record = self.pending.take().expect("a pending layer to resolve");
         record.overlapped_cycles = split.overlapped;
         record.exposed_cycles = split.exposed;
+        scalesim_obs::instant(
+            scalesim_obs::Category::Collective,
+            "overlap-window",
+            &[
+                ("overlapped_cycles", split.overlapped),
+                ("exposed_cycles", split.exposed),
+            ],
+        );
         if let Some(slot) = self.stage_cycles.get_mut(record.stage) {
             *slot += record.total_cycles();
         }

@@ -74,23 +74,36 @@
 use crate::cancel::CancelToken;
 use crate::service::SimService;
 use scalesim_api::{wire, SimError, SimRequest};
+use scalesim_obs as obs;
 use scalesim_sched::{Priority, Scheduler};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Process-wide request correlation number: every request that enters
+/// the serve layer (any route) gets the next value, and all its trace
+/// events carry it as the `req` arg — Perfetto's args search then pulls
+/// up a request's full decode → queue → execute → respond lifecycle.
+fn next_request_seq() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Handles one request line inline (no worker pool), producing exactly
 /// one response line (without the trailing newline). Honors the
 /// envelope's `deadline_ms` and records metrics. Never panics.
 pub fn handle_line(service: &SimService, line: &str) -> String {
     let started = Instant::now();
+    let seq = next_request_seq();
     let m = service.metrics();
     m.inc(&m.requests_total);
     m.inc(&m.in_flight);
     let decoded = wire::decode_request_full(line);
+    obs::instant(obs::Category::Serve, "decode", &[("req", seq)]);
     let cancel = decoded.deadline_ms.map(CancelToken::after_ms);
     execute(
         service,
@@ -98,6 +111,7 @@ pub fn handle_line(service: &SimService, line: &str) -> String {
         decoded.request,
         cancel.as_ref(),
         started,
+        seq,
     )
 }
 
@@ -111,7 +125,12 @@ fn execute(
     request: Result<SimRequest, SimError>,
     cancel: Option<&CancelToken>,
     started: Instant,
+    seq: u64,
 ) -> String {
+    // Everything between the dispatch timestamp and this point is
+    // admission-queue wait (zero for inline routes).
+    obs::complete_since(obs::Category::Serve, "queue", started, &[("req", seq)]);
+    let _span = obs::span(obs::Category::Serve, "execute").arg("req", seq);
     let result = match request {
         Ok(request) => catch_unwind(AssertUnwindSafe(|| {
             service.handle_cancellable(&request, cancel)
@@ -199,6 +218,7 @@ struct Job {
     priority: Priority,
     cancel: Option<CancelToken>,
     started: Instant,
+    seq: u64,
     reply: mpsc::SyncSender<String>,
 }
 
@@ -395,6 +415,7 @@ impl Server {
                         priority,
                         cancel,
                         started,
+                        seq,
                         reply,
                     } = *job;
                     // The request's nested layer/sweep tasks inherit
@@ -406,6 +427,7 @@ impl Server {
                             Ok(request),
                             cancel.as_ref(),
                             started,
+                            seq,
                         )
                     });
                     // A send only fails if the session vanished; the
@@ -512,12 +534,14 @@ impl Server {
     /// here, so queue wait counts against `deadline_ms`.
     fn dispatch_line(&self, line: &str) -> String {
         let started = Instant::now();
+        let seq = next_request_seq();
         let decoded = wire::decode_request_full(line);
+        obs::instant(obs::Category::Serve, "decode", &[("req", seq)]);
         let m = self.service.metrics();
         m.inc(&m.requests_total);
         let cancel = decoded.deadline_ms.map(CancelToken::after_ms);
-        match decoded.request {
-            Err(_) | Ok(SimRequest::Version) | Ok(SimRequest::Stats) => {
+        let response = match decoded.request {
+            Err(_) | Ok(SimRequest::Version) | Ok(SimRequest::Stats) | Ok(SimRequest::Trace) => {
                 m.inc(&m.in_flight);
                 execute(
                     &self.service,
@@ -525,6 +549,7 @@ impl Server {
                     decoded.request,
                     cancel.as_ref(),
                     started,
+                    seq,
                 )
             }
             Ok(request) => {
@@ -538,6 +563,7 @@ impl Server {
                     priority,
                     cancel,
                     started,
+                    seq,
                     reply: reply_tx,
                 });
                 match self.queue.try_push(job) {
@@ -564,7 +590,9 @@ impl Server {
                     }
                 }
             }
-        }
+        };
+        obs::instant(obs::Category::Serve, "respond", &[("req", seq)]);
+        response
     }
 
     /// Accepts connections forever, serving each as a JSON-lines
@@ -628,6 +656,9 @@ impl Server {
             }
             let gate = &gate;
             scope.spawn(move || {
+                static SESSION_SEQ: AtomicU64 = AtomicU64::new(1);
+                let n = SESSION_SEQ.fetch_add(1, Ordering::Relaxed);
+                obs::label_thread(&format!("session-{n}"));
                 let _ = self.serve_connection(stream);
                 gate.release();
             });
@@ -901,6 +932,7 @@ mod tests {
                 priority,
                 cancel: None,
                 started: Instant::now(),
+                seq: 0,
                 reply: tx,
             }),
             rx,

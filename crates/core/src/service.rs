@@ -44,7 +44,7 @@ use crate::sweep_run::run_sweep_cached;
 use scalesim_api::{
     AreaBody, AreaSpec, ConfigSource, Features, LlmBody, LlmRequest, Report, RunBody, RunSpec,
     RunSummaryBody, ScaleoutBody, ScaleoutRequest, SimError, SimRequest, SimResponse, StatsBody,
-    SweepBody, SweepRequest, TopologyFormat, TopologySource, VersionBody, API_VERSION,
+    SweepBody, SweepRequest, TopologyFormat, TopologySource, TraceBody, VersionBody, API_VERSION,
 };
 use scalesim_collective::{FabricTag, ScaleoutSpec, Strategy};
 use scalesim_energy::AreaBreakdown;
@@ -179,6 +179,7 @@ impl SimService {
             SimRequest::AreaReport(spec) => Ok(SimResponse::Area(self.area(spec)?)),
             SimRequest::Version => Ok(SimResponse::Version(version_body())),
             SimRequest::Stats => Ok(SimResponse::Stats(self.stats_body())),
+            SimRequest::Trace => Ok(SimResponse::Trace(trace_body())),
         }
     }
 
@@ -189,6 +190,7 @@ impl SimService {
         let cache = self.cache.stats();
         let lookups = cache.hits + cache.misses;
         let m = &*self.metrics;
+        let sched = scalesim_sched::Scheduler::global().stats();
         StatsBody {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -210,7 +212,121 @@ impl SimService {
             latency_p50_us: m.latency.percentile_us(50.0),
             latency_p99_us: m.latency.percentile_us(99.0),
             latency_max_us: m.latency.max_us(),
+            sched_workers: sched.workers as u64,
+            sched_steals: sched.steals,
+            sched_spawns: sched.spawns,
+            sched_park_wakeups: sched.park_wakeups,
+            span_totals: scalesim_obs::category_totals(),
         }
+    }
+
+    /// Renders this service's metrics as Prometheus text exposition
+    /// (format 0.0.4): serve counters, the handle-latency histogram,
+    /// plan-cache counters, scheduler accounting and per-category span
+    /// totals. The `scalesim serve --metrics-addr` HTTP endpoint serves
+    /// exactly this body; names and semantics are documented in
+    /// `docs/OBSERVABILITY.md`.
+    pub fn render_prometheus(&self) -> String {
+        use scalesim_obs::{render_counter, render_gauge, render_histogram};
+        let mut out = String::new();
+        let m = &*self.metrics;
+        render_counter(
+            &mut out,
+            "scalesim_requests_total",
+            "Requests received (queued or answered inline, including shed).",
+            m.get(&m.requests_total),
+        );
+        render_counter(
+            &mut out,
+            "scalesim_requests_completed_total",
+            "Requests fully handled (ok or typed error written).",
+            m.get(&m.completed),
+        );
+        render_counter(
+            &mut out,
+            "scalesim_requests_shed_total",
+            "Requests shed with busy (queue full or session cap).",
+            m.get(&m.shed),
+        );
+        render_counter(
+            &mut out,
+            "scalesim_deadline_expired_total",
+            "Requests that returned a deadline error.",
+            m.get(&m.deadline_expired),
+        );
+        render_gauge(
+            &mut out,
+            "scalesim_requests_in_flight",
+            "Requests currently queued or executing.",
+            m.get(&m.in_flight) as i64,
+        );
+        render_histogram(
+            &mut out,
+            "scalesim_handle_latency_us",
+            "Request handle latency (decode to encode), microseconds.",
+            &m.latency,
+        );
+        let cache = self.cache.stats();
+        render_counter(
+            &mut out,
+            "scalesim_plan_cache_hits_total",
+            "Plan-cache lookups answered from the cache.",
+            cache.hits,
+        );
+        render_counter(
+            &mut out,
+            "scalesim_plan_cache_misses_total",
+            "Plan-cache lookups that planned fresh.",
+            cache.misses,
+        );
+        render_counter(
+            &mut out,
+            "scalesim_plan_cache_evictions_total",
+            "Plans evicted to stay within the cache bound.",
+            cache.evictions,
+        );
+        render_gauge(
+            &mut out,
+            "scalesim_plan_cache_resident_bytes",
+            "Bytes held by resident plans.",
+            cache.resident_bytes as i64,
+        );
+        let sched = scalesim_sched::Scheduler::global().stats();
+        render_gauge(
+            &mut out,
+            "scalesim_sched_workers",
+            "Worker threads in the global scheduler pool.",
+            sched.workers as i64,
+        );
+        render_counter(
+            &mut out,
+            "scalesim_sched_steals_total",
+            "Tasks stolen from a sibling worker's queue.",
+            sched.steals,
+        );
+        render_counter(
+            &mut out,
+            "scalesim_sched_spawns_total",
+            "Detached tasks spawned onto the pool.",
+            sched.spawns,
+        );
+        render_counter(
+            &mut out,
+            "scalesim_sched_park_wakeups_total",
+            "Times an idle worker woke from park.",
+            sched.park_wakeups,
+        );
+        out.push_str("# HELP scalesim_spans_total Span/instant events recorded per category.\n");
+        out.push_str("# TYPE scalesim_spans_total counter\n");
+        let totals = scalesim_obs::category_totals();
+        for (category, total) in scalesim_api::SPAN_CATEGORIES.iter().zip(totals) {
+            use std::fmt::Write;
+            let _ = writeln!(
+                out,
+                "scalesim_spans_total{{category=\"{category}\"}} {total}"
+            );
+        }
+        out
     }
 
     /// Loads and validates everything a run request needs, returning
@@ -716,6 +832,18 @@ pub fn version_body() -> VersionBody {
     }
 }
 
+/// Snapshots the process's recorded span rings as a `trace` response
+/// body. The trace string is empty-but-valid Chrome JSON when tracing
+/// was never enabled; `events` counts span/instant records across all
+/// categories since process start.
+pub fn trace_body() -> TraceBody {
+    TraceBody {
+        enabled: scalesim_obs::tracing_enabled(),
+        events: scalesim_obs::recorded_events(),
+        trace: scalesim_obs::chrome_trace_string(),
+    }
+}
+
 fn read_input(path: &Path) -> Result<String, SimError> {
     std::fs::read_to_string(path)
         .map_err(|e| SimError::Io(format!("cannot read {}: {e}", path.display())))
@@ -1174,6 +1302,85 @@ mod tests {
                 "cancel tokens cost checks, not results"
             );
         }
+    }
+
+    /// Golden test for the Prometheus text exposition: the exact line
+    /// sequence — HELP text, TYPE declarations, metric names, label
+    /// sets — is pinned, with sample *values* normalized to `V` (they
+    /// depend on machine parallelism and process-global counters).
+    /// Scrapers key on names and labels; renaming or reordering a
+    /// series is a breaking change and must show up here.
+    #[test]
+    fn prometheus_exposition_format_is_pinned() {
+        let service = SimService::new();
+        let body = service.render_prometheus();
+        let normalized: String = body
+            .lines()
+            .map(|line| {
+                if line.starts_with('#') {
+                    format!("{line}\n")
+                } else {
+                    let cut = line.rfind(' ').expect("sample line has a value");
+                    format!("{} V\n", &line[..cut])
+                }
+            })
+            .collect();
+        let golden = "\
+# HELP scalesim_requests_total Requests received (queued or answered inline, including shed).
+# TYPE scalesim_requests_total counter
+scalesim_requests_total V
+# HELP scalesim_requests_completed_total Requests fully handled (ok or typed error written).
+# TYPE scalesim_requests_completed_total counter
+scalesim_requests_completed_total V
+# HELP scalesim_requests_shed_total Requests shed with busy (queue full or session cap).
+# TYPE scalesim_requests_shed_total counter
+scalesim_requests_shed_total V
+# HELP scalesim_deadline_expired_total Requests that returned a deadline error.
+# TYPE scalesim_deadline_expired_total counter
+scalesim_deadline_expired_total V
+# HELP scalesim_requests_in_flight Requests currently queued or executing.
+# TYPE scalesim_requests_in_flight gauge
+scalesim_requests_in_flight V
+# HELP scalesim_handle_latency_us Request handle latency (decode to encode), microseconds.
+# TYPE scalesim_handle_latency_us histogram
+scalesim_handle_latency_us_bucket{le=\"+Inf\"} V
+scalesim_handle_latency_us_sum V
+scalesim_handle_latency_us_count V
+# HELP scalesim_plan_cache_hits_total Plan-cache lookups answered from the cache.
+# TYPE scalesim_plan_cache_hits_total counter
+scalesim_plan_cache_hits_total V
+# HELP scalesim_plan_cache_misses_total Plan-cache lookups that planned fresh.
+# TYPE scalesim_plan_cache_misses_total counter
+scalesim_plan_cache_misses_total V
+# HELP scalesim_plan_cache_evictions_total Plans evicted to stay within the cache bound.
+# TYPE scalesim_plan_cache_evictions_total counter
+scalesim_plan_cache_evictions_total V
+# HELP scalesim_plan_cache_resident_bytes Bytes held by resident plans.
+# TYPE scalesim_plan_cache_resident_bytes gauge
+scalesim_plan_cache_resident_bytes V
+# HELP scalesim_sched_workers Worker threads in the global scheduler pool.
+# TYPE scalesim_sched_workers gauge
+scalesim_sched_workers V
+# HELP scalesim_sched_steals_total Tasks stolen from a sibling worker's queue.
+# TYPE scalesim_sched_steals_total counter
+scalesim_sched_steals_total V
+# HELP scalesim_sched_spawns_total Detached tasks spawned onto the pool.
+# TYPE scalesim_sched_spawns_total counter
+scalesim_sched_spawns_total V
+# HELP scalesim_sched_park_wakeups_total Times an idle worker woke from park.
+# TYPE scalesim_sched_park_wakeups_total counter
+scalesim_sched_park_wakeups_total V
+# HELP scalesim_spans_total Span/instant events recorded per category.
+# TYPE scalesim_spans_total counter
+scalesim_spans_total{category=\"sched\"} V
+scalesim_spans_total{category=\"pipeline\"} V
+scalesim_spans_total{category=\"cache\"} V
+scalesim_spans_total{category=\"dram\"} V
+scalesim_spans_total{category=\"collective\"} V
+scalesim_spans_total{category=\"serve\"} V
+scalesim_spans_total{category=\"sweep\"} V
+";
+        assert_eq!(normalized, golden, "Prometheus exposition drifted");
     }
 
     #[test]

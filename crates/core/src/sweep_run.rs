@@ -60,6 +60,12 @@ pub fn apply_point(base: &ScaleSimConfig, point: &SweepPoint) -> ScaleSimConfig 
     if let Some(dram) = point.dram {
         cfg.enable_dram = dram;
     }
+    if let Some(model) = point.dram_model {
+        // The spec parser only admits `DramSpec::preset_names` entries.
+        let spec = scalesim_mem::DramSpec::by_name(model)
+            .unwrap_or_else(|| unreachable!("sweep spec admitted unknown dram model {model}"));
+        cfg.dram = crate::config::DramIntegration::for_spec(spec, cfg.dram.channels, 1.0e9);
+    }
     if let Some(energy) = point.energy {
         cfg.enable_energy = energy;
     }
@@ -369,6 +375,21 @@ mod tests {
         assert_eq!(cfg.core.memory.dram_bandwidth, 4.0);
         assert_eq!(cfg.core.dataflow, base.core.dataflow);
         assert_eq!(cfg.core.memory.ifmap_words, base.core.memory.ifmap_words);
+    }
+
+    #[test]
+    fn apply_point_swaps_the_dram_device_preset() {
+        let base = ScaleSimConfig::default();
+        let grid = spec("dram = true\ndram_model = hbm2, lpddr4_3200\n").expand();
+        let a = apply_point(&base, &grid[0]);
+        assert!(a.enable_dram);
+        assert_eq!(a.dram.spec.name, scalesim_mem::DramSpec::hbm2().name);
+        let b = apply_point(&base, &grid[1]);
+        assert_eq!(b.dram.spec.name, scalesim_mem::DramSpec::lpddr4_3200().name);
+        assert_ne!(
+            a.dram.mem_cycles_per_core_cycle,
+            b.dram.mem_cycles_per_core_cycle
+        );
     }
 
     #[test]

@@ -458,6 +458,41 @@ impl DramSpec {
         }
     }
 
+    /// Every preset name accepted by [`by_name`](Self::by_name), in
+    /// the order error messages and sweep vocabularies list them.
+    pub fn preset_names() -> [&'static str; 9] {
+        [
+            "ddr3_1600",
+            "ddr4_2400",
+            "ddr4_2400_4gb",
+            "ddr4_2400_2rank",
+            "lpddr4_3200",
+            "gddr5_6000",
+            "hbm2",
+            "wio1",
+            "wio2",
+        ]
+    }
+
+    /// Looks up a preset by its snake_case constructor name (the
+    /// `[dram] model` configuration vocabulary); `None` for unknown
+    /// names — callers own the error message so they can name the
+    /// full vocabulary from [`preset_names`](Self::preset_names).
+    pub fn by_name(name: &str) -> Option<DramSpec> {
+        match name {
+            "ddr3_1600" => Some(Self::ddr3_1600()),
+            "ddr4_2400" => Some(Self::ddr4_2400()),
+            "ddr4_2400_4gb" => Some(Self::ddr4_2400_4gb()),
+            "ddr4_2400_2rank" => Some(Self::ddr4_2400_2rank()),
+            "lpddr4_3200" => Some(Self::lpddr4_3200()),
+            "gddr5_6000" => Some(Self::gddr5_6000()),
+            "hbm2" => Some(Self::hbm2()),
+            "wio1" => Some(Self::wio1()),
+            "wio2" => Some(Self::wio2()),
+            _ => None,
+        }
+    }
+
     /// All presets, for sweeps.
     pub fn presets() -> Vec<DramSpec> {
         vec![
@@ -498,6 +533,17 @@ impl DramSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_resolves_every_listed_preset_and_rejects_unknown() {
+        for name in DramSpec::preset_names() {
+            let spec = DramSpec::by_name(name)
+                .unwrap_or_else(|| panic!("preset_names lists unresolvable name {name}"));
+            assert!(spec.is_consistent(), "{name} timing inconsistent");
+        }
+        assert!(DramSpec::by_name("ddr9").is_none());
+        assert!(DramSpec::by_name("").is_none());
+    }
 
     #[test]
     fn presets_are_consistent() {

@@ -1,0 +1,470 @@
+//! Named metrics: counters, gauges, power-of-two latency histograms,
+//! and a [`Registry`] that renders Prometheus text exposition.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one, saturating at zero (a late decrement must not
+    /// wrap an in-flight gauge negative).
+    #[inline]
+    pub fn dec_saturating(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1).max(0))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free latency histogram over 64 power-of-two microsecond
+/// buckets: bucket 0 holds `0 µs`, bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i) µs`, and the top bucket absorbs everything beyond.
+///
+/// Percentiles interpolate linearly *within* the winning bucket (and
+/// are clamped to the observed maximum), so a distribution
+/// concentrated in one bucket reports a value inside that bucket
+/// rather than its upper bound.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(63);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation so far, µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// A relaxed snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; 64] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) in µs, estimated by linear
+    /// interpolation at the midpoint of the rank's position within its
+    /// bucket and clamped to [`Histogram::max_us`]. Returns 0 when
+    /// empty. A single observation reports (up to bucket resolution)
+    /// its own value, because the clamp binds.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * total as f64).ceil().max(1.0) as u64).min(total);
+        if rank == total {
+            // The top rank is the maximum itself — report it exactly.
+            return self.max_us();
+        }
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.bucket_counts().iter().enumerate() {
+            if *bucket == 0 {
+                continue;
+            }
+            cumulative += bucket;
+            if cumulative >= rank {
+                if i >= 63 {
+                    return self.max_us();
+                }
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 1u64 } else { 1u64 << i };
+                let rank_in_bucket = rank - (cumulative - bucket);
+                let est = lo as u128
+                    + ((hi - lo) as u128 * (2 * rank_in_bucket as u128 - 1))
+                        / (2 * *bucket as u128);
+                return (est as u64).min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A set of named metrics rendered together as Prometheus text. Each
+/// registry is independent (a serve process registers its service
+/// metrics in one; unit tests build their own), so counters never leak
+/// across instances.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created (with `help`) on first use.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in entries.iter() {
+            if entry.name == name {
+                if let Metric::Counter(c) = &entry.metric {
+                    return Arc::clone(c);
+                }
+            }
+        }
+        let counter = Arc::new(Counter::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::clone(&counter)),
+        });
+        counter
+    }
+
+    /// The gauge named `name`, created (with `help`) on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in entries.iter() {
+            if entry.name == name {
+                if let Metric::Gauge(g) = &entry.metric {
+                    return Arc::clone(g);
+                }
+            }
+        }
+        let gauge = Arc::new(Gauge::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::clone(&gauge)),
+        });
+        gauge
+    }
+
+    /// The histogram named `name`, created (with `help`) on first use.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in entries.iter() {
+            if entry.name == name {
+                if let Metric::Histogram(h) = &entry.metric {
+                    return Arc::clone(h);
+                }
+            }
+        }
+        let histogram = Arc::new(Histogram::new());
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::clone(&histogram)),
+        });
+        histogram
+    }
+
+    /// Renders every metric as Prometheus text exposition (format
+    /// 0.0.4), in registration order. Histogram `le` labels are the
+    /// *exclusive* power-of-two bucket upper bounds in microseconds
+    /// (see `docs/OBSERVABILITY.md`); buckets above the highest
+    /// non-empty one are elided, `+Inf` always closes the series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        for entry in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => render_counter(&mut out, &entry.name, &entry.help, c.get()),
+                Metric::Gauge(g) => render_gauge(&mut out, &entry.name, &entry.help, g.get()),
+                Metric::Histogram(h) => render_histogram(&mut out, &entry.name, &entry.help, h),
+            }
+        }
+        out
+    }
+}
+
+/// Appends one counter in exposition format.
+pub fn render_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one gauge in exposition format.
+pub fn render_gauge(out: &mut String, name: &str, help: &str, value: i64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one histogram in exposition format (cumulative buckets,
+/// `_sum`, `_count`).
+pub fn render_histogram(out: &mut String, name: &str, help: &str, histogram: &Histogram) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let buckets = histogram.bucket_counts();
+    let highest = buckets.iter().rposition(|&c| c != 0);
+    let mut cumulative = 0u64;
+    if let Some(highest) = highest {
+        for (i, count) in buckets.iter().enumerate().take(highest + 1) {
+            cumulative += count;
+            let le = if i >= 63 { u64::MAX } else { 1u64 << i };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{le=\"+Inf\"}} {count}",
+        count = histogram.count()
+    );
+    let _ = writeln!(out, "{name}_sum {sum}", sum = histogram.sum_us());
+    let _ = writeln!(out, "{name}_count {count}", count = histogram.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec_saturating();
+        assert_eq!(g.get(), 1);
+        g.dec_saturating();
+        g.dec_saturating();
+        assert_eq!(g.get(), 0, "gauge saturates at zero");
+        g.set(-3);
+        assert_eq!(g.get(), -3, "set still allows negatives");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        let h = Histogram::new();
+        // 0 → bucket 0; 1 → bucket 1; 2^k → bucket k+1 (half-open
+        // [2^(i-1), 2^i) intervals); 2^k - 1 → bucket k.
+        for (us, bucket) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 63),
+        ] {
+            let before = h.bucket_counts();
+            h.record_us(us);
+            let after = h.bucket_counts();
+            assert_eq!(
+                after[bucket],
+                before[bucket] + 1,
+                "{us} µs must land in bucket {bucket}"
+            );
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max_us(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_the_bucket() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record_us(100);
+        }
+        h.record_us(1_000_000);
+        // 100 µs lands in bucket [64, 128). The p50 rank (50 of 99 in
+        // the bucket) interpolates to 96 µs — inside the bucket, not
+        // the 128 µs upper bound the old histogram reported.
+        assert_eq!(h.percentile_us(50.0), 96);
+        // p99 (rank 99 of 99) stays below the exclusive upper bound.
+        assert_eq!(h.percentile_us(99.0), 127);
+        assert_eq!(h.percentile_us(100.0), 1_000_000, "max clamps the tail");
+    }
+
+    #[test]
+    fn single_observation_reports_itself() {
+        let h = Histogram::new();
+        h.record_us(70);
+        // Midpoint of [64, 128) is 96, but the max clamp binds at 70.
+        assert_eq!(h.percentile_us(50.0), 70);
+        assert_eq!(h.percentile_us(99.0), 70);
+    }
+
+    #[test]
+    fn zero_and_huge_observations_do_not_panic() {
+        let h = Histogram::new();
+        h.record_us(0);
+        assert_eq!(h.percentile_us(50.0), 0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.percentile_us(100.0), u64::MAX);
+        let empty = Histogram::new();
+        assert_eq!(empty.percentile_us(50.0), 0);
+    }
+
+    #[test]
+    fn registry_returns_the_same_metric_for_the_same_name() {
+        let registry = Registry::new();
+        let a = registry.counter("x_total", "help");
+        let b = registry.counter("x_total", "help");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_format_is_pinned() {
+        let registry = Registry::new();
+        let requests = registry.counter("scalesim_requests_total", "Requests received.");
+        requests.add(42);
+        let in_flight = registry.gauge("scalesim_in_flight", "Requests in flight.");
+        in_flight.set(3);
+        let latency = registry.histogram("scalesim_latency_us", "Request latency, µs.");
+        latency.record_us(0);
+        latency.record_us(3);
+        latency.record_us(100);
+        // The exact text is the contract: scrapers and the golden CI
+        // check both parse it.
+        let expect = "\
+# HELP scalesim_requests_total Requests received.
+# TYPE scalesim_requests_total counter
+scalesim_requests_total 42
+# HELP scalesim_in_flight Requests in flight.
+# TYPE scalesim_in_flight gauge
+scalesim_in_flight 3
+# HELP scalesim_latency_us Request latency, µs.
+# TYPE scalesim_latency_us histogram
+scalesim_latency_us_bucket{le=\"1\"} 1
+scalesim_latency_us_bucket{le=\"2\"} 1
+scalesim_latency_us_bucket{le=\"4\"} 2
+scalesim_latency_us_bucket{le=\"8\"} 2
+scalesim_latency_us_bucket{le=\"16\"} 2
+scalesim_latency_us_bucket{le=\"32\"} 2
+scalesim_latency_us_bucket{le=\"64\"} 2
+scalesim_latency_us_bucket{le=\"128\"} 3
+scalesim_latency_us_bucket{le=\"+Inf\"} 3
+scalesim_latency_us_sum 103
+scalesim_latency_us_count 3
+";
+        assert_eq!(registry.render_prometheus(), expect);
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_only() {
+        let registry = Registry::new();
+        let _ = registry.histogram("h_us", "Empty.");
+        let text = registry.render_prometheus();
+        assert!(text.contains("h_us_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("h_us_count 0"), "{text}");
+        assert!(!text.contains("le=\"1\""), "{text}");
+    }
+}

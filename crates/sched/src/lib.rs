@@ -51,7 +51,7 @@ mod pool;
 mod scope;
 mod slot;
 
-pub use pool::{Priority, Scheduler};
+pub use pool::{Priority, SchedStats, Scheduler};
 pub use slot::OnceSlot;
 
 use std::cell::Cell;

@@ -2,6 +2,7 @@
 //! and the public [`Scheduler`] API.
 
 use crate::scope::ScopeCore;
+use scalesim_obs as obs;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -80,6 +81,27 @@ struct Shared {
     locals: Vec<Mutex<VecDeque<Runnable>>>,
     bell: Bell,
     shutdown: AtomicBool,
+    /// Successful steals from a sibling deque (find_work step 3).
+    steals: AtomicU64,
+    /// Detached tasks ever submitted.
+    spawns: AtomicU64,
+    /// Times a parked worker woke to look for work again.
+    park_wakeups: AtomicU64,
+}
+
+/// A relaxed snapshot of a pool's scheduling counters, as surfaced by
+/// the serve `stats` response and the Prometheus exposition. All
+/// counters are monotonic over the pool's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Successful steals of queued work from a sibling worker.
+    pub steals: u64,
+    /// Detached (fire-and-forget) tasks submitted.
+    pub spawns: u64,
+    /// Times a parked worker was woken by the bell.
+    pub park_wakeups: u64,
 }
 
 /// A persistent work-stealing worker pool. Use [`Scheduler::global`]
@@ -113,6 +135,9 @@ impl Scheduler {
                 wake: Condvar::new(),
             },
             shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            spawns: AtomicU64::new(0),
+            park_wakeups: AtomicU64::new(0),
         });
         let threads = (0..workers)
             .map(|index| {
@@ -137,6 +162,16 @@ impl Scheduler {
     /// The pool's worker-thread count.
     pub fn workers(&self) -> usize {
         self.shared.locals.len()
+    }
+
+    /// A relaxed snapshot of the pool's scheduling counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            workers: self.workers(),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            spawns: self.shared.spawns.load(Ordering::Relaxed),
+            park_wakeups: self.shared.park_wakeups.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs `task(i)` for every `i in 0..len`, returning when all have
@@ -238,6 +273,7 @@ impl Scheduler {
     /// caught (and logged) so it cannot kill the worker. Tasks still
     /// queued when the pool is dropped are discarded.
     pub fn spawn_detached(&self, priority: Priority, run: Box<dyn FnOnce() + Send>) {
+        self.shared.spawns.fetch_add(1, Ordering::Relaxed);
         let mut injector = self
             .shared
             .injector
@@ -265,6 +301,8 @@ impl Drop for Scheduler {
 
 fn worker_loop(shared: &Shared, me: usize) {
     crate::set_worker_slot(Some((shared.id, me)));
+    let label = format!("worker-{me}");
+    obs::label_thread(&label);
     loop {
         // Read the bell *before* scanning: a ring after this read but
         // before the park bumps the sequence, so the park is a no-op.
@@ -276,7 +314,11 @@ fn worker_loop(shared: &Shared, me: usize) {
             run_one(runnable);
             continue;
         }
-        shared.bell.wait_past(seen);
+        {
+            let _park = obs::span(obs::Category::Sched, "park");
+            shared.bell.wait_past(seen);
+        }
+        shared.park_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -307,6 +349,12 @@ fn find_work(shared: &Shared, me: usize) -> Option<Runnable> {
             .unwrap_or_else(|e| e.into_inner())
             .pop_back()
         {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            obs::instant(
+                obs::Category::Sched,
+                "steal",
+                &[("from", other as u64), ("to", me as u64)],
+            );
             return Some(r);
         }
     }
@@ -316,6 +364,7 @@ fn find_work(shared: &Shared, me: usize) -> Option<Runnable> {
 fn run_one(runnable: Runnable) {
     match runnable {
         Runnable::Detached { priority, run } => crate::with_priority(priority, || {
+            let _span = obs::span(obs::Category::Sched, "run-detached");
             // A detached task has no submitter to resume a panic on;
             // contain it so the worker survives (the serve layer has
             // its own per-request catch, so this is a backstop).
@@ -323,7 +372,10 @@ fn run_one(runnable: Runnable) {
                 eprintln!("scalesim-sched: detached task panicked (contained)");
             }
         }),
-        Runnable::Scope { priority, core } => crate::with_priority(priority, || core.work()),
+        Runnable::Scope { priority, core } => crate::with_priority(priority, || {
+            let _span = obs::span(obs::Category::Sched, "run-scope");
+            core.work();
+        }),
     }
 }
 
@@ -459,6 +511,44 @@ mod tests {
             assert_eq!(crate::current_priority(), Priority::Batch);
         });
         assert_eq!(crate::current_priority(), Priority::Interactive);
+    }
+
+    #[test]
+    fn stats_count_spawns_and_wakeups() {
+        let pool = Scheduler::new(2);
+        let before = pool.stats();
+        assert_eq!(before.workers, 2);
+        assert_eq!(before.spawns, 0);
+        let (tx, rx) = mpsc::channel::<()>();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            pool.spawn_detached(
+                Priority::Interactive,
+                Box::new(move || tx.send(()).unwrap()),
+            );
+        }
+        for _ in 0..3 {
+            rx.recv().unwrap();
+        }
+        let after = pool.stats();
+        assert_eq!(after.spawns, 3);
+        // Wakeups only count once a worker actually parked — which the
+        // initial spawns may beat (workers are still in their first
+        // scan). Let the pool go idle so the workers park, then spawn
+        // again: that bell must register a wakeup. Retry to absorb
+        // scheduling jitter.
+        let mut woke = after.park_wakeups >= 1;
+        for _ in 0..100 {
+            if woke {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let (tx, rx) = mpsc::channel::<()>();
+            pool.spawn_detached(Priority::Interactive, Box::new(move || tx.send(()).unwrap()));
+            rx.recv().unwrap();
+            woke = pool.stats().park_wakeups >= 1;
+        }
+        assert!(woke, "workers parked and woke at least once");
     }
 
     #[test]

@@ -58,6 +58,8 @@ pub fn run_sharded_with<P, T, R, F, E>(
         let results = with_priority(Priority::Batch, || {
             parallel_map(&work, |_, &run_index| {
                 let (p, t) = (run_index / topologies.len(), run_index % topologies.len());
+                let _span = scalesim_obs::span(scalesim_obs::Category::Sweep, "point")
+                    .arg("run", run_index as u64);
                 run(run_index, &points[p], &topologies[t])
             })
         });

@@ -63,6 +63,10 @@ pub struct SweepSpec {
     pub core_grids: Vec<PartitionGrid>,
     /// Cycle-accurate DRAM flow on/off (`dram = false, true`).
     pub dram: Vec<bool>,
+    /// DRAM device presets (`dram_model = ddr4_2400, hbm2`); names are
+    /// the `scalesim_mem::DramSpec` preset vocabulary and only matter
+    /// for points where the DRAM flow is enabled.
+    pub dram_models: Vec<&'static str>,
     /// Energy estimation on/off (`energy = true`).
     pub energy: Vec<bool>,
     /// Layout bank-conflict analysis on/off (`layout = false`).
@@ -237,6 +241,21 @@ impl SweepSpec {
                         spec.dram.push(parse_bool(v)?);
                     }
                 }
+                "dram_model" | "dram_models" => {
+                    for v in values() {
+                        let lower = v.to_ascii_lowercase();
+                        let name = scalesim_mem::DramSpec::preset_names()
+                            .into_iter()
+                            .find(|n| *n == lower)
+                            .ok_or_else(|| {
+                                SpecError(format!(
+                                    "unknown dram_model '{v}' (supported: {})",
+                                    scalesim_mem::DramSpec::preset_names().join(", ")
+                                ))
+                            })?;
+                        spec.dram_models.push(name);
+                    }
+                }
                 "energy" => {
                     for v in values() {
                         spec.energy.push(parse_bool(v)?);
@@ -313,6 +332,7 @@ impl SweepSpec {
             self.bandwidths.len(),
             self.core_grids.len(),
             self.dram.len(),
+            self.dram_models.len(),
             self.energy.len(),
             self.layout.len(),
             self.chips.len(),
@@ -360,31 +380,34 @@ impl SweepSpec {
                     for &bandwidth in &axis(&self.bandwidths) {
                         for &cores in &axis(&self.core_grids) {
                             for &dram in &axis(&self.dram) {
-                                for &energy in &axis(&self.energy) {
-                                    for &layout in &axis(&self.layout) {
-                                        for &chips in &axis(&self.chips) {
-                                            for &link_gbps in &axis(&self.link_gbps) {
-                                                for &strategy in &axis(&self.strategies) {
-                                                    for &seq in &axis(&self.seqs) {
-                                                        for &batch in &axis(&self.batches) {
-                                                            for &phase in &axis(&self.phases) {
-                                                                grid.push(SweepPoint {
-                                                                    index: grid.len(),
-                                                                    array,
-                                                                    dataflow,
-                                                                    sram_kb,
-                                                                    bandwidth,
-                                                                    cores,
-                                                                    dram,
-                                                                    energy,
-                                                                    layout,
-                                                                    chips,
-                                                                    link_gbps,
-                                                                    strategy,
-                                                                    seq,
-                                                                    batch,
-                                                                    phase,
-                                                                });
+                                for &dram_model in &axis(&self.dram_models) {
+                                    for &energy in &axis(&self.energy) {
+                                        for &layout in &axis(&self.layout) {
+                                            for &chips in &axis(&self.chips) {
+                                                for &link_gbps in &axis(&self.link_gbps) {
+                                                    for &strategy in &axis(&self.strategies) {
+                                                        for &seq in &axis(&self.seqs) {
+                                                            for &batch in &axis(&self.batches) {
+                                                                for &phase in &axis(&self.phases) {
+                                                                    grid.push(SweepPoint {
+                                                                        index: grid.len(),
+                                                                        array,
+                                                                        dataflow,
+                                                                        sram_kb,
+                                                                        bandwidth,
+                                                                        cores,
+                                                                        dram,
+                                                                        dram_model,
+                                                                        energy,
+                                                                        layout,
+                                                                        chips,
+                                                                        link_gbps,
+                                                                        strategy,
+                                                                        seq,
+                                                                        batch,
+                                                                        phase,
+                                                                    });
+                                                                }
                                                             }
                                                         }
                                                     }
@@ -421,6 +444,8 @@ pub struct SweepPoint {
     pub cores: Option<PartitionGrid>,
     /// Cycle-accurate DRAM flow toggle override.
     pub dram: Option<bool>,
+    /// DRAM device preset override (a `DramSpec::preset_names` entry).
+    pub dram_model: Option<&'static str>,
     /// Energy estimation toggle override.
     pub energy: Option<bool>,
     /// Layout analysis toggle override.
@@ -478,6 +503,9 @@ impl SweepPoint {
             if let Some(on) = flag {
                 parts.push(format!("{tag}{}", u8::from(on)));
             }
+        }
+        if let Some(m) = self.dram_model {
+            parts.push(m.into());
         }
         if let Some(p) = self.chips {
             parts.push(format!("p{p}"));
@@ -600,6 +628,27 @@ mod tests {
         let grid = spec.expand();
         assert_eq!(grid[0].label(), "s128-b1-pf");
         assert_eq!(grid.last().unwrap().label(), "s1024-b8-dec");
+    }
+
+    #[test]
+    fn dram_model_axis_parses_and_labels() {
+        let spec = SweepSpec::parse("dram = true\ndram_model = ddr4_2400, HBM2\n").unwrap();
+        assert_eq!(spec.dram_models, ["ddr4_2400", "hbm2"]);
+        assert_eq!(spec.grid_size(), 2);
+        let grid = spec.expand();
+        assert_eq!(grid[0].label(), "dram1-ddr4_2400");
+        assert_eq!(grid[1].label(), "dram1-hbm2");
+    }
+
+    #[test]
+    fn unknown_dram_model_error_names_the_vocabulary() {
+        let err = SweepSpec::parse("dram_model = ddr9\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown dram_model 'ddr9'"), "{err}");
+        for name in scalesim_mem::DramSpec::preset_names() {
+            assert!(err.contains(name), "vocabulary misses {name}: {err}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::operand::{Addr, OperandKind};
 use crate::parallel::parallel_map;
 use crate::report::{ComputeSummary, LayerReport, SramSummary};
 use crate::topology::{GemmShape, Layer, Topology};
+use scalesim_obs as obs;
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -373,6 +374,7 @@ impl PlanCache {
             let clock = inner.clock;
             if let Some(entry) = inner.map.get_mut(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::instant(obs::Category::Cache, "hit", &[]);
                 entry.priority = clock + entry.value;
                 return Arc::clone(&entry.plan);
             }
@@ -380,6 +382,12 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let started = std::time::Instant::now();
         let planned = Arc::new(plan());
+        obs::complete_since(
+            obs::Category::Cache,
+            "plan",
+            started,
+            &[("bytes", planned.resident_bytes() as u64)],
+        );
         let cost_nanos = started.elapsed().as_nanos() as f64;
         let bytes = planned.resident_bytes();
         // Cost per byte, floored so a degenerate zero-cost or zero-byte
@@ -428,6 +436,11 @@ impl PlanCache {
             inner.resident_bytes -= victim.bytes;
             inner.clock = inner.clock.max(victim.priority);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            obs::instant(
+                obs::Category::Cache,
+                "evict",
+                &[("bytes", victim.bytes as u64)],
+            );
         }
     }
 

@@ -97,6 +97,12 @@ fn describe(response: &SimResponse) -> String {
             s.completed,
             s.latency_p99_us
         ),
+        SimResponse::Trace(t) => format!(
+            "tracing {}, {} events ({} trace bytes)",
+            if t.enabled { "on" } else { "off" },
+            t.events,
+            t.trace.len()
+        ),
     }
 }
 

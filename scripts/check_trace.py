@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a scalesim --trace output file against the documented schema.
+
+Usage: scripts/check_trace.py <trace.json>
+
+Checks the Chrome trace-event object form described in
+docs/OBSERVABILITY.md: a ``displayTimeUnit``/``traceEvents`` header,
+complete ("X") events carrying pid/tid/ts/dur and a category from the
+closed set, instants ("i"), and ``thread_name`` metadata ("M") naming at
+least one track. Exits non-zero with a one-line reason on the first
+violation. Stdlib only.
+"""
+
+import json
+import sys
+
+CATEGORIES = {"sched", "pipeline", "cache", "dram", "collective", "serve", "sweep"}
+
+
+def fail(reason):
+    print(f"check_trace: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(trace_text, source):
+    try:
+        trace = json.loads(trace_text)
+    except json.JSONDecodeError as err:
+        fail(f"{source}: not valid JSON: {err}")
+
+    if not isinstance(trace, dict):
+        fail(f"{source}: expected the object trace form, got {type(trace).__name__}")
+    if trace.get("displayTimeUnit") != "ms":
+        fail(f"{source}: displayTimeUnit must be 'ms'")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{source}: traceEvents must be an array")
+    if not events:
+        fail(f"{source}: trace recorded no events")
+
+    complete = 0
+    tracks = []
+    for i, event in enumerate(events):
+        where = f"{source}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        ph = event.get("ph")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(f"{where}: missing integer {key!r}")
+        if ph == "X":
+            complete += 1
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    fail(f"{where}: complete event missing numeric {key!r}")
+            if event.get("cat") not in CATEGORIES:
+                fail(f"{where}: unknown category {event.get('cat')!r}")
+            if not event.get("name"):
+                fail(f"{where}: span with empty name")
+        elif ph == "i":
+            if event.get("cat") not in CATEGORIES:
+                fail(f"{where}: unknown instant category {event.get('cat')!r}")
+        elif ph == "M":
+            if event.get("name") != "thread_name":
+                fail(f"{where}: unexpected metadata event {event.get('name')!r}")
+            label = event.get("args", {}).get("name")
+            if not label:
+                fail(f"{where}: thread_name without a label")
+            tracks.append(label)
+        else:
+            fail(f"{where}: unexpected phase {ph!r}")
+
+    if complete == 0:
+        fail(f"{source}: no complete (X) spans")
+    if not tracks:
+        fail(f"{source}: no thread_name tracks")
+    print(
+        f"check_trace: ok: {len(events)} events, {complete} spans, "
+        f"{len(tracks)} tracks ({', '.join(sorted(set(tracks)))})"
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    check(text, path)
+
+
+if __name__ == "__main__":
+    main()

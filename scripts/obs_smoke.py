@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""End-to-end observability smoke for CI.
+
+Usage: scripts/obs_smoke.py <path-to-scalesim-binary>
+
+Drives one ``scalesim serve --stdio`` session with tracing on and a
+Prometheus endpoint bound, then checks every observable surface:
+
+* a mixed request tape (run / llm / stats / trace) gets one response
+  per request, and **no response may carry an ``internal`` error kind**
+  — any other typed error is a legitimate answer, ``internal`` is a bug;
+* the ``trace`` response reports recording enabled, a non-zero event
+  count, and an inner timeline that passes the full schema check from
+  ``check_trace.py``;
+* the ``stats`` response carries the scheduler and span-total sections;
+* the metrics endpoint answers exactly one scrape with Prometheus text
+  exposition containing the documented series;
+* the ``--trace`` file written at session EOF passes the schema check.
+
+Exits non-zero with a reason on the first violation. Stdlib only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_trace import check as check_trace  # noqa: E402
+
+REQUESTS = [
+    {"api": 1, "id": "run-1", "run": {"topology": {"workload": "resnet18"}}},
+    {"api": 1, "id": "run-2", "run": {"topology": {"workload": "resnet18"}}},
+    {"api": 1, "id": "llm-1", "llm": {"workload": "llama-7b", "phase": "decode"}},
+    {"api": 1, "id": "bad-1", "run": {"topology": {"inline": "not, a, topology"}}},
+    {"api": 1, "id": "stats-1", "stats": {}},
+    {"api": 1, "id": "trace-1", "trace": {}},
+]
+
+
+def fail(reason):
+    print(f"obs_smoke: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    binary = sys.argv[1]
+    trace_file = "/tmp/obs_smoke_serve_trace.json"
+    if os.path.exists(trace_file):
+        os.remove(trace_file)
+
+    proc = subprocess.Popen(
+        [binary, "serve", "--stdio", "--trace", trace_file,
+         "--metrics-addr", "127.0.0.1:0"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+    # The bound metrics address is announced on stderr before serving.
+    metrics_url = None
+    for _ in range(50):
+        line = proc.stderr.readline()
+        if not line:
+            break
+        if "metrics on " in line:
+            metrics_url = line.split("metrics on ", 1)[1].strip()
+            break
+    if not metrics_url:
+        proc.kill()
+        fail("server never announced the metrics endpoint")
+
+    # Scrape once while the session is alive.
+    try:
+        with urllib.request.urlopen(metrics_url, timeout=10) as response:
+            content_type = response.headers.get("Content-Type", "")
+            exposition = response.read().decode()
+    except OSError as err:
+        proc.kill()
+        fail(f"metrics scrape failed: {err}")
+    if "text/plain" not in content_type:
+        fail(f"metrics Content-Type {content_type!r} is not text exposition")
+    for series in (
+        "scalesim_requests_total",
+        "scalesim_handle_latency_us_bucket",
+        "scalesim_sched_workers",
+        'scalesim_spans_total{category="serve"}',
+    ):
+        if series not in exposition:
+            fail(f"metrics exposition missing {series!r}")
+
+    tape = "".join(json.dumps(r) + "\n" for r in REQUESTS)
+    stdout, _ = proc.communicate(tape, timeout=600)
+    if proc.returncode != 0:
+        fail(f"serve session exited {proc.returncode}")
+
+    lines = stdout.splitlines()
+    if len(lines) != len(REQUESTS):
+        fail(f"expected {len(REQUESTS)} responses, got {len(lines)}")
+
+    responses = {}
+    for line in lines:
+        response = json.loads(line)
+        error = response.get("error")
+        if error and error.get("kind") == "internal":
+            fail(f"internal error in response {response.get('id')}: {error}")
+        responses[response.get("id")] = response
+
+    if "error" not in responses["bad-1"]:
+        fail("malformed topology should answer a typed error")
+
+    stats = responses["stats-1"]["ok"]["stats"]
+    for section in ("cache", "serve", "latency_us", "sched", "spans"):
+        if section not in stats:
+            fail(f"stats body missing {section!r} section")
+    if stats["spans"]["serve"] == 0:
+        fail("no serve-category spans recorded under tracing")
+
+    trace_body = responses["trace-1"]["ok"]["trace"]
+    if trace_body["enabled"] is not True:
+        fail("trace response says recording is off despite --trace")
+    if trace_body["events"] == 0:
+        fail("trace response counted zero events")
+    check_trace(trace_body["trace"], "trace response")
+
+    with open(trace_file, encoding="utf-8") as handle:
+        check_trace(handle.read(), trace_file)
+
+    print(f"obs_smoke: ok: {len(lines)} responses, metrics scraped, traces valid")
+
+
+if __name__ == "__main__":
+    main()
